@@ -1,0 +1,111 @@
+// M4 — bigint substrate micro-benchmarks (google-benchmark).
+//
+// These calibrate the arithmetic floor under every protocol cost in this
+// repository: Paillier/RSA operations are sequences of the modexps and
+// mulmods measured here.
+
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "bigint/prime.h"
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+void BM_Add(benchmark::State& state) {
+  SecureRng rng(1);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt a = BigInt::RandomBits(rng, bits);
+  BigInt b = BigInt::RandomBits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_Add)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Mul(benchmark::State& state) {
+  SecureRng rng(2);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt a = BigInt::RandomBits(rng, bits);
+  BigInt b = BigInt::RandomBits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+// 4096 bits crosses the Karatsuba threshold (24 limbs = 768 bits).
+BENCHMARK(BM_Mul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_DivMod(benchmark::State& state) {
+  SecureRng rng(3);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt a = BigInt::RandomBits(rng, 2 * bits);
+  BigInt b = BigInt::RandomBits(rng, bits) + BigInt(1);
+  for (auto _ : state) {
+    BigInt q, r;
+    a.DivMod(b, &q, &r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_DivMod)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_ModExp(benchmark::State& state) {
+  SecureRng rng(4);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  BigInt base = BigInt::RandomBelow(rng, mod);
+  BigInt exp = BigInt::RandomBits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModExp(base, exp, mod));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MontgomeryMul(benchmark::State& state) {
+  SecureRng rng(5);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  MontgomeryCtx ctx = *MontgomeryCtx::Create(mod);
+  BigInt a = ctx.ToMont(BigInt::RandomBelow(rng, mod));
+  BigInt b = ctx.ToMont(BigInt::RandomBelow(rng, mod));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MulMont(a, b));
+  }
+}
+BENCHMARK(BM_MontgomeryMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MillerRabin(benchmark::State& state) {
+  SecureRng rng(6);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt prime = GeneratePrime(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsProbablePrime(prime, rng, 16));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(128)->Arg(256)->Arg(512)->Iterations(10);
+
+void BM_GeneratePrime(benchmark::State& state) {
+  SecureRng rng(7);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeneratePrime(rng, bits));
+  }
+}
+BENCHMARK(BM_GeneratePrime)->Arg(128)->Arg(256)->Iterations(5);
+
+void BM_DecimalRoundTrip(benchmark::State& state) {
+  SecureRng rng(8);
+  BigInt v = BigInt::RandomBits(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::FromDecimal(v.ToDecimal()));
+  }
+}
+BENCHMARK(BM_DecimalRoundTrip)->Arg(256)->Arg(2048);
+
+}  // namespace
+}  // namespace ppdbscan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// M5 — centralized DBSCAN region-query index ablation.
+//
+// Ester et al. used an R*-tree to reach O(n log n); the paper's
+// communication analysis assumes "DBSCAN without spatial index" (O(n²)).
+// This benchmark quantifies the gap between the linear scan and this
+// library's uniform-grid index.
+
+#include <benchmark/benchmark.h>
+
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "dbscan/dbscan.h"
+#include "dbscan/grid_index.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset MakeWorkload(size_t n) {
+  SecureRng rng(n);
+  RawDataset raw = MakeBlobs(rng, 8, n / 8, 2, 0.5, 40.0);
+  AddUniformNoise(raw, rng, n / 10, 50.0);
+  FixedPointEncoder enc(16.0);
+  return *enc.Encode(raw);
+}
+
+void BM_DbscanLinear(benchmark::State& state) {
+  Dataset ds = MakeWorkload(static_cast<size_t>(state.range(0)));
+  DbscanParams params{.eps_squared = 16 * 16, .min_pts = 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunDbscan(ds, params));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DbscanLinear)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_DbscanGrid(benchmark::State& state) {
+  Dataset ds = MakeWorkload(static_cast<size_t>(state.range(0)));
+  DbscanParams params{.eps_squared = 16 * 16, .min_pts = 5};
+  for (auto _ : state) {
+    GridRegionQuerier grid(ds, params.eps_squared);
+    benchmark::DoNotOptimize(RunDbscan(ds, params, &grid));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DbscanGrid)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_GridBuild(benchmark::State& state) {
+  Dataset ds = MakeWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GridRegionQuerier(ds, 256));
+  }
+}
+BENCHMARK(BM_GridBuild)->Arg(1000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppdbscan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// E1 — the Figure 1 linkage attack, quantified.
+//
+// Paper claim (§1, Figure 1): under Kumar et al. [14]'s disclosure, Bob
+// learns that one specific record of Alice lies in the neighbourhood of
+// each of his points B1..Bk, so the record is confined to the INTERSECTION
+// of the disks, "so small that Bob could determine the location of the
+// point". Under the paper's permuted protocols Bob only learns that each
+// disk contains SOME record, leaving the whole UNION feasible.
+//
+// This harness (a) runs the actual linked-disclosure protocol to obtain
+// Bob's view, and (b) Monte-Carlo estimates the feasible region under both
+// disclosure regimes as the number of overlapping neighbourhoods grows.
+
+#include <cmath>
+#include <thread>
+
+#include "baseline/attack.h"
+#include "baseline/kumar.h"
+#include "bench_util.h"
+#include "net/memory_channel.h"
+
+namespace ppdbscan {
+namespace {
+
+void Run(bool csv) {
+  // Bob's points on a ring of radius 0.8 around Alice's hidden record at
+  // the origin; every Bob neighbourhood (eps = 1) contains the record.
+  const double eps = 1.0;
+  SecureRng rng(404);
+
+  ResultTable table({"neighbourhoods k", "linked area (Kumar [14])",
+                     "unlinked area (this paper)", "localization factor"});
+  for (size_t k = 1; k <= 6; ++k) {
+    std::vector<std::vector<double>> centers;
+    std::vector<size_t> containing;
+    for (size_t i = 0; i < k; ++i) {
+      double theta = 2 * M_PI * static_cast<double>(i) / static_cast<double>(k);
+      centers.push_back({0.8 * std::cos(theta), 0.8 * std::sin(theta)});
+      containing.push_back(i);
+    }
+    AttackEstimate est = EstimateFeasibleRegion(centers, containing, eps,
+                                                -2.0, 2.0, 400000, rng);
+    table.AddRow({ResultTable::Fmt(static_cast<uint64_t>(k)),
+                  ResultTable::Fmt(est.linked_area, 4),
+                  ResultTable::Fmt(est.unlinked_area, 4),
+                  ResultTable::Fmt(est.LocalizationFactor(), 1)});
+  }
+  bench_util::Emit(table, csv, "E1.a Feasible region vs neighbourhood count",
+                   "intersection shrinks toward a point; union does not");
+
+  // (b) End-to-end: run the linked-disclosure protocol so the attacker's
+  // view comes from the real cryptographic pipeline, then attack it.
+  FixedPointEncoder enc(16.0);
+  Dataset bob_points(2);   // attacker
+  Dataset alice_points(2); // victim: one record at the origin + decoys
+  std::vector<std::vector<double>> centers;
+  for (size_t i = 0; i < 3; ++i) {
+    double theta = 2 * M_PI * static_cast<double>(i) / 3.0;
+    centers.push_back({0.8 * std::cos(theta), 0.8 * std::sin(theta)});
+    PPD_CHECK(bob_points
+                  .Add({*enc.EncodeScalar(centers.back()[0]),
+                        *enc.EncodeScalar(centers.back()[1])})
+                  .ok());
+  }
+  PPD_CHECK(alice_points.Add({0, 0}).ok());
+  PPD_CHECK(alice_points.Add({*enc.EncodeScalar(1.9),
+                              *enc.EncodeScalar(1.9)}).ok());
+
+  ProtocolOptions options;
+  options.params = {.eps_squared = *enc.EncodeEpsSquared(eps), .min_pts = 1};
+  options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 64);
+
+  auto [alice_channel, bob_channel] = MemoryChannel::CreatePair();
+  Result<LinkedNeighbourhoods> linked = Status::Internal("unset");
+  Status responder = Status::Ok();
+  std::thread bob_thread([&] {
+    SecureRng bob_rng(1);
+    SmcOptions smc;
+    smc.paillier_bits = 256;
+    smc.rsa_bits = 128;
+    Result<SmcSession> session =
+        SmcSession::Establish(*bob_channel, bob_rng, smc);
+    PPD_CHECK(session.ok());
+    linked = KumarDisclosureQuerier(*bob_channel, *session, bob_points,
+                                    options, bob_rng);
+  });
+  std::thread alice_thread([&] {
+    SecureRng alice_rng(2);
+    SmcOptions smc;
+    smc.paillier_bits = 256;
+    smc.rsa_bits = 128;
+    Result<SmcSession> session =
+        SmcSession::Establish(*alice_channel, alice_rng, smc);
+    PPD_CHECK(session.ok());
+    responder = KumarDisclosureResponder(*alice_channel, *session,
+                                         alice_points, options, alice_rng);
+  });
+  bob_thread.join();
+  alice_thread.join();
+  PPD_CHECK(linked.ok() && responder.ok());
+
+  // Which Bob neighbourhoods contain Alice's record 0?
+  std::vector<size_t> containing;
+  for (size_t k = 0; k < linked->contains.size(); ++k) {
+    if (linked->contains[k][0]) containing.push_back(k);
+  }
+  AttackEstimate est = EstimateFeasibleRegion(centers, containing, eps, -2.0,
+                                              2.0, 400000, rng);
+  ResultTable protocol_table(
+      {"source", "neighbourhoods containing victim", "linked area",
+       "unlinked area", "localization factor"});
+  protocol_table.AddRow(
+      {"real protocol run", ResultTable::Fmt(static_cast<uint64_t>(containing.size())),
+       ResultTable::Fmt(est.linked_area, 4),
+       ResultTable::Fmt(est.unlinked_area, 4),
+       ResultTable::Fmt(est.LocalizationFactor(), 1)});
+  bench_util::Emit(protocol_table, csv,
+                   "E1.b Attack on an actual linked-disclosure transcript",
+                   "the gray region of Figure 1 is recoverable when bits are "
+                   "linkable");
+}
+
+}  // namespace
+}  // namespace ppdbscan
+
+int main(int argc, char** argv) {
+  ppdbscan::Run(ppdbscan::bench_util::WantCsv(argc, argv));
+  return 0;
+}

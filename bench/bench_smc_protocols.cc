@@ -1,0 +1,118 @@
+// M3 — Multiplication Protocol (§4.1) and dot-product extension (§5).
+//
+// Paper claim (§4.2.2): "The communication complexity of each
+// Multiplication Protocol is O(c1)" — constant in everything except the
+// ciphertext size. The dot product adds one ciphertext per vector element
+// once, then one per row.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/memory_channel.h"
+#include "smc/dot_product.h"
+#include "smc/multiplication.h"
+
+namespace ppdbscan {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<MemoryChannel> alice_channel, bob_channel;
+  std::unique_ptr<SmcSession> alice, bob;
+  SecureRng alice_rng{1}, bob_rng{2};
+};
+
+Fixture& GetFixture(size_t paillier_bits) {
+  static auto& cache = *new std::map<size_t, Fixture*>();
+  auto it = cache.find(paillier_bits);
+  if (it == cache.end()) {
+    auto* f = new Fixture();
+    auto [a, b] = MemoryChannel::CreatePair();
+    f->alice_channel = std::move(a);
+    f->bob_channel = std::move(b);
+    SmcOptions options;
+    options.paillier_bits = paillier_bits;
+    options.rsa_bits = 128;
+    Result<SmcSession> sa = Status::Internal("unset");
+    Result<SmcSession> sb = Status::Internal("unset");
+    std::thread ta([&] {
+      sa = SmcSession::Establish(*f->alice_channel, f->alice_rng, options);
+    });
+    std::thread tb([&] {
+      sb = SmcSession::Establish(*f->bob_channel, f->bob_rng, options);
+    });
+    ta.join();
+    tb.join();
+    PPD_CHECK(sa.ok() && sb.ok());
+    f->alice = std::make_unique<SmcSession>(std::move(sa).value());
+    f->bob = std::make_unique<SmcSession>(std::move(sb).value());
+    it = cache.emplace(paillier_bits, f).first;
+  }
+  return *it->second;
+}
+
+void BM_MultiplicationProtocol(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  f.alice_channel->ResetStats();
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    Result<BigInt> u = Status::Internal("unset");
+    Result<BigInt> v = Status::Internal("unset");
+    std::thread ta([&] {
+      u = RunMultiplicationReceiver(*f.alice_channel, *f.alice, BigInt(1234),
+                                    f.alice_rng);
+    });
+    std::thread tb([&] {
+      v = RunMultiplicationHelper(*f.bob_channel, *f.bob, BigInt(-567),
+                                  f.bob_rng);
+    });
+    ta.join();
+    tb.join();
+    PPD_CHECK(u.ok() && v.ok());
+    ++runs;
+  }
+  state.counters["bytes_per_run"] = static_cast<double>(
+      f.alice_channel->stats().total_bytes() / std::max<uint64_t>(1, runs));
+}
+BENCHMARK(BM_MultiplicationProtocol)
+    ->Arg(256)->Arg(512)->Arg(1024)
+    ->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DotProductBatch(benchmark::State& state) {
+  Fixture& f = GetFixture(256);
+  const size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<BigInt> alpha = {BigInt(100), BigInt(-20), BigInt(-30),
+                               BigInt(1)};
+  std::vector<std::vector<BigInt>> beta(rows,
+                                        {BigInt(1), BigInt(7), BigInt(9),
+                                         BigInt(130)});
+  f.alice_channel->ResetStats();
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    Result<std::vector<BigInt>> u = Status::Internal("unset");
+    Result<std::vector<BigInt>> v = Status::Internal("unset");
+    std::thread ta([&] {
+      u = RunDotProductReceiver(*f.alice_channel, *f.alice, alpha, rows,
+                                f.alice_rng);
+    });
+    std::thread tb([&] {
+      v = RunDotProductHelper(*f.bob_channel, *f.bob, beta, {}, f.bob_rng);
+    });
+    ta.join();
+    tb.join();
+    PPD_CHECK(u.ok() && v.ok());
+    ++runs;
+  }
+  state.counters["bytes_per_run"] = static_cast<double>(
+      f.alice_channel->stats().total_bytes() / std::max<uint64_t>(1, runs));
+}
+BENCHMARK(BM_DotProductBatch)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)
+    ->Iterations(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppdbscan
+
+BENCHMARK_MAIN();

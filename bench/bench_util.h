@@ -1,0 +1,48 @@
+#ifndef PPDBSCAN_BENCH_BENCH_UTIL_H_
+#define PPDBSCAN_BENCH_BENCH_UTIL_H_
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "eval/table.h"
+
+namespace ppdbscan {
+namespace bench_util {
+
+/// --csv on the command line switches every table to CSV.
+inline bool WantCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+inline void Emit(const ResultTable& table, bool csv, const std::string& title,
+                 const std::string& claim) {
+  if (!csv) {
+    std::cout << "\n## " << title << "\n";
+    if (!claim.empty()) std::cout << "Paper claim: " << claim << "\n\n";
+    std::cout << table.ToMarkdown();
+  } else {
+    std::cout << table.ToCsv();
+  }
+  std::cout.flush();
+}
+
+/// Default fast-but-real crypto sizes for the experiment harnesses.
+inline ExecutionConfig FastCrypto() {
+  ExecutionConfig config;
+  config.smc.paillier_bits = 256;
+  config.smc.rsa_bits = 128;
+  return config;
+}
+
+}  // namespace bench_util
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// M2 — Yao's Millionaires' Problem Protocol (Algorithm 1) cost profile.
+//
+// Paper claim (§3.8, §4.2.2): each YMPP execution costs O(c2·n0) bits and
+// Θ(n0) decryptions by the key owner — the protocol is linear in the
+// comparison domain. Measured here: wall-clock and bytes vs n0 and vs the
+// RSA modulus size.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "net/memory_channel.h"
+#include "smc/ymp.h"
+
+namespace ppdbscan {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<MemoryChannel> alice_channel, bob_channel;
+  std::unique_ptr<SmcSession> alice, bob;
+  SecureRng alice_rng{1}, bob_rng{2};
+};
+
+Fixture& GetFixture(size_t rsa_bits) {
+  static auto& cache = *new std::map<size_t, Fixture*>();
+  auto it = cache.find(rsa_bits);
+  if (it == cache.end()) {
+    auto* f = new Fixture();
+    auto [a, b] = MemoryChannel::CreatePair();
+    f->alice_channel = std::move(a);
+    f->bob_channel = std::move(b);
+    SmcOptions options;
+    options.paillier_bits = 128;
+    options.rsa_bits = rsa_bits;
+    Result<SmcSession> sa = Status::Internal("unset");
+    Result<SmcSession> sb = Status::Internal("unset");
+    std::thread ta([&] {
+      sa = SmcSession::Establish(*f->alice_channel, f->alice_rng, options);
+    });
+    std::thread tb([&] {
+      sb = SmcSession::Establish(*f->bob_channel, f->bob_rng, options);
+    });
+    ta.join();
+    tb.join();
+    PPD_CHECK(sa.ok() && sb.ok());
+    f->alice = std::make_unique<SmcSession>(std::move(sa).value());
+    f->bob = std::make_unique<SmcSession>(std::move(sb).value());
+    it = cache.emplace(rsa_bits, f).first;
+  }
+  return *it->second;
+}
+
+void RunOnce(Fixture& f, uint64_t domain) {
+  YmppOptions options;
+  options.domain = domain;
+  Result<std::optional<bool>> ra = Status::Internal("unset");
+  Result<bool> rb = Status::Internal("unset");
+  std::thread ta([&] {
+    ra = RunYmppKeyOwner(*f.alice_channel, *f.alice, domain / 2, options,
+                         f.alice_rng);
+  });
+  std::thread tb([&] {
+    rb = RunYmppEvaluator(*f.bob_channel, *f.bob, domain / 3 + 1, options,
+                          f.bob_rng);
+  });
+  ta.join();
+  tb.join();
+  PPD_CHECK(ra.ok() && rb.ok());
+}
+
+void BM_YmppVsDomain(benchmark::State& state) {
+  Fixture& f = GetFixture(128);
+  const uint64_t domain = static_cast<uint64_t>(state.range(0));
+  f.alice_channel->ResetStats();
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    RunOnce(f, domain);
+    ++runs;
+  }
+  state.counters["bytes_per_run"] = static_cast<double>(
+      (f.alice_channel->stats().total_bytes()) / std::max<uint64_t>(1, runs));
+}
+BENCHMARK(BM_YmppVsDomain)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_YmppVsRsaBits(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RunOnce(f, 64);
+  }
+}
+BENCHMARK(BM_YmppVsRsaBits)
+    ->Arg(128)->Arg(256)->Arg(512)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppdbscan
+
+BENCHMARK_MAIN();

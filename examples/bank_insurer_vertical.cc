@@ -1,0 +1,110 @@
+// Vertical partitioning (§4.3): a bank and an insurer hold DIFFERENT
+// attributes of the SAME customers (joined by a shared customer id). The
+// bank holds income and account balance; the insurer holds claim frequency
+// and a risk score. Jointly they can find customer segments that neither
+// could see alone — e.g. a "low income / high claims" segment invisible in
+// either projection — without exchanging attribute values.
+//
+// The VDP distance protocol gives each party only the decision bit
+// dist(d_x, d_y) <= Eps per pair (Theorem 10); both parties end up with
+// the full record→cluster map, which is the prescribed output for
+// vertically partitioned data (§3.3).
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace ppdbscan;  // NOLINT: example brevity
+
+/// Customers in 4-D: (income, balance | bank), (claims, risk | insurer).
+/// Two segments are separable only in the JOINT space: both project onto
+/// overlapping ranges in each party's 2-D view.
+RawDataset MakeCustomers(SecureRng& rng, size_t per_segment) {
+  RawDataset out;
+  out.dims = 4;
+  // Segment 0: modest income, low balance, low claims, low risk.
+  // Segment 1: modest income, low balance, HIGH claims, HIGH risk.
+  // Segment 2: high income, high balance, low claims, moderate risk.
+  const double centers[3][4] = {
+      {-2.0, -2.0, -2.0, -2.0},
+      {-2.0, -2.0, 2.0, 2.0},
+      {2.5, 2.5, -2.0, 0.0},
+  };
+  for (int k = 0; k < 3; ++k) {
+    for (size_t i = 0; i < per_segment; ++i) {
+      std::vector<double> p(4);
+      for (int t = 0; t < 4; ++t) {
+        p[t] = centers[k][t] + rng.NextGaussian() * 0.45;
+      }
+      out.points.push_back(std::move(p));
+      out.true_labels.push_back(k);
+    }
+  }
+  return out;
+}
+
+int Run() {
+  SecureRng rng(/*seed=*/77);
+  RawDataset raw = MakeCustomers(rng, /*per_segment=*/20);
+  FixedPointEncoder encoder(/*scale=*/16.0);
+  Dataset joint = *encoder.Encode(raw);
+
+  // Bank = Alice owns attributes [0, 2); insurer = Bob owns [2, 4).
+  VerticalPartition split = *PartitionVertical(joint, /*split_dim=*/2);
+  std::printf("Bank owns %zu attributes, insurer owns %zu, %zu shared "
+              "customers\n\n",
+              split.split_dim, joint.dims() - split.split_dim, joint.size());
+
+  // Neither party's projection separates segments 0 and 1 (they differ
+  // only in the other party's attributes). Show that with a local DBSCAN.
+  DbscanParams params{.eps_squared = *encoder.EncodeEpsSquared(1.5),
+                      .min_pts = 5};
+  DbscanResult bank_only = RunDbscan(split.alice, params);
+  Labels truth(raw.true_labels.begin(), raw.true_labels.end());
+  std::printf("Bank clustering alone:    %zu clusters, ARI vs truth %.3f\n",
+              bank_only.num_clusters,
+              AdjustedRandIndex(bank_only.labels, truth));
+
+  ExecutionConfig config;
+  config.smc.paillier_bits = 512;
+  config.smc.rsa_bits = 512;
+  config.protocol.params = params;
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+  config.protocol.comparator.magnitude_bound =
+      RecommendedComparatorBound(joint.dims(), /*max_abs_coord=*/128);
+
+  Result<TwoPartyOutcome> outcome = ExecuteVertical(split, config);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "protocol: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Joint private clustering: %zu clusters, ARI vs truth %.3f\n",
+              outcome->alice.num_clusters,
+              AdjustedRandIndex(outcome->alice.labels, truth));
+
+  DbscanResult central = RunDbscan(joint, params);
+  std::printf("Centralized reference:    %zu clusters, ARI vs joint "
+              "protocol %.3f (expect 1.000)\n",
+              central.num_clusters,
+              AdjustedRandIndex(outcome->alice.labels, central.labels));
+  std::printf("\nBoth parties hold the identical record→cluster map: %s\n",
+              outcome->alice.labels == outcome->bob.labels ? "yes" : "NO");
+  std::printf("Bytes exchanged: %llu (VDP runs one secure comparison per "
+              "candidate pair)\n",
+              static_cast<unsigned long long>(
+                  outcome->alice_stats.total_bytes()));
+  return SameClustering(outcome->alice.labels, central.labels) ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

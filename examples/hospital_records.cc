@@ -1,0 +1,142 @@
+// The paper's §1 motivating scenario: two hospitals each hold medical
+// records (horizontally partitioned — same attributes, disjoint patients)
+// and want to find patient phenotype clusters across the union without
+// exchanging records.
+//
+// This example contrasts the two §4.2 / §5 protocol variants:
+//   * basic      — reveals, per core-point test, HOW MANY of the other
+//                  hospital's patients fall in the neighbourhood
+//                  (Theorem 9);
+//   * enhanced   — reveals only the single bit "core or not" (Theorem 11).
+// The DisclosureLog prints exactly what crossed the trust boundary in each
+// run, and the cost delta of the stronger guarantee.
+//
+// Patients are synthetic: four standardized vitals (age, BMI, systolic BP,
+// HbA1c), three latent cohorts plus outliers. Generator truth is used only
+// for reporting.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "eval/leakage.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace {
+
+using namespace ppdbscan;  // NOLINT: example brevity
+
+/// Three patient cohorts in standardized-vitals space plus unassigned
+/// outliers. Blobs are the right model: cohorts are ellipsoidal in
+/// normalized lab values; the arbitrary-shape workloads live in the other
+/// examples.
+RawDataset MakePatients(SecureRng& rng) {
+  RawDataset cohorts = MakeBlobs(rng, /*num_clusters=*/3,
+                                 /*points_per_cluster=*/14, /*dims=*/4,
+                                 /*stddev=*/0.4, /*box=*/4.0);
+  AddUniformNoise(cohorts, rng, /*count=*/6, /*box=*/6.0);
+  return cohorts;
+}
+
+void PrintDisclosures(const char* who, const DisclosureLog& log) {
+  for (const std::string& category : log.Categories()) {
+    std::printf("    %-8s %-22s events=%-4llu distinct=%-4llu "
+                "entropy=%.2f bits\n",
+                who, category.c_str(),
+                static_cast<unsigned long long>(log.Count(category)),
+                static_cast<unsigned long long>(log.DistinctValues(category)),
+                log.EntropyBits(category));
+  }
+}
+
+int Run() {
+  SecureRng data_rng(/*seed=*/2024);
+  RawDataset raw = MakePatients(data_rng);
+  FixedPointEncoder encoder(/*scale=*/16.0);
+  Dataset all = *encoder.Encode(raw);
+
+  SecureRng split_rng(/*seed=*/3);
+  HorizontalPartition hospitals =
+      *PartitionHorizontal(all, split_rng, /*alice_fraction=*/0.55);
+  std::printf("Hospital A: %zu patients   Hospital B: %zu patients   "
+              "attributes: %zu\n\n",
+              hospitals.alice.size(), hospitals.bob.size(), all.dims());
+
+  ExecutionConfig config;
+  config.smc.paillier_bits = 512;
+  config.smc.rsa_bits = 512;
+  config.protocol.params.eps_squared = *encoder.EncodeEpsSquared(1.6);
+  config.protocol.params.min_pts = 5;
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+  config.protocol.comparator.magnitude_bound =
+      RecommendedComparatorBound(all.dims(), /*max_abs_coord=*/128);
+
+  ResultTable table({"protocol", "clusters A", "clusters B", "bytes",
+                     "count disclosures", "bit disclosures"});
+
+  // --- Basic protocol (§4.2) ---------------------------------------------
+  Result<TwoPartyOutcome> basic =
+      ExecuteHorizontal(hospitals.alice, hospitals.bob, config);
+  if (!basic.ok()) {
+    std::fprintf(stderr, "basic: %s\n", basic.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Basic protocol disclosures (Theorem 9):\n");
+  PrintDisclosures("A saw", basic->alice_disclosures);
+  PrintDisclosures("B saw", basic->bob_disclosures);
+  table.AddRow({"basic (Alg. 3/4)",
+                ResultTable::Fmt(uint64_t{basic->alice.num_clusters}),
+                ResultTable::Fmt(uint64_t{basic->bob.num_clusters}),
+                ResultTable::Fmt(basic->alice_stats.total_bytes()),
+                ResultTable::Fmt(basic->alice_disclosures.Count(
+                    "peer_neighbor_count")),
+                ResultTable::Fmt(basic->alice_disclosures.Count(
+                    "peer_core_bit"))});
+
+  // --- Enhanced protocol (§5) ---------------------------------------------
+  config.protocol.mode = HorizontalMode::kEnhanced;
+  Result<TwoPartyOutcome> enhanced =
+      ExecuteHorizontal(hospitals.alice, hospitals.bob, config);
+  if (!enhanced.ok()) {
+    std::fprintf(stderr, "enhanced: %s\n",
+                 enhanced.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nEnhanced protocol disclosures (Theorem 11):\n");
+  PrintDisclosures("A saw", enhanced->alice_disclosures);
+  PrintDisclosures("B saw", enhanced->bob_disclosures);
+  table.AddRow({"enhanced (Alg. 7/8)",
+                ResultTable::Fmt(uint64_t{enhanced->alice.num_clusters}),
+                ResultTable::Fmt(uint64_t{enhanced->bob.num_clusters}),
+                ResultTable::Fmt(enhanced->alice_stats.total_bytes()),
+                ResultTable::Fmt(enhanced->alice_disclosures.Count(
+                    "peer_neighbor_count")),
+                ResultTable::Fmt(enhanced->alice_disclosures.Count(
+                    "peer_core_bit"))});
+
+  std::printf("\n%s\n", table.ToMarkdown().c_str());
+
+  const bool identical =
+      basic->alice.labels == enhanced->alice.labels &&
+      basic->bob.labels == enhanced->bob.labels;
+  std::printf("Clusterings identical across variants: %s\n",
+              identical ? "yes" : "NO (unexpected)");
+  const double byte_ratio =
+      static_cast<double>(enhanced->alice_stats.total_bytes()) /
+      static_cast<double>(basic->alice_stats.total_bytes());
+  std::printf("Bytes, enhanced vs basic: %.2fx — the batched §5 dot product "
+              "sends one ciphertext\nper peer point where basic HDP sends "
+              "one per attribute, so the stronger guarantee\ncan even be "
+              "cheaper at low MinPts (selection comparisons scale with k, "
+              "not m).\n",
+              byte_ratio);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,84 @@
+// Arbitrarily partitioned data (§4.4): ownership is decided per CELL, not
+// per row or column — the model of Jagannathan & Wright that the paper
+// adopts for its most general protocol. Each record's squared distance
+// decomposes into a vertical part (attributes where both records' cells
+// belong to one party) and a horizontal part (attributes where the two
+// records' cells belong to different parties); the horizontal part runs
+// through HDP, and one final YMPP/comparison merges the shares against
+// Eps² (Figure 4's decomposition).
+//
+// The demo builds a mostly-vertical partition with 15% of cells flipped —
+// the "mostly, but not completely, partitioned" situation §4.4 argues is
+// the practical one — and checks the output against centralized DBSCAN.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace ppdbscan;  // NOLINT: example brevity
+
+int Run() {
+  SecureRng rng(/*seed=*/99);
+  RawDataset raw = MakeBlobs(rng, /*num_clusters=*/3,
+                             /*points_per_cluster=*/15, /*dims=*/3,
+                             /*stddev=*/0.5, /*box=*/5.0);
+  AddUniformNoise(raw, rng, /*count=*/5, /*box=*/7.0);
+  FixedPointEncoder encoder(/*scale=*/12.0);
+  Dataset joint = *encoder.Encode(raw);
+
+  SecureRng split_rng(/*seed=*/5);
+  ArbitraryPartition patchwork =
+      *PartitionArbitrary(joint, split_rng, /*alice_cell_fraction=*/0.5);
+
+  size_t alice_cells = 0;
+  size_t total_cells = joint.size() * joint.dims();
+  for (const auto& row : patchwork.alice.owned) {
+    for (uint8_t o : row) alice_cells += o;
+  }
+  std::printf("Patchwork ownership: Alice holds %zu / %zu cells (%.0f%%)\n",
+              alice_cells, total_cells,
+              100.0 * static_cast<double>(alice_cells) /
+                  static_cast<double>(total_cells));
+
+  ExecutionConfig config;
+  config.smc.paillier_bits = 512;
+  config.smc.rsa_bits = 512;
+  config.protocol.params.eps_squared = *encoder.EncodeEpsSquared(1.7);
+  config.protocol.params.min_pts = 4;
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+  config.protocol.comparator.magnitude_bound =
+      RecommendedComparatorBound(joint.dims(), /*max_abs_coord=*/128);
+
+  Result<TwoPartyOutcome> outcome = ExecuteArbitrary(patchwork, config);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "protocol: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  DbscanParams params = config.protocol.params;
+  DbscanResult central = RunDbscan(joint, params);
+  std::printf("Clusters found: %zu (centralized: %zu)\n",
+              outcome->alice.num_clusters, central.num_clusters);
+  std::printf("ARI(joint protocol, centralized) = %.3f (expect 1.000)\n",
+              AdjustedRandIndex(outcome->alice.labels, central.labels));
+  std::printf("Bytes exchanged: %llu\n",
+              static_cast<unsigned long long>(
+                  outcome->alice_stats.total_bytes()));
+  std::printf("\nEvery record is split between the parties, so per §3.3 "
+              "both learn the full\nrecord→cluster map — and nothing else "
+              "about the other party's cells.\n");
+  return SameClustering(outcome->alice.labels, central.labels) ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

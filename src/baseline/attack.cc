@@ -1,0 +1,45 @@
+#include "baseline/attack.h"
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+AttackEstimate EstimateFeasibleRegion(
+    const std::vector<std::vector<double>>& centers,
+    const std::vector<size_t>& containing_indices, double eps, double box_min,
+    double box_max, size_t samples, SecureRng& rng) {
+  PPD_CHECK_MSG(box_max > box_min, "empty sampling box");
+  PPD_CHECK_MSG(!containing_indices.empty(),
+                "attack needs at least one neighbourhood");
+  const double eps_sq = eps * eps;
+  const double side = box_max - box_min;
+
+  size_t in_intersection = 0;
+  size_t in_union = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    double x = box_min + rng.NextDouble() * side;
+    double y = box_min + rng.NextDouble() * side;
+    bool all = true;
+    bool any = false;
+    for (size_t idx : containing_indices) {
+      const std::vector<double>& c = centers[idx];
+      double dx = x - c[0];
+      double dy = y - c[1];
+      bool inside = dx * dx + dy * dy <= eps_sq;
+      all = all && inside;
+      any = any || inside;
+    }
+    if (all) ++in_intersection;
+    if (any) ++in_union;
+  }
+
+  AttackEstimate out;
+  out.box_area = side * side;
+  out.samples = samples;
+  out.linked_area =
+      out.box_area * static_cast<double>(in_intersection) / samples;
+  out.unlinked_area = out.box_area * static_cast<double>(in_union) / samples;
+  return out;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,42 @@
+#ifndef PPDBSCAN_BASELINE_ATTACK_H_
+#define PPDBSCAN_BASELINE_ATTACK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ppdbscan {
+
+/// Monte-Carlo quantification of the Figure 1 linkage attack.
+///
+/// Setting: the attacker (Bob) holds `centers` (his points) and learned
+/// that a victim record lies within `eps` of each center in
+/// `containing_indices`. Under the LINKED (Kumar [14]) disclosure the
+/// feasible region for the victim record is the INTERSECTION of those
+/// disks; under the paper's UNLINKED disclosure Bob only knows each disk
+/// contains *some* victim record, so any point of the UNION is consistent
+/// with the victim's location.
+struct AttackEstimate {
+  double linked_area = 0;     // area of the disk intersection
+  double unlinked_area = 0;   // area of the disk union
+  double box_area = 0;        // area of the sampled prior region
+  size_t samples = 0;
+
+  /// Localization gain of the linkage attack: how much smaller the linked
+  /// feasible region is than the unlinked one (>= 1; higher = worse leak).
+  double LocalizationFactor() const {
+    return linked_area > 0 ? unlinked_area / linked_area : 0.0;
+  }
+};
+
+/// Estimates feasible-region areas by sampling `samples` points uniformly
+/// over [box_min, box_max]² (2-D attack, matching Figure 1).
+AttackEstimate EstimateFeasibleRegion(
+    const std::vector<std::vector<double>>& centers,
+    const std::vector<size_t>& containing_indices, double eps, double box_min,
+    double box_max, size_t samples, SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BASELINE_ATTACK_H_

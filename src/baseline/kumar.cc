@@ -1,0 +1,67 @@
+#include "baseline/kumar.h"
+
+#include "core/distance_protocols.h"
+#include "core/wire.h"
+#include "net/message.h"
+#include "smc/comparator.h"
+
+namespace ppdbscan {
+
+Result<LinkedNeighbourhoods> KumarDisclosureQuerier(
+    Channel& channel, const SmcSession& session, const Dataset& own,
+    const ProtocolOptions& options, SecureRng& rng) {
+  PPD_ASSIGN_OR_RETURN(
+      std::unique_ptr<SecureComparator> comparator,
+      CreateComparator(options.comparator, session, rng));
+  // Announce how many linked queries follow.
+  ByteWriter hello;
+  hello.PutU32(static_cast<uint32_t>(own.size()));
+  PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kVtHello, hello));
+
+  LinkedNeighbourhoods out;
+  out.contains.resize(own.size());
+  for (size_t k = 0; k < own.size(); ++k) {
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHzQueryBasic,
+                                    std::vector<uint8_t>()));
+    std::vector<bool> bits;
+    PPD_ASSIGN_OR_RETURN(
+        size_t hits,
+        HdpBatchDriver(channel, session, *comparator, own.point(k),
+                       options.params.eps_squared, rng, &bits));
+    (void)hits;
+    out.contains[k] = std::move(bits);
+  }
+  PPD_RETURN_IF_ERROR(
+      SendMessage(channel, wire::kHzScanDone, std::vector<uint8_t>()));
+  return out;
+}
+
+Status KumarDisclosureResponder(Channel& channel, const SmcSession& session,
+                                const Dataset& own,
+                                const ProtocolOptions& options,
+                                SecureRng& rng) {
+  (void)options;
+  PPD_ASSIGN_OR_RETURN(
+      std::unique_ptr<SecureComparator> comparator,
+      CreateComparator(options.comparator, session, rng));
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, wire::kVtHello));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(uint32_t queries, reader.GetU32());
+  for (uint32_t k = 0; k < queries; ++k) {
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> tag,
+                         ExpectMessage(channel, wire::kHzQueryBasic));
+    (void)tag;
+    // The defining difference from Algorithm 4: no permutation, so the
+    // querier's bits are linkable across queries.
+    PPD_RETURN_IF_ERROR(HdpBatchResponder(channel, session, *comparator, own,
+                                          rng, /*subset=*/nullptr,
+                                          /*permute=*/false));
+  }
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> done,
+                       ExpectMessage(channel, wire::kHzScanDone));
+  (void)done;
+  return Status::Ok();
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,44 @@
+#ifndef PPDBSCAN_BASELINE_KUMAR_H_
+#define PPDBSCAN_BASELINE_KUMAR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "dbscan/dataset.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// The disclosure regime of Kumar & Rangan [14] that §1/Figure 1 of the
+/// paper argues against: the querying party learns, for each of its own
+/// points, WHICH of the peer's records (by a stable index) lie in the
+/// Eps-neighbourhood. Because the peer index is stable across queries, the
+/// querier can intersect neighbourhoods — the Figure 1 linkage attack.
+/// The paper's protocols destroy this linkage with per-query permutation;
+/// bench_fig1_attack quantifies the difference.
+///
+/// The cryptographic machinery is the same HDP + secure-comparison stack;
+/// only the permutation is disabled and the bits are linkable.
+struct LinkedNeighbourhoods {
+  /// contains[k][i] == true iff peer record i lies within Eps of own
+  /// point k. Peer indices are stable across k — the leak.
+  std::vector<std::vector<bool>> contains;
+};
+
+/// Querier side (the attacker's view).
+Result<LinkedNeighbourhoods> KumarDisclosureQuerier(
+    Channel& channel, const SmcSession& session, const Dataset& own,
+    const ProtocolOptions& options, SecureRng& rng);
+
+/// Victim side: serves `peer_query_count` linked (unpermuted) HDP batches.
+Status KumarDisclosureResponder(Channel& channel, const SmcSession& session,
+                                const Dataset& own,
+                                const ProtocolOptions& options,
+                                SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BASELINE_KUMAR_H_

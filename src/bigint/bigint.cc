@@ -1,0 +1,633 @@
+#include "bigint/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "bigint/montgomery.h"
+
+namespace ppdbscan {
+
+namespace {
+
+using Limbs = std::vector<uint32_t>;
+
+constexpr uint64_t kBase = uint64_t{1} << 32;
+constexpr size_t kKaratsubaThreshold = 24;  // limbs
+
+void TrimMag(Limbs& a) {
+  while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+int CmpMag(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Limbs AddMag(const Limbs& a, const Limbs& b) {
+  const Limbs& big = a.size() >= b.size() ? a : b;
+  const Limbs& small = a.size() >= b.size() ? b : a;
+  Limbs out(big.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    uint64_t s = carry + big[i] + (i < small.size() ? small[i] : 0u);
+    out[i] = static_cast<uint32_t>(s);
+    carry = s >> 32;
+  }
+  out[big.size()] = static_cast<uint32_t>(carry);
+  TrimMag(out);
+  return out;
+}
+
+// Requires a >= b.
+Limbs SubMag(const Limbs& a, const Limbs& b) {
+  Limbs out(a.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t d = static_cast<int64_t>(a[i]) - borrow -
+                (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<uint32_t>(d);
+  }
+  PPD_CHECK_MSG(borrow == 0, "SubMag underflow");
+  TrimMag(out);
+  return out;
+}
+
+void MulSchoolbook(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
+                   uint32_t* out) {
+  // out[0 .. an+bn) must be zero-initialized by the caller.
+  for (size_t i = 0; i < an; ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < bn; ++j) {
+      uint64_t t = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(t);
+      carry = t >> 32;
+    }
+    out[i + bn] = static_cast<uint32_t>(carry);
+  }
+}
+
+Limbs MulMag(const Limbs& a, const Limbs& b);
+
+// Karatsuba split at h limbs: a = a1*B^h + a0.
+Limbs MulKaratsuba(const Limbs& a, const Limbs& b) {
+  size_t h = std::min(a.size(), b.size()) / 2;
+  Limbs a0(a.begin(), a.begin() + h);
+  Limbs a1(a.begin() + h, a.end());
+  Limbs b0(b.begin(), b.begin() + h);
+  Limbs b1(b.begin() + h, b.end());
+  TrimMag(a0);
+  TrimMag(b0);
+  Limbs z0 = MulMag(a0, b0);
+  Limbs z2 = MulMag(a1, b1);
+  Limbs z1 = MulMag(AddMag(a0, a1), AddMag(b0, b1));
+  z1 = SubMag(z1, AddMag(z0, z2));
+  // result = z2 << 2h | z1 << h | z0  (limb shifts)
+  Limbs out(a.size() + b.size() + 1, 0);
+  auto add_at = [&out](const Limbs& v, size_t shift) {
+    uint64_t carry = 0;
+    size_t i = 0;
+    for (; i < v.size(); ++i) {
+      uint64_t s = carry + out[shift + i] + v[i];
+      out[shift + i] = static_cast<uint32_t>(s);
+      carry = s >> 32;
+    }
+    while (carry != 0) {
+      uint64_t s = carry + out[shift + i];
+      out[shift + i] = static_cast<uint32_t>(s);
+      carry = s >> 32;
+      ++i;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, h);
+  add_at(z2, 2 * h);
+  TrimMag(out);
+  return out;
+}
+
+Limbs MulMag(const Limbs& a, const Limbs& b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
+    return MulKaratsuba(a, b);
+  }
+  Limbs out(a.size() + b.size(), 0);
+  MulSchoolbook(a.data(), a.size(), b.data(), b.size(), out.data());
+  TrimMag(out);
+  return out;
+}
+
+Limbs ShlMag(const Limbs& a, size_t bits) {
+  if (a.empty()) return {};
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  Limbs out(a.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(a[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<uint32_t>(v);
+    out[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  TrimMag(out);
+  return out;
+}
+
+Limbs ShrMag(const Limbs& a, size_t bits) {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= a.size()) return {};
+  Limbs out(a.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    uint64_t v = a[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.size()) {
+      v |= static_cast<uint64_t>(a[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out[i] = static_cast<uint32_t>(v);
+  }
+  TrimMag(out);
+  return out;
+}
+
+// Knuth Algorithm D. Requires non-empty v. Produces u = q*v + r, r < v.
+void DivModMag(const Limbs& u_in, const Limbs& v_in, Limbs* q_out,
+               Limbs* r_out) {
+  PPD_CHECK_MSG(!v_in.empty(), "division by zero magnitude");
+  if (CmpMag(u_in, v_in) < 0) {
+    if (q_out) q_out->clear();
+    if (r_out) *r_out = u_in;
+    return;
+  }
+  if (v_in.size() == 1) {
+    uint64_t d = v_in[0];
+    uint64_t rem = 0;
+    Limbs q(u_in.size(), 0);
+    for (size_t i = u_in.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | u_in[i];
+      q[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    TrimMag(q);
+    if (q_out) *q_out = std::move(q);
+    if (r_out) {
+      r_out->clear();
+      if (rem != 0) r_out->push_back(static_cast<uint32_t>(rem));
+    }
+    return;
+  }
+
+  const int s = std::countl_zero(v_in.back());
+  Limbs v = ShlMag(v_in, static_cast<size_t>(s));
+  Limbs u = ShlMag(u_in, static_cast<size_t>(s));
+  const size_t n = v.size();
+  PPD_CHECK(u.size() >= n);
+  const size_t m = u.size() - n;
+  u.push_back(0);  // u[m+n] sentinel
+
+  Limbs q(m + 1, 0);
+  for (size_t j = m + 1; j-- > 0;) {
+    uint64_t num = (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t qhat = num / v[n - 1];
+    uint64_t rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-and-subtract qhat * v from u[j .. j+n].
+    uint64_t carry = 0;
+    int64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      int64_t t = static_cast<int64_t>(u[i + j]) -
+                  static_cast<int64_t>(static_cast<uint32_t>(p)) - borrow;
+      if (t < 0) {
+        t += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(t);
+    }
+    int64_t t = static_cast<int64_t>(u[j + n]) - static_cast<int64_t>(carry) -
+                borrow;
+    u[j + n] = static_cast<uint32_t>(t);
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<uint32_t>(sum);
+        c = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + c);
+    }
+    q[j] = static_cast<uint32_t>(qhat);
+  }
+
+  if (q_out) {
+    TrimMag(q);
+    *q_out = std::move(q);
+  }
+  if (r_out) {
+    Limbs r(u.begin(), u.begin() + static_cast<long>(n));
+    TrimMag(r);
+    *r_out = ShrMag(r, static_cast<size_t>(s));
+  }
+}
+
+int DigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) return;
+  sign_ = value < 0 ? -1 : 1;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t mag = value < 0 ? ~static_cast<uint64_t>(value) + 1
+                           : static_cast<uint64_t>(value);
+  limbs_.push_back(static_cast<uint32_t>(mag));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+}
+
+BigInt BigInt::FromU64(uint64_t value) {
+  BigInt out;
+  if (value == 0) return out;
+  out.sign_ = 1;
+  out.limbs_.push_back(static_cast<uint32_t>(value));
+  if (value >> 32) out.limbs_.push_back(static_cast<uint32_t>(value >> 32));
+  return out;
+}
+
+BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs, int sign) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.sign_ = sign;
+  out.Normalize();
+  return out;
+}
+
+void BigInt::Normalize() {
+  TrimMag(limbs_);
+  if (limbs_.empty()) sign_ = 0;
+  PPD_CHECK(limbs_.empty() || sign_ != 0);
+}
+
+Result<BigInt> BigInt::FromDecimal(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty decimal string");
+  bool negative = false;
+  size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) return Status::InvalidArgument("sign-only string");
+  BigInt out;
+  const BigInt chunk_base(1000000000);  // 10^9
+  while (pos < text.size()) {
+    size_t take = std::min<size_t>(9, text.size() - pos);
+    uint32_t chunk = 0;
+    uint32_t scale = 1;
+    for (size_t i = 0; i < take; ++i) {
+      int d = DigitValue(text[pos + i]);
+      if (d < 0 || d > 9) {
+        return Status::InvalidArgument("invalid decimal digit");
+      }
+      chunk = chunk * 10 + static_cast<uint32_t>(d);
+      scale *= 10;
+    }
+    out = out * BigInt(static_cast<int64_t>(scale)) +
+          BigInt(static_cast<int64_t>(chunk));
+    pos += take;
+  }
+  if (negative && !out.IsZero()) out.sign_ = -1;
+  return out;
+}
+
+Result<BigInt> BigInt::FromHex(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty hex string");
+  bool negative = false;
+  size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) return Status::InvalidArgument("sign-only string");
+  BigInt out;
+  for (; pos < text.size(); ++pos) {
+    int d = DigitValue(text[pos]);
+    if (d < 0) return Status::InvalidArgument("invalid hex digit");
+    out = (out << 4) + BigInt(d);
+  }
+  if (negative && !out.IsZero()) out.sign_ = -1;
+  return out;
+}
+
+BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
+  BigInt out;
+  for (uint8_t b : bytes) {
+    out = (out << 8) + BigInt(b);
+  }
+  return out;
+}
+
+std::vector<uint8_t> BigInt::ToBytes() const {
+  if (IsZero()) return {};
+  size_t nbytes = (BitLength() + 7) / 8;
+  std::vector<uint8_t> out(nbytes, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    size_t limb = i / 4;
+    size_t shift = (i % 4) * 8;
+    out[nbytes - 1 - i] = static_cast<uint8_t>(limbs_[limb] >> shift);
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (IsZero()) return "0";
+  Limbs rem = limbs_;
+  std::string digits;
+  const Limbs billion = {1000000000u};
+  while (!rem.empty()) {
+    Limbs q, r;
+    DivModMag(rem, billion, &q, &r);
+    uint32_t chunk = r.empty() ? 0u : r[0];
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+    rem = std::move(q);
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  size_t first = out.find_first_not_of('0');
+  out = out.substr(first);
+  if (sign_ < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  return 32 * limbs_.size() -
+         static_cast<size_t>(std::countl_zero(limbs_.back()));
+}
+
+bool BigInt::TestBit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+bool BigInt::FitsU64() const { return limbs_.size() <= 2; }
+
+uint64_t BigInt::MagnitudeU64() const {
+  PPD_CHECK_MSG(FitsU64(), "magnitude exceeds 64 bits");
+  uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+int64_t BigInt::ToI64() const {
+  uint64_t mag = MagnitudeU64();
+  if (sign_ >= 0) {
+    PPD_CHECK_MSG(mag <= static_cast<uint64_t>(INT64_MAX), "i64 overflow");
+    return static_cast<int64_t>(mag);
+  }
+  PPD_CHECK_MSG(mag <= static_cast<uint64_t>(INT64_MAX) + 1, "i64 underflow");
+  return -static_cast<int64_t>(mag - 1) - 1;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  if (IsZero()) return rhs;
+  if (rhs.IsZero()) return *this;
+  BigInt out;
+  if (sign_ == rhs.sign_) {
+    out.limbs_ = AddMag(limbs_, rhs.limbs_);
+    out.sign_ = sign_;
+  } else {
+    int cmp = CmpMag(limbs_, rhs.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMag(limbs_, rhs.limbs_);
+      out.sign_ = sign_;
+    } else {
+      out.limbs_ = SubMag(rhs.limbs_, limbs_);
+      out.sign_ = rhs.sign_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const { return *this + (-rhs); }
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (IsZero() || rhs.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_ = MulMag(limbs_, rhs.limbs_);
+  out.sign_ = sign_ * rhs.sign_;
+  out.Normalize();
+  return out;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) { return *this = *this + rhs; }
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this = *this - rhs; }
+BigInt& BigInt::operator*=(const BigInt& rhs) { return *this = *this * rhs; }
+
+void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
+                    BigInt* remainder) const {
+  PPD_CHECK_MSG(!divisor.IsZero(), "division by zero");
+  Limbs q, r;
+  DivModMag(limbs_, divisor.limbs_, quotient ? &q : nullptr,
+            remainder ? &r : nullptr);
+  if (quotient) {
+    quotient->limbs_ = std::move(q);
+    quotient->sign_ = sign_ * divisor.sign_;
+    quotient->Normalize();
+  }
+  if (remainder) {
+    remainder->limbs_ = std::move(r);
+    remainder->sign_ = sign_;  // remainder carries the dividend's sign
+    remainder->Normalize();
+  }
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt q;
+  DivMod(rhs, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt r;
+  DivMod(rhs, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::Mod(const BigInt& modulus) const {
+  BigInt r = *this % modulus;
+  if (r.IsNegative()) r += modulus.Abs();
+  return r;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_ = ShlMag(limbs_, bits);
+  out.sign_ = sign_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  if (IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_ = ShrMag(limbs_, bits);
+  out.sign_ = sign_;
+  out.Normalize();
+  return out;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (sign_ != rhs.sign_) {
+    return sign_ < rhs.sign_ ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  }
+  int cmp = CmpMag(limbs_, rhs.limbs_) * (sign_ < 0 ? -1 : 1);
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+bool BigInt::operator==(const BigInt& rhs) const {
+  return sign_ == rhs.sign_ && limbs_ == rhs.limbs_;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exponent,
+                      const BigInt& modulus) {
+  PPD_CHECK_MSG(modulus.sign() > 0, "modulus must be positive");
+  PPD_CHECK_MSG(!exponent.IsNegative(), "exponent must be non-negative");
+  if (modulus == BigInt(1)) return BigInt();
+  BigInt b = base.Mod(modulus);
+  if (modulus.IsOdd()) {
+    Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(modulus);
+    PPD_CHECK(ctx.ok());
+    return ctx->Exp(b, exponent);
+  }
+  // Generic square-and-multiply for even moduli (rare in this library).
+  BigInt result(1);
+  size_t bits = exponent.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = (result * result).Mod(modulus);
+    if (exponent.TestBit(i)) result = (result * b).Mod(modulus);
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt g = Gcd(a, b);
+  return (a.Abs() / g) * b.Abs();
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  if (m <= BigInt(1)) {
+    return Status::InvalidArgument("modulus must be > 1");
+  }
+  // Extended Euclid on (a mod m, m).
+  BigInt r0 = m;
+  BigInt r1 = a.Mod(m);
+  BigInt t0;        // coefficient of m
+  BigInt t1(1);     // coefficient of a
+  while (!r1.IsZero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    BigInt t2 = t0 - q * t1;
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (r0 != BigInt(1)) {
+    return Status::InvalidArgument("value not invertible modulo m");
+  }
+  return t0.Mod(m);
+}
+
+BigInt BigInt::RandomBits(SecureRng& rng, size_t bits) {
+  if (bits == 0) return BigInt();
+  size_t nbytes = (bits + 7) / 8;
+  std::vector<uint8_t> raw = rng.Bytes(nbytes);
+  // Mask excess high bits.
+  size_t excess = nbytes * 8 - bits;
+  raw[0] &= static_cast<uint8_t>(0xff >> excess);
+  return FromBytes(raw);
+}
+
+BigInt BigInt::RandomBelow(SecureRng& rng, const BigInt& bound) {
+  PPD_CHECK_MSG(bound.sign() > 0, "RandomBelow bound must be positive");
+  size_t bits = bound.BitLength();
+  while (true) {
+    BigInt candidate = RandomBits(rng, bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToDecimal();
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,33 @@
+#ifndef PPDBSCAN_BIGINT_CODEC_H_
+#define PPDBSCAN_BIGINT_CODEC_H_
+
+#include "bigint/bigint.h"
+#include "common/serialize.h"
+
+namespace ppdbscan {
+
+/// Appends a signed BigInt: one sign byte (0 zero, 1 positive, 2 negative)
+/// followed by the length-prefixed big-endian magnitude.
+inline void WriteBigInt(ByteWriter& out, const BigInt& v) {
+  out.PutU8(v.sign() == 0 ? 0 : (v.sign() > 0 ? 1 : 2));
+  out.PutBytes(v.ToBytes());
+}
+
+/// Reads a BigInt written by WriteBigInt; kDataLoss on malformed input.
+inline Result<BigInt> ReadBigInt(ByteReader& in) {
+  PPD_ASSIGN_OR_RETURN(uint8_t sign, in.GetU8());
+  if (sign > 2) return Status::DataLoss("invalid BigInt sign byte");
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> mag, in.GetBytes());
+  BigInt v = BigInt::FromBytes(mag);
+  if (sign == 0 && !v.IsZero()) {
+    return Status::DataLoss("zero sign with nonzero magnitude");
+  }
+  if (sign != 0 && v.IsZero()) {
+    return Status::DataLoss("nonzero sign with zero magnitude");
+  }
+  return sign == 2 ? -v : v;
+}
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BIGINT_CODEC_H_

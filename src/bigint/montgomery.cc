@@ -1,0 +1,155 @@
+#include "bigint/montgomery.h"
+
+#include <algorithm>
+
+#include "bigint/bigint.h"
+
+namespace ppdbscan {
+
+namespace {
+
+// Compares little-endian limb vectors of equal logical value domain.
+int CmpLimbs(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  size_t n = std::max(a.size(), b.size());
+  for (size_t i = n; i-- > 0;) {
+    uint32_t av = i < a.size() ? a[i] : 0;
+    uint32_t bv = i < b.size() ? b[i] : 0;
+    if (av != bv) return av < bv ? -1 : 1;
+  }
+  return 0;
+}
+
+// a -= b in place; requires a >= b. Both little-endian, a.size() >= b size.
+void SubInPlace(std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t d = static_cast<int64_t>(a[i]) - borrow -
+                (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<uint32_t>(d);
+  }
+  PPD_CHECK(borrow == 0);
+}
+
+}  // namespace
+
+Result<MontgomeryCtx> MontgomeryCtx::Create(const BigInt& modulus) {
+  if (modulus.sign() <= 0 || !modulus.IsOdd() || modulus == BigInt(1)) {
+    return Status::InvalidArgument(
+        "Montgomery modulus must be odd and greater than 1");
+  }
+  MontgomeryCtx ctx;
+  ctx.modulus_ = modulus;
+  ctx.n_ = modulus.limbs();
+  ctx.k_ = ctx.n_.size();
+  // n0_inv = -n^{-1} mod 2^32 via Newton iteration (5 steps suffice for 32
+  // bits: precision doubles each step starting from 3 correct bits).
+  uint32_t n0 = ctx.n_[0];
+  uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) inv *= 2u - n0 * inv;
+  ctx.n0_inv_ = ~inv + 1u;  // negate mod 2^32
+
+  // R^2 mod n with R = 2^(32k).
+  BigInt r2 = (BigInt(1) << (64 * ctx.k_)).Mod(modulus);
+  ctx.r2_ = r2.limbs();
+  BigInt r1 = (BigInt(1) << (32 * ctx.k_)).Mod(modulus);
+  ctx.one_ = r1.limbs();
+  return ctx;
+}
+
+std::vector<uint32_t> MontgomeryCtx::MulLimbs(
+    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
+  // CIOS: t has k+2 limbs.
+  std::vector<uint32_t> t(k_ + 2, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t ai = i < a.size() ? a[i] : 0;
+    // t += ai * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k_; ++j) {
+      uint64_t bj = j < b.size() ? b[j] : 0;
+      uint64_t s = ai * bj + t[j] + carry;
+      t[j] = static_cast<uint32_t>(s);
+      carry = s >> 32;
+    }
+    uint64_t s = static_cast<uint64_t>(t[k_]) + carry;
+    t[k_] = static_cast<uint32_t>(s);
+    t[k_ + 1] = static_cast<uint32_t>(t[k_ + 1] + (s >> 32));
+
+    // m = t[0] * n0_inv mod 2^32; t += m * n; t >>= 32
+    uint32_t m = t[0] * n0_inv_;
+    uint64_t mm = m;
+    carry = (mm * n_[0] + t[0]) >> 32;
+    for (size_t j = 1; j < k_; ++j) {
+      uint64_t s2 = mm * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(s2);
+      carry = s2 >> 32;
+    }
+    uint64_t s2 = static_cast<uint64_t>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<uint32_t>(s2);
+    t[k_] = static_cast<uint32_t>(t[k_ + 1] + (s2 >> 32));
+    t[k_ + 1] = 0;
+  }
+  std::vector<uint32_t> result(t.begin(), t.begin() + static_cast<long>(k_) + 1);
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  if (CmpLimbs(result, n_) >= 0) {
+    result.resize(std::max(result.size(), n_.size()), 0);
+    SubInPlace(result, n_);
+    while (!result.empty() && result.back() == 0) result.pop_back();
+  }
+  return result;
+}
+
+BigInt MontgomeryCtx::ToMont(const BigInt& x) const {
+  PPD_CHECK_MSG(!x.IsNegative(), "ToMont requires non-negative input");
+  std::vector<uint32_t> out = MulLimbs(x.limbs(), r2_);
+  return BigInt::FromLimbs(std::move(out), 1);
+}
+
+BigInt MontgomeryCtx::FromMont(const BigInt& x) const {
+  std::vector<uint32_t> one = {1u};
+  std::vector<uint32_t> out = MulLimbs(x.limbs(), one);
+  return BigInt::FromLimbs(std::move(out), 1);
+}
+
+BigInt MontgomeryCtx::MulMont(const BigInt& a, const BigInt& b) const {
+  return BigInt::FromLimbs(MulLimbs(a.limbs(), b.limbs()), 1);
+}
+
+BigInt MontgomeryCtx::Exp(const BigInt& base, const BigInt& exponent) const {
+  PPD_CHECK_MSG(!exponent.IsNegative(), "negative exponent");
+  std::vector<uint32_t> result = one_;  // Montgomery form of 1
+  if (exponent.IsZero()) {
+    return BigInt::FromLimbs(MulLimbs(result, {1u}), 1);
+  }
+  std::vector<uint32_t> b = MulLimbs(base.limbs(), r2_);  // to Montgomery
+
+  // Fixed 4-bit window: table[i] = base^i in Montgomery form.
+  constexpr int kWindow = 4;
+  std::vector<std::vector<uint32_t>> table(1 << kWindow);
+  table[0] = one_;
+  for (int i = 1; i < (1 << kWindow); ++i) {
+    table[i] = MulLimbs(table[i - 1], b);
+  }
+
+  size_t bits = exponent.BitLength();
+  size_t windows = (bits + kWindow - 1) / kWindow;
+  for (size_t w = windows; w-- > 0;) {
+    if (w != windows - 1) {
+      for (int s = 0; s < kWindow; ++s) result = MulLimbs(result, result);
+    }
+    uint32_t idx = 0;
+    for (int s = kWindow - 1; s >= 0; --s) {
+      idx = (idx << 1) | (exponent.TestBit(w * kWindow + s) ? 1u : 0u);
+    }
+    if (idx != 0) result = MulLimbs(result, table[idx]);
+  }
+  // Convert out of the Montgomery domain.
+  return BigInt::FromLimbs(MulLimbs(result, {1u}), 1);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,55 @@
+#ifndef PPDBSCAN_BIGINT_MONTGOMERY_H_
+#define PPDBSCAN_BIGINT_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/status.h"
+
+namespace ppdbscan {
+
+/// Precomputed Montgomery reduction context for a fixed odd modulus n > 1.
+///
+/// Values in the Montgomery domain are represented as x·R mod n where
+/// R = 2^(32·k) and k is the limb count of n. Multiplication uses the CIOS
+/// (coarsely integrated operand scanning) algorithm; exponentiation uses a
+/// fixed 4-bit window. This is the hot path for every Paillier/RSA
+/// operation in the library.
+class MontgomeryCtx {
+ public:
+  /// Builds a context; fails with kInvalidArgument unless modulus is odd
+  /// and > 1.
+  static Result<MontgomeryCtx> Create(const BigInt& modulus);
+
+  /// x·R mod n. Requires 0 <= x < n.
+  BigInt ToMont(const BigInt& x) const;
+  /// x·R⁻¹ mod n for x in the Montgomery domain.
+  BigInt FromMont(const BigInt& x) const;
+  /// Montgomery product a·b·R⁻¹ mod n (inputs/outputs in the domain).
+  BigInt MulMont(const BigInt& a, const BigInt& b) const;
+
+  /// (base^exponent) mod n for plain-domain base in [0, n) and
+  /// exponent >= 0; returns a plain-domain value.
+  BigInt Exp(const BigInt& base, const BigInt& exponent) const;
+
+  const BigInt& modulus() const { return modulus_; }
+
+ private:
+  MontgomeryCtx() = default;
+
+  // Raw-limb CIOS product; a and b are little-endian, length <= k_.
+  std::vector<uint32_t> MulLimbs(const std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b) const;
+
+  BigInt modulus_;
+  std::vector<uint32_t> n_;   // modulus limbs (little-endian)
+  uint32_t n0_inv_ = 0;       // -n^{-1} mod 2^32
+  size_t k_ = 0;              // limb count of n
+  std::vector<uint32_t> r2_;  // R^2 mod n
+  std::vector<uint32_t> one_; // R mod n (Montgomery form of 1)
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BIGINT_MONTGOMERY_H_

@@ -1,0 +1,105 @@
+#include "bigint/prime.h"
+
+#include <vector>
+
+#include "bigint/montgomery.h"
+#include "common/status.h"
+
+namespace ppdbscan {
+
+namespace {
+
+// Primes below 8192, computed once (function-local static is allowed to use
+// dynamic initialization).
+const std::vector<uint32_t>& SmallPrimes() {
+  static const std::vector<uint32_t>& primes = *new std::vector<uint32_t>([] {
+    constexpr uint32_t kLimit = 8192;
+    std::vector<bool> sieve(kLimit, true);
+    std::vector<uint32_t> out;
+    for (uint32_t i = 2; i < kLimit; ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (uint32_t j = 2 * i; j < kLimit; j += i) sieve[j] = false;
+    }
+    return out;
+  }());
+  return primes;
+}
+
+// One Miller-Rabin round: tests whether `n` passes for base `a`, given
+// n - 1 = d * 2^s with d odd. `ctx` is the Montgomery context for n.
+bool MillerRabinRound(const BigInt& n, const BigInt& a, const BigInt& d,
+                      size_t s, const MontgomeryCtx& ctx) {
+  BigInt x = ctx.Exp(a, d);
+  const BigInt one(1);
+  const BigInt n_minus_1 = n - one;
+  if (x == one || x == n_minus_1) return true;
+  for (size_t i = 1; i < s; ++i) {
+    x = (x * x).Mod(n);
+    if (x == n_minus_1) return true;
+    if (x == one) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, SecureRng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (uint32_t p : SmallPrimes()) {
+    BigInt bp(static_cast<int64_t>(p));
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // n is odd and > 8192 here.
+  BigInt d = n - BigInt(1);
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(n);
+  PPD_CHECK(ctx.ok());
+
+  // Deterministic base set valid for n < 3,215,031,751.
+  if (n.FitsU64() && n.MagnitudeU64() < 3215031751ULL) {
+    for (int64_t base : {2, 3, 5, 7}) {
+      if (!MillerRabinRound(n, BigInt(base), d, s, *ctx)) return false;
+    }
+    return true;
+  }
+
+  const BigInt n_minus_3 = n - BigInt(3);
+  for (int round = 0; round < rounds; ++round) {
+    BigInt a = BigInt::RandomBelow(rng, n_minus_3) + BigInt(2);  // [2, n-2]
+    if (!MillerRabinRound(n, a, d, s, *ctx)) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(SecureRng& rng, size_t bits, int mr_rounds) {
+  PPD_CHECK_MSG(bits >= 16, "prime size must be >= 16 bits");
+  while (true) {
+    BigInt candidate = BigInt::RandomBits(rng, bits);
+    // Force the two top bits (take the low bits-2 bits, then add them back)
+    // and make the candidate odd.
+    BigInt top_bits = BigInt(3) << (bits - 2);
+    candidate = candidate.Mod(BigInt(1) << (bits - 2)) + top_bits;
+    if (candidate.IsEven()) candidate += BigInt(1);
+
+    // Trial-divide then Miller-Rabin.
+    bool composite = false;
+    for (uint32_t p : SmallPrimes()) {
+      BigInt bp(static_cast<int64_t>(p));
+      if (candidate == bp) return candidate;
+      if ((candidate % bp).IsZero()) {
+        composite = true;
+        break;
+      }
+    }
+    if (composite) continue;
+    if (IsProbablePrime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+}  // namespace ppdbscan

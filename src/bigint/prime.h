@@ -1,0 +1,25 @@
+#ifndef PPDBSCAN_BIGINT_PRIME_H_
+#define PPDBSCAN_BIGINT_PRIME_H_
+
+#include <cstddef>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+
+namespace ppdbscan {
+
+/// Miller-Rabin primality test with `rounds` random bases (error probability
+/// <= 4^-rounds). Deterministic on values below 3,215,031,751 via the fixed
+/// base set {2, 3, 5, 7}.
+bool IsProbablePrime(const BigInt& n, SecureRng& rng, int rounds = 40);
+
+/// Generates a random probable prime with exactly `bits` bits and the two
+/// top bits set (so that a product of two such primes has exactly 2*bits
+/// bits, as RSA/Paillier key generation requires). `bits` must be >= 16.
+/// `mr_rounds` trades confidence for speed (YMPP generates a fresh prime
+/// per comparison and only needs distinctness, not cryptographic strength).
+BigInt GeneratePrime(SecureRng& rng, size_t bits, int mr_rounds = 28);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BIGINT_PRIME_H_

@@ -1,0 +1,158 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+namespace {
+
+inline uint32_t RotL(uint32_t v, int n) { return (v << n) | (v >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = RotL(d ^ a, 16);
+  c += d;
+  b = RotL(b ^ c, 12);
+  a += b;
+  d = RotL(d ^ a, 8);
+  c += d;
+  b = RotL(b ^ c, 7);
+}
+
+// RFC 8439 ChaCha20 block function: 20 rounds over `in`, result added to the
+// input state, serialized little-endian into `out`.
+void ChaCha20Block(const std::array<uint32_t, 16>& in, uint8_t out[64]) {
+  std::array<uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + in[i];
+    out[4 * i + 0] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+constexpr uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                                0x6b206574};  // "expand 32-byte k"
+
+}  // namespace
+
+SecureRng::SecureRng() {
+  std::random_device rd;
+  state_[0] = kSigma[0];
+  state_[1] = kSigma[1];
+  state_[2] = kSigma[2];
+  state_[3] = kSigma[3];
+  for (int i = 4; i < 12; ++i) state_[i] = rd();
+  state_[12] = 0;  // block counter
+  state_[13] = rd();
+  state_[14] = rd();
+  state_[15] = rd();
+}
+
+SecureRng::SecureRng(uint64_t seed) {
+  state_[0] = kSigma[0];
+  state_[1] = kSigma[1];
+  state_[2] = kSigma[2];
+  state_[3] = kSigma[3];
+  // SplitMix64 expansion of the seed into the 8 key words + 3 nonce words.
+  uint64_t s = seed;
+  auto next = [&s]() {
+    s += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = next();
+    state_[4 + 2 * i] = static_cast<uint32_t>(v);
+    state_[5 + 2 * i] = static_cast<uint32_t>(v >> 32);
+  }
+  state_[12] = 0;
+  uint64_t nonce = next();
+  state_[13] = static_cast<uint32_t>(nonce);
+  state_[14] = static_cast<uint32_t>(nonce >> 32);
+  state_[15] = static_cast<uint32_t>(next());
+}
+
+void SecureRng::Refill() {
+  ChaCha20Block(state_, buffer_.data());
+  buffer_pos_ = 0;
+  // 64-bit counter across words 12 and 13 (we reserve word 13 as the high
+  // half; the RFC layout uses it as nonce but the DRBG never reuses keys).
+  if (++state_[12] == 0) ++state_[13];
+}
+
+void SecureRng::FillBytes(uint8_t* out, size_t len) {
+  size_t produced = 0;
+  while (produced < len) {
+    if (buffer_pos_ == 64) Refill();
+    size_t take = std::min<size_t>(64 - buffer_pos_, len - produced);
+    std::memcpy(out + produced, buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    produced += take;
+  }
+}
+
+std::vector<uint8_t> SecureRng::Bytes(size_t len) {
+  std::vector<uint8_t> out(len);
+  FillBytes(out.data(), len);
+  return out;
+}
+
+uint64_t SecureRng::NextU64() {
+  uint8_t raw[8];
+  FillBytes(raw, sizeof(raw));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | raw[i];
+  return v;
+}
+
+uint64_t SecureRng::UniformU64(uint64_t bound) {
+  PPD_CHECK_MSG(bound > 0, "UniformU64 bound must be positive");
+  // Rejection sampling over the largest multiple of bound that fits.
+  uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double SecureRng::NextDouble() {
+  // 53 uniform bits mapped to [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double SecureRng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  have_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,66 @@
+#ifndef PPDBSCAN_COMMON_RANDOM_H_
+#define PPDBSCAN_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppdbscan {
+
+/// Cryptographically strong deterministic random bit generator built on the
+/// ChaCha20 stream cipher (RFC 8439 block function) running in counter mode
+/// over an all-zero message.
+///
+/// Two construction modes:
+///  * `SecureRng()` seeds 32 key bytes from std::random_device (OS entropy);
+///    use for protocol runs.
+///  * `SecureRng(seed)` expands a 64-bit seed into the key; use for
+///    reproducible tests and benchmarks.
+///
+/// Not thread-safe; create one instance per thread/party.
+class SecureRng {
+ public:
+  /// Seeds from the operating system entropy source.
+  SecureRng();
+  /// Deterministically expands `seed` into the cipher key. Streams from
+  /// equal seeds are identical across platforms.
+  explicit SecureRng(uint64_t seed);
+
+  SecureRng(const SecureRng&) = delete;
+  SecureRng& operator=(const SecureRng&) = delete;
+  SecureRng(SecureRng&&) = default;
+  SecureRng& operator=(SecureRng&&) = default;
+
+  /// Returns 64 uniform random bits.
+  uint64_t NextU64();
+
+  /// Returns a uniform value in [0, bound). `bound` must be > 0. Uses
+  /// rejection sampling, so the result is exactly uniform.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Fills `out[0..len)` with random bytes.
+  void FillBytes(uint8_t* out, size_t len);
+
+  /// Returns `len` random bytes.
+  std::vector<uint8_t> Bytes(size_t len);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a sample from the standard normal distribution (Box-Muller).
+  double NextGaussian();
+
+ private:
+  void Refill();
+
+  std::array<uint32_t, 16> state_;   // ChaCha20 input block
+  std::array<uint8_t, 64> buffer_;   // current keystream block
+  size_t buffer_pos_ = 64;           // consumed bytes in buffer_
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#include "common/serialize.h"
+
+namespace ppdbscan {
+
+void ByteWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::PutBytes(const std::vector<uint8_t>& bytes) {
+  PutU32(static_cast<uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::PutRaw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (remaining() < 1) return Status::DataLoss("truncated u8");
+  return buf_[pos_++];
+}
+
+Result<uint16_t> ByteReader::GetU16() {
+  if (remaining() < 2) return Status::DataLoss("truncated u16");
+  uint16_t v = static_cast<uint16_t>(buf_[pos_] << 8 | buf_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) return Status::DataLoss("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | buf_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) return Status::DataLoss("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes() {
+  PPD_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (remaining() < len) return Status::DataLoss("truncated byte string");
+  std::vector<uint8_t> out(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string ToHex(const std::vector<uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,61 @@
+#ifndef PPDBSCAN_COMMON_SERIALIZE_H_
+#define PPDBSCAN_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+/// Append-only byte sink used to build wire messages. All multi-byte
+/// integers are big-endian.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Writes a u32 length prefix followed by the raw bytes.
+  void PutBytes(const std::vector<uint8_t>& bytes);
+  /// Writes raw bytes with no length prefix.
+  void PutRaw(const uint8_t* data, size_t len);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a byte buffer. Every getter is bounds-checked and
+/// reports kDataLoss on truncated input (failure injection relies on this).
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  /// Reads a u32 length prefix then that many bytes.
+  Result<std::vector<uint8_t>> GetBytes();
+
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool Done() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+/// Lowercase hex encoding of `bytes` (for logging and tests).
+std::string ToHex(const std::vector<uint8_t>& bytes);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_COMMON_SERIALIZE_H_

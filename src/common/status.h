@@ -1,0 +1,180 @@
+#ifndef PPDBSCAN_COMMON_STATUS_H_
+#define PPDBSCAN_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ppdbscan {
+
+/// Canonical error categories used across the library. Modeled after the
+/// widely used absl/gRPC canonical codes, restricted to the ones this
+/// library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed a value outside the documented domain
+  kFailedPrecondition, // object/system not in a state that permits the call
+  kOutOfRange,         // arithmetic result does not fit the target domain
+  kInternal,           // invariant violation inside the library
+  kUnavailable,        // transient transport failure (e.g. peer closed)
+  kDataLoss,           // corrupt or truncated wire data
+};
+
+/// Returns the canonical spelling of a StatusCode ("OK", "INVALID_ARGUMENT",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error type. All fallible public APIs in this library
+/// return Status (or Result<T>); exceptions are never thrown across library
+/// boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts the program (programming error), mirroring
+/// absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if !ok().
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const {
+    if (!value_.has_value()) {
+      std::cerr << "Result::value() called on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Uniquely-named temporary for PPD_ASSIGN_OR_RETURN.
+#define PPD_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define PPD_STATUS_MACROS_CONCAT_(x, y) PPD_STATUS_MACROS_CONCAT_INNER_(x, y)
+}  // namespace internal
+
+/// Evaluates `expr` (a Status); returns it from the enclosing function if it
+/// is not OK.
+#define PPD_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ppdbscan::Status ppd_status_ = (expr);        \
+    if (!ppd_status_.ok()) return ppd_status_;      \
+  } while (false)
+
+/// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs`.
+#define PPD_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto PPD_STATUS_MACROS_CONCAT_(ppd_result_, __LINE__) = (expr);        \
+  if (!PPD_STATUS_MACROS_CONCAT_(ppd_result_, __LINE__).ok())            \
+    return PPD_STATUS_MACROS_CONCAT_(ppd_result_, __LINE__).status();    \
+  lhs = std::move(PPD_STATUS_MACROS_CONCAT_(ppd_result_, __LINE__)).value()
+
+/// Aborts with a diagnostic if `cond` is false. Used for invariants whose
+/// violation indicates a bug in this library rather than bad input.
+#define PPD_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "PPD_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << std::endl;                              \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+/// PPD_CHECK with an additional streamed message.
+#define PPD_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "PPD_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond << ": " << msg << std::endl;               \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_COMMON_STATUS_H_

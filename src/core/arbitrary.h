@@ -1,0 +1,34 @@
+#ifndef PPDBSCAN_CORE_ARBITRARY_H_
+#define PPDBSCAN_CORE_ARBITRARY_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "data/partitioners.h"
+#include "eval/leakage.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Privacy-preserving DBSCAN over arbitrarily partitioned data — §4.4 of
+/// the paper. Each attribute cell of each record belongs to one party
+/// (ownership masks are public, values private). Following the paper, the
+/// squared distance of a record pair decomposes into a vertically
+/// partitioned part (same-owner attributes, computed locally) and a
+/// horizontally partitioned part (cross-owner attributes, handled with
+/// Protocol HDP's masked Multiplication Protocol), after which a single
+/// secure comparison against Eps² decides neighbourhood membership.
+///
+/// Like the vertical protocol, both parties run the scan in lockstep and
+/// both obtain the full labelling. Output matches centralized DBSCAN on
+/// the joined records exactly.
+Result<PartyClusteringResult> RunArbitraryDbscan(
+    Channel& channel, const SmcSession& session,
+    const ArbitraryPartyView& own_view, PartyRole role,
+    const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures = nullptr);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_ARBITRARY_H_

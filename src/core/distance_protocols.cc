@@ -1,0 +1,282 @@
+#include "core/distance_protocols.h"
+
+#include "bigint/codec.h"
+#include "core/wire.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+
+/// Zero-sum masks over Z_n: m uniform values with Σr_j = 0 (mod n), the
+/// masking step of the paper's HDP.
+std::vector<BigInt> ZeroSumMasks(SecureRng& rng, size_t m, const BigInt& n) {
+  std::vector<BigInt> masks(m);
+  BigInt sum;
+  for (size_t j = 0; j + 1 < m; ++j) {
+    masks[j] = BigInt::RandomBelow(rng, n);
+    sum += masks[j];
+  }
+  masks[m - 1] = (-sum).Mod(n);
+  return masks;
+}
+
+}  // namespace
+
+std::vector<size_t> RandomPermutation(SecureRng& rng, size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.UniformU64(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Result<size_t> HdpBatchDriver(Channel& channel, const SmcSession& session,
+                              SecureComparator& comparator,
+                              const std::vector<int64_t>& x,
+                              int64_t eps_squared, SecureRng& rng,
+                              std::vector<bool>* bits) {
+  const PaillierContext& peer = session.peer_paillier();
+  const BigInt& n = peer.pub().n;
+
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, wire::kHdpCiphers));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  PPD_ASSIGN_OR_RETURN(uint32_t dims, reader.GetU32());
+  if (dims != x.size()) {
+    return AbortPeer(channel,
+                     Status::DataLoss("HDP dimension mismatch"),
+                     "hdp dimension mismatch");
+  }
+
+  // For every responder point k and coordinate j, complete the
+  // Multiplication Protocol as the Helper: E(y_kj)^{x_j} · E(r_kj), with
+  // masks summing to zero per point.
+  ByteWriter out;
+  for (uint32_t k = 0; k < count; ++k) {
+    std::vector<BigInt> masks = ZeroSumMasks(rng, dims, n);
+    for (uint32_t j = 0; j < dims; ++j) {
+      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+      if (!peer.IsValidCiphertext(cipher)) {
+        return AbortPeer(channel, Status::DataLoss("HDP cipher invalid"),
+                         "hdp cipher invalid");
+      }
+      BigInt product = peer.MulPlain(cipher, BigInt(x[j]));
+      PPD_ASSIGN_OR_RETURN(BigInt mask_cipher, peer.Encrypt(masks[j], rng));
+      WriteBigInt(out, peer.Add(product, mask_cipher));
+    }
+  }
+  if (!reader.Done()) {
+    return AbortPeer(channel, Status::DataLoss("trailing HDP bytes"),
+                     "hdp trailing bytes");
+  }
+  PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHdpResponse, out));
+
+  // S_A = Σ x_j², then one comparison per responder point.
+  BigInt s_a;
+  for (int64_t c : x) s_a += BigInt(c) * BigInt(c);
+  const BigInt threshold(eps_squared);
+  size_t in_range = 0;
+  if (bits != nullptr) bits->assign(count, false);
+  for (uint32_t k = 0; k < count; ++k) {
+    PPD_ASSIGN_OR_RETURN(bool bit,
+                         comparator.QuerierCompare(channel, s_a, threshold));
+    if (bit) {
+      ++in_range;
+      if (bits != nullptr) (*bits)[k] = true;
+    }
+  }
+  return in_range;
+}
+
+Status HdpBatchResponder(Channel& channel, const SmcSession& session,
+                         SecureComparator& comparator, const Dataset& own,
+                         SecureRng& rng, const std::vector<size_t>* subset,
+                         bool permute) {
+  const PaillierContext& ctx = session.own_paillier_ctx();
+  const BigInt& n = ctx.pub().n;
+
+  std::vector<size_t> order;
+  if (subset != nullptr) {
+    order = *subset;
+  } else {
+    order.resize(own.size());
+    for (size_t i = 0; i < own.size(); ++i) order[i] = i;
+  }
+  if (permute) {
+    std::vector<size_t> perm = RandomPermutation(rng, order.size());
+    std::vector<size_t> shuffled(order.size());
+    for (size_t i = 0; i < order.size(); ++i) shuffled[i] = order[perm[i]];
+    order = std::move(shuffled);
+  }
+
+  const size_t dims = own.dims();
+  ByteWriter ciphers;
+  ciphers.PutU32(static_cast<uint32_t>(order.size()));
+  ciphers.PutU32(static_cast<uint32_t>(dims));
+  for (size_t idx : order) {
+    const std::vector<int64_t>& y = own.point(idx);
+    for (size_t j = 0; j < dims; ++j) {
+      PPD_ASSIGN_OR_RETURN(BigInt cipher,
+                           ctx.EncryptSigned(BigInt(y[j]), rng));
+      WriteBigInt(ciphers, cipher);
+    }
+  }
+  PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHdpCiphers, ciphers));
+
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, wire::kHdpResponse));
+  ByteReader reader(payload);
+  std::vector<BigInt> s_b(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    // u_kj = x_j·y_kj + r_kj; Σ_j u_kj = Σ_j x_j y_kj since Σ_j r_kj = 0.
+    BigInt sum_u;
+    for (size_t j = 0; j < dims; ++j) {
+      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+      if (!ctx.IsValidCiphertext(cipher)) {
+        return AbortPeer(channel,
+                         Status::DataLoss("HDP response cipher invalid"),
+                         "hdp response cipher invalid");
+      }
+      PPD_ASSIGN_OR_RETURN(BigInt u, session.own_paillier().Decrypt(cipher));
+      sum_u += u;
+    }
+    const std::vector<int64_t>& y = own.point(order[k]);
+    BigInt sum_y2;
+    for (int64_t c : y) sum_y2 += BigInt(c) * BigInt(c);
+    s_b[k] = ctx.DecodeSigned((sum_y2 - BigInt(2) * sum_u).Mod(n));
+  }
+  if (!reader.Done()) {
+    return AbortPeer(channel, Status::DataLoss("trailing HDP response bytes"),
+                     "hdp response trailing bytes");
+  }
+
+  for (size_t k = 0; k < order.size(); ++k) {
+    PPD_RETURN_IF_ERROR(comparator.PeerAssist(channel, s_b[k]));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Attribute classification for one arbitrary-partition record pair, from
+/// one party's perspective. Ownership masks are public, so both parties
+/// compute identical classifications.
+struct PairSplit {
+  std::vector<size_t> cross;  // attrs where the two values have different owners
+  int64_t local_part = 0;     // Σ (v1 - v2)² over attrs fully owned by me
+  int64_t cross_squares = 0;  // Σ a² over my halves of cross attrs
+};
+
+PairSplit SplitPair(const ArbitraryPartyView& own, size_t xi, size_t yi) {
+  PairSplit split;
+  for (size_t t = 0; t < own.dims; ++t) {
+    bool mine_x = own.owned[xi][t] != 0;
+    bool mine_y = own.owned[yi][t] != 0;
+    if (mine_x == mine_y) {
+      if (mine_x) {
+        int64_t d = own.values[xi][t] - own.values[yi][t];
+        split.local_part += d * d;
+      }
+      continue;
+    }
+    split.cross.push_back(t);
+    int64_t a = mine_x ? own.values[xi][t] : own.values[yi][t];
+    split.cross_squares += a * a;
+  }
+  return split;
+}
+
+}  // namespace
+
+Result<bool> ArbitraryPairDriver(Channel& channel, const SmcSession& session,
+                                 SecureComparator& comparator,
+                                 const ArbitraryPartyView& own, size_t xi,
+                                 size_t yi, int64_t eps_squared,
+                                 SecureRng& rng) {
+  const PaillierContext& peer = session.peer_paillier();
+  const BigInt& n = peer.pub().n;
+  PairSplit split = SplitPair(own, xi, yi);
+
+  if (!split.cross.empty()) {
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         ExpectMessage(channel, wire::kArbPairCiphers));
+    ByteReader reader(payload);
+    PPD_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+    if (count != split.cross.size()) {
+      return AbortPeer(channel,
+                       Status::DataLoss("cross attribute count mismatch"),
+                       "arbitrary cross count mismatch");
+    }
+    std::vector<BigInt> masks = ZeroSumMasks(rng, split.cross.size(), n);
+    ByteWriter out;
+    for (size_t c = 0; c < split.cross.size(); ++c) {
+      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+      if (!peer.IsValidCiphertext(cipher)) {
+        return AbortPeer(channel, Status::DataLoss("cross cipher invalid"),
+                         "arbitrary cross cipher invalid");
+      }
+      size_t t = split.cross[c];
+      int64_t a = own.owned[xi][t] != 0 ? own.values[xi][t]
+                                        : own.values[yi][t];
+      BigInt product = peer.MulPlain(cipher, BigInt(a));
+      PPD_ASSIGN_OR_RETURN(BigInt mask_cipher, peer.Encrypt(masks[c], rng));
+      WriteBigInt(out, peer.Add(product, mask_cipher));
+    }
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kArbPairResponse, out));
+  }
+
+  BigInt s_alice = BigInt(split.local_part) + BigInt(split.cross_squares);
+  return comparator.QuerierCompare(channel, s_alice, BigInt(eps_squared));
+}
+
+Status ArbitraryPairResponder(Channel& channel, const SmcSession& session,
+                              SecureComparator& comparator,
+                              const ArbitraryPartyView& own, size_t xi,
+                              size_t yi, SecureRng& rng) {
+  const PaillierContext& ctx = session.own_paillier_ctx();
+  const BigInt& n = ctx.pub().n;
+  PairSplit split = SplitPair(own, xi, yi);
+
+  BigInt cross_part;
+  if (!split.cross.empty()) {
+    ByteWriter ciphers;
+    ciphers.PutU32(static_cast<uint32_t>(split.cross.size()));
+    for (size_t t : split.cross) {
+      int64_t b = own.owned[xi][t] != 0 ? own.values[xi][t]
+                                        : own.values[yi][t];
+      PPD_ASSIGN_OR_RETURN(BigInt cipher, ctx.EncryptSigned(BigInt(b), rng));
+      WriteBigInt(ciphers, cipher);
+    }
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kArbPairCiphers, ciphers));
+
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         ExpectMessage(channel, wire::kArbPairResponse));
+    ByteReader reader(payload);
+    BigInt sum_u;
+    for (size_t c = 0; c < split.cross.size(); ++c) {
+      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+      if (!ctx.IsValidCiphertext(cipher)) {
+        return AbortPeer(channel,
+                         Status::DataLoss("cross response cipher invalid"),
+                         "arbitrary cross response invalid");
+      }
+      PPD_ASSIGN_OR_RETURN(BigInt u, session.own_paillier().Decrypt(cipher));
+      sum_u += u;
+    }
+    if (!reader.Done()) {
+      return AbortPeer(channel, Status::DataLoss("trailing pair bytes"),
+                       "arbitrary pair trailing bytes");
+    }
+    cross_part = ctx.DecodeSigned(
+        (BigInt(split.cross_squares) - BigInt(2) * sum_u).Mod(n));
+  }
+
+  BigInt s_bob = BigInt(split.local_part) + cross_part;
+  return comparator.PeerAssist(channel, s_bob);
+}
+
+}  // namespace ppdbscan

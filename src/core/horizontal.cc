@@ -1,0 +1,328 @@
+#include "core/horizontal.h"
+
+#include <deque>
+#include <set>
+
+#include "core/distance_protocols.h"
+#include "core/enhanced.h"
+#include "core/wire.h"
+#include "dbscan/dbscan.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+
+/// One core-point decision for the scanning party: local neighbour count
+/// plus the privacy-preserving peer contribution.
+Result<bool> DriverCoreTest(Channel& channel, const SmcSession& session,
+                            SecureComparator& comparator,
+                            const std::vector<int64_t>& point,
+                            size_t own_neighbours,
+                            const ProtocolOptions& options, SecureRng& rng,
+                            DisclosureLog* disclosures,
+                            uint64_t* selection_comparisons) {
+  if (options.mode == HorizontalMode::kBasic) {
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHzQueryBasic,
+                                    std::vector<uint8_t>()));
+    PPD_ASSIGN_OR_RETURN(
+        size_t peer_count,
+        HdpBatchDriver(channel, session, comparator, point,
+                       options.params.eps_squared, rng));
+    if (disclosures != nullptr) {
+      disclosures->Record("peer_neighbor_count",
+                          static_cast<int64_t>(peer_count));
+    }
+    return own_neighbours + peer_count >= options.params.min_pts;
+  }
+
+  PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHzQueryEnhanced,
+                                  std::vector<uint8_t>()));
+  int64_t k_star = static_cast<int64_t>(options.params.min_pts) -
+                   static_cast<int64_t>(own_neighbours);
+  uint64_t comparisons = 0;
+  PPD_ASSIGN_OR_RETURN(
+      bool core,
+      EnhancedCoreTestDriver(channel, session, comparator, point, k_star,
+                             options.params.eps_squared, options.selection,
+                             options.share_mask_bits, rng, &comparisons));
+  if (selection_comparisons != nullptr) *selection_comparisons += comparisons;
+  if (disclosures != nullptr) {
+    disclosures->Record("peer_core_bit", core ? 1 : 0);
+  }
+  return core;
+}
+
+/// Algorithm 3/4 (or 7/8) scan over this party's own points.
+Result<PartyClusteringResult> DriverScan(
+    Channel& channel, const SmcSession& session, SecureComparator& comparator,
+    const Dataset& own, const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures, uint64_t* selection_comparisons) {
+  PartyClusteringResult result;
+  result.labels.assign(own.size(), kUnclassified);
+  result.is_core.assign(own.size(), false);
+  LinearRegionQuerier local(own);
+  int32_t cluster_id = 0;
+
+  for (size_t i = 0; i < own.size(); ++i) {
+    if (result.labels[i] != kUnclassified) continue;
+    std::vector<size_t> seeds = local.Query(i, options.params.eps_squared);
+    PPD_ASSIGN_OR_RETURN(
+        bool core,
+        DriverCoreTest(channel, session, comparator, own.point(i),
+                       seeds.size(), options, rng, disclosures,
+                       selection_comparisons));
+    if (!core) {
+      result.labels[i] = kNoise;
+      continue;
+    }
+    result.is_core[i] = true;
+    std::deque<size_t> queue;
+    for (size_t s : seeds) {
+      result.labels[s] = cluster_id;
+      if (s != i) queue.push_back(s);
+    }
+    while (!queue.empty()) {
+      size_t current = queue.front();
+      queue.pop_front();
+      std::vector<size_t> neighbourhood =
+          local.Query(current, options.params.eps_squared);
+      PPD_ASSIGN_OR_RETURN(
+          bool current_core,
+          DriverCoreTest(channel, session, comparator, own.point(current),
+                         neighbourhood.size(), options, rng, disclosures,
+                         selection_comparisons));
+      if (!current_core) continue;
+      result.is_core[current] = true;
+      for (size_t q : neighbourhood) {
+        if (result.labels[q] == kUnclassified || result.labels[q] == kNoise) {
+          if (result.labels[q] == kUnclassified) queue.push_back(q);
+          result.labels[q] = cluster_id;
+        }
+      }
+    }
+    ++cluster_id;
+  }
+  result.num_clusters = static_cast<size_t>(cluster_id);
+  PPD_RETURN_IF_ERROR(
+      SendMessage(channel, wire::kHzScanDone, std::vector<uint8_t>()));
+  return result;
+}
+
+/// Serves the peer's scan.
+Status ResponderLoop(Channel& channel, const SmcSession& session,
+                     SecureComparator& comparator, const Dataset& own,
+                     const ProtocolOptions& options, SecureRng& rng) {
+  while (true) {
+    PPD_ASSIGN_OR_RETURN(Message msg, RecvMessage(channel));
+    switch (msg.type) {
+      case wire::kHzQueryBasic:
+        PPD_RETURN_IF_ERROR(
+            HdpBatchResponder(channel, session, comparator, own, rng));
+        break;
+      case wire::kHzQueryEnhanced:
+        PPD_RETURN_IF_ERROR(EnhancedCoreTestResponder(
+            channel, session, comparator, own, options.share_mask_bits, rng));
+        break;
+      case wire::kHzScanDone:
+        return Status::Ok();
+      case kAbortMessageType:
+        return Status::Unavailable(
+            "peer aborted protocol: " +
+            std::string(msg.payload.begin(), msg.payload.end()));
+      default:
+        return Status::DataLoss("unexpected message in responder loop");
+    }
+  }
+}
+
+}  // namespace
+
+Status ServeHorizontalScan(Channel& channel, const SmcSession& session,
+                           SecureComparator& comparator, const Dataset& own,
+                           const ProtocolOptions& options, SecureRng& rng) {
+  return ResponderLoop(channel, session, comparator, own, options, rng);
+}
+
+namespace {
+
+/// Disjoint-set union for the merge relabeling.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// Applies the merge edges to this party's labels. Both parties run this
+/// with identical inputs, producing an identical shared id space: Alice's
+/// clusters are nodes [0, num_alice), Bob's are [num_alice, num_alice +
+/// num_bob); components are numbered by first appearance.
+void RelabelAfterMerge(size_t num_alice, size_t num_bob,
+                       const std::set<std::pair<uint32_t, uint32_t>>& edges,
+                       bool is_alice, PartyClusteringResult* result) {
+  UnionFind dsu(num_alice + num_bob);
+  for (const auto& [a, b] : edges) dsu.Union(a, num_alice + b);
+  std::vector<int32_t> component(num_alice + num_bob, -1);
+  int32_t next = 0;
+  for (size_t node = 0; node < num_alice + num_bob; ++node) {
+    size_t root = dsu.Find(node);
+    if (component[root] < 0) component[root] = next++;
+    component[node] = component[root];
+  }
+  size_t offset = is_alice ? 0 : num_alice;
+  for (int32_t& label : result->labels) {
+    if (label >= 0) label = component[offset + static_cast<size_t>(label)];
+  }
+  result->num_clusters = static_cast<size_t>(next);
+}
+
+/// E7 extension: cross-party cluster linking via core-core adjacency.
+Status MergePhase(Channel& channel, const SmcSession& session,
+                  SecureComparator& comparator, const Dataset& own,
+                  PartyRole role, const ProtocolOptions& options,
+                  SecureRng& rng, DisclosureLog* disclosures,
+                  PartyClusteringResult* result) {
+  std::vector<size_t> cores;
+  for (size_t i = 0; i < own.size(); ++i) {
+    if (result->is_core[i]) cores.push_back(i);
+  }
+
+  if (role == PartyRole::kAlice) {
+    ByteWriter hello;
+    hello.PutU32(static_cast<uint32_t>(cores.size()));
+    hello.PutU32(static_cast<uint32_t>(result->num_clusters));
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kMergeCores, hello));
+
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         ExpectMessage(channel, wire::kMergeCores));
+    ByteReader reader(payload);
+    PPD_ASSIGN_OR_RETURN(uint32_t bob_cores, reader.GetU32());
+    PPD_ASSIGN_OR_RETURN(uint32_t bob_clusters, reader.GetU32());
+    std::vector<uint32_t> bob_core_cluster(bob_cores);
+    for (uint32_t k = 0; k < bob_cores; ++k) {
+      PPD_ASSIGN_OR_RETURN(bob_core_cluster[k], reader.GetU32());
+      if (bob_core_cluster[k] >= bob_clusters) {
+        return Status::DataLoss("merge cluster id out of range");
+      }
+    }
+
+    std::set<std::pair<uint32_t, uint32_t>> edges;
+    for (size_t a : cores) {
+      std::vector<bool> bits;
+      PPD_ASSIGN_OR_RETURN(
+          size_t hits,
+          HdpBatchDriver(channel, session, comparator, own.point(a),
+                         options.params.eps_squared, rng, &bits));
+      (void)hits;
+      for (size_t k = 0; k < bits.size(); ++k) {
+        if (bits[k]) {
+          edges.emplace(static_cast<uint32_t>(result->labels[a]),
+                        bob_core_cluster[k]);
+        }
+      }
+    }
+    ByteWriter links;
+    links.PutU32(static_cast<uint32_t>(edges.size()));
+    for (const auto& [a, b] : edges) {
+      links.PutU32(a);
+      links.PutU32(b);
+    }
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kMergeLinks, links));
+    if (disclosures != nullptr) {
+      disclosures->Record("merge_links", static_cast<int64_t>(edges.size()));
+    }
+    RelabelAfterMerge(result->num_clusters, bob_clusters, edges,
+                      /*is_alice=*/true, result);
+    return Status::Ok();
+  }
+
+  // Bob side.
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, wire::kMergeCores));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(uint32_t alice_cores, reader.GetU32());
+  PPD_ASSIGN_OR_RETURN(uint32_t alice_clusters, reader.GetU32());
+
+  ByteWriter hello;
+  hello.PutU32(static_cast<uint32_t>(cores.size()));
+  hello.PutU32(static_cast<uint32_t>(result->num_clusters));
+  for (size_t c : cores) {
+    hello.PutU32(static_cast<uint32_t>(result->labels[c]));
+  }
+  PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kMergeCores, hello));
+
+  // The merge phase intentionally presents cores unpermuted: linking
+  // requires the driver to know which (anonymous) core bucket matched,
+  // and this is exactly the E7 extension's extra disclosure.
+  for (uint32_t t = 0; t < alice_cores; ++t) {
+    PPD_RETURN_IF_ERROR(HdpBatchResponder(channel, session, comparator, own,
+                                          rng, &cores, /*permute=*/false));
+  }
+
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> links_payload,
+                       ExpectMessage(channel, wire::kMergeLinks));
+  ByteReader links_reader(links_payload);
+  PPD_ASSIGN_OR_RETURN(uint32_t edge_count, links_reader.GetU32());
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t e = 0; e < edge_count; ++e) {
+    PPD_ASSIGN_OR_RETURN(uint32_t a, links_reader.GetU32());
+    PPD_ASSIGN_OR_RETURN(uint32_t b, links_reader.GetU32());
+    if (a >= alice_clusters ||
+        b >= static_cast<uint32_t>(result->num_clusters)) {
+      return Status::DataLoss("merge edge out of range");
+    }
+    edges.emplace(a, b);
+  }
+  if (disclosures != nullptr) {
+    disclosures->Record("merge_links", static_cast<int64_t>(edges.size()));
+  }
+  RelabelAfterMerge(alice_clusters, result->num_clusters, edges,
+                    /*is_alice=*/false, result);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PartyClusteringResult> RunHorizontalDbscan(
+    Channel& channel, const SmcSession& session, const Dataset& own_points,
+    PartyRole role, const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures, uint64_t* selection_comparisons) {
+  PPD_ASSIGN_OR_RETURN(
+      std::unique_ptr<SecureComparator> comparator,
+      CreateComparator(options.comparator, session, rng));
+
+  PartyClusteringResult result;
+  if (role == PartyRole::kAlice) {
+    PPD_ASSIGN_OR_RETURN(
+        result, DriverScan(channel, session, *comparator, own_points, options,
+                           rng, disclosures, selection_comparisons));
+    PPD_RETURN_IF_ERROR(ResponderLoop(channel, session, *comparator,
+                                      own_points, options, rng));
+  } else {
+    PPD_RETURN_IF_ERROR(ResponderLoop(channel, session, *comparator,
+                                      own_points, options, rng));
+    PPD_ASSIGN_OR_RETURN(
+        result, DriverScan(channel, session, *comparator, own_points, options,
+                           rng, disclosures, selection_comparisons));
+  }
+
+  if (options.cross_party_merge) {
+    PPD_RETURN_IF_ERROR(MergePhase(channel, session, *comparator, own_points,
+                                   role, options, rng, disclosures, &result));
+  }
+  return result;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,53 @@
+#ifndef PPDBSCAN_CORE_HORIZONTAL_H_
+#define PPDBSCAN_CORE_HORIZONTAL_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "dbscan/dataset.h"
+#include "eval/leakage.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Privacy-preserving DBSCAN over horizontally partitioned data —
+/// Algorithms 3/4 (basic mode) and 7/8 (enhanced mode) of the paper.
+///
+/// Both parties call this function concurrently with their own points and
+/// role. Alice scans first while Bob responds, then the roles swap
+/// (Algorithm 3's "Party B DOES: repeats step 1 to 12"). Each party
+/// clusters only its own points: the peer's points enter core-point tests
+/// through HDP (basic) or the §5 share-selection test (enhanced) but are
+/// never added to expansion seed lists — the structural property that
+/// keeps the peer's records unlinkable and the reason the output can
+/// differ from centralized DBSCAN on cross-party bridges (DESIGN.md §3.5,
+/// experiment E4).
+///
+/// With options.cross_party_merge (E7 extension, off by default) the
+/// parties additionally link clusters whose core points are within Eps of
+/// each other, producing a shared cluster-id space at a documented extra
+/// disclosure (core-pair adjacency).
+///
+/// `disclosures` (optional) records what this party LEARNS:
+/// "peer_neighbor_count" per core test in basic mode (Theorem 9),
+/// "peer_core_bit" in enhanced mode (Theorem 11), "merge_links" if merging.
+Result<PartyClusteringResult> RunHorizontalDbscan(
+    Channel& channel, const SmcSession& session, const Dataset& own_points,
+    PartyRole role, const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures = nullptr,
+    uint64_t* selection_comparisons = nullptr);
+
+/// Serves one peer's horizontal scan: answers kHzQueryBasic /
+/// kHzQueryEnhanced requests over this party's points until the scanning
+/// peer sends kHzScanDone. The building block RunHorizontalDbscan uses for
+/// its responder half, exported for the multi-party extension
+/// (core/multiparty.h) where a party serves several scanning peers in
+/// turn.
+Status ServeHorizontalScan(Channel& channel, const SmcSession& session,
+                           SecureComparator& comparator, const Dataset& own,
+                           const ProtocolOptions& options, SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_HORIZONTAL_H_

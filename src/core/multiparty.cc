@@ -1,0 +1,278 @@
+#include "core/multiparty.h"
+
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/distance_protocols.h"
+#include "core/horizontal.h"
+#include "core/wire.h"
+#include "dbscan/dbscan.h"
+#include "net/memory_channel.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+
+/// One usable pairwise link from the scanning party's perspective.
+struct PeerLink {
+  Channel* channel = nullptr;
+  const SmcSession* session = nullptr;
+  SecureComparator* comparator = nullptr;
+};
+
+/// Multi-peer core test: own count plus one HDP batch per peer, always
+/// querying every peer (see header for why there is no early exit).
+Result<bool> MultiCoreTest(std::vector<PeerLink>& peers,
+                           const std::vector<int64_t>& point,
+                           size_t own_neighbours,
+                           const ProtocolOptions& options, SecureRng& rng,
+                           DisclosureLog* disclosures) {
+  size_t total = own_neighbours;
+  for (PeerLink& peer : peers) {
+    PPD_RETURN_IF_ERROR(SendMessage(*peer.channel, wire::kHzQueryBasic,
+                                    std::vector<uint8_t>()));
+    PPD_ASSIGN_OR_RETURN(
+        size_t count,
+        HdpBatchDriver(*peer.channel, *peer.session, *peer.comparator, point,
+                       options.params.eps_squared, rng));
+    if (disclosures != nullptr) {
+      disclosures->Record("peer_neighbor_count",
+                          static_cast<int64_t>(count));
+    }
+    total += count;
+  }
+  return total >= options.params.min_pts;
+}
+
+/// Algorithm 3/4 scan generalized to P-1 peers. Structure mirrors
+/// DriverScan in horizontal.cc; only the core test differs.
+Result<PartyClusteringResult> MultiDriverScan(
+    std::vector<PeerLink>& peers, const Dataset& own,
+    const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures) {
+  PartyClusteringResult result;
+  result.labels.assign(own.size(), kUnclassified);
+  result.is_core.assign(own.size(), false);
+  LinearRegionQuerier local(own);
+  int32_t cluster_id = 0;
+
+  for (size_t i = 0; i < own.size(); ++i) {
+    if (result.labels[i] != kUnclassified) continue;
+    std::vector<size_t> seeds = local.Query(i, options.params.eps_squared);
+    PPD_ASSIGN_OR_RETURN(
+        bool core, MultiCoreTest(peers, own.point(i), seeds.size(), options,
+                                 rng, disclosures));
+    if (!core) {
+      result.labels[i] = kNoise;
+      continue;
+    }
+    result.is_core[i] = true;
+    std::deque<size_t> queue;
+    for (size_t s : seeds) {
+      result.labels[s] = cluster_id;
+      if (s != i) queue.push_back(s);
+    }
+    while (!queue.empty()) {
+      size_t current = queue.front();
+      queue.pop_front();
+      std::vector<size_t> neighbourhood =
+          local.Query(current, options.params.eps_squared);
+      PPD_ASSIGN_OR_RETURN(
+          bool current_core,
+          MultiCoreTest(peers, own.point(current), neighbourhood.size(),
+                        options, rng, disclosures));
+      if (!current_core) continue;
+      result.is_core[current] = true;
+      for (size_t q : neighbourhood) {
+        if (result.labels[q] == kUnclassified || result.labels[q] == kNoise) {
+          if (result.labels[q] == kUnclassified) queue.push_back(q);
+          result.labels[q] = cluster_id;
+        }
+      }
+    }
+    ++cluster_id;
+  }
+  result.num_clusters = static_cast<size_t>(cluster_id);
+  for (PeerLink& peer : peers) {
+    PPD_RETURN_IF_ERROR(SendMessage(*peer.channel, wire::kHzScanDone,
+                                    std::vector<uint8_t>()));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<PartyClusteringResult> RunMultipartyHorizontalDbscan(
+    const std::vector<Channel*>& links,
+    const std::vector<const SmcSession*>& sessions, const Dataset& own_points,
+    const MultipartyRole& role, const ProtocolOptions& options,
+    SecureRng& rng, DisclosureLog* disclosures) {
+  if (role.parties < 2) {
+    return Status::InvalidArgument("multi-party run needs >= 2 parties");
+  }
+  if (role.index >= role.parties) {
+    return Status::InvalidArgument("party index out of range");
+  }
+  if (links.size() != role.parties || sessions.size() != role.parties) {
+    return Status::InvalidArgument(
+        "need one link and session slot per party");
+  }
+  if (options.mode != HorizontalMode::kBasic) {
+    return Status::InvalidArgument(
+        "multi-party runs support HorizontalMode::kBasic only (see "
+        "core/multiparty.h)");
+  }
+  if (options.cross_party_merge) {
+    return Status::InvalidArgument(
+        "cross_party_merge is a two-party extension; not defined for "
+        "multi-party runs");
+  }
+
+  // One comparator per link, bound to that link's session.
+  std::vector<std::unique_ptr<SecureComparator>> comparators(role.parties);
+  for (size_t j = 0; j < role.parties; ++j) {
+    if (j == role.index) continue;
+    if (links[j] == nullptr || sessions[j] == nullptr) {
+      return Status::InvalidArgument("missing link or session for a peer");
+    }
+    PPD_ASSIGN_OR_RETURN(comparators[j],
+                         CreateComparator(options.comparator, *sessions[j],
+                                          rng));
+  }
+
+  // Phases in the public party order: party d scans while everyone else
+  // serves d. All parties iterate the same schedule, so no link is used by
+  // two conversations at once.
+  PartyClusteringResult result;
+  for (size_t d = 0; d < role.parties; ++d) {
+    if (d == role.index) {
+      std::vector<PeerLink> peers;
+      for (size_t j = 0; j < role.parties; ++j) {
+        if (j == role.index) continue;
+        peers.push_back(PeerLink{links[j], sessions[j],
+                                 comparators[j].get()});
+      }
+      PPD_ASSIGN_OR_RETURN(
+          result, MultiDriverScan(peers, own_points, options, rng,
+                                  disclosures));
+    } else {
+      PPD_RETURN_IF_ERROR(ServeHorizontalScan(*links[d], *sessions[d],
+                                              *comparators[d], own_points,
+                                              options, rng));
+    }
+  }
+  return result;
+}
+
+Result<MultipartyOutcome> ExecuteMultipartyHorizontal(
+    const std::vector<Dataset>& parties, const SmcOptions& smc,
+    const ProtocolOptions& options, uint64_t seed_base) {
+  const size_t p = parties.size();
+  if (p < 2) {
+    return Status::InvalidArgument("multi-party run needs >= 2 parties");
+  }
+
+  // Full mesh of in-memory channels: channels[i][j] is party i's endpoint
+  // of the (i, j) link.
+  std::vector<std::vector<std::unique_ptr<MemoryChannel>>> channels(p);
+  for (auto& row : channels) row.resize(p);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = i + 1; j < p; ++j) {
+      auto [a, b] = MemoryChannel::CreatePair();
+      channels[i][j] = std::move(a);
+      channels[j][i] = std::move(b);
+    }
+  }
+
+  std::vector<SecureRng> rngs;
+  rngs.reserve(p);
+  for (size_t i = 0; i < p; ++i) rngs.emplace_back(seed_base + i);
+
+  // Pairwise key exchange, every pair in the same public order. Sessions
+  // are stored per (party, peer).
+  std::vector<std::vector<Result<SmcSession>>> sessions(p);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      sessions[i].emplace_back(Status::Internal("unset"));
+    }
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(p);
+    for (size_t i = 0; i < p; ++i) {
+      threads.emplace_back([&, i] {
+        for (size_t a = 0; a < p; ++a) {
+          for (size_t b = a + 1; b < p; ++b) {
+            if (a != i && b != i) continue;
+            size_t peer = a == i ? b : a;
+            sessions[i][peer] =
+                SmcSession::Establish(*channels[i][peer], rngs[i], smc);
+            if (!sessions[i][peer].ok()) return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      PPD_RETURN_IF_ERROR(sessions[i][j].status());
+      channels[i][j]->ResetStats();  // exclude key exchange, like run.cc
+    }
+  }
+
+  MultipartyOutcome outcome;
+  outcome.results.resize(p);
+  outcome.stats.resize(p);
+  outcome.disclosures.resize(p);
+  std::vector<Result<PartyClusteringResult>> results;
+  for (size_t i = 0; i < p; ++i) {
+    results.emplace_back(Status::Internal("unset"));
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(p);
+    for (size_t i = 0; i < p; ++i) {
+      threads.emplace_back([&, i] {
+        std::vector<Channel*> links(p, nullptr);
+        std::vector<const SmcSession*> session_ptrs(p, nullptr);
+        for (size_t j = 0; j < p; ++j) {
+          if (j == i) continue;
+          links[j] = channels[i][j].get();
+          session_ptrs[j] = &*sessions[i][j];
+        }
+        results[i] = RunMultipartyHorizontalDbscan(
+            links, session_ptrs, parties[i],
+            MultipartyRole{.index = i, .parties = p}, options, rngs[i],
+            &outcome.disclosures[i]);
+        // Unblock any peer still waiting on this party after an error.
+        if (!results[i].ok()) {
+          for (size_t j = 0; j < p; ++j) {
+            if (j != i) channels[i][j]->Close();
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (size_t i = 0; i < p; ++i) {
+    PPD_RETURN_IF_ERROR(results[i].status());
+    outcome.results[i] = std::move(results[i]).value();
+    for (size_t j = 0; j < p; ++j) {
+      if (i == j) continue;
+      const ChannelStats& s = channels[i][j]->stats();
+      outcome.stats[i].bytes_sent += s.bytes_sent;
+      outcome.stats[i].bytes_received += s.bytes_received;
+      outcome.stats[i].frames_sent += s.frames_sent;
+      outcome.stats[i].frames_received += s.frames_received;
+      outcome.stats[i].rounds += s.rounds;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ppdbscan

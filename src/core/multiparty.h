@@ -1,0 +1,80 @@
+#ifndef PPDBSCAN_CORE_MULTIPARTY_H_
+#define PPDBSCAN_CORE_MULTIPARTY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "dbscan/dataset.h"
+#include "eval/leakage.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Multi-party horizontal PP-DBSCAN — the extension §1 of the paper
+/// anticipates ("the two-party algorithm can be extended to multi-party
+/// cases").
+///
+/// P parties each hold a horizontal slice of the virtual database. The
+/// two-party Algorithm 3/4 generalizes by composition over pairwise
+/// channels: the parties take the driver role in a fixed public order, and
+/// the scanning party's core test for a point sums its own neighbour count
+/// with one HDP batch result per peer,
+///
+///     |N_eps(p)| = |own neighbours| + Σ_j  HDP-count against party j,
+///
+/// querying every peer for every test (no early exit — stopping once the
+/// threshold is reached would reveal the partial sums to the later peers
+/// through the access pattern). Each pairwise link runs the unmodified
+/// two-party sub-protocols over its own SMC session, so Theorem 9's
+/// disclosure bound applies per link and the composition theorem
+/// (Theorem 6) covers the whole protocol. Like the two-party protocol,
+/// each party expands clusters only through its OWN points.
+///
+/// Only HorizontalMode::kBasic is supported: the §5 enhanced core test
+/// needs the k-th smallest distance over the UNION of all peers' points,
+/// which requires cross-peer secret sharing the paper does not define
+/// (kInvalidArgument otherwise).
+///
+/// The driver schedule, record counts per party, and DBSCAN parameters are
+/// public; per-link traffic is counted separately (experiment E8 measures
+/// the Σ_d l_d·(n−l_d) growth).
+
+/// One party's identity within a multi-party run.
+struct MultipartyRole {
+  size_t index = 0;  ///< this party's position in the public order
+  size_t parties = 0;  ///< total party count P (>= 2)
+};
+
+/// Per-party result of a multi-party run.
+struct MultipartyOutcome {
+  /// results[p] = party p's clustering of its own points.
+  std::vector<PartyClusteringResult> results;
+  /// stats[p] = party p's traffic summed over its P-1 links.
+  std::vector<ChannelStats> stats;
+  /// disclosures[p] = everything party p learned beyond its output.
+  std::vector<DisclosureLog> disclosures;
+};
+
+/// One party's program. `links[j]` is the channel to party j (entry
+/// `links[role.index]` is ignored and may be null); `sessions[j]` the
+/// established SMC session for that link. Drives its own scan when its
+/// turn comes and serves every other party's scan otherwise.
+Result<PartyClusteringResult> RunMultipartyHorizontalDbscan(
+    const std::vector<Channel*>& links,
+    const std::vector<const SmcSession*>& sessions, const Dataset& own_points,
+    const MultipartyRole& role, const ProtocolOptions& options,
+    SecureRng& rng, DisclosureLog* disclosures = nullptr);
+
+/// In-process harness: runs all P parties on threads over a full mesh of
+/// MemoryChannels (pairwise key exchange included, excluded from stats —
+/// matching the paper's per-invocation accounting).
+Result<MultipartyOutcome> ExecuteMultipartyHorizontal(
+    const std::vector<Dataset>& parties, const SmcOptions& smc,
+    const ProtocolOptions& options, uint64_t seed_base = 0x9bd1);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_MULTIPARTY_H_

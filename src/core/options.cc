@@ -1,0 +1,17 @@
+#include "core/options.h"
+
+namespace ppdbscan {
+
+const char* PartyRoleToString(PartyRole role) {
+  return role == PartyRole::kAlice ? "alice" : "bob";
+}
+
+BigInt RecommendedComparatorBound(size_t dims, int64_t max_abs_coord) {
+  // |S_B| = |Σy² − 2Σxy| <= 3·m·C²; squared distances <= 4·m·C². Use the
+  // larger with one extra factor of 2 of slack for thresholds.
+  BigInt m(static_cast<int64_t>(dims));
+  BigInt c(max_abs_coord);
+  return BigInt(8) * m * c * c + BigInt(4);
+}
+
+}  // namespace ppdbscan

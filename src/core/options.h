@@ -1,0 +1,84 @@
+#ifndef PPDBSCAN_CORE_OPTIONS_H_
+#define PPDBSCAN_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "dbscan/dbscan.h"
+#include "smc/comparator.h"
+
+namespace ppdbscan {
+
+/// The two protocol parties. Horizontal runs are symmetric (both parties
+/// scan in turn); vertical/arbitrary runs are driven by Alice by
+/// convention.
+enum class PartyRole { kAlice, kBob };
+
+const char* PartyRoleToString(PartyRole role);
+
+/// Core-point testing strategy over horizontally partitioned data.
+enum class HorizontalMode {
+  /// §4.2 (Algorithms 3/4): per-pair HDP; reveals the peer neighbour count
+  /// to the scanning party (Theorem 9).
+  kBasic,
+  /// §5 (Algorithms 7/8): secret-shared distances + k-th-smallest
+  /// selection; reveals only one bit per core test (Theorem 11).
+  kEnhanced,
+};
+
+/// k-th smallest selection algorithm for the enhanced protocol (§5
+/// describes both).
+enum class SelectionAlgorithm {
+  kKPass,        // k passes of minimum finding, O(k·n) comparisons
+  kQuickSelect,  // randomized partitioning, O(n) expected comparisons
+};
+
+/// Everything both parties must agree on before a protocol run. The
+/// comparator bound and DBSCAN parameters are public protocol inputs;
+/// mismatches between the parties surface as protocol errors.
+struct ProtocolOptions {
+  DbscanParams params;
+
+  ComparatorOptions comparator;
+
+  HorizontalMode mode = HorizontalMode::kBasic;
+  SelectionAlgorithm selection = SelectionAlgorithm::kKPass;
+
+  /// Mask width for the §5 distance shares. 0 draws masks uniformly from
+  /// Z_n (perfect hiding; requires the blinded or ideal comparator). A
+  /// positive width keeps shares small enough for the YMPP comparator at
+  /// the cost of only statistical hiding (see DESIGN.md §3.2).
+  size_t share_mask_bits = 0;
+
+  /// E7 extension (not part of the paper's protocols): after both
+  /// horizontal scans, link clusters across parties whose core points are
+  /// within Eps, restoring centralized DBSCAN's cross-party connectivity at
+  /// the cost of disclosing core-pair adjacency.
+  bool cross_party_merge = false;
+
+  /// E9 extension (not part of the paper's protocols): in the vertical
+  /// protocol, each party locally prunes candidate pairs whose OWN partial
+  /// squared distance already exceeds Eps² — the total can only be larger,
+  /// so the secure comparison is provably unnecessary. Both parties
+  /// exchange prune bitmaps per query; each pruned pair therefore
+  /// discloses one bit ("the other party's partial alone exceeds Eps²")
+  /// in exchange for skipping that comparison entirely. Exact same
+  /// clustering, measured in bench_comm_vertical E3.c.
+  bool vdp_local_pruning = false;
+};
+
+/// A safe comparator magnitude bound for datasets with coordinates in
+/// [-max_abs_coord, max_abs_coord]^dims: covers |S_B| <= 3·m·C² for HDP
+/// partial sums, squared distances, and their pairwise differences.
+BigInt RecommendedComparatorBound(size_t dims, int64_t max_abs_coord);
+
+/// Per-party clustering output. For horizontal runs, `labels` covers the
+/// party's own points; for vertical/arbitrary runs it covers all records.
+struct PartyClusteringResult {
+  Labels labels;
+  std::vector<bool> is_core;
+  size_t num_clusters = 0;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_OPTIONS_H_

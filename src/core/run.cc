@@ -1,0 +1,125 @@
+#include "core/run.h"
+
+#include <functional>
+#include <thread>
+
+#include "core/arbitrary.h"
+#include "core/horizontal.h"
+#include "core/vertical.h"
+#include "net/memory_channel.h"
+
+namespace ppdbscan {
+
+namespace {
+
+/// One party's protocol body: channel and session are established by the
+/// harness; the body writes its clustering result and auxiliary outputs
+/// into the outcome.
+using PartyBody = std::function<Result<PartyClusteringResult>(
+    Channel&, const SmcSession&, SecureRng&, DisclosureLog*, uint64_t*)>;
+
+Result<TwoPartyOutcome> RunPair(const ExecutionConfig& config,
+                                const PartyBody& alice_body,
+                                const PartyBody& bob_body) {
+  auto [alice_channel, bob_channel] = MemoryChannel::CreatePair();
+  TwoPartyOutcome outcome;
+  Result<PartyClusteringResult> alice_result =
+      Status::Internal("alice thread did not run");
+  Result<PartyClusteringResult> bob_result =
+      Status::Internal("bob thread did not run");
+
+  auto party_main = [&config](Channel& channel, uint64_t seed,
+                              const PartyBody& body, DisclosureLog* log,
+                              uint64_t* selection_comparisons,
+                              Result<PartyClusteringResult>* out) {
+    SecureRng rng(seed);
+    Result<SmcSession> session = SmcSession::Establish(channel, rng,
+                                                       config.smc);
+    if (!session.ok()) {
+      *out = session.status();
+      channel.Close();
+      return;
+    }
+    // Key setup traffic is excluded from the reported statistics.
+    channel.ResetStats();
+    *out = body(channel, *session, rng, log, selection_comparisons);
+    channel.Close();
+  };
+
+  std::thread alice_thread(party_main, std::ref(*alice_channel),
+                           config.alice_seed, std::cref(alice_body),
+                           &outcome.alice_disclosures,
+                           &outcome.alice_selection_comparisons,
+                           &alice_result);
+  std::thread bob_thread(party_main, std::ref(*bob_channel), config.bob_seed,
+                         std::cref(bob_body), &outcome.bob_disclosures,
+                         &outcome.bob_selection_comparisons, &bob_result);
+  alice_thread.join();
+  bob_thread.join();
+
+  PPD_RETURN_IF_ERROR(alice_result.status().ok()
+                          ? Status::Ok()
+                          : alice_result.status());
+  PPD_RETURN_IF_ERROR(bob_result.status().ok() ? Status::Ok()
+                                               : bob_result.status());
+  outcome.alice = std::move(alice_result).value();
+  outcome.bob = std::move(bob_result).value();
+  outcome.alice_stats = alice_channel->stats();
+  outcome.bob_stats = bob_channel->stats();
+  return outcome;
+}
+
+}  // namespace
+
+Result<TwoPartyOutcome> ExecuteHorizontal(const Dataset& alice_points,
+                                          const Dataset& bob_points,
+                                          const ExecutionConfig& config) {
+  const ProtocolOptions& options = config.protocol;
+  PartyBody alice_body = [&](Channel& ch, const SmcSession& session,
+                             SecureRng& rng, DisclosureLog* log,
+                             uint64_t* sel) {
+    return RunHorizontalDbscan(ch, session, alice_points, PartyRole::kAlice,
+                               options, rng, log, sel);
+  };
+  PartyBody bob_body = [&](Channel& ch, const SmcSession& session,
+                           SecureRng& rng, DisclosureLog* log,
+                           uint64_t* sel) {
+    return RunHorizontalDbscan(ch, session, bob_points, PartyRole::kBob,
+                               options, rng, log, sel);
+  };
+  return RunPair(config, alice_body, bob_body);
+}
+
+Result<TwoPartyOutcome> ExecuteVertical(const VerticalPartition& partition,
+                                        const ExecutionConfig& config) {
+  const ProtocolOptions& options = config.protocol;
+  PartyBody alice_body = [&](Channel& ch, const SmcSession& session,
+                             SecureRng& rng, DisclosureLog* log, uint64_t*) {
+    return RunVerticalDbscan(ch, session, partition.alice, PartyRole::kAlice,
+                             options, rng, log);
+  };
+  PartyBody bob_body = [&](Channel& ch, const SmcSession& session,
+                           SecureRng& rng, DisclosureLog* log, uint64_t*) {
+    return RunVerticalDbscan(ch, session, partition.bob, PartyRole::kBob,
+                             options, rng, log);
+  };
+  return RunPair(config, alice_body, bob_body);
+}
+
+Result<TwoPartyOutcome> ExecuteArbitrary(const ArbitraryPartition& partition,
+                                         const ExecutionConfig& config) {
+  const ProtocolOptions& options = config.protocol;
+  PartyBody alice_body = [&](Channel& ch, const SmcSession& session,
+                             SecureRng& rng, DisclosureLog* log, uint64_t*) {
+    return RunArbitraryDbscan(ch, session, partition.alice, PartyRole::kAlice,
+                              options, rng, log);
+  };
+  PartyBody bob_body = [&](Channel& ch, const SmcSession& session,
+                           SecureRng& rng, DisclosureLog* log, uint64_t*) {
+    return RunArbitraryDbscan(ch, session, partition.bob, PartyRole::kBob,
+                              options, rng, log);
+  };
+  return RunPair(config, alice_body, bob_body);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,54 @@
+#ifndef PPDBSCAN_CORE_RUN_H_
+#define PPDBSCAN_CORE_RUN_H_
+
+#include "common/status.h"
+#include "core/options.h"
+#include "data/partitioners.h"
+#include "dbscan/dataset.h"
+#include "eval/leakage.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Joint result of one in-process two-party protocol execution.
+/// Channel statistics cover the protocol phase only (key exchange is
+/// excluded, matching the paper's per-invocation accounting).
+struct TwoPartyOutcome {
+  PartyClusteringResult alice;
+  PartyClusteringResult bob;
+  ChannelStats alice_stats;
+  ChannelStats bob_stats;
+  DisclosureLog alice_disclosures;
+  DisclosureLog bob_disclosures;
+  uint64_t alice_selection_comparisons = 0;
+  uint64_t bob_selection_comparisons = 0;
+};
+
+/// Cryptographic and protocol configuration for an execution. Seeds make
+/// runs reproducible (each party has an independent deterministic RNG).
+struct ExecutionConfig {
+  SmcOptions smc;
+  ProtocolOptions protocol;
+  uint64_t alice_seed = 0x0a11ce;
+  uint64_t bob_seed = 0x0b0b;
+};
+
+/// Runs the horizontal protocol with both parties on in-process threads
+/// joined by a MemoryChannel pair.
+Result<TwoPartyOutcome> ExecuteHorizontal(const Dataset& alice_points,
+                                          const Dataset& bob_points,
+                                          const ExecutionConfig& config);
+
+/// Runs the vertical protocol (Alice holds `partition.alice` columns, Bob
+/// `partition.bob`).
+Result<TwoPartyOutcome> ExecuteVertical(const VerticalPartition& partition,
+                                        const ExecutionConfig& config);
+
+/// Runs the arbitrary-partition protocol.
+Result<TwoPartyOutcome> ExecuteArbitrary(const ArbitraryPartition& partition,
+                                         const ExecutionConfig& config);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_RUN_H_

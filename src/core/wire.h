@@ -1,0 +1,45 @@
+#ifndef PPDBSCAN_CORE_WIRE_H_
+#define PPDBSCAN_CORE_WIRE_H_
+
+#include <cstdint>
+
+namespace ppdbscan {
+
+/// Message tag space of the DBSCAN protocol layer (0x1000+; the SMC
+/// sub-protocols use 0x0100-0x04FF, session setup 0x0001, abort 0xFFFF).
+/// The non-scanning party dispatches on these tags in its responder loop.
+namespace wire {
+
+// Horizontal protocol (Algorithms 3/4 and 7/8).
+inline constexpr uint16_t kHzQueryBasic = 0x1001;     // driver asks for an HDP batch
+inline constexpr uint16_t kHzQueryEnhanced = 0x1002;  // driver asks for a §5 core test
+inline constexpr uint16_t kHzScanDone = 0x1003;       // driver finished its scan
+inline constexpr uint16_t kHdpCiphers = 0x1004;       // responder's E(y) batch
+inline constexpr uint16_t kHdpResponse = 0x1005;      // driver's masked products
+
+// §5 selection sub-protocol (driver -> responder requests).
+inline constexpr uint16_t kSelCompare = 0x1010;  // payload: u32 i, u32 j
+inline constexpr uint16_t kSelFinal = 0x1011;    // payload: u32 i (vs Eps²)
+inline constexpr uint16_t kSelDone = 0x1012;     // core test finished
+
+// Vertical protocol (Algorithms 5/6).
+inline constexpr uint16_t kVtQuery = 0x1020;      // payload: u32 point index
+inline constexpr uint16_t kVtNeighbours = 0x1021; // driver's neighbour id list
+inline constexpr uint16_t kVtDone = 0x1022;
+inline constexpr uint16_t kVtHello = 0x1023;      // payload: u32 record count
+inline constexpr uint16_t kVtPrune = 0x1024;      // payload: prune bitmap (E9)
+
+// Arbitrary protocol (§4.4) reuses the vertical loop tags plus a per-pair
+// HDP exchange for the cross-owned attributes.
+inline constexpr uint16_t kArbPairCiphers = 0x1030;
+inline constexpr uint16_t kArbPairResponse = 0x1031;
+
+// E7 cross-party merge extension.
+inline constexpr uint16_t kMergeCores = 0x1040;   // payload: u32 core count
+inline constexpr uint16_t kMergeLinks = 0x1041;   // payload: linked pairs
+
+}  // namespace wire
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_WIRE_H_

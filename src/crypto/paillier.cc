@@ -1,0 +1,233 @@
+#include "crypto/paillier.h"
+
+#include "bigint/prime.h"
+
+namespace ppdbscan {
+
+namespace {
+
+// L(u) = (u - 1) / n, defined for u ≡ 1 (mod n).
+BigInt LFunction(const BigInt& u, const BigInt& n) { return (u - BigInt(1)) / n; }
+
+Status ValidatePublicKey(const PaillierPublicKey& pub) {
+  if (pub.n <= BigInt(3)) {
+    return Status::InvalidArgument("Paillier modulus too small");
+  }
+  if (pub.n_squared != pub.n * pub.n) {
+    return Status::InvalidArgument("n_squared does not match n");
+  }
+  if (pub.g <= BigInt(1) || pub.g >= pub.n_squared) {
+    return Status::InvalidArgument("generator out of range");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void PaillierPublicKey::Serialize(ByteWriter& out) const {
+  out.PutU32(static_cast<uint32_t>(modulus_bits));
+  out.PutBytes(n.ToBytes());
+  out.PutBytes(g.ToBytes());
+}
+
+Result<PaillierPublicKey> PaillierPublicKey::Deserialize(ByteReader& in) {
+  PaillierPublicKey pub;
+  PPD_ASSIGN_OR_RETURN(uint32_t bits, in.GetU32());
+  pub.modulus_bits = bits;
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> n_bytes, in.GetBytes());
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> g_bytes, in.GetBytes());
+  pub.n = BigInt::FromBytes(n_bytes);
+  pub.n_squared = pub.n * pub.n;
+  pub.g = BigInt::FromBytes(g_bytes);
+  PPD_RETURN_IF_ERROR(ValidatePublicKey(pub));
+  return pub;
+}
+
+Result<PaillierKeyPair> GeneratePaillierKeyPair(SecureRng& rng,
+                                                size_t modulus_bits,
+                                                bool random_g) {
+  if (modulus_bits < 64 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "Paillier modulus must be an even bit count >= 64");
+  }
+  const size_t prime_bits = modulus_bits / 2;
+  while (true) {
+    BigInt p = GeneratePrime(rng, prime_bits);
+    BigInt q = GeneratePrime(rng, prime_bits);
+    if (p == q) continue;
+    BigInt n = p * q;
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    // The paper's condition: gcd(pq, (p-1)(q-1)) = 1.
+    if (BigInt::Gcd(n, p1 * q1) != BigInt(1)) continue;
+
+    PaillierKeyPair kp;
+    kp.p = std::move(p);
+    kp.q = std::move(q);
+    kp.pub.n = n;
+    kp.pub.n_squared = n * n;
+    kp.pub.modulus_bits = modulus_bits;
+    kp.lambda = BigInt::Lcm(p1, q1);
+
+    if (random_g) {
+      // Sample g until L(g^λ mod n²) is invertible mod n (the paper's
+      // "ensure n divides the order of g" check).
+      while (true) {
+        BigInt g = BigInt::RandomBelow(rng, kp.pub.n_squared - BigInt(1)) +
+                   BigInt(1);
+        if (BigInt::Gcd(g, kp.pub.n_squared) != BigInt(1)) continue;
+        BigInt l = LFunction(BigInt::ModExp(g, kp.lambda, kp.pub.n_squared),
+                             kp.pub.n);
+        Result<BigInt> mu = BigInt::ModInverse(l, kp.pub.n);
+        if (!mu.ok()) continue;
+        kp.pub.g = std::move(g);
+        kp.mu = std::move(mu).value();
+        break;
+      }
+    } else {
+      // g = n + 1: L(g^λ mod n²) = λ, so µ = λ⁻¹ mod n.
+      kp.pub.g = kp.pub.n + BigInt(1);
+      Result<BigInt> mu = BigInt::ModInverse(kp.lambda, kp.pub.n);
+      if (!mu.ok()) continue;  // cannot happen given the gcd condition
+      kp.mu = std::move(mu).value();
+    }
+    return kp;
+  }
+}
+
+Result<PaillierContext> PaillierContext::Create(PaillierPublicKey pub) {
+  PPD_RETURN_IF_ERROR(ValidatePublicKey(pub));
+  PaillierContext ctx;
+  ctx.pub_ = std::move(pub);
+  ctx.half_n_ = ctx.pub_.n >> 1;
+  ctx.g_is_n_plus_1_ = ctx.pub_.g == ctx.pub_.n + BigInt(1);
+  Result<MontgomeryCtx> mont = MontgomeryCtx::Create(ctx.pub_.n_squared);
+  PPD_RETURN_IF_ERROR(mont.status());
+  ctx.ctx_n2_ =
+      std::make_shared<const MontgomeryCtx>(std::move(mont).value());
+  return ctx;
+}
+
+bool PaillierContext::IsValidCiphertext(const BigInt& c) const {
+  return c.sign() > 0 && c < pub_.n_squared;
+}
+
+Result<BigInt> PaillierContext::Encrypt(const BigInt& m,
+                                        SecureRng& rng) const {
+  if (m.IsNegative() || m >= pub_.n) {
+    return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+  }
+  // Random r in Z*_n.
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(rng, pub_.n - BigInt(1)) + BigInt(1);
+  } while (BigInt::Gcd(r, pub_.n) != BigInt(1));
+  BigInt rn = ctx_n2_->Exp(r, pub_.n);
+  BigInt gm;
+  if (g_is_n_plus_1_) {
+    gm = (BigInt(1) + m * pub_.n).Mod(pub_.n_squared);
+  } else {
+    gm = ctx_n2_->Exp(pub_.g, m);
+  }
+  return (gm * rn).Mod(pub_.n_squared);
+}
+
+Result<BigInt> PaillierContext::EncryptSigned(const BigInt& v,
+                                              SecureRng& rng) const {
+  PPD_ASSIGN_OR_RETURN(BigInt m, EncodeSigned(v));
+  return Encrypt(m, rng);
+}
+
+BigInt PaillierContext::Add(const BigInt& c1, const BigInt& c2) const {
+  PPD_CHECK_MSG(IsValidCiphertext(c1) && IsValidCiphertext(c2),
+                "invalid ciphertext");
+  return (c1 * c2).Mod(pub_.n_squared);
+}
+
+BigInt PaillierContext::MulPlain(const BigInt& c, const BigInt& k) const {
+  PPD_CHECK_MSG(IsValidCiphertext(c), "invalid ciphertext");
+  return ctx_n2_->Exp(c, k.Mod(pub_.n));
+}
+
+Result<BigInt> PaillierContext::Rerandomize(const BigInt& c,
+                                            SecureRng& rng) const {
+  if (!IsValidCiphertext(c)) {
+    return Status::InvalidArgument("invalid ciphertext");
+  }
+  PPD_ASSIGN_OR_RETURN(BigInt zero_enc, Encrypt(BigInt(), rng));
+  return (c * zero_enc).Mod(pub_.n_squared);
+}
+
+Result<BigInt> PaillierContext::EncodeSigned(const BigInt& v) const {
+  if (v.Abs() >= half_n_) {
+    return Status::OutOfRange("signed plaintext exceeds n/2");
+  }
+  return v.Mod(pub_.n);
+}
+
+BigInt PaillierContext::DecodeSigned(const BigInt& m) const {
+  PPD_CHECK_MSG(!m.IsNegative() && m < pub_.n, "encoded value out of range");
+  if (m > half_n_) return m - pub_.n;
+  return m;
+}
+
+Result<PaillierDecryptor> PaillierDecryptor::Create(PaillierKeyPair kp) {
+  PaillierDecryptor dec;
+  Result<PaillierContext> ctx = PaillierContext::Create(kp.pub);
+  PPD_RETURN_IF_ERROR(ctx.status());
+  dec.context_ = std::move(ctx).value();
+  if (kp.p * kp.q != kp.pub.n) {
+    return Status::InvalidArgument("p*q != n");
+  }
+  dec.p_squared_ = kp.p * kp.p;
+  dec.q_squared_ = kp.q * kp.q;
+
+  Result<MontgomeryCtx> mp = MontgomeryCtx::Create(dec.p_squared_);
+  PPD_RETURN_IF_ERROR(mp.status());
+  dec.ctx_p2_ = std::make_shared<const MontgomeryCtx>(std::move(mp).value());
+  Result<MontgomeryCtx> mq = MontgomeryCtx::Create(dec.q_squared_);
+  PPD_RETURN_IF_ERROR(mq.status());
+  dec.ctx_q2_ = std::make_shared<const MontgomeryCtx>(std::move(mq).value());
+
+  // h_p = L_p(g^{p-1} mod p²)⁻¹ mod p (and the analogue for q).
+  BigInt p1 = kp.p - BigInt(1);
+  BigInt q1 = kp.q - BigInt(1);
+  BigInt lp = (dec.ctx_p2_->Exp(kp.pub.g.Mod(dec.p_squared_), p1) - BigInt(1)) / kp.p;
+  BigInt lq = (dec.ctx_q2_->Exp(kp.pub.g.Mod(dec.q_squared_), q1) - BigInt(1)) / kp.q;
+  Result<BigInt> hp = BigInt::ModInverse(lp, kp.p);
+  PPD_RETURN_IF_ERROR(hp.status());
+  Result<BigInt> hq = BigInt::ModInverse(lq, kp.q);
+  PPD_RETURN_IF_ERROR(hq.status());
+  dec.hp_ = std::move(hp).value();
+  dec.hq_ = std::move(hq).value();
+  Result<BigInt> qinv = BigInt::ModInverse(kp.q, kp.p);
+  PPD_RETURN_IF_ERROR(qinv.status());
+  dec.q_inv_mod_p_ = std::move(qinv).value();
+  dec.kp_ = std::move(kp);
+  return dec;
+}
+
+Result<BigInt> PaillierDecryptor::Decrypt(const BigInt& c) const {
+  if (!context_.IsValidCiphertext(c)) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
+  // CRT decryption: m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise for q,
+  // recombined via Garner's formula.
+  BigInt p1 = kp_.p - BigInt(1);
+  BigInt q1 = kp_.q - BigInt(1);
+  BigInt mp =
+      ((ctx_p2_->Exp(c.Mod(p_squared_), p1) - BigInt(1)) / kp_.p * hp_)
+          .Mod(kp_.p);
+  BigInt mq =
+      ((ctx_q2_->Exp(c.Mod(q_squared_), q1) - BigInt(1)) / kp_.q * hq_)
+          .Mod(kp_.q);
+  BigInt h = ((mp - mq) * q_inv_mod_p_).Mod(kp_.p);
+  return mq + h * kp_.q;
+}
+
+Result<BigInt> PaillierDecryptor::DecryptSigned(const BigInt& c) const {
+  PPD_ASSIGN_OR_RETURN(BigInt m, Decrypt(c));
+  return context_.DecodeSigned(m);
+}
+
+}  // namespace ppdbscan

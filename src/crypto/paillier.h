@@ -1,0 +1,118 @@
+#ifndef PPDBSCAN_CRYPTO_PAILLIER_H_
+#define PPDBSCAN_CRYPTO_PAILLIER_H_
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "common/random.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace ppdbscan {
+
+/// Paillier public key, exactly as in §3.7 of the paper: modulus n = p·q and
+/// generator g ∈ Z*_{n²}. The default generator is g = n + 1 (a valid choice
+/// that makes g^m computable without exponentiation); key generation can
+/// also sample a random g to exercise the general path.
+struct PaillierPublicKey {
+  BigInt n;
+  BigInt n_squared;
+  BigInt g;
+  size_t modulus_bits = 0;
+
+  void Serialize(ByteWriter& out) const;
+  static Result<PaillierPublicKey> Deserialize(ByteReader& in);
+};
+
+/// Full key pair: λ = lcm(p−1, q−1) and µ = (L(g^λ mod n²))⁻¹ mod n, with
+/// the primes retained for CRT-accelerated decryption.
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  BigInt lambda;
+  BigInt mu;
+  BigInt p;
+  BigInt q;
+};
+
+/// Generates a Paillier key pair with an n of exactly `modulus_bits` bits.
+/// Enforces the paper's gcd(pq, (p−1)(q−1)) = 1 condition. When `random_g`
+/// is true, samples a random valid generator instead of n + 1.
+Result<PaillierKeyPair> GeneratePaillierKeyPair(SecureRng& rng,
+                                                size_t modulus_bits,
+                                                bool random_g = false);
+
+/// Public-key operations (encrypt + homomorphic arithmetic). Holds a cached
+/// Montgomery context for n², so one instance should be reused across many
+/// operations. Thread-compatible (const methods are safe to call
+/// concurrently).
+class PaillierContext {
+ public:
+  /// Fails with kInvalidArgument if the key is malformed.
+  static Result<PaillierContext> Create(PaillierPublicKey pub);
+
+  const PaillierPublicKey& pub() const { return pub_; }
+
+  /// Encrypts m ∈ [0, n): c = g^m · r^n mod n² with fresh random r ∈ Z*_n.
+  Result<BigInt> Encrypt(const BigInt& m, SecureRng& rng) const;
+
+  /// Encrypts a signed value |v| < n/2 using the standard wraparound
+  /// encoding (negative v maps to n − |v|).
+  Result<BigInt> EncryptSigned(const BigInt& v, SecureRng& rng) const;
+
+  /// Homomorphic addition: D(Add(E(m1), E(m2))) = m1 + m2 mod n.
+  BigInt Add(const BigInt& c1, const BigInt& c2) const;
+
+  /// Homomorphic plaintext multiplication: D(MulPlain(E(m), k)) = m·k mod n.
+  /// k may be negative (reduced mod n first).
+  BigInt MulPlain(const BigInt& c, const BigInt& k) const;
+
+  /// Fresh re-randomization: multiplies by an encryption of zero.
+  Result<BigInt> Rerandomize(const BigInt& c, SecureRng& rng) const;
+
+  /// Signed wraparound encoding into [0, n); fails unless |v| < n/2.
+  Result<BigInt> EncodeSigned(const BigInt& v) const;
+  /// Inverse of EncodeSigned: values above n/2 decode as negative.
+  BigInt DecodeSigned(const BigInt& m) const;
+
+  /// True iff c is in the ciphertext range [1, n²).
+  bool IsValidCiphertext(const BigInt& c) const;
+
+ private:
+  friend class PaillierDecryptor;  // embeds a default-constructed context
+
+  PaillierContext() = default;
+
+  PaillierPublicKey pub_;
+  BigInt half_n_;
+  std::shared_ptr<const MontgomeryCtx> ctx_n2_;
+  bool g_is_n_plus_1_ = false;
+};
+
+/// Private-key operations. Decryption uses the CRT over p and q.
+class PaillierDecryptor {
+ public:
+  static Result<PaillierDecryptor> Create(PaillierKeyPair key_pair);
+
+  const PaillierContext& context() const { return context_; }
+
+  /// Decrypts to m ∈ [0, n).
+  Result<BigInt> Decrypt(const BigInt& c) const;
+  /// Decrypts and applies the signed decoding.
+  Result<BigInt> DecryptSigned(const BigInt& c) const;
+
+ private:
+  PaillierDecryptor() = default;
+
+  PaillierKeyPair kp_;
+  PaillierContext context_;
+  // CRT components: m = L_p(c^{p-1} mod p²)·h_p mod p recombined with q part.
+  BigInt p_squared_, q_squared_;
+  BigInt hp_, hq_;       // precomputed L(g^{p-1} mod p²)^{-1} mod p etc.
+  BigInt q_inv_mod_p_;
+  std::shared_ptr<const MontgomeryCtx> ctx_p2_, ctx_q2_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CRYPTO_PAILLIER_H_

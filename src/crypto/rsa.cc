@@ -1,0 +1,108 @@
+#include "crypto/rsa.h"
+
+namespace ppdbscan {
+
+void RsaPublicKey::Serialize(ByteWriter& out) const {
+  out.PutU32(static_cast<uint32_t>(modulus_bits));
+  out.PutBytes(n.ToBytes());
+  out.PutBytes(e.ToBytes());
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(ByteReader& in) {
+  RsaPublicKey pub;
+  PPD_ASSIGN_OR_RETURN(uint32_t bits, in.GetU32());
+  pub.modulus_bits = bits;
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> n_bytes, in.GetBytes());
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> e_bytes, in.GetBytes());
+  pub.n = BigInt::FromBytes(n_bytes);
+  pub.e = BigInt::FromBytes(e_bytes);
+  if (pub.n <= BigInt(3) || pub.e < BigInt(3)) {
+    return Status::DataLoss("malformed RSA public key");
+  }
+  return pub;
+}
+
+Result<RsaKeyPair> GenerateRsaKeyPair(SecureRng& rng, size_t modulus_bits,
+                                      uint64_t pub_exp) {
+  if (modulus_bits < 64 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "RSA modulus must be an even bit count >= 64");
+  }
+  if (pub_exp < 3 || pub_exp % 2 == 0) {
+    return Status::InvalidArgument("public exponent must be odd and >= 3");
+  }
+  const BigInt e = BigInt::FromU64(pub_exp);
+  const size_t prime_bits = modulus_bits / 2;
+  while (true) {
+    BigInt p = GeneratePrime(rng, prime_bits);
+    BigInt q = GeneratePrime(rng, prime_bits);
+    if (p == q) continue;
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    BigInt phi = p1 * q1;
+    if (BigInt::Gcd(e, phi) != BigInt(1)) continue;
+
+    RsaKeyPair kp;
+    kp.pub.n = p * q;
+    kp.pub.e = e;
+    kp.pub.modulus_bits = modulus_bits;
+    Result<BigInt> d = BigInt::ModInverse(e, phi);
+    PPD_RETURN_IF_ERROR(d.status());
+    kp.d = std::move(d).value();
+    kp.dp = kp.d.Mod(p1);
+    kp.dq = kp.d.Mod(q1);
+    Result<BigInt> q_inv = BigInt::ModInverse(q, p);
+    PPD_RETURN_IF_ERROR(q_inv.status());
+    kp.q_inv = std::move(q_inv).value();
+    kp.p = std::move(p);
+    kp.q = std::move(q);
+    return kp;
+  }
+}
+
+Result<RsaPublicOps> RsaPublicOps::Create(RsaPublicKey pub) {
+  if (pub.n <= BigInt(3) || pub.e < BigInt(3)) {
+    return Status::InvalidArgument("malformed RSA public key");
+  }
+  RsaPublicOps ops;
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(pub.n);
+  PPD_RETURN_IF_ERROR(ctx.status());
+  ops.ctx_ = std::make_shared<const MontgomeryCtx>(std::move(ctx).value());
+  ops.pub_ = std::move(pub);
+  return ops;
+}
+
+Result<BigInt> RsaPublicOps::Encrypt(const BigInt& m) const {
+  if (m.IsNegative() || m >= pub_.n) {
+    return Status::OutOfRange("RSA plaintext must lie in [0, n)");
+  }
+  return ctx_->Exp(m, pub_.e);
+}
+
+Result<RsaPrivateOps> RsaPrivateOps::Create(RsaKeyPair kp) {
+  if (kp.p * kp.q != kp.pub.n) {
+    return Status::InvalidArgument("p*q != n");
+  }
+  RsaPrivateOps ops;
+  Result<MontgomeryCtx> cp = MontgomeryCtx::Create(kp.p);
+  PPD_RETURN_IF_ERROR(cp.status());
+  ops.ctx_p_ = std::make_shared<const MontgomeryCtx>(std::move(cp).value());
+  Result<MontgomeryCtx> cq = MontgomeryCtx::Create(kp.q);
+  PPD_RETURN_IF_ERROR(cq.status());
+  ops.ctx_q_ = std::make_shared<const MontgomeryCtx>(std::move(cq).value());
+  ops.kp_ = std::move(kp);
+  return ops;
+}
+
+Result<BigInt> RsaPrivateOps::Decrypt(const BigInt& c) const {
+  if (c.IsNegative() || c >= kp_.pub.n) {
+    return Status::OutOfRange("RSA ciphertext must lie in [0, n)");
+  }
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, recombine with Garner.
+  BigInt m1 = ctx_p_->Exp(c.Mod(kp_.p), kp_.dp);
+  BigInt m2 = ctx_q_->Exp(c.Mod(kp_.q), kp_.dq);
+  BigInt h = ((m1 - m2) * kp_.q_inv).Mod(kp_.p);
+  return m2 + h * kp_.q;
+}
+
+}  // namespace ppdbscan

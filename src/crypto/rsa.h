@@ -1,0 +1,80 @@
+#ifndef PPDBSCAN_CRYPTO_RSA_H_
+#define PPDBSCAN_CRYPTO_RSA_H_
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "bigint/prime.h"
+#include "common/random.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace ppdbscan {
+
+/// Raw ("textbook") RSA. This is the public-key scheme (Ea, Da) that Yao's
+/// Millionaires' Problem Protocol (Algorithm 1 in the paper) requires: a
+/// trapdoor permutation that only Alice can invert. It is deliberately
+/// unpadded — YMPP applies it to a single uniformly random value, which is
+/// exactly the setting where the raw permutation is appropriate. Do not use
+/// this class for general-purpose encryption.
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+  size_t modulus_bits = 0;
+
+  void Serialize(ByteWriter& out) const;
+  static Result<RsaPublicKey> Deserialize(ByteReader& in);
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigInt d;
+  BigInt p, q;          // retained for CRT decryption
+  BigInt dp, dq, q_inv; // d mod p-1, d mod q-1, q^{-1} mod p
+};
+
+/// Generates an RSA key pair with an n of exactly `modulus_bits` bits and
+/// public exponent `pub_exp` (default 65537).
+Result<RsaKeyPair> GenerateRsaKeyPair(SecureRng& rng, size_t modulus_bits,
+                                      uint64_t pub_exp = 65537);
+
+/// Forward-permutation operations (Ea). Caches the Montgomery context for n.
+class RsaPublicOps {
+ public:
+  static Result<RsaPublicOps> Create(RsaPublicKey pub);
+
+  const RsaPublicKey& pub() const { return pub_; }
+
+  /// m^e mod n for m in [0, n).
+  Result<BigInt> Encrypt(const BigInt& m) const;
+
+ private:
+  RsaPublicOps() = default;
+
+  RsaPublicKey pub_;
+  std::shared_ptr<const MontgomeryCtx> ctx_;
+};
+
+/// Inverse-permutation operations (Da), CRT-accelerated. YMPP performs
+/// Θ(n0) decryptions per comparison, so this is the hottest crypto path in
+/// the library.
+class RsaPrivateOps {
+ public:
+  static Result<RsaPrivateOps> Create(RsaKeyPair kp);
+
+  const RsaPublicKey& pub() const { return kp_.pub; }
+
+  /// c^d mod n for c in [0, n).
+  Result<BigInt> Decrypt(const BigInt& c) const;
+
+ private:
+  RsaPrivateOps() = default;
+
+  RsaKeyPair kp_;
+  std::shared_ptr<const MontgomeryCtx> ctx_p_, ctx_q_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CRYPTO_RSA_H_

@@ -1,0 +1,163 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace ppdbscan {
+
+namespace {
+
+/// Splits one CSV line on commas (no quoting — numeric data only).
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+bool ParseDouble(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<RawDataset> ParseCsvDataset(const std::string& text,
+                                   bool label_column) {
+  RawDataset dataset;
+  dataset.dims = 0;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  bool first_data_line = true;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = SplitLine(line);
+
+    // Header auto-detection: a first line with any non-numeric cell.
+    if (first_data_line) {
+      bool numeric = true;
+      double ignored;
+      for (const std::string& cell : cells) {
+        if (!ParseDouble(cell, &ignored)) {
+          numeric = false;
+          break;
+        }
+      }
+      if (!numeric) continue;  // header line; skip
+    }
+
+    size_t value_cells = cells.size() - (label_column ? 1 : 0);
+    if (value_cells < 1) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": no coordinate columns");
+    }
+    if (first_data_line) {
+      dataset.dims = value_cells;
+      first_data_line = false;
+    } else if (value_cells != dataset.dims) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(dataset.dims + (label_column ? 1 : 0)) +
+          " columns, got " + std::to_string(cells.size()));
+    }
+
+    std::vector<double> point(value_cells);
+    for (size_t i = 0; i < value_cells; ++i) {
+      if (!ParseDouble(cells[i], &point[i])) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": non-numeric cell '" + cells[i] +
+                                       "'");
+      }
+    }
+    dataset.points.push_back(std::move(point));
+    if (label_column) {
+      double label;
+      if (!ParseDouble(cells.back(), &label) ||
+          label != static_cast<int>(label)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": label column must be an integer");
+      }
+      dataset.true_labels.push_back(static_cast<int>(label));
+    }
+  }
+  if (dataset.points.empty()) {
+    return Status::InvalidArgument("no data rows in CSV input");
+  }
+  return dataset;
+}
+
+Result<RawDataset> LoadCsvDataset(const std::string& path,
+                                  bool label_column) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::Unavailable("cannot open '" + path +
+                               "': " + std::strerror(errno));
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseCsvDataset(content.str(), label_column);
+}
+
+std::string FormatCsvDataset(const RawDataset& dataset) {
+  std::ostringstream out;
+  const bool labels = dataset.true_labels.size() == dataset.points.size();
+  for (size_t d = 0; d < dataset.dims; ++d) {
+    if (d > 0) out << ',';
+    out << "x" << d;
+  }
+  if (labels) out << ",label";
+  out << '\n';
+  out.precision(17);
+  for (size_t i = 0; i < dataset.points.size(); ++i) {
+    for (size_t d = 0; d < dataset.dims; ++d) {
+      if (d > 0) out << ',';
+      out << dataset.points[i][d];
+    }
+    if (labels) out << ',' << dataset.true_labels[i];
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string FormatLabelsCsv(const Labels& labels) {
+  std::ostringstream out;
+  out << "index,label\n";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out << i << ',' << labels[i] << '\n';
+  }
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Unavailable("cannot create '" + path +
+                               "': " + std::strerror(errno));
+  }
+  file << content;
+  file.flush();
+  if (!file) {
+    return Status::Unavailable("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,44 @@
+#ifndef PPDBSCAN_DATA_CSV_H_
+#define PPDBSCAN_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/generators.h"
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+/// CSV interchange for datasets and clustering results, so real tables can
+/// be run through the protocols (tools/ppdbscan_cli) and results inspected
+/// with standard tooling.
+///
+/// Format: one record per line, numeric columns separated by commas.
+/// Optional header line (auto-detected: any non-numeric cell). An optional
+/// trailing "label" column can carry generator ground truth. Parsing is
+/// strict — ragged rows, empty numeric cells, or non-numeric data are
+/// kInvalidArgument with a line number in the message.
+
+/// Parses CSV text into a continuous-coordinate dataset. If
+/// `label_column` is true the last column is read into `true_labels`
+/// (integers; -1 = noise).
+Result<RawDataset> ParseCsvDataset(const std::string& text,
+                                   bool label_column = false);
+
+/// Reads a CSV file from disk via ParseCsvDataset.
+Result<RawDataset> LoadCsvDataset(const std::string& path,
+                                  bool label_column = false);
+
+/// Serializes points (and, when present, true labels) back to CSV with a
+/// header row. Round-trips with ParseCsvDataset.
+std::string FormatCsvDataset(const RawDataset& dataset);
+
+/// Writes "index,label" rows for a clustering result (kNoise as -1).
+std::string FormatLabelsCsv(const Labels& labels);
+
+/// Writes a string to a file (kUnavailable on I/O failure).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DATA_CSV_H_

@@ -1,0 +1,43 @@
+#include "data/fixed_point.h"
+
+#include <cmath>
+
+namespace ppdbscan {
+
+FixedPointEncoder::FixedPointEncoder(double scale) : scale_(scale) {
+  PPD_CHECK_MSG(scale > 0, "scale must be positive");
+}
+
+Result<int64_t> FixedPointEncoder::EncodeScalar(double v) const {
+  double scaled = std::round(v * scale_);
+  if (!(std::fabs(scaled) <=
+        static_cast<double>(Dataset::kMaxAbsCoordinate))) {
+    return Status::OutOfRange("scaled coordinate exceeds dataset bound");
+  }
+  return static_cast<int64_t>(scaled);
+}
+
+Result<Dataset> FixedPointEncoder::Encode(const RawDataset& raw) const {
+  Dataset out(raw.dims);
+  for (const std::vector<double>& p : raw.points) {
+    std::vector<int64_t> q(p.size());
+    for (size_t t = 0; t < p.size(); ++t) {
+      PPD_ASSIGN_OR_RETURN(q[t], EncodeScalar(p[t]));
+    }
+    PPD_RETURN_IF_ERROR(out.Add(std::move(q)));
+  }
+  return out;
+}
+
+Result<int64_t> FixedPointEncoder::EncodeEpsSquared(double eps) const {
+  if (eps < 0) return Status::InvalidArgument("eps must be non-negative");
+  PPD_ASSIGN_OR_RETURN(int64_t scaled, EncodeScalar(eps));
+  return scaled * scaled;
+}
+
+int64_t FixedPointEncoder::MaxDistanceSquared(size_t dims,
+                                              int64_t max_abs_coord) {
+  return static_cast<int64_t>(dims) * (2 * max_abs_coord) * (2 * max_abs_coord);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,46 @@
+#ifndef PPDBSCAN_DATA_FIXED_POINT_H_
+#define PPDBSCAN_DATA_FIXED_POINT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/generators.h"
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+/// Deterministic double → integer grid encoder. All parties must agree on
+/// the scale: protocol arithmetic (Paillier plaintexts, YMPP domains) runs
+/// on the integer images, and DBSCAN's output is invariant as long as every
+/// coordinate and Eps go through the same encoder.
+///
+/// A coarse scale (e.g. 8) keeps squared distances small, which is what
+/// the Θ(n0)-cost YMPP comparator needs; a fine scale (e.g. 10^6) makes
+/// quantization negligible for the blinded comparator. The encoder reports
+/// kOutOfRange when a scaled value leaves the Dataset coordinate bound.
+class FixedPointEncoder {
+ public:
+  explicit FixedPointEncoder(double scale);
+
+  double scale() const { return scale_; }
+
+  /// round(v * scale); kOutOfRange if it exceeds Dataset::kMaxAbsCoordinate.
+  Result<int64_t> EncodeScalar(double v) const;
+
+  /// Encodes every point; fails on the first out-of-range coordinate.
+  Result<Dataset> Encode(const RawDataset& raw) const;
+
+  /// Squared integer image of a radius: round(eps * scale)².
+  Result<int64_t> EncodeEpsSquared(double eps) const;
+
+  /// Upper bound on the squared distance between any two in-range points
+  /// of dimension `dims` — the magnitude bound the comparators need.
+  static int64_t MaxDistanceSquared(size_t dims, int64_t max_abs_coord);
+
+ private:
+  double scale_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DATA_FIXED_POINT_H_

@@ -1,0 +1,136 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+RawDataset MakeBlobs(SecureRng& rng, size_t num_clusters,
+                     size_t points_per_cluster, size_t dims, double stddev,
+                     double box) {
+  PPD_CHECK_MSG(dims >= 1, "dims must be >= 1");
+  RawDataset out;
+  out.dims = dims;
+  // Rejection-sample well-separated centers (give up separation, not
+  // progress, after too many rejections).
+  std::vector<std::vector<double>> centers;
+  const double min_sep = 4.0 * stddev;
+  while (centers.size() < num_clusters) {
+    std::vector<double> c(dims);
+    for (double& v : c) v = (rng.NextDouble() * 2.0 - 1.0) * box;
+    bool ok = true;
+    for (const std::vector<double>& other : centers) {
+      double d2 = 0;
+      for (size_t t = 0; t < dims; ++t) {
+        d2 += (c[t] - other[t]) * (c[t] - other[t]);
+      }
+      if (d2 < min_sep * min_sep) {
+        ok = false;
+        break;
+      }
+    }
+    static constexpr int kMaxTries = 1000;
+    static thread_local int tries = 0;
+    if (ok || ++tries > kMaxTries) {
+      centers.push_back(std::move(c));
+      tries = 0;
+    }
+  }
+  for (size_t k = 0; k < num_clusters; ++k) {
+    for (size_t i = 0; i < points_per_cluster; ++i) {
+      std::vector<double> p(dims);
+      for (size_t t = 0; t < dims; ++t) {
+        p[t] = centers[k][t] + rng.NextGaussian() * stddev;
+      }
+      out.points.push_back(std::move(p));
+      out.true_labels.push_back(static_cast<int>(k));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Evenly spaced position in [0, 1) for slot i of n, with ±1/4-slot jitter.
+/// Purely uniform angles leave Θ(log n / n) arc gaps that fragment a curve
+/// for any fixed Eps; curve-shaped generators are meant to produce one
+/// connected component per curve, so they jitter fixed slots instead.
+double JitteredSlot(SecureRng& rng, size_t i, size_t n) {
+  double jitter = (rng.NextDouble() - 0.5) * 0.5;
+  return (static_cast<double>(i) + 0.5 + jitter) / static_cast<double>(n);
+}
+
+}  // namespace
+
+RawDataset MakeTwoMoons(SecureRng& rng, size_t points_per_moon,
+                        double noise_stddev) {
+  RawDataset out;
+  out.dims = 2;
+  for (size_t i = 0; i < points_per_moon; ++i) {
+    double theta = M_PI * JitteredSlot(rng, i, points_per_moon);
+    out.points.push_back({std::cos(theta) + rng.NextGaussian() * noise_stddev,
+                          std::sin(theta) + rng.NextGaussian() * noise_stddev});
+    out.true_labels.push_back(0);
+  }
+  for (size_t i = 0; i < points_per_moon; ++i) {
+    double theta = M_PI * JitteredSlot(rng, i, points_per_moon);
+    out.points.push_back(
+        {1.0 - std::cos(theta) + rng.NextGaussian() * noise_stddev,
+         0.5 - std::sin(theta) + rng.NextGaussian() * noise_stddev});
+    out.true_labels.push_back(1);
+  }
+  return out;
+}
+
+RawDataset MakeRings(SecureRng& rng, size_t points_per_ring,
+                     const std::vector<double>& radii, double noise_stddev) {
+  RawDataset out;
+  out.dims = 2;
+  for (size_t k = 0; k < radii.size(); ++k) {
+    for (size_t i = 0; i < points_per_ring; ++i) {
+      double theta = 2.0 * M_PI * JitteredSlot(rng, i, points_per_ring);
+      double r = radii[k] + rng.NextGaussian() * noise_stddev;
+      out.points.push_back({r * std::cos(theta), r * std::sin(theta)});
+      out.true_labels.push_back(static_cast<int>(k));
+    }
+  }
+  return out;
+}
+
+RawDataset MakeDumbbell(SecureRng& rng, size_t points_per_blob,
+                        size_t bridge_points, double separation,
+                        double stddev) {
+  RawDataset out;
+  out.dims = 2;
+  const double half = separation / 2.0;
+  for (int side = 0; side < 2; ++side) {
+    double cx = side == 0 ? -half : half;
+    for (size_t i = 0; i < points_per_blob; ++i) {
+      out.points.push_back({cx + rng.NextGaussian() * stddev,
+                            rng.NextGaussian() * stddev});
+      out.true_labels.push_back(0);  // one connected component
+    }
+  }
+  for (size_t i = 0; i < bridge_points; ++i) {
+    // Evenly spaced along the bar, with slight jitter.
+    double frac = (static_cast<double>(i) + 0.5) /
+                  static_cast<double>(bridge_points);
+    out.points.push_back({-half + frac * separation,
+                          rng.NextGaussian() * stddev * 0.2});
+    out.true_labels.push_back(0);
+  }
+  return out;
+}
+
+void AddUniformNoise(RawDataset& dataset, SecureRng& rng, size_t count,
+                     double box) {
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> p(dataset.dims);
+    for (double& v : p) v = (rng.NextDouble() * 2.0 - 1.0) * box;
+    dataset.points.push_back(std::move(p));
+    dataset.true_labels.push_back(-1);
+  }
+}
+
+}  // namespace ppdbscan

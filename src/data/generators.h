@@ -1,0 +1,53 @@
+#ifndef PPDBSCAN_DATA_GENERATORS_H_
+#define PPDBSCAN_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ppdbscan {
+
+/// A dataset in continuous coordinates, before fixed-point encoding, with
+/// generator-assigned ground-truth component labels (used only for
+/// reporting — DBSCAN itself never sees them).
+struct RawDataset {
+  size_t dims = 2;
+  std::vector<std::vector<double>> points;
+  std::vector<int> true_labels;  // -1 for generated noise
+
+  size_t size() const { return points.size(); }
+};
+
+/// Isotropic Gaussian blobs: `num_clusters` centers uniform in
+/// [-box, box]^dims with at least 4*stddev separation, `points_per_cluster`
+/// samples each. The workload where DBSCAN and k-means agree.
+RawDataset MakeBlobs(SecureRng& rng, size_t num_clusters,
+                     size_t points_per_cluster, size_t dims, double stddev,
+                     double box);
+
+/// Two interleaving half-moons in 2-D — the arbitrary-shape workload the
+/// paper's introduction motivates (DBSCAN separates them, k-means cannot).
+RawDataset MakeTwoMoons(SecureRng& rng, size_t points_per_moon,
+                        double noise_stddev);
+
+/// Concentric rings in 2-D — a cluster completely surrounded by another,
+/// the second motivating shape from §1.
+RawDataset MakeRings(SecureRng& rng, size_t points_per_ring,
+                     const std::vector<double>& radii, double noise_stddev);
+
+/// A dumbbell: two dense blobs joined by a thin bridge of points. The
+/// bridge is the workload that distinguishes the paper's horizontal
+/// protocol from centralized DBSCAN when bridge points belong to the other
+/// party (experiment E4/E7).
+RawDataset MakeDumbbell(SecureRng& rng, size_t points_per_blob,
+                        size_t bridge_points, double separation,
+                        double stddev);
+
+/// Appends `count` uniform noise points over [-box, box]^dims with label -1.
+void AddUniformNoise(RawDataset& dataset, SecureRng& rng, size_t count,
+                     double box);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DATA_GENERATORS_H_

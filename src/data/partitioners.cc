@@ -1,0 +1,79 @@
+#include "data/partitioners.h"
+
+namespace ppdbscan {
+
+Result<HorizontalPartition> PartitionHorizontal(const Dataset& dataset,
+                                                SecureRng& rng,
+                                                double alice_fraction) {
+  if (alice_fraction < 0.0 || alice_fraction > 1.0) {
+    return Status::InvalidArgument("alice_fraction must be in [0, 1]");
+  }
+  HorizontalPartition out{Dataset(dataset.dims()), Dataset(dataset.dims()),
+                          {}, {}};
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    bool to_alice = rng.NextDouble() < alice_fraction;
+    // Force both parties non-empty on the last records if needed.
+    if (i + 1 == dataset.size() && out.alice_ids.empty()) to_alice = true;
+    if (i + 1 == dataset.size() && out.bob_ids.empty() &&
+        !out.alice_ids.empty()) {
+      to_alice = false;
+    }
+    if (to_alice) {
+      PPD_RETURN_IF_ERROR(out.alice.Add(dataset.point(i)));
+      out.alice_ids.push_back(i);
+    } else {
+      PPD_RETURN_IF_ERROR(out.bob.Add(dataset.point(i)));
+      out.bob_ids.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<VerticalPartition> PartitionVertical(const Dataset& dataset,
+                                            size_t split_dim) {
+  if (split_dim == 0 || split_dim >= dataset.dims()) {
+    return Status::InvalidArgument(
+        "split_dim must leave both parties at least one attribute");
+  }
+  VerticalPartition out{Dataset(split_dim), Dataset(dataset.dims() - split_dim),
+                        split_dim};
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const std::vector<int64_t>& p = dataset.point(i);
+    PPD_RETURN_IF_ERROR(out.alice.Add(
+        std::vector<int64_t>(p.begin(), p.begin() + split_dim)));
+    PPD_RETURN_IF_ERROR(
+        out.bob.Add(std::vector<int64_t>(p.begin() + split_dim, p.end())));
+  }
+  return out;
+}
+
+Result<ArbitraryPartition> PartitionArbitrary(const Dataset& dataset,
+                                              SecureRng& rng,
+                                              double alice_cell_fraction) {
+  if (alice_cell_fraction < 0.0 || alice_cell_fraction > 1.0) {
+    return Status::InvalidArgument("alice_cell_fraction must be in [0, 1]");
+  }
+  ArbitraryPartition out;
+  out.alice.dims = out.bob.dims = dataset.dims();
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const std::vector<int64_t>& p = dataset.point(i);
+    std::vector<int64_t> av(p.size(), 0), bv(p.size(), 0);
+    std::vector<uint8_t> ao(p.size(), 0), bo(p.size(), 0);
+    for (size_t t = 0; t < p.size(); ++t) {
+      if (rng.NextDouble() < alice_cell_fraction) {
+        av[t] = p[t];
+        ao[t] = 1;
+      } else {
+        bv[t] = p[t];
+        bo[t] = 1;
+      }
+    }
+    out.alice.values.push_back(std::move(av));
+    out.alice.owned.push_back(std::move(ao));
+    out.bob.values.push_back(std::move(bv));
+    out.bob.owned.push_back(std::move(bo));
+  }
+  return out;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,66 @@
+#ifndef PPDBSCAN_DATA_PARTITIONERS_H_
+#define PPDBSCAN_DATA_PARTITIONERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+/// Horizontally partitioned data (paper Figure 2): each party owns a subset
+/// of complete records. `alice_ids`/`bob_ids` map party-local indices back
+/// to positions in the original dataset so experiments can compare against
+/// the centralized clustering.
+struct HorizontalPartition {
+  Dataset alice;
+  Dataset bob;
+  std::vector<size_t> alice_ids;
+  std::vector<size_t> bob_ids;
+};
+
+/// Random horizontal split assigning each record to Alice with probability
+/// `alice_fraction` (at least one record is forced to each party when the
+/// input has >= 2 records).
+Result<HorizontalPartition> PartitionHorizontal(const Dataset& dataset,
+                                                SecureRng& rng,
+                                                double alice_fraction);
+
+/// Vertically partitioned data (paper Figure 3): Alice owns attributes
+/// [0, split_dim), Bob owns [split_dim, dims). Row order is shared and
+/// identical to the original dataset.
+struct VerticalPartition {
+  Dataset alice;
+  Dataset bob;
+  size_t split_dim = 0;
+};
+
+Result<VerticalPartition> PartitionVertical(const Dataset& dataset,
+                                            size_t split_dim);
+
+/// One party's view of arbitrarily partitioned data (paper Figure 4): all
+/// records, with only the owned attribute cells populated. The ownership
+/// mask is public (both parties know who holds which cell), matching §4.4's
+/// model; only the values are private.
+struct ArbitraryPartyView {
+  size_t dims = 0;
+  std::vector<std::vector<int64_t>> values;  // unowned cells are zero
+  std::vector<std::vector<uint8_t>> owned;   // 1 where this party owns
+};
+
+struct ArbitraryPartition {
+  ArbitraryPartyView alice;
+  ArbitraryPartyView bob;
+};
+
+/// Random cell-level split assigning each attribute cell to Alice with
+/// probability `alice_cell_fraction`.
+Result<ArbitraryPartition> PartitionArbitrary(const Dataset& dataset,
+                                              SecureRng& rng,
+                                              double alice_cell_fraction);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DATA_PARTITIONERS_H_

@@ -1,0 +1,53 @@
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+size_t NumClusters(const Labels& labels) {
+  int32_t max_id = -1;
+  for (int32_t label : labels) max_id = std::max(max_id, label);
+  return static_cast<size_t>(max_id + 1);
+}
+
+Dataset::Dataset(size_t dims) : dims_(dims) {
+  PPD_CHECK_MSG(dims >= 1 && dims <= kMaxDimensions,
+                "dimension out of supported range");
+}
+
+Status Dataset::Add(std::vector<int64_t> coords) {
+  if (coords.size() != dims_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  for (int64_t c : coords) {
+    if (c < -kMaxAbsCoordinate || c > kMaxAbsCoordinate) {
+      return Status::InvalidArgument(
+          "coordinate magnitude exceeds kMaxAbsCoordinate");
+    }
+  }
+  points_.push_back(std::move(coords));
+  return Status::Ok();
+}
+
+int64_t Dataset::DistanceSquared(size_t i, size_t j) const {
+  return DistanceSquaredTo(i, points_[j]);
+}
+
+int64_t Dataset::DistanceSquaredTo(size_t i,
+                                   const std::vector<int64_t>& coords) const {
+  PPD_CHECK(coords.size() == dims_);
+  const std::vector<int64_t>& p = points_[i];
+  int64_t sum = 0;
+  for (size_t t = 0; t < dims_; ++t) {
+    int64_t d = p[t] - coords[t];
+    sum += d * d;
+  }
+  return sum;
+}
+
+int64_t Dataset::SquaredNorm(size_t i) const {
+  const std::vector<int64_t>& p = points_[i];
+  int64_t sum = 0;
+  for (int64_t c : p) sum += c * c;
+  return sum;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,65 @@
+#ifndef PPDBSCAN_DBSCAN_DATASET_H_
+#define PPDBSCAN_DBSCAN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+/// Cluster label values. Cluster ids are non-negative; the two sentinels
+/// mirror the UNCLASSIFIED/NOISE states of the paper's Algorithms 3-8.
+inline constexpr int32_t kUnclassified = -2;
+inline constexpr int32_t kNoise = -1;
+
+/// Per-point cluster assignment.
+using Labels = std::vector<int32_t>;
+
+/// Number of clusters referenced by `labels` (max id + 1).
+size_t NumClusters(const Labels& labels);
+
+/// Fixed-dimension collection of integer-coordinate points. All protocol
+/// arithmetic runs on integers (see data/fixed_point.h for the double →
+/// integer encoder); coordinates are bounded so that squared distances fit
+/// in int64 with headroom: |coord| <= kMaxAbsCoordinate and dims <=
+/// kMaxDimensions are enforced on Add.
+class Dataset {
+ public:
+  /// Coordinates admitted by Add. 2^20 leaves squared-distance headroom for
+  /// up to 2^21 dimensions in int64 arithmetic.
+  static constexpr int64_t kMaxAbsCoordinate = int64_t{1} << 20;
+  static constexpr size_t kMaxDimensions = 1 << 16;
+
+  /// Creates an empty dataset of `dims`-dimensional points (dims >= 1).
+  explicit Dataset(size_t dims);
+
+  size_t size() const { return points_.size(); }
+  size_t dims() const { return dims_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Appends a point; kInvalidArgument on dimension mismatch or
+  /// out-of-range coordinates.
+  Status Add(std::vector<int64_t> coords);
+
+  const std::vector<int64_t>& point(size_t i) const { return points_[i]; }
+
+  /// Exact squared Euclidean distance between points i and j.
+  int64_t DistanceSquared(size_t i, size_t j) const;
+
+  /// Squared distance between point i and an external coordinate vector of
+  /// matching dimension.
+  int64_t DistanceSquaredTo(size_t i, const std::vector<int64_t>& coords) const;
+
+  /// Sum of squared coordinates of point i (the ΣA_t² term the distance
+  /// protocols need).
+  int64_t SquaredNorm(size_t i) const;
+
+ private:
+  size_t dims_;
+  std::vector<std::vector<int64_t>> points_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DBSCAN_DATASET_H_

@@ -1,0 +1,59 @@
+#include "dbscan/dbscan.h"
+
+#include <deque>
+
+namespace ppdbscan {
+
+std::vector<size_t> LinearRegionQuerier::Query(size_t idx,
+                                               int64_t eps_squared) const {
+  std::vector<size_t> out;
+  for (size_t j = 0; j < dataset_.size(); ++j) {
+    if (dataset_.DistanceSquared(idx, j) <= eps_squared) out.push_back(j);
+  }
+  return out;
+}
+
+DbscanResult RunDbscan(const Dataset& dataset, const DbscanParams& params,
+                       const RegionQuerier* querier) {
+  LinearRegionQuerier linear(dataset);
+  const RegionQuerier& rq = querier != nullptr ? *querier : linear;
+
+  DbscanResult result;
+  result.labels.assign(dataset.size(), kUnclassified);
+  result.is_core.assign(dataset.size(), false);
+  int32_t cluster_id = 0;
+
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (result.labels[i] != kUnclassified) continue;
+    // ExpandCluster (Algorithm 6 structure).
+    std::vector<size_t> seeds = rq.Query(i, params.eps_squared);
+    if (seeds.size() < params.min_pts) {
+      result.labels[i] = kNoise;
+      continue;
+    }
+    result.is_core[i] = true;
+    std::deque<size_t> queue;
+    for (size_t s : seeds) {
+      result.labels[s] = cluster_id;
+      if (s != i) queue.push_back(s);
+    }
+    while (!queue.empty()) {
+      size_t current = queue.front();
+      queue.pop_front();
+      std::vector<size_t> neighbourhood = rq.Query(current, params.eps_squared);
+      if (neighbourhood.size() < params.min_pts) continue;
+      result.is_core[current] = true;
+      for (size_t q : neighbourhood) {
+        if (result.labels[q] == kUnclassified || result.labels[q] == kNoise) {
+          if (result.labels[q] == kUnclassified) queue.push_back(q);
+          result.labels[q] = cluster_id;
+        }
+      }
+    }
+    ++cluster_id;
+  }
+  result.num_clusters = static_cast<size_t>(cluster_id);
+  return result;
+}
+
+}  // namespace ppdbscan

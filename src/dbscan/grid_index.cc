@@ -1,0 +1,95 @@
+#include "dbscan/grid_index.h"
+
+#include <cmath>
+
+namespace ppdbscan {
+
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+GridRegionQuerier::GridRegionQuerier(const Dataset& dataset,
+                                     int64_t eps_squared)
+    : dataset_(dataset), eps_squared_(eps_squared) {
+  PPD_CHECK_MSG(eps_squared >= 0, "eps_squared must be non-negative");
+  cell_edge_ =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::ceil(std::sqrt(
+                                   static_cast<double>(eps_squared)))));
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    cells_[CellKey(CellOf(i))].push_back(i);
+  }
+}
+
+std::vector<int64_t> GridRegionQuerier::CellOf(size_t idx) const {
+  const std::vector<int64_t>& p = dataset_.point(idx);
+  std::vector<int64_t> cell(p.size());
+  for (size_t t = 0; t < p.size(); ++t) cell[t] = FloorDiv(p[t], cell_edge_);
+  return cell;
+}
+
+uint64_t GridRegionQuerier::CellKey(const std::vector<int64_t>& cell) const {
+  // FNV-1a over the cell coordinates.
+  uint64_t h = 1469598103934665603ULL;
+  for (int64_t c : cell) {
+    uint64_t v = static_cast<uint64_t>(c);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::vector<size_t> GridRegionQuerier::Query(size_t idx,
+                                             int64_t eps_squared) const {
+  PPD_CHECK_MSG(eps_squared == eps_squared_,
+                "grid index built for a different eps");
+  const size_t dims = dataset_.dims();
+  std::vector<int64_t> base = CellOf(idx);
+  std::vector<size_t> out;
+  // Enumerate the 3^d neighbouring cells with an odometer over offsets
+  // in {-1, 0, +1}^d. Distinct cells can collide onto one hash bucket, so
+  // remember which buckets were already scanned to avoid duplicates.
+  std::vector<uint64_t> scanned;
+  std::vector<int> offset(dims, -1);
+  std::vector<int64_t> cell(dims);
+  while (true) {
+    for (size_t t = 0; t < dims; ++t) cell[t] = base[t] + offset[t];
+    uint64_t key = CellKey(cell);
+    bool seen = false;
+    for (uint64_t k : scanned) {
+      if (k == key) {
+        seen = true;
+        break;
+      }
+    }
+    auto it = seen ? cells_.end() : cells_.find(key);
+    if (!seen) scanned.push_back(key);
+    if (it != cells_.end()) {
+      for (size_t candidate : it->second) {
+        // Hash collisions across distinct cells are possible; the exact
+        // distance filter below also screens those out.
+        if (dataset_.DistanceSquared(idx, candidate) <= eps_squared) {
+          out.push_back(candidate);
+        }
+      }
+    }
+    size_t t = 0;
+    while (t < dims && offset[t] == 1) {
+      offset[t] = -1;
+      ++t;
+    }
+    if (t == dims) break;
+    ++offset[t];
+  }
+  return out;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,42 @@
+#ifndef PPDBSCAN_DBSCAN_GRID_INDEX_H_
+#define PPDBSCAN_DBSCAN_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dbscan/dbscan.h"
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+/// Uniform-grid spatial index with cell edge ceil(sqrt(eps_squared)):
+/// an Eps-ball around any point is covered by the 3^d cells surrounding the
+/// point's cell, so Query inspects only those cells and filters by exact
+/// distance. Build is O(n); Query is O(3^d · points per cell) — the classic
+/// R*-tree role in Ester et al., specialized to integer grids (bench M5
+/// quantifies the speedup over the linear scan).
+class GridRegionQuerier : public RegionQuerier {
+ public:
+  /// Builds the index for a fixed radius; `eps_squared` must match the
+  /// value later passed to Query.
+  GridRegionQuerier(const Dataset& dataset, int64_t eps_squared);
+
+  std::vector<size_t> Query(size_t idx, int64_t eps_squared) const override;
+
+  /// Number of non-empty grid cells (exposed for tests).
+  size_t CellCount() const { return cells_.size(); }
+
+ private:
+  uint64_t CellKey(const std::vector<int64_t>& cell) const;
+  std::vector<int64_t> CellOf(size_t idx) const;
+
+  const Dataset& dataset_;
+  int64_t eps_squared_;
+  int64_t cell_edge_;
+  std::unordered_map<uint64_t, std::vector<size_t>> cells_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DBSCAN_GRID_INDEX_H_

@@ -1,0 +1,122 @@
+#include "dbscan/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ppdbscan {
+
+namespace {
+
+double SquaredDistanceToCentroid(const std::vector<int64_t>& point,
+                                 const std::vector<double>& centroid) {
+  double sum = 0;
+  for (size_t d = 0; d < point.size(); ++d) {
+    double diff = static_cast<double>(point[d]) - centroid[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid
+/// sampled proportionally to the squared distance from the nearest chosen
+/// one.
+std::vector<std::vector<double>> SeedCentroids(const Dataset& dataset,
+                                               size_t k, SecureRng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  size_t first = rng.UniformU64(dataset.size());
+  centroids.emplace_back(dataset.point(first).begin(),
+                         dataset.point(first).end());
+  std::vector<double> dist2(dataset.size());
+  while (centroids.size() < k) {
+    double total = 0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, SquaredDistanceToCentroid(dataset.point(i), c));
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    size_t chosen = 0;
+    if (total > 0) {
+      double target = rng.NextDouble() * total;
+      double acc = 0;
+      for (size_t i = 0; i < dataset.size(); ++i) {
+        acc += dist2[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformU64(dataset.size());  // all points coincide
+    }
+    centroids.emplace_back(dataset.point(chosen).begin(),
+                           dataset.point(chosen).end());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KmeansResult RunKmeans(const Dataset& dataset, const KmeansParams& params,
+                       SecureRng& rng) {
+  KmeansResult result;
+  if (dataset.empty() || params.k == 0) return result;
+  const size_t k = std::min(params.k, dataset.size());
+  result.centroids = SeedCentroids(dataset, k, rng);
+  result.labels.assign(dataset.size(), 0);
+
+  for (size_t iter = 0; iter < params.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredDistanceToCentroid(dataset.point(i),
+                                             result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (result.labels[i] != best_c) {
+        result.labels[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step. Empty clusters keep their previous centroid (a
+    // well-defined, standard choice).
+    std::vector<std::vector<double>> sums(
+        k, std::vector<double>(dataset.dims(), 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      size_t c = static_cast<size_t>(result.labels[i]);
+      ++counts[c];
+      for (size_t d = 0; d < dataset.dims(); ++d) {
+        sums[c][d] += static_cast<double>(dataset.point(i)[d]);
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t d = 0; d < dataset.dims(); ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    result.inertia += SquaredDistanceToCentroid(
+        dataset.point(i),
+        result.centroids[static_cast<size_t>(result.labels[i])]);
+  }
+  return result;
+}
+
+}  // namespace ppdbscan

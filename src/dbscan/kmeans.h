@@ -1,0 +1,39 @@
+#ifndef PPDBSCAN_DBSCAN_KMEANS_H_
+#define PPDBSCAN_DBSCAN_KMEANS_H_
+
+#include "common/random.h"
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+/// Lloyd's k-means — the partitioning baseline the paper positions DBSCAN
+/// against (§1/§2: DBSCAN "is better at finding arbitrarily shaped
+/// clusters and can even find a cluster completely surrounded by a
+/// different cluster", needs no a-priori k, and has a notion of noise).
+/// Implemented so the E4 accuracy tables can QUANTIFY that claim on the
+/// moons/rings workloads instead of asserting it.
+///
+/// k-means++ seeding, integer-coordinate inputs with double centroids,
+/// runs to assignment fixpoint or `max_iterations`. Every point is
+/// assigned (k-means has no noise concept — itself part of the paper's
+/// argument).
+struct KmeansParams {
+  size_t k = 2;
+  size_t max_iterations = 100;
+};
+
+struct KmeansResult {
+  Labels labels;                           // cluster id per point (>= 0)
+  std::vector<std::vector<double>> centroids;
+  size_t iterations = 0;                   // iterations until convergence
+  double inertia = 0;                      // sum of squared distances
+};
+
+/// Runs k-means with k-means++ initialization. `rng` drives seeding only;
+/// empty datasets yield an empty result; k is clamped to the point count.
+KmeansResult RunKmeans(const Dataset& dataset, const KmeansParams& params,
+                       SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_DBSCAN_KMEANS_H_

@@ -1,0 +1,34 @@
+#include "eval/cost_model.h"
+
+namespace ppdbscan {
+
+LinkModel DatacenterLink() {
+  return LinkModel{.name = "datacenter 10GbE",
+                   .one_way_latency_s = 50e-6,
+                   .bandwidth_bytes_per_s = 1.25e9};
+}
+
+LinkModel MetroWanLink() {
+  return LinkModel{.name = "metro WAN 100Mbit",
+                   .one_way_latency_s = 10e-3,
+                   .bandwidth_bytes_per_s = 12.5e6};
+}
+
+LinkModel WideWanLink() {
+  return LinkModel{.name = "wide WAN 20Mbit",
+                   .one_way_latency_s = 80e-3,
+                   .bandwidth_bytes_per_s = 2.5e6};
+}
+
+double ProjectedSeconds(const ChannelStats& stats, const LinkModel& link) {
+  double latency_term =
+      static_cast<double>(stats.rounds) * link.one_way_latency_s;
+  double bandwidth_term =
+      link.bandwidth_bytes_per_s > 0
+          ? static_cast<double>(stats.total_bytes()) /
+                link.bandwidth_bytes_per_s
+          : 0.0;
+  return latency_term + bandwidth_term;
+}
+
+}  // namespace ppdbscan

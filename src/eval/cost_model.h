@@ -1,0 +1,41 @@
+#ifndef PPDBSCAN_EVAL_COST_MODEL_H_
+#define PPDBSCAN_EVAL_COST_MODEL_H_
+
+#include <string>
+
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+/// Analytical link model for projecting a protocol run's wall-clock
+/// communication time from the exact transport counters (ChannelStats).
+/// The in-process MemoryChannel measures bytes and rounds exactly but has
+/// no propagation delay, so deployment cost on a real link is
+///
+///     time = rounds · latency  +  total_bytes / bandwidth
+///
+/// — the standard α–β model with the round count (direction switches) as
+/// the synchronization term. This is what makes the paper's motivating
+/// observation quantitative: Yao-style generic protocols lose on the α
+/// term (rounds) and the β term (bits) simultaneously, which the E2/E3
+/// projection columns show per link profile.
+struct LinkModel {
+  std::string name;
+  double one_way_latency_s = 0.0;
+  double bandwidth_bytes_per_s = 0.0;
+};
+
+/// 10 GbE datacenter link, 50 µs one-way.
+LinkModel DatacenterLink();
+/// 100 Mbit/s metro WAN, 10 ms one-way (two hospitals in one region).
+LinkModel MetroWanLink();
+/// 20 Mbit/s intercontinental link, 80 ms one-way.
+LinkModel WideWanLink();
+
+/// Projected communication seconds for one endpoint's counters on `link`.
+/// Computation time is not included (it is measured, not modelled).
+double ProjectedSeconds(const ChannelStats& stats, const LinkModel& link);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_EVAL_COST_MODEL_H_

@@ -1,0 +1,54 @@
+#include "eval/leakage.h"
+
+#include <cmath>
+
+namespace ppdbscan {
+
+void DisclosureLog::Record(const std::string& category, int64_t value) {
+  entries_[category].push_back(value);
+}
+
+const std::vector<int64_t>& DisclosureLog::values(
+    const std::string& category) const {
+  static const std::vector<int64_t>& empty = *new std::vector<int64_t>();
+  auto it = entries_.find(category);
+  return it == entries_.end() ? empty : it->second;
+}
+
+uint64_t DisclosureLog::Count(const std::string& category) const {
+  return values(category).size();
+}
+
+uint64_t DisclosureLog::DistinctValues(const std::string& category) const {
+  std::map<int64_t, uint64_t> histogram;
+  for (int64_t v : values(category)) histogram[v] += 1;
+  return histogram.size();
+}
+
+double DisclosureLog::EntropyBits(const std::string& category) const {
+  const std::vector<int64_t>& vals = values(category);
+  if (vals.empty()) return 0.0;
+  std::map<int64_t, uint64_t> histogram;
+  for (int64_t v : vals) histogram[v] += 1;
+  double entropy = 0.0;
+  for (const auto& [value, count] : histogram) {
+    (void)value;
+    double p = static_cast<double>(count) / static_cast<double>(vals.size());
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+std::vector<std::string> DisclosureLog::Categories() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [category, vals] : entries_) {
+    (void)vals;
+    out.push_back(category);
+  }
+  return out;
+}
+
+void DisclosureLog::Clear() { entries_.clear(); }
+
+}  // namespace ppdbscan

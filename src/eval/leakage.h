@@ -1,0 +1,41 @@
+#ifndef PPDBSCAN_EVAL_LEAKAGE_H_
+#define PPDBSCAN_EVAL_LEAKAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppdbscan {
+
+/// Disclosure accounting for the privacy experiments (E5). Protocol drivers
+/// record every value a party learns beyond its prescribed output — e.g.
+/// the basic horizontal protocol records the peer neighbour COUNT revealed
+/// per core test (Theorem 9), while the enhanced protocol records only a
+/// BIT (Theorem 11). The leakage tables then compare category counts,
+/// distinct-value counts, and empirical entropy.
+class DisclosureLog {
+ public:
+  void Record(const std::string& category, int64_t value);
+
+  /// All values recorded under `category` (empty if none).
+  const std::vector<int64_t>& values(const std::string& category) const;
+
+  /// Number of disclosure events in `category`.
+  uint64_t Count(const std::string& category) const;
+  /// Number of distinct values seen in `category`.
+  uint64_t DistinctValues(const std::string& category) const;
+  /// Shannon entropy (bits) of the empirical value distribution of
+  /// `category`; 0 for empty or single-valued categories.
+  double EntropyBits(const std::string& category) const;
+
+  std::vector<std::string> Categories() const;
+  void Clear();
+
+ private:
+  std::map<std::string, std::vector<int64_t>> entries_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_EVAL_LEAKAGE_H_

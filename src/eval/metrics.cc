@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+double AdjustedRandIndex(const Labels& a, const Labels& b) {
+  PPD_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                "labelings must be non-empty and equal length");
+  // Contingency table over (a-class, b-class).
+  std::map<int32_t, std::map<int32_t, uint64_t>> table;
+  std::map<int32_t, uint64_t> a_sums, b_sums;
+  for (size_t i = 0; i < a.size(); ++i) {
+    table[a[i]][b[i]] += 1;
+    a_sums[a[i]] += 1;
+    b_sums[b[i]] += 1;
+  }
+  auto choose2 = [](uint64_t x) {
+    return static_cast<double>(x) * static_cast<double>(x - 1) / 2.0;
+  };
+  double sum_cells = 0;
+  for (const auto& [ai, row] : table) {
+    (void)ai;
+    for (const auto& [bi, count] : row) {
+      (void)bi;
+      sum_cells += choose2(count);
+    }
+  }
+  double sum_a = 0, sum_b = 0;
+  for (const auto& [ai, count] : a_sums) {
+    (void)ai;
+    sum_a += choose2(count);
+  }
+  for (const auto& [bi, count] : b_sums) {
+    (void)bi;
+    sum_b += choose2(count);
+  }
+  double total = choose2(a.size());
+  double expected = sum_a * sum_b / total;
+  double max_index = (sum_a + sum_b) / 2.0;
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+bool SameClustering(const Labels& a, const Labels& b) {
+  if (a.size() != b.size()) return false;
+  std::map<int32_t, int32_t> fwd, bwd;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == kNoise) != (b[i] == kNoise)) return false;
+    if ((a[i] == kUnclassified) != (b[i] == kUnclassified)) return false;
+    if (a[i] < 0) continue;
+    auto [fit, finserted] = fwd.emplace(a[i], b[i]);
+    if (!finserted && fit->second != b[i]) return false;
+    auto [bit, binserted] = bwd.emplace(b[i], a[i]);
+    if (!binserted && bit->second != a[i]) return false;
+  }
+  return true;
+}
+
+double NoiseAgreement(const Labels& a, const Labels& b) {
+  PPD_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                "labelings must be non-empty and equal length");
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == kNoise) == (b[i] == kNoise)) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace ppdbscan

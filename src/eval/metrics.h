@@ -1,0 +1,25 @@
+#ifndef PPDBSCAN_EVAL_METRICS_H_
+#define PPDBSCAN_EVAL_METRICS_H_
+
+#include "dbscan/dataset.h"
+
+namespace ppdbscan {
+
+/// Adjusted Rand Index between two labelings of the same points. Noise
+/// (kNoise) is treated as one additional class. 1.0 means identical
+/// partitions; 0.0 is chance-level agreement. Labelings must be non-empty
+/// and of equal length.
+double AdjustedRandIndex(const Labels& a, const Labels& b);
+
+/// True iff the two labelings are identical up to a bijective renaming of
+/// cluster ids, with noise mapping exactly to noise. This is the exactness
+/// criterion for the vertical protocol (Theorem 10 setting).
+bool SameClustering(const Labels& a, const Labels& b);
+
+/// Fraction of points on which both labelings agree about noise-vs-cluster
+/// membership.
+double NoiseAgreement(const Labels& a, const Labels& b);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_EVAL_METRICS_H_

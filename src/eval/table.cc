@@ -1,0 +1,71 @@
+#include "eval/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PPD_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  PPD_CHECK_MSG(cells.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::ToMarkdown() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << " " << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string ResultTable::ToCsv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string ResultTable::Fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string ResultTable::Fmt(uint64_t value) { return std::to_string(value); }
+std::string ResultTable::Fmt(int64_t value) { return std::to_string(value); }
+
+}  // namespace ppdbscan

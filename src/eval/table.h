@@ -1,0 +1,35 @@
+#ifndef PPDBSCAN_EVAL_TABLE_H_
+#define PPDBSCAN_EVAL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ppdbscan {
+
+/// Minimal result-table builder used by every benchmark harness to print
+/// the paper-style `parameter -> measurement` rows (Markdown by default,
+/// CSV with --csv).
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  std::string ToMarkdown() const;
+  std::string ToCsv() const;
+
+  /// Fixed-precision double formatting.
+  static std::string Fmt(double value, int precision = 3);
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_EVAL_TABLE_H_

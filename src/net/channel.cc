@@ -1,0 +1,31 @@
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+Status Channel::Send(const std::vector<uint8_t>& frame) {
+  Status s = SendImpl(frame);
+  if (s.ok()) {
+    stats_.bytes_sent += frame.size();
+    stats_.frames_sent += 1;
+    if (last_dir_ != LastDir::kSend) {
+      stats_.rounds += 1;
+      last_dir_ = LastDir::kSend;
+    }
+  }
+  return s;
+}
+
+Result<std::vector<uint8_t>> Channel::Recv() {
+  Result<std::vector<uint8_t>> frame = RecvImpl();
+  if (frame.ok()) {
+    stats_.bytes_received += frame->size();
+    stats_.frames_received += 1;
+    if (last_dir_ != LastDir::kRecv) {
+      stats_.rounds += 1;
+      last_dir_ = LastDir::kRecv;
+    }
+  }
+  return frame;
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,59 @@
+#ifndef PPDBSCAN_NET_CHANNEL_H_
+#define PPDBSCAN_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+/// Exact traffic accounting for one endpoint of a two-party channel. The
+/// communication-complexity experiments (E2/E3/E5 in DESIGN.md) read these
+/// counters; `rounds` counts direction switches (a send following a receive
+/// or vice versa), the standard round measure for interactive protocols.
+struct ChannelStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t rounds = 0;
+
+  uint64_t total_bytes() const { return bytes_sent + bytes_received; }
+};
+
+/// Reliable, ordered, blocking frame transport between two parties. One
+/// instance is one endpoint. Implementations: MemoryChannel (in-process,
+/// two threads) and SocketChannel (TCP, two processes).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends one frame. Fails with kUnavailable once the peer has closed.
+  Status Send(const std::vector<uint8_t>& frame);
+
+  /// Blocks until a frame arrives. Fails with kUnavailable if the channel
+  /// is closed and drained.
+  Result<std::vector<uint8_t>> Recv();
+
+  /// Signals end-of-stream to the peer. Idempotent.
+  virtual void Close() = 0;
+
+  const ChannelStats& stats() const { return stats_; }
+  /// Zeroes the traffic counters (used between benchmark phases).
+  void ResetStats() { stats_ = ChannelStats(); }
+
+ protected:
+  virtual Status SendImpl(const std::vector<uint8_t>& frame) = 0;
+  virtual Result<std::vector<uint8_t>> RecvImpl() = 0;
+
+ private:
+  enum class LastDir { kNone, kSend, kRecv };
+
+  ChannelStats stats_;
+  LastDir last_dir_ = LastDir::kNone;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_NET_CHANNEL_H_

@@ -1,0 +1,48 @@
+#include "net/memory_channel.h"
+
+namespace ppdbscan {
+
+std::pair<std::unique_ptr<MemoryChannel>, std::unique_ptr<MemoryChannel>>
+MemoryChannel::CreatePair() {
+  auto shared = std::make_shared<Shared>();
+  std::unique_ptr<MemoryChannel> a(new MemoryChannel(shared, 0));
+  std::unique_ptr<MemoryChannel> b(new MemoryChannel(shared, 1));
+  return {std::move(a), std::move(b)};
+}
+
+Status MemoryChannel::SendImpl(const std::vector<uint8_t>& frame) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  int peer = 1 - side_;
+  if (shared_->closed[side_]) {
+    return Status::FailedPrecondition("channel endpoint already closed");
+  }
+  if (shared_->closed[peer]) {
+    return Status::Unavailable("peer closed the channel");
+  }
+  shared_->queue[peer].push_back(frame);
+  shared_->cv.notify_all();
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> MemoryChannel::RecvImpl() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  int peer = 1 - side_;
+  shared_->cv.wait(lock, [this, peer] {
+    return !shared_->queue[side_].empty() || shared_->closed[peer] ||
+           shared_->closed[side_];
+  });
+  if (!shared_->queue[side_].empty()) {
+    std::vector<uint8_t> frame = std::move(shared_->queue[side_].front());
+    shared_->queue[side_].pop_front();
+    return frame;
+  }
+  return Status::Unavailable("channel closed with no pending frames");
+}
+
+void MemoryChannel::Close() {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  shared_->closed[side_] = true;
+  shared_->cv.notify_all();
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,54 @@
+#include "net/message.h"
+
+#include <string>
+
+namespace ppdbscan {
+
+Status SendMessage(Channel& channel, uint16_t type,
+                   const std::vector<uint8_t>& payload) {
+  ByteWriter frame;
+  frame.PutU16(type);
+  frame.PutRaw(payload.data(), payload.size());
+  return channel.Send(frame.data());
+}
+
+Status SendMessage(Channel& channel, uint16_t type,
+                   const ByteWriter& payload) {
+  return SendMessage(channel, type, payload.data());
+}
+
+Result<Message> RecvMessage(Channel& channel) {
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, channel.Recv());
+  if (frame.size() < 2) {
+    return Status::DataLoss("frame shorter than message header");
+  }
+  Message msg;
+  msg.type = static_cast<uint16_t>(frame[0] << 8 | frame[1]);
+  msg.payload.assign(frame.begin() + 2, frame.end());
+  return msg;
+}
+
+Result<std::vector<uint8_t>> ExpectMessage(Channel& channel,
+                                           uint16_t expected_type) {
+  PPD_ASSIGN_OR_RETURN(Message msg, RecvMessage(channel));
+  if (msg.type == kAbortMessageType) {
+    return Status::Unavailable(
+        "peer aborted protocol: " +
+        std::string(msg.payload.begin(), msg.payload.end()));
+  }
+  if (msg.type != expected_type) {
+    return Status::DataLoss("unexpected message type " +
+                            std::to_string(msg.type) + ", wanted " +
+                            std::to_string(expected_type));
+  }
+  return std::move(msg.payload);
+}
+
+Status AbortPeer(Channel& channel, Status status, const std::string& reason) {
+  std::vector<uint8_t> payload(reason.begin(), reason.end());
+  // Best effort: the abort itself may fail if the channel is gone.
+  (void)SendMessage(channel, kAbortMessageType, payload);
+  return status;
+}
+
+}  // namespace ppdbscan

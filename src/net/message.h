@@ -1,0 +1,50 @@
+#ifndef PPDBSCAN_NET_MESSAGE_H_
+#define PPDBSCAN_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+/// A tagged protocol message: a 16-bit type identifier plus an opaque
+/// payload. Message type values are defined by each protocol (see
+/// core/responder.h for the DBSCAN protocol's tag space).
+struct Message {
+  uint16_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Reserved tag: a party that must bail out of a sub-protocol before its
+/// next send (e.g. local input validation failed) sends an abort frame so
+/// the peer's blocking receive fails fast instead of hanging. The payload
+/// is a human-readable reason.
+inline constexpr uint16_t kAbortMessageType = 0xFFFF;
+
+/// Sends an abort frame carrying `reason`, then returns `status` so the
+/// caller can `return AbortPeer(channel, std::move(status), reason);`.
+Status AbortPeer(Channel& channel, Status status, const std::string& reason);
+
+/// Sends `payload` under `type` as one frame.
+Status SendMessage(Channel& channel, uint16_t type,
+                   const std::vector<uint8_t>& payload);
+
+/// Sends the contents of a ByteWriter under `type`.
+Status SendMessage(Channel& channel, uint16_t type, const ByteWriter& payload);
+
+/// Receives the next message; kDataLoss on malformed frames.
+Result<Message> RecvMessage(Channel& channel);
+
+/// Receives the next message and verifies its type tag; a mismatch is a
+/// protocol error (kDataLoss), which the DBSCAN responder loop surfaces
+/// instead of misinterpreting payloads.
+Result<std::vector<uint8_t>> ExpectMessage(Channel& channel,
+                                           uint16_t expected_type);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_NET_MESSAGE_H_

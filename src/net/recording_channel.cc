@@ -1,0 +1,49 @@
+#include "net/recording_channel.h"
+
+namespace ppdbscan {
+
+std::vector<uint8_t> Transcript::ReceivedBytes() const {
+  std::vector<uint8_t> out;
+  for (const TranscriptFrame& frame : frames) {
+    if (frame.direction == TranscriptFrame::Direction::kReceived) {
+      out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    }
+  }
+  return out;
+}
+
+size_t Transcript::sent_count() const {
+  size_t n = 0;
+  for (const TranscriptFrame& frame : frames) {
+    if (frame.direction == TranscriptFrame::Direction::kSent) ++n;
+  }
+  return n;
+}
+
+size_t Transcript::received_count() const {
+  return frames.size() - sent_count();
+}
+
+void RecordingChannel::Close() { inner_->Close(); }
+
+Status RecordingChannel::SendImpl(const std::vector<uint8_t>& frame) {
+  // Record after a successful send so the transcript reflects delivered
+  // frames only.
+  Status status = inner_->Send(frame);
+  if (status.ok()) {
+    transcript_.frames.push_back(
+        TranscriptFrame{TranscriptFrame::Direction::kSent, frame});
+  }
+  return status;
+}
+
+Result<std::vector<uint8_t>> RecordingChannel::RecvImpl() {
+  Result<std::vector<uint8_t>> frame = inner_->Recv();
+  if (frame.ok()) {
+    transcript_.frames.push_back(
+        TranscriptFrame{TranscriptFrame::Direction::kReceived, *frame});
+  }
+  return frame;
+}
+
+}  // namespace ppdbscan

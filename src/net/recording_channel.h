@@ -1,0 +1,60 @@
+#ifndef PPDBSCAN_NET_RECORDING_CHANNEL_H_
+#define PPDBSCAN_NET_RECORDING_CHANNEL_H_
+
+#include <vector>
+
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+/// One captured frame of a party's protocol view.
+struct TranscriptFrame {
+  enum class Direction { kSent, kReceived };
+  Direction direction;
+  std::vector<uint8_t> payload;
+};
+
+/// A party's transcript: the message half of its semi-honest VIEW (§3.6 —
+/// the view is (input, coins, received messages); sent frames are captured
+/// too for debugging symmetry checks).
+struct Transcript {
+  std::vector<TranscriptFrame> frames;
+
+  /// Concatenation of all received payloads, in order — the m_1..m_t of
+  /// Definition 5 as one byte string.
+  std::vector<uint8_t> ReceivedBytes() const;
+
+  size_t sent_count() const;
+  size_t received_count() const;
+};
+
+/// Channel decorator that records every frame passing through one
+/// endpoint while forwarding to the wrapped channel (not owned; must
+/// outlive this object).
+///
+/// The privacy test-suite uses transcripts to check simulation-paradigm
+/// properties empirically: that repeated executions produce fresh
+/// (non-repeating) ciphertext material, and that masked protocol outputs
+/// are statistically uniform — the testable shadows of Lemma 7/8's
+/// simulators.
+class RecordingChannel : public Channel {
+ public:
+  explicit RecordingChannel(Channel* inner) : inner_(inner) {}
+
+  const Transcript& transcript() const { return transcript_; }
+  void ClearTranscript() { transcript_.frames.clear(); }
+
+  void Close() override;
+
+ protected:
+  Status SendImpl(const std::vector<uint8_t>& frame) override;
+  Result<std::vector<uint8_t>> RecvImpl() override;
+
+ private:
+  Channel* inner_;
+  Transcript transcript_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_NET_RECORDING_CHANNEL_H_

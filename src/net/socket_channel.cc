@@ -1,0 +1,180 @@
+#include "net/socket_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ppdbscan {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Result<SocketListener> SocketListener::Bind(uint16_t port) {
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(listener);
+    return Errno("bind");
+  }
+  if (listen(listener, 1) < 0) {
+    close(listener);
+    return Errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) < 0) {
+    close(listener);
+    return Errno("getsockname");
+  }
+  return SocketListener(listener, ntohs(bound.sin_port));
+}
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+SocketListener& SocketListener::operator=(SocketListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener already consumed");
+  int fd = accept(fd_, nullptr, nullptr);
+  close(fd_);
+  fd_ = -1;
+  if (fd < 0) return Errno("accept");
+  SetNoDelay(fd);
+  return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketChannel::Listen(uint16_t port) {
+  Result<SocketListener> listener = SocketListener::Bind(port);
+  PPD_RETURN_IF_ERROR(listener.status());
+  return listener->Accept();
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketChannel::Connect(
+    const std::string& host, uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("invalid IPv4 address: " + host);
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      SetNoDelay(fd);
+      return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
+    }
+    close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable("connect timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+SocketChannel::~SocketChannel() { Close(); }
+
+void SocketChannel::Close() {
+  if (fd_ >= 0) {
+    shutdown(fd_, SHUT_RDWR);
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SocketChannel::WriteAll(const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = write(fd_, data + sent, len - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SocketChannel::ReadAll(uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = read(fd_, data + got, len - got);
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SocketChannel::SendImpl(const std::vector<uint8_t>& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  uint8_t header[4] = {
+      static_cast<uint8_t>(frame.size() >> 24),
+      static_cast<uint8_t>(frame.size() >> 16),
+      static_cast<uint8_t>(frame.size() >> 8),
+      static_cast<uint8_t>(frame.size()),
+  };
+  PPD_RETURN_IF_ERROR(WriteAll(header, 4));
+  return WriteAll(frame.data(), frame.size());
+}
+
+Result<std::vector<uint8_t>> SocketChannel::RecvImpl() {
+  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  uint8_t header[4];
+  PPD_RETURN_IF_ERROR(ReadAll(header, 4));
+  uint32_t len = static_cast<uint32_t>(header[0]) << 24 |
+                 static_cast<uint32_t>(header[1]) << 16 |
+                 static_cast<uint32_t>(header[2]) << 8 | header[3];
+  constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+  if (len > kMaxFrame) return Status::DataLoss("oversized frame");
+  std::vector<uint8_t> frame(len);
+  PPD_RETURN_IF_ERROR(ReadAll(frame.data(), len));
+  return frame;
+}
+
+}  // namespace ppdbscan

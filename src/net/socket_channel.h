@@ -1,0 +1,77 @@
+#ifndef PPDBSCAN_NET_SOCKET_CHANNEL_H_
+#define PPDBSCAN_NET_SOCKET_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+class SocketChannel;
+
+/// A bound, listening TCP socket that has not yet accepted its peer. Split
+/// from SocketChannel::Listen so callers can bind port 0 (kernel-assigned),
+/// learn the actual port, hand it to the connecting side, and only then
+/// block in Accept — the pattern tests use to avoid fixed-port collisions.
+class SocketListener {
+ public:
+  /// Binds and listens on `port` (0 = pick a free ephemeral port).
+  static Result<SocketListener> Bind(uint16_t port);
+
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&& other) noexcept;
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+  ~SocketListener();
+
+  /// The port actually bound (resolves port 0 to the kernel's choice).
+  uint16_t port() const { return port_; }
+
+  /// Accepts exactly one peer and releases the listening socket.
+  Result<std::unique_ptr<SocketChannel>> Accept();
+
+ private:
+  SocketListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+};
+
+/// TCP transport for running the two parties as separate processes (see
+/// examples/tcp_parties.cc). Frames are sent as a
+/// 4-byte big-endian length followed by the payload.
+class SocketChannel : public Channel {
+ public:
+  /// Listens on `port` (IPv4 loopback-any) and accepts exactly one peer.
+  /// Convenience wrapper over SocketListener::Bind + Accept.
+  static Result<std::unique_ptr<SocketChannel>> Listen(uint16_t port);
+
+  /// Connects to a listening peer, retrying for up to `timeout_ms` so the
+  /// two processes can be started in either order.
+  static Result<std::unique_ptr<SocketChannel>> Connect(
+      const std::string& host, uint16_t port, int timeout_ms = 5000);
+
+  ~SocketChannel() override;
+
+  void Close() override;
+
+ protected:
+  Status SendImpl(const std::vector<uint8_t>& frame) override;
+  Result<std::vector<uint8_t>> RecvImpl() override;
+
+ private:
+  friend class SocketListener;
+
+  explicit SocketChannel(int fd) : fd_(fd) {}
+
+  Status WriteAll(const uint8_t* data, size_t len);
+  Status ReadAll(uint8_t* data, size_t len);
+
+  int fd_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_NET_SOCKET_CHANNEL_H_

@@ -1,0 +1,95 @@
+#ifndef PPDBSCAN_SMC_COMPARATOR_H_
+#define PPDBSCAN_SMC_COMPARATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Two-party secure threshold test: the Querier holds x_q, the Peer holds
+/// x_p, and the Querier learns the single bit
+///
+///     x_q + x_p <= threshold        (threshold is public)
+///
+/// while the Peer learns nothing (up to the backend's documented leakage).
+/// This is the exact primitive every distance protocol in the paper reduces
+/// to: HDP/VDP test S_A + S_B <= Eps², and the §5 share comparisons test
+/// (u_i − u_j) + (v_j − v_i) <= 0.
+///
+/// Backends (selected via ComparatorOptions::kind, see DESIGN.md §3.2):
+///  * kYmpp            — Algorithm 1, exact, Θ(domain) cost. The paper's
+///                       protocol.
+///  * kBlindedPaillier — multiplicative blinding under the Querier's
+///                       Paillier key; exact bit, O(1) ciphertexts,
+///                       statistical magnitude leakage (out-of-paper
+///                       engineering backend).
+///  * kIdeal           — plaintext exchange; the trusted-third-party
+///                       functionality of §3.3. TEST/REFERENCE ONLY.
+class SecureComparator {
+ public:
+  virtual ~SecureComparator() = default;
+
+  /// Querier role: returns the bit x_q + x_p <= threshold.
+  Result<bool> QuerierCompare(Channel& channel, const BigInt& x_q,
+                              const BigInt& threshold) {
+    ++invocations_;
+    return QuerierCompareImpl(channel, x_q, threshold);
+  }
+
+  /// Peer role: contributes x_p; learns nothing.
+  Status PeerAssist(Channel& channel, const BigInt& x_p) {
+    ++invocations_;
+    return PeerAssistImpl(channel, x_p);
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Number of comparisons this instance has participated in (either
+  /// role); used by the selection-ablation benchmark (E6).
+  uint64_t invocations() const { return invocations_; }
+  void ResetInvocations() { invocations_ = 0; }
+
+ protected:
+  virtual Result<bool> QuerierCompareImpl(Channel& channel, const BigInt& x_q,
+                                          const BigInt& threshold) = 0;
+  virtual Status PeerAssistImpl(Channel& channel, const BigInt& x_p) = 0;
+
+ private:
+  uint64_t invocations_ = 0;
+};
+
+enum class ComparatorKind {
+  kYmpp,
+  kBlindedPaillier,
+  kIdeal,
+};
+
+const char* ComparatorKindToString(ComparatorKind kind);
+
+struct ComparatorOptions {
+  ComparatorKind kind = ComparatorKind::kBlindedPaillier;
+  /// Public bound B with |x_p| <= B and |threshold − x_q| <= B. The YMPP
+  /// backend maps inputs into [1, 2B+3]; the blinded backend uses B to
+  /// verify that blinding cannot wrap mod n.
+  BigInt magnitude_bound = BigInt(1) << 20;
+  /// Bit width of the multiplier ρ in the blinded backend.
+  size_t blinding_bits = 40;
+  /// Miller-Rabin rounds for YMPP's separating prime.
+  int ymp_prime_rounds = 12;
+};
+
+/// Builds a comparator bound to `session` (which must outlive it). `rng`
+/// must also outlive the comparator and is not shared across threads.
+Result<std::unique_ptr<SecureComparator>> CreateComparator(
+    const ComparatorOptions& options, const SmcSession& session,
+    SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_SMC_COMPARATOR_H_

@@ -1,0 +1,100 @@
+#include "smc/dot_product.h"
+
+#include "bigint/codec.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+constexpr uint16_t kDotAlpha = 0x0201;     // Receiver -> Helper: E(α_t)...
+constexpr uint16_t kDotResponse = 0x0202;  // Helper -> Receiver: E(u_i)...
+}  // namespace
+
+Result<std::vector<BigInt>> RunDotProductReceiver(
+    Channel& channel, const SmcSession& session,
+    const std::vector<BigInt>& alpha, size_t expected_rows, SecureRng& rng) {
+  if (alpha.empty()) {
+    return AbortPeer(channel, Status::InvalidArgument("alpha must be non-empty"),
+                     "dot product alpha empty");
+  }
+  const PaillierContext& ctx = session.own_paillier_ctx();
+  ByteWriter out;
+  out.PutU32(static_cast<uint32_t>(alpha.size()));
+  for (const BigInt& a : alpha) {
+    PPD_ASSIGN_OR_RETURN(BigInt cipher, ctx.EncryptSigned(a, rng));
+    WriteBigInt(out, cipher);
+  }
+  PPD_RETURN_IF_ERROR(SendMessage(channel, kDotAlpha, out));
+
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, kDotResponse));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(uint32_t rows, reader.GetU32());
+  if (expected_rows != 0 && rows != expected_rows) {
+    return Status::DataLoss("dot product row count mismatch");
+  }
+  std::vector<BigInt> shares;
+  shares.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+    if (!ctx.IsValidCiphertext(cipher)) {
+      return Status::DataLoss("dot product response out of range");
+    }
+    PPD_ASSIGN_OR_RETURN(BigInt u, session.own_paillier().Decrypt(cipher));
+    shares.push_back(std::move(u));
+  }
+  if (!reader.Done()) {
+    return Status::DataLoss("trailing bytes in dot product response");
+  }
+  return shares;
+}
+
+Result<std::vector<BigInt>> RunDotProductHelper(
+    Channel& channel, const SmcSession& session,
+    const std::vector<std::vector<BigInt>>& rows,
+    const DotProductOptions& options, SecureRng& rng) {
+  const PaillierContext& peer = session.peer_paillier();
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, kDotAlpha));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(uint32_t alpha_len, reader.GetU32());
+  std::vector<BigInt> alpha_ciphers;
+  alpha_ciphers.reserve(alpha_len);
+  for (uint32_t t = 0; t < alpha_len; ++t) {
+    PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+    if (!peer.IsValidCiphertext(cipher)) {
+      return Status::DataLoss("alpha cipher out of range");
+    }
+    alpha_ciphers.push_back(std::move(cipher));
+  }
+  if (!reader.Done()) {
+    return Status::DataLoss("trailing bytes in dot product alpha");
+  }
+
+  ByteWriter out;
+  out.PutU32(static_cast<uint32_t>(rows.size()));
+  std::vector<BigInt> masks;
+  masks.reserve(rows.size());
+  for (const std::vector<BigInt>& row : rows) {
+    if (row.size() != alpha_ciphers.size()) {
+      return AbortPeer(
+          channel, Status::InvalidArgument("row length does not match alpha"),
+          "dot product row length mismatch");
+    }
+    BigInt v = options.mask_bits == 0
+                   ? BigInt::RandomBelow(rng, peer.pub().n)
+                   : BigInt::RandomBits(rng, options.mask_bits);
+    // E(α·β + v) = Π E(α_t)^{β_t} · E(v).
+    PPD_ASSIGN_OR_RETURN(BigInt acc, peer.Encrypt(v, rng));
+    for (size_t t = 0; t < row.size(); ++t) {
+      if (row[t].IsZero()) continue;  // E(x)^0 contributes nothing
+      acc = peer.Add(acc, peer.MulPlain(alpha_ciphers[t], row[t]));
+    }
+    WriteBigInt(out, acc);
+    masks.push_back(std::move(v));
+  }
+  PPD_RETURN_IF_ERROR(SendMessage(channel, kDotResponse, out));
+  return masks;
+}
+
+}  // namespace ppdbscan

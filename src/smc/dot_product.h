@@ -1,0 +1,49 @@
+#ifndef PPDBSCAN_SMC_DOT_PRODUCT_H_
+#define PPDBSCAN_SMC_DOT_PRODUCT_H_
+
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Batched secure dot product — the vector form of the Multiplication
+/// Protocol that §5 of the paper uses to secret-share squared distances:
+///
+///   Dist²(A, B_i) = (ΣA_t², −2A_1, …, −2A_m, 1) · (1, B_i1, …, B_im, ΣB_it²)
+///
+/// The Receiver holds α (and the Paillier key); the Helper holds one row
+/// β_i per point. After the protocol the Receiver knows u_i = α·β_i + v_i
+/// (mod n) and the Helper knows v_i. α is encrypted and transmitted once
+/// for the whole batch, so the cost is |α| + |rows| ciphertexts.
+struct DotProductOptions {
+  /// Bit width of the Helper's masks v_i. 0 means uniform over Z_n
+  /// (perfect hiding); a positive value draws v_i from [0, 2^mask_bits)
+  /// so that shares stay small enough for the bounded-domain YMPP
+  /// comparator (statistical hiding with ~mask_bits − log2|value| bits of
+  /// security — see DESIGN.md §3.2).
+  size_t mask_bits = 0;
+};
+
+/// Receiver side: contributes α, returns u_i (raw residues in [0, n)), one
+/// per Helper row. `expected_rows` guards against a misbehaving peer; pass
+/// 0 to accept any row count (the enhanced DBSCAN driver does not know the
+/// peer's point count).
+Result<std::vector<BigInt>> RunDotProductReceiver(
+    Channel& channel, const SmcSession& session,
+    const std::vector<BigInt>& alpha, size_t expected_rows, SecureRng& rng);
+
+/// Helper side: contributes the β rows (each the same length as α),
+/// returns the masks v_i.
+Result<std::vector<BigInt>> RunDotProductHelper(
+    Channel& channel, const SmcSession& session,
+    const std::vector<std::vector<BigInt>>& rows,
+    const DotProductOptions& options, SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_SMC_DOT_PRODUCT_H_

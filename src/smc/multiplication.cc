@@ -1,0 +1,69 @@
+#include "smc/multiplication.h"
+
+#include "bigint/codec.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+constexpr uint16_t kMultCipher = 0x0101;    // Receiver -> Helper: E_A(x)
+constexpr uint16_t kMultResponse = 0x0102;  // Helper -> Receiver: u'
+}  // namespace
+
+Result<BigInt> RunMultiplicationReceiver(Channel& channel,
+                                         const SmcSession& session,
+                                         const BigInt& x, SecureRng& rng) {
+  const PaillierContext& ctx = session.own_paillier_ctx();
+  PPD_ASSIGN_OR_RETURN(BigInt cipher, ctx.EncryptSigned(x, rng));
+  ByteWriter out;
+  WriteBigInt(out, cipher);
+  PPD_RETURN_IF_ERROR(SendMessage(channel, kMultCipher, out));
+
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, kMultResponse));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(BigInt u_cipher, ReadBigInt(reader));
+  if (!session.own_paillier_ctx().IsValidCiphertext(u_cipher)) {
+    return Status::DataLoss("multiplication response out of range");
+  }
+  // u = D(E(x)^y * E(v)) = x*y + v (mod n).
+  return session.own_paillier().Decrypt(u_cipher);
+}
+
+Result<BigInt> RunMultiplicationHelperWithMask(Channel& channel,
+                                               const SmcSession& session,
+                                               const BigInt& y,
+                                               const BigInt& v,
+                                               SecureRng& rng) {
+  const PaillierContext& peer = session.peer_paillier();
+  if (v.IsNegative() || v >= peer.pub().n) {
+    return AbortPeer(channel,
+                     Status::InvalidArgument("mask must lie in [0, n)"),
+                     "multiplication helper mask invalid");
+  }
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, kMultCipher));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(BigInt x_cipher, ReadBigInt(reader));
+  if (!peer.IsValidCiphertext(x_cipher)) {
+    return Status::DataLoss("multiplication cipher out of range");
+  }
+  // u' = E(x)^y * E(v)  (all under the peer's key).
+  BigInt xy_cipher = peer.MulPlain(x_cipher, y);
+  PPD_ASSIGN_OR_RETURN(BigInt v_cipher, peer.Encrypt(v, rng));
+  BigInt u_cipher = peer.Add(xy_cipher, v_cipher);
+
+  ByteWriter out;
+  WriteBigInt(out, u_cipher);
+  PPD_RETURN_IF_ERROR(SendMessage(channel, kMultResponse, out));
+  return v;
+}
+
+Result<BigInt> RunMultiplicationHelper(Channel& channel,
+                                       const SmcSession& session,
+                                       const BigInt& y, SecureRng& rng) {
+  BigInt v = BigInt::RandomBelow(rng, session.peer_paillier().pub().n);
+  return RunMultiplicationHelperWithMask(channel, session, y, v, rng);
+}
+
+}  // namespace ppdbscan

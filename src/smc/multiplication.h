@@ -1,0 +1,50 @@
+#ifndef PPDBSCAN_SMC_MULTIPLICATION_H_
+#define PPDBSCAN_SMC_MULTIPLICATION_H_
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Multiplication Protocol (Algorithm 2 of the paper).
+///
+/// The Receiver holds x and the Paillier key pair; the Helper holds y. At
+/// the end the Receiver knows u = x·y + v (mod n) and the Helper knows v,
+/// i.e. the parties hold additive shares of x·y over Z_n. Inputs may be
+/// negative (signed wraparound encoding); reconstruction is
+/// DecodeSigned(u − v mod n), valid while |x·y| < n/2.
+///
+/// Faithfulness note: Algorithm 2 as printed has Alice transmit the
+/// encryption randomness r to Bob and has Bob reuse it for E_A(v). With the
+/// g = n+1 generator that would let Bob recover x from E_A(x), so — as in
+/// any correct Paillier deployment — each encryption here uses fresh
+/// private randomness and r is never transmitted. Message flow and outputs
+/// are otherwise exactly Algorithm 2.
+///
+/// Wire cost per invocation: one ciphertext each way (O(c1) in the paper's
+/// accounting, with c1 the ciphertext size).
+
+/// Receiver side: contributes x, returns u = x·y + v (mod n).
+Result<BigInt> RunMultiplicationReceiver(Channel& channel,
+                                         const SmcSession& session,
+                                         const BigInt& x, SecureRng& rng);
+
+/// Helper side: contributes y, returns its share v (uniform in Z_n).
+Result<BigInt> RunMultiplicationHelper(Channel& channel,
+                                       const SmcSession& session,
+                                       const BigInt& y, SecureRng& rng);
+
+/// Helper side with a caller-chosen mask v (used by HDP, which needs masks
+/// that sum to zero across coordinates). v must lie in [0, n).
+Result<BigInt> RunMultiplicationHelperWithMask(Channel& channel,
+                                               const SmcSession& session,
+                                               const BigInt& y,
+                                               const BigInt& v,
+                                               SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_SMC_MULTIPLICATION_H_

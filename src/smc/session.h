@@ -1,0 +1,68 @@
+#ifndef PPDBSCAN_SMC_SESSION_H_
+#define PPDBSCAN_SMC_SESSION_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/paillier.h"
+#include "crypto/rsa.h"
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+/// Cryptographic parameters for a two-party SMC session. The defaults are
+/// sized for interactive experiments; production deployments of the paper's
+/// setting would use 1024- or 2048-bit keys (bench_paillier / bench_ymp
+/// report the cost curve).
+struct SmcOptions {
+  size_t paillier_bits = 512;
+  size_t rsa_bits = 512;
+  /// Exercise the general-generator path of §3.7 instead of g = n + 1.
+  bool paillier_random_g = false;
+};
+
+/// Per-party cryptographic state for one two-party protocol session: this
+/// party's own Paillier and RSA key pairs plus the peer's public keys,
+/// exchanged once by Establish(). Every sub-protocol (Multiplication, dot
+/// product, YMPP, comparators) draws its keys from here, so key material is
+/// transferred exactly once per session — matching the paper's accounting,
+/// which excludes key setup from per-invocation communication costs.
+class SmcSession {
+ public:
+  /// Generates this party's key pairs and swaps public keys with the peer.
+  /// Symmetric: both parties call Establish concurrently.
+  static Result<SmcSession> Establish(Channel& channel, SecureRng& rng,
+                                      const SmcOptions& options = {});
+
+  const SmcOptions& options() const { return options_; }
+
+  /// This party's Paillier decryptor (own key).
+  const PaillierDecryptor& own_paillier() const { return *own_paillier_; }
+  /// Homomorphic operations under this party's own public key.
+  const PaillierContext& own_paillier_ctx() const {
+    return own_paillier_->context();
+  }
+  /// Homomorphic operations under the peer's public key.
+  const PaillierContext& peer_paillier() const { return *peer_paillier_; }
+
+  /// This party's RSA trapdoor (the Da of YMPP when this party is the key
+  /// owner).
+  const RsaPrivateOps& own_rsa() const { return *own_rsa_; }
+  /// The peer's RSA public permutation (the Ea of YMPP when the peer is the
+  /// key owner).
+  const RsaPublicOps& peer_rsa() const { return *peer_rsa_; }
+
+ private:
+  SmcSession() = default;
+
+  SmcOptions options_;
+  std::shared_ptr<const PaillierDecryptor> own_paillier_;
+  std::shared_ptr<const PaillierContext> peer_paillier_;
+  std::shared_ptr<const RsaPrivateOps> own_rsa_;
+  std::shared_ptr<const RsaPublicOps> peer_rsa_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_SMC_SESSION_H_

@@ -1,0 +1,152 @@
+#include "smc/ymp.h"
+
+#include <algorithm>
+
+#include "bigint/codec.h"
+#include "bigint/prime.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+
+constexpr uint16_t kYmppOffer = 0x0301;   // Evaluator -> KeyOwner: k - j + 1
+constexpr uint16_t kYmppTable = 0x0302;   // KeyOwner -> Evaluator: p, w_1..w_n0
+constexpr uint16_t kYmppReport = 0x0303;  // Evaluator -> KeyOwner: result bit
+
+Status ValidateInput(uint64_t value, const YmppOptions& options) {
+  if (options.domain < 2) {
+    return Status::InvalidArgument("YMPP domain must be >= 2");
+  }
+  if (value < 1 || value > options.domain) {
+    return Status::OutOfRange("YMPP input outside [1, domain]");
+  }
+  return Status::Ok();
+}
+
+/// Checks that all residues differ pairwise by at least 2 in the circular
+/// mod-p sense (step 4 of Algorithm 1).
+bool ResiduesWellSeparated(std::vector<BigInt> residues, const BigInt& p) {
+  std::sort(residues.begin(), residues.end());
+  const BigInt two(2);
+  for (size_t i = 1; i < residues.size(); ++i) {
+    if (residues[i] - residues[i - 1] < two) return false;
+  }
+  if (residues.size() >= 2) {
+    BigInt wrap = residues.front() + p - residues.back();
+    if (wrap < two) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::optional<bool>> RunYmppKeyOwner(Channel& channel,
+                                            const SmcSession& session,
+                                            uint64_t i,
+                                            const YmppOptions& options,
+                                            SecureRng& rng) {
+  if (Status s = ValidateInput(i, options); !s.ok()) {
+    return AbortPeer(channel, std::move(s), "YMPP key-owner input invalid");
+  }
+  const RsaPrivateOps& rsa = session.own_rsa();
+  const BigInt& n = rsa.pub().n;
+  const size_t x_bits = rsa.pub().modulus_bits - 1;  // N in Algorithm 1
+
+  // Step 2 (receive side): Bob's offer k - j + 1 (mod n).
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, kYmppOffer));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(BigInt offer, ReadBigInt(reader));
+  if (offer.IsNegative() || offer >= n) {
+    return Status::DataLoss("YMPP offer out of range");
+  }
+
+  // Step 3: y_u = Da(k - j + u) for u = 1..n0.
+  std::vector<BigInt> y;
+  y.reserve(options.domain);
+  for (uint64_t u = 1; u <= options.domain; ++u) {
+    BigInt c = (offer + BigInt::FromU64(u - 1)).Mod(n);
+    PPD_ASSIGN_OR_RETURN(BigInt yu, rsa.Decrypt(c));
+    y.push_back(std::move(yu));
+  }
+
+  // Step 4: random prime p of N/2 bits whose residues are pairwise
+  // separated by at least 2 (mod p).
+  const size_t p_bits = std::max<size_t>(32, x_bits / 2);
+  BigInt p;
+  std::vector<BigInt> z(y.size());
+  while (true) {
+    p = GeneratePrime(rng, p_bits, options.prime_rounds);
+    for (size_t u = 0; u < y.size(); ++u) z[u] = y[u].Mod(p);
+    if (ResiduesWellSeparated(z, p)) break;
+  }
+
+  // Step 5: send p, then z_1..z_i followed by z_{i+1}+1 .. z_{n0}+1 (mod p).
+  ByteWriter out;
+  WriteBigInt(out, p);
+  out.PutU32(static_cast<uint32_t>(z.size()));
+  for (size_t u = 0; u < z.size(); ++u) {
+    BigInt w = (u + 1 <= i) ? z[u] : (z[u] + BigInt(1)).Mod(p);
+    WriteBigInt(out, w);
+  }
+  PPD_RETURN_IF_ERROR(SendMessage(channel, kYmppTable, out));
+
+  // Step 7 (receive side): the Evaluator's verdict, if reporting is on.
+  if (!options.report_result) return std::optional<bool>();
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> report,
+                       ExpectMessage(channel, kYmppReport));
+  ByteReader report_reader(report);
+  PPD_ASSIGN_OR_RETURN(uint8_t bit, report_reader.GetU8());
+  if (bit > 1) return Status::DataLoss("invalid YMPP report");
+  return std::optional<bool>(bit == 1);
+}
+
+Result<bool> RunYmppEvaluator(Channel& channel, const SmcSession& session,
+                              uint64_t j, const YmppOptions& options,
+                              SecureRng& rng) {
+  if (Status s = ValidateInput(j, options); !s.ok()) {
+    return AbortPeer(channel, std::move(s), "YMPP evaluator input invalid");
+  }
+  const RsaPublicOps& rsa = session.peer_rsa();
+  const BigInt& n = rsa.pub().n;
+  const size_t x_bits = rsa.pub().modulus_bits - 1;
+
+  // Step 1: random N-bit x, k = Ea(x).
+  BigInt x = BigInt::RandomBits(rng, x_bits);
+  PPD_ASSIGN_OR_RETURN(BigInt k, rsa.Encrypt(x));
+
+  // Step 2: send k - j + 1 (mod n).
+  BigInt offer = (k - BigInt::FromU64(j) + BigInt(1)).Mod(n);
+  ByteWriter out;
+  WriteBigInt(out, offer);
+  PPD_RETURN_IF_ERROR(SendMessage(channel, kYmppOffer, out));
+
+  // Step 6: inspect the j-th table entry.
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, kYmppTable));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(BigInt p, ReadBigInt(reader));
+  if (p < BigInt(2)) return Status::DataLoss("invalid YMPP prime");
+  PPD_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  if (count != options.domain) {
+    return Status::DataLoss("YMPP table size mismatch");
+  }
+  BigInt w_j;
+  for (uint32_t u = 1; u <= count; ++u) {
+    PPD_ASSIGN_OR_RETURN(BigInt w, ReadBigInt(reader));
+    if (u == j) w_j = std::move(w);
+  }
+  if (!reader.Done()) return Status::DataLoss("trailing bytes in YMPP table");
+  const bool i_less_than_j = w_j != x.Mod(p);
+
+  // Step 7: report.
+  if (options.report_result) {
+    ByteWriter report;
+    report.PutU8(i_less_than_j ? 1 : 0);
+    PPD_RETURN_IF_ERROR(SendMessage(channel, kYmppReport, report));
+  }
+  return i_less_than_j;
+}
+
+}  // namespace ppdbscan

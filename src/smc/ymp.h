@@ -1,0 +1,50 @@
+#ifndef PPDBSCAN_SMC_YMP_H_
+#define PPDBSCAN_SMC_YMP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+
+/// Yao's Millionaires' Problem Protocol — Algorithm 1 of the paper
+/// (Yao 1982), instantiated with the session's RSA keys as (Ea, Da).
+///
+/// The KeyOwner holds i, the Evaluator holds j, both in [1, domain]. The
+/// Evaluator always learns whether i < j (it performs the final check);
+/// when `report_result` is true it tells the KeyOwner, completing step 7 of
+/// Algorithm 1. With `report_result` false the KeyOwner learns nothing —
+/// the one-sided mode the distance protocols use so that only the scanning
+/// party learns neighbourhood membership.
+///
+/// Cost: Θ(domain) RSA decryptions by the KeyOwner and Θ(domain · c2) bits
+/// Evaluator-bound, matching the O(c2·n0) term in §4.2.2/§4.3.2.
+struct YmppOptions {
+  /// n0: the public bound on both inputs. Must be >= 2.
+  uint64_t domain = 64;
+  /// Step 7 of Algorithm 1 (Evaluator reports the outcome).
+  bool report_result = true;
+  /// Miller-Rabin rounds used when generating the separating prime p.
+  int prime_rounds = 12;
+};
+
+/// KeyOwner side (the paper's "Alice": owns the RSA trapdoor, holds i).
+/// Returns i < j when the Evaluator reports, std::nullopt otherwise.
+Result<std::optional<bool>> RunYmppKeyOwner(Channel& channel,
+                                            const SmcSession& session,
+                                            uint64_t i,
+                                            const YmppOptions& options,
+                                            SecureRng& rng);
+
+/// Evaluator side (the paper's "Bob": holds j). Returns i < j.
+Result<bool> RunYmppEvaluator(Channel& channel, const SmcSession& session,
+                              uint64_t j, const YmppOptions& options,
+                              SecureRng& rng);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_SMC_YMP_H_

@@ -1,0 +1,125 @@
+#include "core/arbitrary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace ppdbscan {
+namespace {
+
+ExecutionConfig FastConfig(int64_t eps_squared, size_t min_pts) {
+  ExecutionConfig config;
+  config.smc.paillier_bits = 256;
+  config.smc.rsa_bits = 128;
+  config.protocol.params = {eps_squared, min_pts};
+  config.protocol.comparator.kind = ComparatorKind::kIdeal;
+  config.protocol.comparator.magnitude_bound =
+      RecommendedComparatorBound(3, 1 << 12);
+  return config;
+}
+
+/// §4.4's generality claim: for ANY cell-ownership fraction the protocol
+/// must reproduce centralized DBSCAN (0.0 and 1.0 degenerate to the
+/// vertical case, 0.5 maximizes cross-owner attribute pairs).
+class ArbitraryEquivalenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArbitraryEquivalenceTest, MatchesCentralizedExactly) {
+  const double fraction = GetParam();
+  SecureRng rng(77);
+  RawDataset raw = MakeBlobs(rng, 2, 8, 3, 0.5, 6.0);
+  AddUniformNoise(raw, rng, 4, 8.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  DbscanParams params{*enc.EncodeEpsSquared(1.3), 3};
+  DbscanResult central = RunDbscan(full, params);
+
+  ArbitraryPartition ap = *PartitionArbitrary(full, rng, fraction);
+  ExecutionConfig config = FastConfig(params.eps_squared, params.min_pts);
+  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(SameClustering(out->alice.labels, central.labels));
+  EXPECT_EQ(out->alice.labels, out->bob.labels);
+  EXPECT_EQ(out->alice.is_core, central.is_core);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ArbitraryEquivalenceTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                         [](const auto& info) {
+                           return "frac" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
+TEST(ArbitraryTest, MixedRowOwnershipPattern) {
+  // A hand-built Figure 4-style pattern: record 0 mostly Alice's, record 1
+  // mostly Bob's, record 2 alternating.
+  Dataset full(4);
+  PPD_CHECK(full.Add({0, 0, 0, 0}).ok());
+  PPD_CHECK(full.Add({1, 0, 0, 0}).ok());
+  PPD_CHECK(full.Add({10, 10, 10, 10}).ok());
+  ArbitraryPartition ap;
+  ap.alice.dims = ap.bob.dims = 4;
+  auto add_record = [&](const std::vector<int64_t>& values,
+                        const std::vector<uint8_t>& alice_owns) {
+    std::vector<int64_t> av(4, 0), bv(4, 0);
+    std::vector<uint8_t> ao(4, 0), bo(4, 0);
+    for (size_t t = 0; t < 4; ++t) {
+      if (alice_owns[t]) {
+        av[t] = values[t];
+        ao[t] = 1;
+      } else {
+        bv[t] = values[t];
+        bo[t] = 1;
+      }
+    }
+    ap.alice.values.push_back(av);
+    ap.alice.owned.push_back(ao);
+    ap.bob.values.push_back(bv);
+    ap.bob.owned.push_back(bo);
+  };
+  add_record({0, 0, 0, 0}, {1, 1, 1, 0});
+  add_record({1, 0, 0, 0}, {0, 0, 0, 1});
+  add_record({10, 10, 10, 10}, {1, 0, 1, 0});
+
+  ExecutionConfig config = FastConfig(2, 2);
+  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Records 0 and 1 are within eps of each other; record 2 is isolated.
+  EXPECT_EQ(out->alice.labels[0], out->alice.labels[1]);
+  EXPECT_EQ(out->alice.labels[2], kNoise);
+}
+
+TEST(ArbitraryTest, RecordCountMismatchRejected) {
+  ArbitraryPartition ap;
+  ap.alice.dims = ap.bob.dims = 2;
+  ap.alice.values = {{1, 2}};
+  ap.alice.owned = {{1, 1}};
+  // Bob's view claims two records.
+  ap.bob.values = {{0, 0}, {0, 0}};
+  ap.bob.owned = {{0, 0}, {0, 0}};
+  ExecutionConfig config = FastConfig(1, 1);
+  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(ArbitraryTest, BlindedComparatorMatchesIdeal) {
+  SecureRng rng(9);
+  RawDataset raw = MakeBlobs(rng, 2, 6, 2, 0.5, 5.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  ArbitraryPartition ap = *PartitionArbitrary(full, rng, 0.5);
+  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 3);
+  Result<TwoPartyOutcome> ideal = ExecuteArbitrary(ap, config);
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+  Result<TwoPartyOutcome> blinded = ExecuteArbitrary(ap, config);
+  ASSERT_TRUE(ideal.ok() && blinded.ok()) << blinded.status();
+  EXPECT_EQ(ideal->alice.labels, blinded->alice.labels);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,156 @@
+// Differential tests of the from-scratch bigint substrate against GMP.
+// GMP is a TEST-ONLY dependency: the library itself never links it.
+
+#include <gmp.h>
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+std::string GmpBinaryOp(const std::string& a, const std::string& b, char op) {
+  mpz_t x, y, z;
+  mpz_inits(x, y, z, nullptr);
+  mpz_set_str(x, a.c_str(), 10);
+  mpz_set_str(y, b.c_str(), 10);
+  switch (op) {
+    case '+':
+      mpz_add(z, x, y);
+      break;
+    case '-':
+      mpz_sub(z, x, y);
+      break;
+    case '*':
+      mpz_mul(z, x, y);
+      break;
+    case '/':
+      mpz_tdiv_q(z, x, y);
+      break;
+    case '%':
+      mpz_tdiv_r(z, x, y);
+      break;
+    case 'g':
+      mpz_gcd(z, x, y);
+      break;
+    default:
+      ADD_FAILURE() << "unknown op";
+  }
+  char* s = mpz_get_str(nullptr, 10, z);
+  std::string out(s);
+  free(s);
+  mpz_clears(x, y, z, nullptr);
+  return out;
+}
+
+std::string GmpPowm(const std::string& base, const std::string& exp,
+                    const std::string& mod) {
+  mpz_t b, e, m, z;
+  mpz_inits(b, e, m, z, nullptr);
+  mpz_set_str(b, base.c_str(), 10);
+  mpz_set_str(e, exp.c_str(), 10);
+  mpz_set_str(m, mod.c_str(), 10);
+  mpz_powm(z, b, e, m);
+  char* s = mpz_get_str(nullptr, 10, z);
+  std::string out(s);
+  free(s);
+  mpz_clears(b, e, m, nullptr);
+  mpz_clear(z);
+  return out;
+}
+
+/// Parameterized over operand bit sizes so small-limb, multi-limb, and
+/// Karatsuba-sized operands are all swept.
+class BigIntGmpDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BigIntGmpDifferentialTest, ArithmeticAgainstGmp) {
+  const size_t bits = GetParam();
+  SecureRng rng(1000 + bits);
+  for (int iter = 0; iter < 60; ++iter) {
+    BigInt a = BigInt::RandomBits(rng, 1 + rng.UniformU64(bits));
+    BigInt b = BigInt::RandomBits(rng, 1 + rng.UniformU64(bits));
+    if (rng.UniformU64(2)) a = -a;
+    if (rng.UniformU64(2)) b = -b;
+    const std::string as = a.ToDecimal(), bs = b.ToDecimal();
+    EXPECT_EQ((a + b).ToDecimal(), GmpBinaryOp(as, bs, '+'));
+    EXPECT_EQ((a - b).ToDecimal(), GmpBinaryOp(as, bs, '-'));
+    EXPECT_EQ((a * b).ToDecimal(), GmpBinaryOp(as, bs, '*'));
+    EXPECT_EQ(BigInt::Gcd(a, b).ToDecimal(),
+              GmpBinaryOp(as, bs, 'g'));
+    if (!b.IsZero()) {
+      EXPECT_EQ((a / b).ToDecimal(), GmpBinaryOp(as, bs, '/'));
+      EXPECT_EQ((a % b).ToDecimal(), GmpBinaryOp(as, bs, '%'));
+    }
+  }
+}
+
+TEST_P(BigIntGmpDifferentialTest, ModExpAgainstGmp) {
+  const size_t bits = GetParam();
+  SecureRng rng(2000 + bits);
+  for (int iter = 0; iter < 15; ++iter) {
+    BigInt base = BigInt::RandomBits(rng, bits);
+    BigInt exp = BigInt::RandomBits(rng, std::min<size_t>(bits, 160));
+    BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+    if (mod.IsEven()) mod += BigInt(1);  // exercise the Montgomery path
+    EXPECT_EQ(BigInt::ModExp(base, exp, mod).ToDecimal(),
+              GmpPowm(base.ToDecimal(), exp.ToDecimal(), mod.ToDecimal()));
+  }
+}
+
+TEST_P(BigIntGmpDifferentialTest, ModExpEvenModulusAgainstGmp) {
+  const size_t bits = GetParam();
+  SecureRng rng(3000 + bits);
+  for (int iter = 0; iter < 5; ++iter) {
+    BigInt base = BigInt::RandomBits(rng, bits);
+    BigInt exp = BigInt::RandomBits(rng, 48);
+    BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(4);
+    if (mod.IsOdd()) mod += BigInt(1);  // force the generic path
+    EXPECT_EQ(BigInt::ModExp(base, exp, mod).ToDecimal(),
+              GmpPowm(base.ToDecimal(), exp.ToDecimal(), mod.ToDecimal()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OperandSizes, BigIntGmpDifferentialTest,
+                         ::testing::Values(16, 31, 32, 33, 64, 96, 128, 256,
+                                           512, 777, 1024, 2048, 4096),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST(BigIntGmpEdgeTest, PowersOfTwoBoundaries) {
+  // Values straddling limb boundaries are classic division bugs.
+  for (size_t bits : {31u, 32u, 33u, 63u, 64u, 65u, 95u, 96u, 97u}) {
+    BigInt p = BigInt(1) << bits;
+    for (int64_t delta : {-2, -1, 0, 1, 2}) {
+      BigInt v = p + BigInt(delta);
+      for (int64_t d : {3, 7, 1000000007}) {
+        EXPECT_EQ((v % BigInt(d)).ToDecimal(),
+                  GmpBinaryOp(v.ToDecimal(), std::to_string(d), '%'));
+      }
+      // Divide by a value near another power of two (triggers the Knuth-D
+      // correction loop).
+      BigInt w = (BigInt(1) << (bits / 2)) - BigInt(1);
+      EXPECT_EQ((v / w).ToDecimal(),
+                GmpBinaryOp(v.ToDecimal(), w.ToDecimal(), '/'));
+    }
+  }
+}
+
+TEST(BigIntGmpEdgeTest, KnuthDAddBackCase) {
+  // A division arrangement known to need the rare "add back" correction:
+  // u = B^4/2 and v = B^2/2 + 1 style operands (B = 2^32).
+  BigInt b32 = BigInt(1) << 32;
+  BigInt u = (BigInt(1) << 127) + (BigInt(1) << 95);
+  BigInt v = (BigInt(1) << 63) + BigInt(1);
+  EXPECT_EQ((u / v).ToDecimal(),
+            GmpBinaryOp(u.ToDecimal(), v.ToDecimal(), '/'));
+  EXPECT_EQ((u % v).ToDecimal(),
+            GmpBinaryOp(u.ToDecimal(), v.ToDecimal(), '%'));
+  (void)b32;
+}
+
+}  // namespace
+}  // namespace ppdbscan

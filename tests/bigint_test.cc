@@ -1,0 +1,282 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDecimal(), "0");
+  EXPECT_EQ(z.ToHex(), "0");
+}
+
+TEST(BigIntTest, Int64Construction) {
+  EXPECT_EQ(BigInt(1).ToDecimal(), "1");
+  EXPECT_EQ(BigInt(-1).ToDecimal(), "-1");
+  EXPECT_EQ(BigInt(INT64_MAX).ToDecimal(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToDecimal(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, INT64_MAX,
+                    INT64_MIN, int64_t{1} << 40, -(int64_t{1} << 40)}) {
+    EXPECT_EQ(BigInt(v).ToI64(), v);
+  }
+}
+
+TEST(BigIntTest, FromU64) {
+  EXPECT_EQ(BigInt::FromU64(UINT64_MAX).ToDecimal(), "18446744073709551615");
+  EXPECT_EQ(BigInt::FromU64(0), BigInt());
+}
+
+TEST(BigIntTest, DecimalParseRoundTrip) {
+  for (const char* s : {"0", "1", "-1", "999999999999999999999999999999",
+                        "-123456789012345678901234567890"}) {
+    Result<BigInt> v = BigInt::FromDecimal(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToDecimal(), s);
+  }
+}
+
+TEST(BigIntTest, DecimalParseRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromDecimal("").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("12a3").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("0x12").ok());
+}
+
+TEST(BigIntTest, HexParseRoundTrip) {
+  for (const char* s : {"0", "1", "ff", "deadbeefcafebabe",
+                        "-123456789abcdef0123456789abcdef"}) {
+    Result<BigInt> v = BigInt::FromHex(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v->ToHex(), s);
+  }
+}
+
+TEST(BigIntTest, HexMatchesDecimal) {
+  EXPECT_EQ(*BigInt::FromHex("ff"), BigInt(255));
+  EXPECT_EQ(*BigInt::FromHex("-100"), BigInt(-256));
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  BigInt v = *BigInt::FromDecimal("123456789012345678901234567890");
+  EXPECT_EQ(BigInt::FromBytes(v.ToBytes()), v);
+  EXPECT_TRUE(BigInt().ToBytes().empty());
+  EXPECT_EQ(BigInt(255).ToBytes(), std::vector<uint8_t>{0xff});
+  std::vector<uint8_t> be = {0x01, 0x00};
+  EXPECT_EQ(BigInt::FromBytes(be), BigInt(256));
+}
+
+TEST(BigIntTest, AdditionBasics) {
+  EXPECT_EQ(BigInt(2) + BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(-2) + BigInt(3), BigInt(1));
+  EXPECT_EQ(BigInt(2) + BigInt(-3), BigInt(-1));
+  EXPECT_EQ(BigInt(-2) + BigInt(-3), BigInt(-5));
+  EXPECT_EQ(BigInt(5) + BigInt(-5), BigInt());
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt a = BigInt::FromU64(UINT64_MAX);
+  EXPECT_EQ((a + BigInt(1)).ToHex(), "10000000000000000");
+  EXPECT_EQ((a + a).ToHex(), "1fffffffffffffffe");
+}
+
+TEST(BigIntTest, SubtractionBorrow) {
+  BigInt a = *BigInt::FromHex("10000000000000000");
+  EXPECT_EQ((a - BigInt(1)).ToHex(), "ffffffffffffffff");
+  EXPECT_EQ(BigInt(3) - BigInt(10), BigInt(-7));
+}
+
+TEST(BigIntTest, MultiplicationBasics) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ(BigInt(-6) * BigInt(7), BigInt(-42));
+  EXPECT_EQ(BigInt(-6) * BigInt(-7), BigInt(42));
+  EXPECT_EQ(BigInt(0) * BigInt(7), BigInt());
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = *BigInt::FromDecimal("123456789012345678901234567890");
+  BigInt b = *BigInt::FromDecimal("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToDecimal(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivModTruncatedSemantics) {
+  // C++ semantics: quotient toward zero, remainder has dividend's sign.
+  struct Case {
+    int64_t a, b, q, r;
+  };
+  for (const Case& c : std::vector<Case>{{7, 2, 3, 1},
+                                         {-7, 2, -3, -1},
+                                         {7, -2, -3, 1},
+                                         {-7, -2, 3, -1},
+                                         {6, 3, 2, 0},
+                                         {0, 5, 0, 0}}) {
+    BigInt q, r;
+    BigInt(c.a).DivMod(BigInt(c.b), &q, &r);
+    EXPECT_EQ(q, BigInt(c.q)) << c.a << "/" << c.b;
+    EXPECT_EQ(r, BigInt(c.r)) << c.a << "%" << c.b;
+  }
+}
+
+TEST(BigIntTest, DivisionIdentityRandomized) {
+  SecureRng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    BigInt a = BigInt::RandomBits(rng, 1 + rng.UniformU64(256));
+    BigInt b = BigInt::RandomBits(rng, 1 + rng.UniformU64(256));
+    if (b.IsZero()) continue;
+    if (rng.UniformU64(2)) a = -a;
+    if (rng.UniformU64(2)) b = -b;
+    BigInt q, r;
+    a.DivMod(b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+  }
+}
+
+TEST(BigIntTest, DivisionByZeroAborts) {
+  EXPECT_DEATH(BigInt(1) / BigInt(0), "division by zero");
+}
+
+TEST(BigIntTest, EuclideanMod) {
+  EXPECT_EQ(BigInt(-7).Mod(BigInt(3)), BigInt(2));
+  EXPECT_EQ(BigInt(7).Mod(BigInt(3)), BigInt(1));
+  EXPECT_EQ(BigInt(-9).Mod(BigInt(3)), BigInt());
+  EXPECT_EQ(BigInt(-1).Mod(BigInt(100)), BigInt(99));
+}
+
+TEST(BigIntTest, Shifts) {
+  EXPECT_EQ(BigInt(1) << 64, BigInt::FromU64(UINT64_MAX) + BigInt(1));
+  EXPECT_EQ((BigInt(0xff) << 4).ToHex(), "ff0");
+  EXPECT_EQ((BigInt(0xff0) >> 4).ToHex(), "ff");
+  EXPECT_EQ(BigInt(1) >> 1, BigInt());
+  EXPECT_EQ((BigInt(1) << 100) >> 100, BigInt(1));
+  EXPECT_EQ(BigInt(-8) >> 2, BigInt(-2));
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(5), BigInt(3));
+  EXPECT_LE(BigInt(3), BigInt(3));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  BigInt big = BigInt(1) << 128;
+  EXPECT_LT(BigInt::FromU64(UINT64_MAX), big);
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v(0b1010);
+  EXPECT_FALSE(v.TestBit(0));
+  EXPECT_TRUE(v.TestBit(1));
+  EXPECT_TRUE(v.TestBit(3));
+  EXPECT_FALSE(v.TestBit(100));
+  EXPECT_EQ(v.BitLength(), 4u);
+  EXPECT_EQ((BigInt(1) << 200).BitLength(), 201u);
+}
+
+TEST(BigIntTest, OddEven) {
+  EXPECT_TRUE(BigInt(3).IsOdd());
+  EXPECT_TRUE(BigInt(-3).IsOdd());
+  EXPECT_TRUE(BigInt(4).IsEven());
+  EXPECT_TRUE(BigInt(0).IsEven());
+}
+
+TEST(BigIntTest, ModExpBasics) {
+  EXPECT_EQ(BigInt::ModExp(BigInt(2), BigInt(10), BigInt(1000)), BigInt(24));
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(0), BigInt(7)), BigInt(1));
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(3), BigInt(1)), BigInt());
+  // Fermat: 2^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(BigInt::ModExp(BigInt(2), BigInt(100002), BigInt(100003)),
+            BigInt(1));
+}
+
+TEST(BigIntTest, ModExpEvenModulus) {
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(4), BigInt(100)), BigInt(81 % 100));
+  EXPECT_EQ(BigInt::ModExp(BigInt(7), BigInt(5), BigInt(16)),
+            BigInt((7 * 7 * 7 * 7 * 7) % 16));
+}
+
+TEST(BigIntTest, ModExpNegativeBase) {
+  EXPECT_EQ(BigInt::ModExp(BigInt(-2), BigInt(3), BigInt(11)),
+            BigInt(-8).Mod(BigInt(11)));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, Lcm) {
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(BigInt::Lcm(BigInt(0), BigInt(6)), BigInt());
+}
+
+TEST(BigIntTest, ModInverse) {
+  Result<BigInt> inv = BigInt::ModInverse(BigInt(3), BigInt(11));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ((*inv * BigInt(3)).Mod(BigInt(11)), BigInt(1));
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(5), BigInt(1)).ok());
+}
+
+TEST(BigIntTest, ModInverseRandomized) {
+  SecureRng rng(88);
+  BigInt m = *BigInt::FromDecimal("1000000007");  // prime
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::RandomBelow(rng, m - BigInt(1)) + BigInt(1);
+    Result<BigInt> inv = BigInt::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ((a * *inv).Mod(m), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, RandomBitsBounds) {
+  SecureRng rng(99);
+  for (size_t bits : {1u, 7u, 32u, 33u, 100u}) {
+    for (int i = 0; i < 50; ++i) {
+      BigInt v = BigInt::RandomBits(rng, bits);
+      EXPECT_LE(v.BitLength(), bits);
+      EXPECT_FALSE(v.IsNegative());
+    }
+  }
+  EXPECT_EQ(BigInt::RandomBits(rng, 0), BigInt());
+}
+
+TEST(BigIntTest, RandomBelowUniformCoverage) {
+  SecureRng rng(100);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 1000; ++i) {
+    BigInt v = BigInt::RandomBelow(rng, BigInt(10));
+    ASSERT_GE(v, BigInt(0));
+    ASSERT_LT(v, BigInt(10));
+    counts[static_cast<size_t>(v.ToI64())]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 50);
+}
+
+TEST(BigIntTest, CompoundAssignment) {
+  BigInt v(10);
+  v += BigInt(5);
+  EXPECT_EQ(v, BigInt(15));
+  v -= BigInt(20);
+  EXPECT_EQ(v, BigInt(-5));
+  v *= BigInt(-4);
+  EXPECT_EQ(v, BigInt(20));
+}
+
+TEST(BigIntTest, StreamOutput) {
+  std::ostringstream os;
+  os << BigInt(-42);
+  EXPECT_EQ(os.str(), "-42");
+}
+
+}  // namespace
+}  // namespace ppdbscan

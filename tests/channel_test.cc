@@ -1,0 +1,125 @@
+#include "net/memory_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ppdbscan {
+namespace {
+
+TEST(MemoryChannelTest, SimpleSendRecv) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({1, 2, 3}).ok());
+  Result<std::vector<uint8_t>> frame = b->Recv();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(MemoryChannelTest, BidirectionalOrderPreserved) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({1}).ok());
+  ASSERT_TRUE(a->Send({2}).ok());
+  ASSERT_TRUE(b->Send({9}).ok());
+  EXPECT_EQ((*b->Recv())[0], 1);
+  EXPECT_EQ((*b->Recv())[0], 2);
+  EXPECT_EQ((*a->Recv())[0], 9);
+}
+
+TEST(MemoryChannelTest, EmptyFrame) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({}).ok());
+  EXPECT_TRUE(b->Recv()->empty());
+}
+
+TEST(MemoryChannelTest, RecvBlocksUntilSend) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  std::vector<uint8_t> got;
+  std::thread receiver([&] { got = *b->Recv(); });
+  std::thread sender([&] { ASSERT_TRUE(a->Send({42}).ok()); });
+  sender.join();
+  receiver.join();
+  EXPECT_EQ(got, std::vector<uint8_t>{42});
+}
+
+TEST(MemoryChannelTest, CloseUnblocksRecv) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  Result<std::vector<uint8_t>> result = Status::Internal("unset");
+  std::thread receiver([&] { result = b->Recv(); });
+  a->Close();
+  receiver.join();
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MemoryChannelTest, DrainsQueueBeforeReportingClose) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({7}).ok());
+  a->Close();
+  EXPECT_EQ((*b->Recv())[0], 7);
+  EXPECT_EQ(b->Recv().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MemoryChannelTest, SendToClosedPeerFails) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  b->Close();
+  EXPECT_EQ(a->Send({1}).code(), StatusCode::kUnavailable);
+}
+
+TEST(MemoryChannelTest, SendAfterOwnCloseFails) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  a->Close();
+  EXPECT_EQ(a->Send({1}).code(), StatusCode::kFailedPrecondition);
+  (void)b;
+}
+
+TEST(MemoryChannelTest, StatsCountBytesAndFrames) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({1, 2, 3}).ok());
+  ASSERT_TRUE(a->Send({4}).ok());
+  (void)b->Recv();
+  (void)b->Recv();
+  EXPECT_EQ(a->stats().bytes_sent, 4u);
+  EXPECT_EQ(a->stats().frames_sent, 2u);
+  EXPECT_EQ(b->stats().bytes_received, 4u);
+  EXPECT_EQ(b->stats().frames_received, 2u);
+  EXPECT_EQ(a->stats().total_bytes(), 4u);
+}
+
+TEST(MemoryChannelTest, RoundsCountDirectionSwitches) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  // a: send send recv send → 3 direction switches on a's side.
+  ASSERT_TRUE(a->Send({1}).ok());
+  ASSERT_TRUE(a->Send({2}).ok());
+  ASSERT_TRUE(b->Send({3}).ok());
+  (void)a->Recv();
+  ASSERT_TRUE(a->Send({4}).ok());
+  EXPECT_EQ(a->stats().rounds, 3u);
+}
+
+TEST(MemoryChannelTest, ResetStats) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({1}).ok());
+  a->ResetStats();
+  EXPECT_EQ(a->stats().bytes_sent, 0u);
+  EXPECT_EQ(a->stats().rounds, 0u);
+  (void)b;
+}
+
+TEST(MemoryChannelTest, ManyFramesAcrossThreads) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  constexpr int kFrames = 2000;
+  std::thread sender([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_TRUE(a->Send({static_cast<uint8_t>(i & 0xff)}).ok());
+    }
+  });
+  int mismatches = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    std::vector<uint8_t> f = *b->Recv();
+    if (f[0] != (i & 0xff)) ++mismatches;
+  }
+  sender.join();
+  EXPECT_EQ(mismatches, 0);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,190 @@
+#include "smc/comparator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+using testing_util::MakeSessionPair;
+using testing_util::RunTwoParty;
+using testing_util::SessionPair;
+
+class ComparatorTest : public ::testing::TestWithParam<ComparatorKind> {
+ protected:
+  static void SetUpTestSuite() {
+    pair_ = new SessionPair(MakeSessionPair(256, 128));
+  }
+  static SessionPair* pair_;
+
+  struct Pieces {
+    std::unique_ptr<SecureComparator> alice;
+    std::unique_ptr<SecureComparator> bob;
+  };
+
+  Pieces Make(const ComparatorOptions& options) {
+    Pieces pieces;
+    Result<std::unique_ptr<SecureComparator>> a =
+        CreateComparator(options, *pair_->alice, *pair_->alice_rng);
+    Result<std::unique_ptr<SecureComparator>> b =
+        CreateComparator(options, *pair_->bob, *pair_->bob_rng);
+    PPD_CHECK(a.ok() && b.ok());
+    pieces.alice = std::move(*a);
+    pieces.bob = std::move(*b);
+    return pieces;
+  }
+
+  std::pair<Result<bool>, Status> RunOnce(Pieces& pieces, const BigInt& x_q,
+                                          const BigInt& x_p,
+                                          const BigInt& threshold) {
+    return RunTwoParty<Result<bool>, Status>(
+        *pair_,
+        [&](Channel& ch, const SmcSession&, SecureRng&) {
+          return pieces.alice->QuerierCompare(ch, x_q, threshold);
+        },
+        [&](Channel& ch, const SmcSession&, SecureRng&) {
+          return pieces.bob->PeerAssist(ch, x_p);
+        });
+  }
+};
+SessionPair* ComparatorTest::pair_ = nullptr;
+
+TEST_P(ComparatorTest, TruthTableSweep) {
+  ComparatorOptions options;
+  options.kind = GetParam();
+  options.magnitude_bound = BigInt(64);
+  options.blinding_bits = 20;
+  Pieces pieces = Make(options);
+  for (int64_t x_q : {-20, -1, 0, 3, 20}) {
+    for (int64_t x_p : {-20, 0, 1, 20}) {
+      for (int64_t t : {-41, -1, 0, 7, 41}) {
+        auto [bit, assist] = RunOnce(pieces, BigInt(x_q), BigInt(x_p),
+                                     BigInt(t));
+        ASSERT_TRUE(bit.ok()) << bit.status();
+        ASSERT_TRUE(assist.ok()) << assist;
+        EXPECT_EQ(*bit, x_q + x_p <= t)
+            << "x_q=" << x_q << " x_p=" << x_p << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(ComparatorTest, ExactBoundaryBehaviour) {
+  ComparatorOptions options;
+  options.kind = GetParam();
+  options.magnitude_bound = BigInt(1000);
+  Pieces pieces = Make(options);
+  // Equality must report <= (the protocols compare dist² <= Eps²).
+  auto [eq, s1] = RunOnce(pieces, BigInt(500), BigInt(-100), BigInt(400));
+  ASSERT_TRUE(eq.ok() && s1.ok());
+  EXPECT_TRUE(*eq);
+  auto [above, s2] = RunOnce(pieces, BigInt(500), BigInt(-99), BigInt(400));
+  ASSERT_TRUE(above.ok() && s2.ok());
+  EXPECT_FALSE(*above);
+}
+
+TEST_P(ComparatorTest, InvocationCounter) {
+  ComparatorOptions options;
+  options.kind = GetParam();
+  options.magnitude_bound = BigInt(10);
+  Pieces pieces = Make(options);
+  for (int k = 0; k < 3; ++k) {
+    auto [bit, assist] = RunOnce(pieces, BigInt(1), BigInt(1), BigInt(5));
+    ASSERT_TRUE(bit.ok() && assist.ok());
+  }
+  EXPECT_EQ(pieces.alice->invocations(), 3u);
+  EXPECT_EQ(pieces.bob->invocations(), 3u);
+  pieces.alice->ResetInvocations();
+  EXPECT_EQ(pieces.alice->invocations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ComparatorTest,
+    ::testing::Values(ComparatorKind::kYmpp, ComparatorKind::kBlindedPaillier,
+                      ComparatorKind::kIdeal),
+    [](const auto& info) {
+      return std::string(ComparatorKindToString(info.param));
+    });
+
+TEST(ComparatorModularTest, ModularSharesSupported) {
+  // Blinded and ideal backends must accept mod-n additive shares whose raw
+  // magnitudes are huge but whose reconstructed difference is small — the
+  // §5 protocol's share regime.
+  SessionPair pair = MakeSessionPair(256, 128);
+  SecureRng rng(17);
+  const BigInt n = pair.alice->own_paillier_ctx().pub().n;
+  for (ComparatorKind kind :
+       {ComparatorKind::kBlindedPaillier, ComparatorKind::kIdeal}) {
+    ComparatorOptions options;
+    options.kind = kind;
+    options.magnitude_bound = BigInt(1) << 24;
+    auto alice_cmp = CreateComparator(options, *pair.alice, *pair.alice_rng);
+    auto bob_cmp = CreateComparator(options, *pair.bob, *pair.bob_rng);
+    ASSERT_TRUE(alice_cmp.ok() && bob_cmp.ok());
+    for (int iter = 0; iter < 8; ++iter) {
+      int64_t dist = static_cast<int64_t>(rng.UniformU64(1000));
+      int64_t eps = static_cast<int64_t>(rng.UniformU64(1000));
+      BigInt v = BigInt::RandomBelow(rng, n);            // uniform mask
+      BigInt u = (BigInt(dist) + v).Mod(n);              // share of dist
+      auto [bit, assist] = testing_util::RunTwoParty<Result<bool>, Status>(
+          pair,
+          [&](Channel& ch, const SmcSession&, SecureRng&) {
+            return (*alice_cmp)->QuerierCompare(ch, u, BigInt(eps));
+          },
+          [&](Channel& ch, const SmcSession&, SecureRng&) {
+            return (*bob_cmp)->PeerAssist(ch, -v);
+          });
+      ASSERT_TRUE(bit.ok()) << bit.status();
+      ASSERT_TRUE(assist.ok());
+      EXPECT_EQ(*bit, dist <= eps) << "dist=" << dist << " eps=" << eps;
+    }
+  }
+}
+
+TEST(ComparatorCreateTest, YmppRejectsHugeBounds) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  ComparatorOptions options;
+  options.kind = ComparatorKind::kYmpp;
+  options.magnitude_bound = BigInt(1) << 40;
+  EXPECT_FALSE(CreateComparator(options, *pair.alice, *pair.alice_rng).ok());
+}
+
+TEST(ComparatorCreateTest, BlindedRejectsOverflowingConfig) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  ComparatorOptions options;
+  options.kind = ComparatorKind::kBlindedPaillier;
+  options.magnitude_bound = BigInt(1) << 100;
+  options.blinding_bits = 64;  // ρ·δ would exceed n/2 for 128-bit n
+  EXPECT_FALSE(CreateComparator(options, *pair.alice, *pair.alice_rng).ok());
+}
+
+TEST(ComparatorCreateTest, RejectsNonPositiveBound) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  ComparatorOptions options;
+  options.magnitude_bound = BigInt(0);
+  EXPECT_FALSE(CreateComparator(options, *pair.alice, *pair.alice_rng).ok());
+}
+
+TEST(ComparatorYmppBoundsTest, OutOfRangeInputsAbortBothSides) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  ComparatorOptions options;
+  options.kind = ComparatorKind::kYmpp;
+  options.magnitude_bound = BigInt(10);
+  auto alice_cmp = CreateComparator(options, *pair.alice, *pair.alice_rng);
+  auto bob_cmp = CreateComparator(options, *pair.bob, *pair.bob_rng);
+  ASSERT_TRUE(alice_cmp.ok() && bob_cmp.ok());
+  auto [bit, assist] = testing_util::RunTwoParty<Result<bool>, Status>(
+      pair,
+      [&](Channel& ch, const SmcSession&, SecureRng&) {
+        return (*alice_cmp)->QuerierCompare(ch, BigInt(100), BigInt(0));
+      },
+      [&](Channel& ch, const SmcSession&, SecureRng&) {
+        return (*bob_cmp)->PeerAssist(ch, BigInt(1));
+      });
+  EXPECT_EQ(bit.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(assist.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ppdbscan

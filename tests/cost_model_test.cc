@@ -1,0 +1,55 @@
+#include "eval/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+ChannelStats MakeStats(uint64_t bytes, uint64_t rounds) {
+  ChannelStats stats;
+  stats.bytes_sent = bytes / 2;
+  stats.bytes_received = bytes - bytes / 2;
+  stats.rounds = rounds;
+  return stats;
+}
+
+TEST(CostModelTest, AlphaBetaDecomposition) {
+  LinkModel link{.name = "test",
+                 .one_way_latency_s = 0.01,
+                 .bandwidth_bytes_per_s = 1000.0};
+  // 10 rounds * 10ms + 500 bytes / 1000 B/s = 0.1 + 0.5.
+  EXPECT_DOUBLE_EQ(ProjectedSeconds(MakeStats(500, 10), link), 0.6);
+}
+
+TEST(CostModelTest, ZeroTrafficCostsNothing) {
+  EXPECT_DOUBLE_EQ(ProjectedSeconds(ChannelStats(), MetroWanLink()), 0.0);
+}
+
+TEST(CostModelTest, LatencyDominatesOnChattyProtocols) {
+  // Same bytes, 100x the rounds: on a WAN the chatty run must cost much
+  // more — the α-term argument for why generic circuit protocols lose.
+  LinkModel wan = MetroWanLink();
+  double quiet = ProjectedSeconds(MakeStats(1 << 20, 10), wan);
+  double chatty = ProjectedSeconds(MakeStats(1 << 20, 1000), wan);
+  EXPECT_GT(chatty, quiet + 9.0);
+}
+
+TEST(CostModelTest, BandwidthDominatesOnBulkTransfers) {
+  LinkModel slow = WideWanLink();
+  LinkModel fast = DatacenterLink();
+  ChannelStats bulk = MakeStats(100 << 20, 4);
+  EXPECT_GT(ProjectedSeconds(bulk, slow),
+            100.0 * ProjectedSeconds(bulk, fast));
+}
+
+TEST(CostModelTest, ProfilesAreOrdered) {
+  // Faster profiles must never project slower on identical traffic.
+  ChannelStats stats = MakeStats(1 << 16, 64);
+  EXPECT_LT(ProjectedSeconds(stats, DatacenterLink()),
+            ProjectedSeconds(stats, MetroWanLink()));
+  EXPECT_LT(ProjectedSeconds(stats, MetroWanLink()),
+            ProjectedSeconds(stats, WideWanLink()));
+}
+
+}  // namespace
+}  // namespace ppdbscan

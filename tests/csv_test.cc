@@ -1,0 +1,103 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace ppdbscan {
+namespace {
+
+TEST(CsvTest, ParsesPlainNumericRows) {
+  Result<RawDataset> ds = ParseCsvDataset("1.5,2\n-3,0.25\n");
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->dims, 2u);
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_DOUBLE_EQ(ds->points[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(ds->points[1][1], 0.25);
+  EXPECT_TRUE(ds->true_labels.empty());
+}
+
+TEST(CsvTest, SkipsHeaderLine) {
+  Result<RawDataset> ds = ParseCsvDataset("x,y\n1,2\n3,4\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST(CsvTest, ParsesLabelColumn) {
+  Result<RawDataset> ds =
+      ParseCsvDataset("x,y,label\n1,2,0\n3,4,0\n9,9,-1\n",
+                      /*label_column=*/true);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->dims, 2u);
+  EXPECT_EQ(ds->true_labels, (std::vector<int>{0, 0, -1}));
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  Result<RawDataset> ds = ParseCsvDataset("1,2\n3\n");
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ds.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsNonNumericDataCell) {
+  Result<RawDataset> ds = ParseCsvDataset("1,2\n3,oops\n");
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsFractionalLabel) {
+  Result<RawDataset> ds = ParseCsvDataset("1,2,0.5\n", /*label_column=*/true);
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_EQ(ParseCsvDataset("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCsvDataset("x,y\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, HandlesWindowsLineEndings) {
+  Result<RawDataset> ds = ParseCsvDataset("1,2\r\n3,4\r\n");
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST(CsvTest, RoundTripsGeneratedData) {
+  SecureRng rng(4);
+  RawDataset original = MakeBlobs(rng, 2, 5, 3, 0.5, 4.0);
+  Result<RawDataset> parsed =
+      ParseCsvDataset(FormatCsvDataset(original), /*label_column=*/true);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  EXPECT_EQ(parsed->dims, original.dims);
+  EXPECT_EQ(parsed->true_labels, original.true_labels);
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (size_t d = 0; d < original.dims; ++d) {
+      EXPECT_DOUBLE_EQ(parsed->points[i][d], original.points[i][d]);
+    }
+  }
+}
+
+TEST(CsvTest, FormatsLabels) {
+  EXPECT_EQ(FormatLabelsCsv({0, 1, kNoise}),
+            "index,label\n0,0\n1,1\n2,-1\n");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ppdbscan_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "1,2\n3,4\n").ok());
+  Result<RawDataset> ds = LoadCsvDataset(path);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsUnavailable) {
+  EXPECT_EQ(LoadCsvDataset("/nonexistent/xyz.csv").status().code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ppdbscan

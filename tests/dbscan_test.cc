@@ -1,0 +1,180 @@
+#include "dbscan/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "eval/metrics.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset MakePoints(const std::vector<std::vector<int64_t>>& points) {
+  Dataset ds(points.empty() ? 1 : points[0].size());
+  for (const auto& p : points) PPD_CHECK(ds.Add(p).ok());
+  return ds;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset ds = MakePoints({{0, 0}, {3, 4}});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_EQ(ds.DistanceSquared(0, 1), 25);
+  EXPECT_EQ(ds.DistanceSquared(0, 0), 0);
+  EXPECT_EQ(ds.SquaredNorm(1), 25);
+}
+
+TEST(DatasetTest, RejectsDimensionMismatch) {
+  Dataset ds(2);
+  EXPECT_FALSE(ds.Add({1, 2, 3}).ok());
+}
+
+TEST(DatasetTest, RejectsOutOfRangeCoordinates) {
+  Dataset ds(1);
+  EXPECT_FALSE(ds.Add({Dataset::kMaxAbsCoordinate + 1}).ok());
+  EXPECT_TRUE(ds.Add({Dataset::kMaxAbsCoordinate}).ok());
+  EXPECT_TRUE(ds.Add({-Dataset::kMaxAbsCoordinate}).ok());
+}
+
+TEST(DatasetTest, NegativeCoordinates) {
+  Dataset ds = MakePoints({{-5, -5}, {-2, -1}});
+  EXPECT_EQ(ds.DistanceSquared(0, 1), 9 + 16);
+}
+
+TEST(DbscanTest, TwoObviousClustersAndNoise) {
+  // Two tight pairs far apart plus one isolated point.
+  Dataset ds = MakePoints({{0, 0}, {1, 0}, {100, 100}, {101, 100}, {50, 0}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 4, .min_pts = 2});
+  EXPECT_EQ(r.num_clusters, 2u);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[2], r.labels[3]);
+  EXPECT_NE(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[4], kNoise);
+  EXPECT_TRUE(r.is_core[0]);
+  EXPECT_FALSE(r.is_core[4]);
+}
+
+TEST(DbscanTest, ChainForming) {
+  // A chain of points, each within eps of the next: one cluster via
+  // density-reachability (Definition 1).
+  Dataset ds = MakePoints({{0, 0}, {2, 0}, {4, 0}, {6, 0}, {8, 0}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 4, .min_pts = 2});
+  EXPECT_EQ(r.num_clusters, 1u);
+  for (int32_t l : r.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // Center with three satellites: center is core with MinPts=4 (self + 3);
+  // satellites are border points (only 2 neighbours each: self + center).
+  Dataset ds = MakePoints({{0, 0}, {1, 0}, {-1, 0}, {0, 1}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 1, .min_pts = 4});
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_TRUE(r.is_core[0]);
+  EXPECT_FALSE(r.is_core[1]);
+  for (int32_t l : r.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(DbscanTest, NoiseUpgradedToBorder) {
+  // Point 2 is processed first as noise (its neighbourhood is too small
+  // from its own perspective... it has 2 neighbours incl. self), then
+  // reached from the core cluster and relabelled — the classic NOISE →
+  // border transition in Algorithm 6.
+  Dataset ds = MakePoints({{10, 0}, {0, 0}, {-3, 0}, {1, 0}, {-1, 0}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 9, .min_pts = 4});
+  EXPECT_EQ(r.labels[2], r.labels[1]);  // -3 joins through core at 0
+  EXPECT_EQ(r.labels[0], kNoise);
+}
+
+TEST(DbscanTest, MinPtsOneEveryPointIsItsOwnCore) {
+  Dataset ds = MakePoints({{0, 0}, {100, 0}, {200, 0}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 1, .min_pts = 1});
+  EXPECT_EQ(r.num_clusters, 3u);
+  for (bool c : r.is_core) EXPECT_TRUE(c);
+}
+
+TEST(DbscanTest, AllNoiseWhenEpsTooSmall) {
+  Dataset ds = MakePoints({{0, 0}, {10, 0}, {20, 0}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 1, .min_pts = 2});
+  EXPECT_EQ(r.num_clusters, 0u);
+  for (int32_t l : r.labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(DbscanTest, SinglePoint) {
+  Dataset ds = MakePoints({{5, 5}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 100, .min_pts = 2});
+  EXPECT_EQ(r.labels[0], kNoise);
+  DbscanResult r2 = RunDbscan(ds, {.eps_squared = 100, .min_pts = 1});
+  EXPECT_EQ(r2.labels[0], 0);
+}
+
+TEST(DbscanTest, EmptyDataset) {
+  Dataset ds(2);
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 1, .min_pts = 2});
+  EXPECT_EQ(r.num_clusters, 0u);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(DbscanTest, DuplicatePointsClusterTogether) {
+  Dataset ds = MakePoints({{3, 3}, {3, 3}, {3, 3}, {50, 50}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 0, .min_pts = 3});
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[3], kNoise);
+}
+
+TEST(DbscanTest, EpsZeroOnlyCoLocatedPoints) {
+  Dataset ds = MakePoints({{0, 0}, {0, 0}, {1, 0}});
+  DbscanResult r = RunDbscan(ds, {.eps_squared = 0, .min_pts = 2});
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[2], kNoise);
+}
+
+TEST(DbscanTest, RingInsideRingSeparated) {
+  // DBSCAN's headline capability (§1): a cluster completely surrounded by
+  // another cluster.
+  // 100 points on the radius-6 ring gives mean spacing 0.38, so every point
+  // comfortably sees >= min_pts neighbours within eps = 1.0.
+  SecureRng rng(5);
+  RawDataset raw = MakeRings(rng, 100, {2.0, 6.0}, 0.05);
+  FixedPointEncoder enc(10.0);
+  Dataset ds = *enc.Encode(raw);
+  DbscanResult r =
+      RunDbscan(ds, {.eps_squared = *enc.EncodeEpsSquared(1.0), .min_pts = 4});
+  EXPECT_EQ(r.num_clusters, 2u);
+  Labels truth(raw.true_labels.begin(), raw.true_labels.end());
+  EXPECT_GT(AdjustedRandIndex(r.labels, truth), 0.99);
+}
+
+TEST(DbscanTest, TwoMoonsSeparated) {
+  SecureRng rng(6);
+  RawDataset raw = MakeTwoMoons(rng, 80, 0.04);
+  FixedPointEncoder enc(20.0);
+  Dataset ds = *enc.Encode(raw);
+  DbscanResult r =
+      RunDbscan(ds, {.eps_squared = *enc.EncodeEpsSquared(0.25), .min_pts = 4});
+  EXPECT_EQ(r.num_clusters, 2u);
+  Labels truth(raw.true_labels.begin(), raw.true_labels.end());
+  EXPECT_GT(AdjustedRandIndex(r.labels, truth), 0.95);
+}
+
+TEST(DbscanTest, ResultIndependentOfQuerierChoice) {
+  SecureRng rng(7);
+  RawDataset raw = MakeBlobs(rng, 3, 30, 2, 0.6, 8.0);
+  AddUniformNoise(raw, rng, 10, 10.0);
+  FixedPointEncoder enc(8.0);
+  Dataset ds = *enc.Encode(raw);
+  DbscanParams params{*enc.EncodeEpsSquared(1.0), 4};
+  DbscanResult linear = RunDbscan(ds, params);
+  LinearRegionQuerier explicit_linear(ds);
+  DbscanResult with_explicit = RunDbscan(ds, params, &explicit_linear);
+  EXPECT_EQ(linear.labels, with_explicit.labels);
+}
+
+TEST(NumClustersTest, CountsMaxLabel) {
+  EXPECT_EQ(NumClusters({0, 1, 2, kNoise}), 3u);
+  EXPECT_EQ(NumClusters({kNoise, kNoise}), 0u);
+  EXPECT_EQ(NumClusters({}), 0u);
+}
+
+}  // namespace
+}  // namespace ppdbscan

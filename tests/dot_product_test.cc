@@ -1,0 +1,139 @@
+#include "smc/dot_product.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+using testing_util::MakeSessionPair;
+using testing_util::RunTwoParty;
+using testing_util::SessionPair;
+
+class DotProductTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pair_ = new SessionPair(MakeSessionPair(256, 128));
+  }
+  static SessionPair* pair_;
+
+  static std::vector<BigInt> ReconstructAll(
+      const std::vector<BigInt>& alpha,
+      const std::vector<std::vector<BigInt>>& rows,
+      const DotProductOptions& options = {}) {
+    auto [u, v] =
+        RunTwoParty<Result<std::vector<BigInt>>, Result<std::vector<BigInt>>>(
+            *pair_,
+            [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+              return RunDotProductReceiver(ch, s, alpha, rows.size(), rng);
+            },
+            [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+              return RunDotProductHelper(ch, s, rows, options, rng);
+            });
+    PPD_CHECK_MSG(u.ok() && v.ok(), "protocol failed");
+    const PaillierContext& ctx = pair_->alice->own_paillier_ctx();
+    std::vector<BigInt> out;
+    for (size_t i = 0; i < u->size(); ++i) {
+      out.push_back(ctx.DecodeSigned(((*u)[i] - (*v)[i]).Mod(ctx.pub().n)));
+    }
+    return out;
+  }
+};
+SessionPair* DotProductTest::pair_ = nullptr;
+
+TEST_F(DotProductTest, SingleRow) {
+  std::vector<BigInt> got = ReconstructAll(
+      {BigInt(3), BigInt(-4), BigInt(1)},
+      {{BigInt(1), BigInt(2), BigInt(5)}});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], BigInt(3 - 8 + 5));
+}
+
+TEST_F(DotProductTest, MultipleRows) {
+  std::vector<BigInt> got = ReconstructAll(
+      {BigInt(2), BigInt(3)},
+      {{BigInt(1), BigInt(1)}, {BigInt(-5), BigInt(4)}, {BigInt(0), BigInt(0)}});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], BigInt(5));
+  EXPECT_EQ(got[1], BigInt(2));
+  EXPECT_EQ(got[2], BigInt(0));
+}
+
+TEST_F(DotProductTest, SquaredDistanceForm) {
+  // The §5 use: α = (Σx², −2x, 1)·(1, y, Σy²) = (x−y)².
+  int64_t x = 13, y = -8;
+  std::vector<BigInt> got = ReconstructAll(
+      {BigInt(x * x), BigInt(-2 * x), BigInt(1)},
+      {{BigInt(1), BigInt(y), BigInt(y * y)}});
+  EXPECT_EQ(got[0], BigInt((x - y) * (x - y)));
+}
+
+TEST_F(DotProductTest, EmptyRowsList) {
+  std::vector<BigInt> got = ReconstructAll({BigInt(1)}, {});
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(DotProductTest, BoundedMasksStaySmall) {
+  DotProductOptions options;
+  options.mask_bits = 16;
+  auto [u, v] =
+      RunTwoParty<Result<std::vector<BigInt>>, Result<std::vector<BigInt>>>(
+          *pair_,
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductReceiver(ch, s, {BigInt(7)}, 1, rng);
+          },
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductHelper(ch, s, {{BigInt(6)}}, options, rng);
+          });
+  ASSERT_TRUE(u.ok() && v.ok());
+  EXPECT_LT((*v)[0], BigInt(1) << 16);
+  // Unwrapped small-share arithmetic: u = 42 + v over the integers.
+  EXPECT_EQ((*u)[0], BigInt(42) + (*v)[0]);
+}
+
+TEST_F(DotProductTest, RowCountMismatchDetected) {
+  auto [u, v] =
+      RunTwoParty<Result<std::vector<BigInt>>, Result<std::vector<BigInt>>>(
+          *pair_,
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductReceiver(ch, s, {BigInt(1)}, 5, rng);
+          },
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductHelper(ch, s, {{BigInt(1)}}, {}, rng);
+          });
+  EXPECT_EQ(u.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(v.ok());  // helper completed before the receiver's check
+}
+
+TEST_F(DotProductTest, RowLengthMismatchAborts) {
+  auto [u, v] =
+      RunTwoParty<Result<std::vector<BigInt>>, Result<std::vector<BigInt>>>(
+          *pair_,
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductReceiver(ch, s, {BigInt(1), BigInt(2)}, 1,
+                                         rng);
+          },
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductHelper(ch, s, {{BigInt(1)}}, {}, rng);
+          });
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(u.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(DotProductTest, EmptyAlphaAborts) {
+  auto [u, v] =
+      RunTwoParty<Result<std::vector<BigInt>>, Result<std::vector<BigInt>>>(
+          *pair_,
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductReceiver(ch, s, {}, 1, rng);
+          },
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return RunDotProductHelper(ch, s, {{BigInt(1)}}, {}, rng);
+          });
+  EXPECT_EQ(u.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ppdbscan

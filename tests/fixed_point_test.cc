@@ -1,0 +1,63 @@
+#include "data/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+TEST(FixedPointTest, ScalarScalingAndRounding) {
+  FixedPointEncoder enc(10.0);
+  EXPECT_EQ(*enc.EncodeScalar(1.5), 15);
+  EXPECT_EQ(*enc.EncodeScalar(-1.5), -15);
+  EXPECT_EQ(*enc.EncodeScalar(0.04), 0);
+  EXPECT_EQ(*enc.EncodeScalar(0.05), 1);  // round half away from zero
+  EXPECT_EQ(*enc.EncodeScalar(0.0), 0);
+}
+
+TEST(FixedPointTest, OutOfRangeRejected) {
+  FixedPointEncoder enc(1e9);
+  EXPECT_EQ(enc.EncodeScalar(1e12).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FixedPointTest, EncodeDataset) {
+  RawDataset raw;
+  raw.dims = 2;
+  raw.points = {{1.0, -2.0}, {0.25, 0.75}};
+  raw.true_labels = {0, 0};
+  FixedPointEncoder enc(4.0);
+  Result<Dataset> ds = enc.Encode(raw);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->point(0), (std::vector<int64_t>{4, -8}));
+  EXPECT_EQ(ds->point(1), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(FixedPointTest, EpsSquared) {
+  FixedPointEncoder enc(10.0);
+  EXPECT_EQ(*enc.EncodeEpsSquared(1.5), 225);
+  EXPECT_EQ(*enc.EncodeEpsSquared(0.0), 0);
+  EXPECT_FALSE(enc.EncodeEpsSquared(-1.0).ok());
+}
+
+TEST(FixedPointTest, DistancePreservation) {
+  // Exact distance ordering is preserved for grid-aligned values.
+  RawDataset raw;
+  raw.dims = 1;
+  raw.points = {{0.0}, {1.0}, {2.5}};
+  raw.true_labels = {0, 0, 0};
+  FixedPointEncoder enc(2.0);
+  Dataset ds = *enc.Encode(raw);
+  EXPECT_EQ(ds.DistanceSquared(0, 1), 4);    // (1.0 * 2)²
+  EXPECT_EQ(ds.DistanceSquared(0, 2), 25);   // (2.5 * 2)²
+}
+
+TEST(FixedPointTest, MaxDistanceSquaredBound) {
+  EXPECT_EQ(FixedPointEncoder::MaxDistanceSquared(2, 10), 2 * 20 * 20);
+  EXPECT_EQ(FixedPointEncoder::MaxDistanceSquared(3, 1), 12);
+}
+
+TEST(FixedPointDeathTest, RejectsNonPositiveScale) {
+  EXPECT_DEATH(FixedPointEncoder(0.0), "scale must be positive");
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,102 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ppdbscan {
+namespace {
+
+TEST(GeneratorsTest, BlobsShapeAndLabels) {
+  SecureRng rng(1);
+  RawDataset raw = MakeBlobs(rng, 4, 25, 3, 0.5, 10.0);
+  EXPECT_EQ(raw.size(), 100u);
+  EXPECT_EQ(raw.dims, 3u);
+  std::set<int> labels(raw.true_labels.begin(), raw.true_labels.end());
+  EXPECT_EQ(labels.size(), 4u);
+  for (const auto& p : raw.points) EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(GeneratorsTest, BlobsClusterSpread) {
+  SecureRng rng(2);
+  RawDataset raw = MakeBlobs(rng, 1, 200, 2, 0.5, 5.0);
+  // Sample standard deviation should be near the requested 0.5.
+  double mx = 0, my = 0;
+  for (const auto& p : raw.points) {
+    mx += p[0];
+    my += p[1];
+  }
+  mx /= raw.size();
+  my /= raw.size();
+  double var = 0;
+  for (const auto& p : raw.points) {
+    var += (p[0] - mx) * (p[0] - mx) + (p[1] - my) * (p[1] - my);
+  }
+  var /= (2 * raw.size());
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.1);
+}
+
+TEST(GeneratorsTest, MoonsShape) {
+  SecureRng rng(3);
+  RawDataset raw = MakeTwoMoons(rng, 50, 0.02);
+  EXPECT_EQ(raw.size(), 100u);
+  EXPECT_EQ(raw.dims, 2u);
+  // First moon sits above y≈0, second dips below.
+  int below = 0;
+  for (size_t i = 50; i < 100; ++i) below += raw.points[i][1] < 0.3;
+  EXPECT_GT(below, 25);
+}
+
+TEST(GeneratorsTest, RingsRadii) {
+  SecureRng rng(4);
+  RawDataset raw = MakeRings(rng, 100, {3.0, 9.0}, 0.01);
+  EXPECT_EQ(raw.size(), 200u);
+  for (size_t i = 0; i < 100; ++i) {
+    double r = std::hypot(raw.points[i][0], raw.points[i][1]);
+    EXPECT_NEAR(r, 3.0, 0.1);
+  }
+  for (size_t i = 100; i < 200; ++i) {
+    double r = std::hypot(raw.points[i][0], raw.points[i][1]);
+    EXPECT_NEAR(r, 9.0, 0.1);
+  }
+}
+
+TEST(GeneratorsTest, DumbbellBridgeSpansGap) {
+  SecureRng rng(5);
+  RawDataset raw = MakeDumbbell(rng, 30, 10, 10.0, 0.5);
+  EXPECT_EQ(raw.size(), 70u);
+  // Bridge points (last 10) are spread along x between the blobs.
+  double min_x = 1e9, max_x = -1e9;
+  for (size_t i = 60; i < 70; ++i) {
+    min_x = std::min(min_x, raw.points[i][0]);
+    max_x = std::max(max_x, raw.points[i][0]);
+  }
+  EXPECT_LT(min_x, -3.0);
+  EXPECT_GT(max_x, 3.0);
+}
+
+TEST(GeneratorsTest, UniformNoiseLabelledMinusOne) {
+  SecureRng rng(6);
+  RawDataset raw = MakeBlobs(rng, 1, 10, 2, 0.5, 3.0);
+  AddUniformNoise(raw, rng, 20, 15.0);
+  EXPECT_EQ(raw.size(), 30u);
+  for (size_t i = 10; i < 30; ++i) {
+    EXPECT_EQ(raw.true_labels[i], -1);
+    EXPECT_LE(std::fabs(raw.points[i][0]), 15.0);
+    EXPECT_LE(std::fabs(raw.points[i][1]), 15.0);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicUnderSeed) {
+  SecureRng a(7), b(7);
+  RawDataset ra = MakeBlobs(a, 2, 10, 2, 0.4, 5.0);
+  RawDataset rb = MakeBlobs(b, 2, 10, 2, 0.4, 5.0);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra.points[i], rb.points[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ppdbscan

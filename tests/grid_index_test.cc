@@ -1,0 +1,106 @@
+#include "dbscan/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset RandomDataset(SecureRng& rng, size_t n, size_t dims, int64_t range) {
+  Dataset ds(dims);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<int64_t> p(dims);
+    for (auto& c : p) {
+      c = static_cast<int64_t>(rng.UniformU64(2 * range)) - range;
+    }
+    PPD_CHECK(ds.Add(p).ok());
+  }
+  return ds;
+}
+
+/// Property sweep: grid query == linear query for random data across
+/// dimensions and radii.
+class GridEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int64_t>> {};
+
+TEST_P(GridEquivalenceTest, MatchesLinearQuerier) {
+  auto [dims, eps_squared] = GetParam();
+  SecureRng rng(dims * 1000 + static_cast<uint64_t>(eps_squared));
+  Dataset ds = RandomDataset(rng, 150, dims, 30);
+  GridRegionQuerier grid(ds, eps_squared);
+  LinearRegionQuerier linear(ds);
+  for (size_t i = 0; i < ds.size(); i += 7) {
+    std::vector<size_t> a = grid.Query(i, eps_squared);
+    std::vector<size_t> b = linear.Query(i, eps_squared);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndRadii, GridEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(int64_t{1}, int64_t{16}, int64_t{100},
+                                         int64_t{900})),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_eps" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GridIndexTest, SelfAlwaysIncluded) {
+  SecureRng rng(3);
+  Dataset ds = RandomDataset(rng, 50, 2, 100);
+  GridRegionQuerier grid(ds, 25);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    std::vector<size_t> result = grid.Query(i, 25);
+    EXPECT_NE(std::find(result.begin(), result.end(), i), result.end());
+  }
+}
+
+TEST(GridIndexTest, EmptyDataset) {
+  Dataset ds(2);
+  GridRegionQuerier grid(ds, 10);
+  EXPECT_EQ(grid.CellCount(), 0u);
+}
+
+TEST(GridIndexTest, AllPointsOneCell) {
+  Dataset ds(2);
+  for (int i = 0; i < 5; ++i) PPD_CHECK(ds.Add({i, 0}).ok());
+  GridRegionQuerier grid(ds, 10000);
+  EXPECT_EQ(grid.CellCount(), 1u);
+  EXPECT_EQ(grid.Query(0, 10000).size(), 5u);
+}
+
+TEST(GridIndexTest, EpsZero) {
+  Dataset ds(2);
+  PPD_CHECK(ds.Add({0, 0}).ok());
+  PPD_CHECK(ds.Add({0, 0}).ok());
+  PPD_CHECK(ds.Add({1, 1}).ok());
+  GridRegionQuerier grid(ds, 0);
+  EXPECT_EQ(grid.Query(0, 0).size(), 2u);
+}
+
+TEST(GridIndexTest, NegativeCoordinatesCellAssignment) {
+  // FloorDiv must round toward -inf so that -1 and +1 land in different
+  // cells of edge 2.
+  Dataset ds(1);
+  PPD_CHECK(ds.Add({-1}).ok());
+  PPD_CHECK(ds.Add({1}).ok());
+  GridRegionQuerier grid(ds, 4);
+  std::vector<size_t> r = grid.Query(0, 4);
+  EXPECT_EQ(r.size(), 2u);  // still neighbours across the cell boundary
+}
+
+TEST(GridIndexDeathTest, EpsMismatchAborts) {
+  Dataset ds(2);
+  PPD_CHECK(ds.Add({0, 0}).ok());
+  GridRegionQuerier grid(ds, 10);
+  EXPECT_DEATH(grid.Query(0, 20), "different eps");
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,203 @@
+// Cross-module integration tests: full protocol runs with the real
+// cryptographic comparison backends, including Algorithm 1 (YMPP) end to
+// end, and a TCP-transport run.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/run.h"
+#include "core/horizontal.h"
+#include "core/vertical.h"
+#include "data/fixed_point.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+#include "net/socket_channel.h"
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+/// A tiny grid-coordinate workload sized for the Θ(n0) YMPP comparator:
+/// coordinates in [-6, 6], so squared distances stay <= 288 and the YMPP
+/// table stays around a thousand entries.
+struct TinyWorkload {
+  Dataset alice{2};
+  Dataset bob{2};
+  Dataset full{2};
+  DbscanParams params{.eps_squared = 8, .min_pts = 3};
+};
+
+TinyWorkload MakeTinyWorkload() {
+  TinyWorkload w;
+  // Cluster A (Alice-heavy) around (0,0); cluster B (mixed) around (5,5);
+  // one isolated point.
+  const std::vector<std::vector<int64_t>> alice_pts = {
+      {0, 0}, {1, 0}, {0, 1}, {5, 5}, {-6, -6}};
+  const std::vector<std::vector<int64_t>> bob_pts = {
+      {1, 1}, {6, 5}, {5, 6}, {6, 6}};
+  for (const auto& p : alice_pts) {
+    PPD_CHECK(w.alice.Add(p).ok());
+    PPD_CHECK(w.full.Add(p).ok());
+  }
+  for (const auto& p : bob_pts) {
+    PPD_CHECK(w.bob.Add(p).ok());
+    PPD_CHECK(w.full.Add(p).ok());
+  }
+  return w;
+}
+
+ExecutionConfig BaseConfig(const TinyWorkload& w) {
+  ExecutionConfig config;
+  config.smc.paillier_bits = 256;
+  config.smc.rsa_bits = 128;
+  config.protocol.params = w.params;
+  config.protocol.comparator.magnitude_bound =
+      RecommendedComparatorBound(2, 6);
+  return config;
+}
+
+TEST(IntegrationTest, YmppComparatorMatchesIdealOnBasicHorizontal) {
+  TinyWorkload w = MakeTinyWorkload();
+  ExecutionConfig ideal = BaseConfig(w);
+  ideal.protocol.comparator.kind = ComparatorKind::kIdeal;
+  Result<TwoPartyOutcome> ideal_out = ExecuteHorizontal(w.alice, w.bob, ideal);
+  ASSERT_TRUE(ideal_out.ok()) << ideal_out.status();
+
+  ExecutionConfig ymp = BaseConfig(w);
+  ymp.protocol.comparator.kind = ComparatorKind::kYmpp;
+  Result<TwoPartyOutcome> ymp_out = ExecuteHorizontal(w.alice, w.bob, ymp);
+  ASSERT_TRUE(ymp_out.ok()) << ymp_out.status();
+
+  EXPECT_EQ(ideal_out->alice.labels, ymp_out->alice.labels);
+  EXPECT_EQ(ideal_out->bob.labels, ymp_out->bob.labels);
+  EXPECT_EQ(ideal_out->alice.is_core, ymp_out->alice.is_core);
+  // Algorithm 1 is expensive: the YMPP run must move far more bytes.
+  EXPECT_GT(ymp_out->alice_stats.total_bytes(),
+            20 * ideal_out->alice_stats.total_bytes());
+}
+
+TEST(IntegrationTest, YmppComparatorEnhancedModeWithBoundedMasks) {
+  TinyWorkload w = MakeTinyWorkload();
+  ExecutionConfig ideal = BaseConfig(w);
+  ideal.protocol.comparator.kind = ComparatorKind::kIdeal;
+  ideal.protocol.mode = HorizontalMode::kEnhanced;
+  Result<TwoPartyOutcome> ideal_out = ExecuteHorizontal(w.alice, w.bob, ideal);
+  ASSERT_TRUE(ideal_out.ok()) << ideal_out.status();
+
+  ExecutionConfig ymp = BaseConfig(w);
+  ymp.protocol.comparator.kind = ComparatorKind::kYmpp;
+  ymp.protocol.mode = HorizontalMode::kEnhanced;
+  // Bounded masks keep shares inside the YMPP domain; the bound must cover
+  // max dist² + 2^mask_bits.
+  ymp.protocol.share_mask_bits = 6;
+  Result<TwoPartyOutcome> ymp_out = ExecuteHorizontal(w.alice, w.bob, ymp);
+  ASSERT_TRUE(ymp_out.ok()) << ymp_out.status();
+  EXPECT_EQ(ideal_out->alice.labels, ymp_out->alice.labels);
+  EXPECT_EQ(ideal_out->bob.labels, ymp_out->bob.labels);
+}
+
+TEST(IntegrationTest, YmppComparatorOnVertical) {
+  TinyWorkload w = MakeTinyWorkload();
+  DbscanResult central = RunDbscan(w.full, w.params);
+  VerticalPartition vp = *PartitionVertical(w.full, 1);
+  ExecutionConfig ymp = BaseConfig(w);
+  ymp.protocol.comparator.kind = ComparatorKind::kYmpp;
+  Result<TwoPartyOutcome> out = ExecuteVertical(vp, ymp);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(SameClustering(out->alice.labels, central.labels));
+  EXPECT_EQ(out->alice.labels, out->bob.labels);
+}
+
+TEST(IntegrationTest, HorizontalOverTcpSockets) {
+  TinyWorkload w = MakeTinyWorkload();
+  ProtocolOptions options;
+  options.params = w.params;
+  options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 6);
+  SmcOptions smc;
+  smc.paillier_bits = 256;
+  smc.rsa_bits = 128;
+
+  Result<SocketListener> listener = SocketListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const uint16_t kPort = listener->port();
+
+  Result<PartyClusteringResult> alice_result = Status::Internal("unset");
+  Result<PartyClusteringResult> bob_result = Status::Internal("unset");
+  std::thread alice_thread([&] {
+    Result<std::unique_ptr<SocketChannel>> ch = listener->Accept();
+    if (!ch.ok()) {
+      alice_result = ch.status();
+      return;
+    }
+    SecureRng rng(1);
+    Result<SmcSession> session = SmcSession::Establish(**ch, rng, smc);
+    if (!session.ok()) {
+      alice_result = session.status();
+      return;
+    }
+    alice_result = RunHorizontalDbscan(**ch, *session, w.alice,
+                                       PartyRole::kAlice, options, rng);
+  });
+  std::thread bob_thread([&] {
+    Result<std::unique_ptr<SocketChannel>> ch =
+        SocketChannel::Connect("127.0.0.1", kPort);
+    if (!ch.ok()) {
+      bob_result = ch.status();
+      return;
+    }
+    SecureRng rng(2);
+    Result<SmcSession> session = SmcSession::Establish(**ch, rng, smc);
+    if (!session.ok()) {
+      bob_result = session.status();
+      return;
+    }
+    bob_result = RunHorizontalDbscan(**ch, *session, w.bob, PartyRole::kBob,
+                                     options, rng);
+  });
+  alice_thread.join();
+  bob_thread.join();
+  ASSERT_TRUE(alice_result.ok()) << alice_result.status();
+  ASSERT_TRUE(bob_result.ok()) << bob_result.status();
+
+  // Cross-check against the in-process harness.
+  ExecutionConfig config = BaseConfig(w);
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+  Result<TwoPartyOutcome> reference = ExecuteHorizontal(w.alice, w.bob, config);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(alice_result->labels, reference->alice.labels);
+  EXPECT_EQ(bob_result->labels, reference->bob.labels);
+}
+
+TEST(IntegrationTest, MismatchedComparatorKindsFailCleanly) {
+  // Alice configured with the blinded comparator, Bob with YMPP: the first
+  // mismatched message must surface as an error on both sides, not a hang.
+  TinyWorkload w = MakeTinyWorkload();
+  testing_util::SessionPair pair = testing_util::MakeSessionPair(256, 128);
+  ProtocolOptions alice_options;
+  alice_options.params = w.params;
+  alice_options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  alice_options.comparator.magnitude_bound = RecommendedComparatorBound(2, 6);
+  ProtocolOptions bob_options = alice_options;
+  bob_options.comparator.kind = ComparatorKind::kYmpp;
+
+  auto [a, b] = testing_util::RunTwoParty<Result<PartyClusteringResult>,
+                                          Result<PartyClusteringResult>>(
+      pair,
+      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+        return RunHorizontalDbscan(ch, s, w.alice, PartyRole::kAlice,
+                                   alice_options, rng);
+      },
+      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+        return RunHorizontalDbscan(ch, s, w.bob, PartyRole::kBob, bob_options,
+                                   rng);
+      },
+      /*close_on_return=*/true);
+  EXPECT_FALSE(a.ok());
+  EXPECT_FALSE(b.ok());
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,108 @@
+#include "dbscan/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset MakePoints(const std::vector<std::vector<int64_t>>& points) {
+  Dataset ds(points.empty() ? 1 : points[0].size());
+  for (const auto& p : points) PPD_CHECK(ds.Add(p).ok());
+  return ds;
+}
+
+TEST(KmeansTest, EmptyDataset) {
+  SecureRng rng(1);
+  KmeansResult r = RunKmeans(Dataset(2), {.k = 3}, rng);
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_TRUE(r.centroids.empty());
+}
+
+TEST(KmeansTest, KClampedToPointCount) {
+  SecureRng rng(1);
+  Dataset ds = MakePoints({{0, 0}, {10, 10}});
+  KmeansResult r = RunKmeans(ds, {.k = 5}, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);
+  EXPECT_NE(r.labels[0], r.labels[1]);
+}
+
+TEST(KmeansTest, SeparatesWellSeparatedBlobs) {
+  SecureRng rng(7);
+  RawDataset raw = MakeBlobs(rng, 3, 15, 2, 0.4, 6.0);
+  FixedPointEncoder enc(8.0);
+  Dataset ds = *enc.Encode(raw);
+  KmeansResult r = RunKmeans(ds, {.k = 3}, rng);
+  Labels truth(raw.true_labels.begin(), raw.true_labels.end());
+  EXPECT_GT(AdjustedRandIndex(r.labels, truth), 0.95);
+  EXPECT_EQ(r.centroids.size(), 3u);
+}
+
+TEST(KmeansTest, ConvergesAndReportsIterations) {
+  SecureRng rng(3);
+  RawDataset raw = MakeBlobs(rng, 2, 20, 2, 0.4, 5.0);
+  FixedPointEncoder enc(8.0);
+  Dataset ds = *enc.Encode(raw);
+  KmeansResult r = RunKmeans(ds, {.k = 2, .max_iterations = 100}, rng);
+  EXPECT_LT(r.iterations, 100u);  // converged before the cap
+  EXPECT_GT(r.inertia, 0.0);
+}
+
+TEST(KmeansTest, AssignsEveryPoint) {
+  // k-means has no noise concept — every point gets a cluster. Part of the
+  // paper's argument for DBSCAN.
+  SecureRng rng(5);
+  RawDataset raw = MakeBlobs(rng, 2, 10, 2, 0.4, 5.0);
+  AddUniformNoise(raw, rng, 6, 8.0);
+  FixedPointEncoder enc(8.0);
+  Dataset ds = *enc.Encode(raw);
+  KmeansResult r = RunKmeans(ds, {.k = 2}, rng);
+  for (int32_t l : r.labels) EXPECT_GE(l, 0);
+}
+
+TEST(KmeansTest, IdenticalPointsSingleCluster) {
+  SecureRng rng(2);
+  Dataset ds = MakePoints({{5, 5}, {5, 5}, {5, 5}});
+  KmeansResult r = RunKmeans(ds, {.k = 2}, rng);
+  // All in one cluster (the other centroid is empty but harmless).
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[1], r.labels[2]);
+  EXPECT_DOUBLE_EQ(r.inertia, 0.0);
+}
+
+TEST(KmeansTest, FailsOnRingsWhereDbscanSucceeds) {
+  // The paper's §1 claim, as a test: a cluster completely surrounded by
+  // another defeats any centroid partitioning but not density clustering.
+  SecureRng rng(11);
+  RawDataset raw = MakeRings(rng, 80, {1.5, 5.0}, 0.05);
+  FixedPointEncoder enc(10.0);
+  Dataset ds = *enc.Encode(raw);
+  Labels truth(raw.true_labels.begin(), raw.true_labels.end());
+
+  KmeansResult kmeans = RunKmeans(ds, {.k = 2}, rng);
+  DbscanResult dbscan =
+      RunDbscan(ds, {.eps_squared = *enc.EncodeEpsSquared(0.9),
+                     .min_pts = 4});
+
+  EXPECT_LT(AdjustedRandIndex(kmeans.labels, truth), 0.2);
+  EXPECT_GT(AdjustedRandIndex(dbscan.labels, truth), 0.99);
+}
+
+TEST(KmeansTest, DeterministicUnderSeed) {
+  SecureRng rng_data(9);
+  RawDataset raw = MakeBlobs(rng_data, 3, 10, 2, 0.5, 5.0);
+  FixedPointEncoder enc(8.0);
+  Dataset ds = *enc.Encode(raw);
+  SecureRng rng_a(42), rng_b(42);
+  KmeansResult a = RunKmeans(ds, {.k = 3}, rng_a);
+  KmeansResult b = RunKmeans(ds, {.k = 3}, rng_b);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,96 @@
+#include "baseline/attack.h"
+#include "baseline/kumar.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+using testing_util::MakeSessionPair;
+using testing_util::RunTwoParty;
+using testing_util::SessionPair;
+
+TEST(KumarDisclosureTest, LinkedBitsMatchGroundTruth) {
+  SessionPair pair = MakeSessionPair(256, 128);
+  Dataset bob_points(2);  // the attacker's points
+  PPD_CHECK(bob_points.Add({0, 0}).ok());
+  PPD_CHECK(bob_points.Add({10, 0}).ok());
+  Dataset alice_points(2);  // the victims
+  PPD_CHECK(alice_points.Add({1, 0}).ok());
+  PPD_CHECK(alice_points.Add({9, 0}).ok());
+  PPD_CHECK(alice_points.Add({100, 100}).ok());
+
+  ProtocolOptions options;
+  options.params = {.eps_squared = 4, .min_pts = 1};
+  options.comparator.kind = ComparatorKind::kIdeal;
+  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 256);
+
+  auto [linked, assist] =
+      RunTwoParty<Result<LinkedNeighbourhoods>, Status>(
+          pair,
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return KumarDisclosureQuerier(ch, s, bob_points, options, rng);
+          },
+          [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+            return KumarDisclosureResponder(ch, s, alice_points, options,
+                                            rng);
+          });
+  ASSERT_TRUE(linked.ok()) << linked.status();
+  ASSERT_TRUE(assist.ok()) << assist;
+  ASSERT_EQ(linked->contains.size(), 2u);
+  // Bob point (0,0): only Alice record 0 is within eps=2.
+  EXPECT_EQ(linked->contains[0],
+            (std::vector<bool>{true, false, false}));
+  // Bob point (10,0): only Alice record 1.
+  EXPECT_EQ(linked->contains[1],
+            (std::vector<bool>{false, true, false}));
+}
+
+TEST(AttackTest, IntersectionShrinksWithMoreDisks) {
+  SecureRng rng(1);
+  // Three unit-ish disks arranged as in Figure 1, overlapping near origin.
+  std::vector<std::vector<double>> centers = {
+      {0.8, 0.0}, {-0.4, 0.7}, {-0.4, -0.7}};
+  AttackEstimate one =
+      EstimateFeasibleRegion(centers, {0}, 1.0, -2.0, 2.0, 200000, rng);
+  AttackEstimate three =
+      EstimateFeasibleRegion(centers, {0, 1, 2}, 1.0, -2.0, 2.0, 200000, rng);
+  EXPECT_LT(three.linked_area, one.linked_area);
+  EXPECT_GT(three.LocalizationFactor(), 5.0);
+}
+
+TEST(AttackTest, SingleDiskHasNoLinkageGain) {
+  SecureRng rng(2);
+  AttackEstimate est = EstimateFeasibleRegion({{0.0, 0.0}}, {0}, 1.0, -2.0,
+                                              2.0, 100000, rng);
+  EXPECT_NEAR(est.LocalizationFactor(), 1.0, 0.01);
+  // Disk area ≈ π.
+  EXPECT_NEAR(est.linked_area, 3.14159, 0.1);
+}
+
+TEST(AttackTest, DisjointDisksYieldEmptyIntersection) {
+  SecureRng rng(3);
+  AttackEstimate est = EstimateFeasibleRegion(
+      {{-3.0, 0.0}, {3.0, 0.0}}, {0, 1}, 1.0, -5.0, 5.0, 50000, rng);
+  EXPECT_EQ(est.linked_area, 0.0);
+  EXPECT_GT(est.unlinked_area, 5.0);
+  EXPECT_EQ(est.LocalizationFactor(), 0.0);  // degenerate: flagged as 0
+}
+
+TEST(AttackTest, UnionAndIntersectionBracketTruth) {
+  SecureRng rng(4);
+  std::vector<std::vector<double>> centers = {{0.0, 0.0}, {0.5, 0.0}};
+  AttackEstimate est =
+      EstimateFeasibleRegion(centers, {0, 1}, 1.0, -3.0, 3.0, 200000, rng);
+  EXPECT_LE(est.linked_area, est.unlinked_area);
+  // Union of two overlapping unit disks < 2π; intersection > 0.
+  EXPECT_LT(est.unlinked_area, 2 * 3.15);
+  EXPECT_GT(est.linked_area, 1.0);
+}
+
+}  // namespace
+}  // namespace ppdbscan

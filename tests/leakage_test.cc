@@ -1,0 +1,55 @@
+#include "eval/leakage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppdbscan {
+namespace {
+
+TEST(DisclosureLogTest, RecordsAndCounts) {
+  DisclosureLog log;
+  log.Record("count", 3);
+  log.Record("count", 3);
+  log.Record("count", 5);
+  log.Record("bit", 1);
+  EXPECT_EQ(log.Count("count"), 3u);
+  EXPECT_EQ(log.Count("bit"), 1u);
+  EXPECT_EQ(log.Count("missing"), 0u);
+  EXPECT_EQ(log.DistinctValues("count"), 2u);
+  EXPECT_EQ(log.values("count"), (std::vector<int64_t>{3, 3, 5}));
+}
+
+TEST(DisclosureLogTest, EntropyOfUniformDistribution) {
+  DisclosureLog log;
+  for (int64_t v = 0; v < 8; ++v) log.Record("x", v);
+  EXPECT_NEAR(log.EntropyBits("x"), 3.0, 1e-9);
+}
+
+TEST(DisclosureLogTest, EntropyOfConstantIsZero) {
+  DisclosureLog log;
+  for (int i = 0; i < 10; ++i) log.Record("x", 7);
+  EXPECT_DOUBLE_EQ(log.EntropyBits("x"), 0.0);
+  EXPECT_DOUBLE_EQ(log.EntropyBits("missing"), 0.0);
+}
+
+TEST(DisclosureLogTest, EntropyOfBiasedCoin) {
+  DisclosureLog log;
+  for (int i = 0; i < 75; ++i) log.Record("x", 0);
+  for (int i = 0; i < 25; ++i) log.Record("x", 1);
+  double expect = -(0.75 * std::log2(0.75) + 0.25 * std::log2(0.25));
+  EXPECT_NEAR(log.EntropyBits("x"), expect, 1e-9);
+}
+
+TEST(DisclosureLogTest, CategoriesAndClear) {
+  DisclosureLog log;
+  log.Record("a", 1);
+  log.Record("b", 2);
+  EXPECT_EQ(log.Categories(), (std::vector<std::string>{"a", "b"}));
+  log.Clear();
+  EXPECT_TRUE(log.Categories().empty());
+  EXPECT_EQ(log.Count("a"), 0u);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,73 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include "net/memory_channel.h"
+
+namespace ppdbscan {
+namespace {
+
+TEST(MessageTest, TaggedRoundTrip) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(SendMessage(*a, 0x1234, std::vector<uint8_t>{5, 6}).ok());
+  Result<Message> msg = RecvMessage(*b);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, 0x1234);
+  EXPECT_EQ(msg->payload, (std::vector<uint8_t>{5, 6}));
+}
+
+TEST(MessageTest, WriterOverloads) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ByteWriter w;
+  w.PutU32(777);
+  ASSERT_TRUE(SendMessage(*a, 7, w).ok());
+  Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 7);
+  ASSERT_TRUE(payload.ok());
+  ByteReader r(*payload);
+  EXPECT_EQ(*r.GetU32(), 777u);
+}
+
+TEST(MessageTest, EmptyPayload) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(SendMessage(*a, 9, std::vector<uint8_t>()).ok());
+  Result<Message> msg = RecvMessage(*b);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_TRUE(msg->payload.empty());
+}
+
+TEST(MessageTest, ExpectMessageRejectsWrongTag) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(SendMessage(*a, 1, std::vector<uint8_t>()).ok());
+  Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 2);
+  EXPECT_EQ(payload.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MessageTest, MalformedShortFrame) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(a->Send({0x12}).ok());  // 1-byte frame, header needs 2
+  EXPECT_EQ(RecvMessage(*b).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MessageTest, AbortFrameSurfacesAsUnavailable) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  Status original = Status::OutOfRange("bad input");
+  Status returned = AbortPeer(*a, original, "validation failed");
+  EXPECT_EQ(returned.code(), StatusCode::kOutOfRange);  // passthrough
+  Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 0x1111);
+  EXPECT_EQ(payload.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(payload.status().message().find("validation failed"),
+            std::string::npos);
+}
+
+TEST(MessageTest, RecvMessagePassesAbortThrough) {
+  // RecvMessage (unlike ExpectMessage) hands the abort tag to the caller,
+  // which dispatch loops handle explicitly.
+  auto [a, b] = MemoryChannel::CreatePair();
+  (void)AbortPeer(*a, Status::Internal("x"), "reason");
+  Result<Message> msg = RecvMessage(*b);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->type, kAbortMessageType);
+}
+
+}  // namespace
+}  // namespace ppdbscan

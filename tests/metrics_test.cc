@@ -1,0 +1,91 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+TEST(AriTest, IdenticalLabelingsScoreOne) {
+  Labels a = {0, 0, 1, 1, kNoise};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(AriTest, RenamedLabelingsScoreOne) {
+  Labels a = {0, 0, 1, 1, 2};
+  Labels b = {5, 5, 3, 3, 7};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AriTest, IndependentLabelingsNearZero) {
+  SecureRng rng(1);
+  Labels a(2000), b(2000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<int32_t>(rng.UniformU64(4));
+    b[i] = static_cast<int32_t>(rng.UniformU64(4));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.05);
+}
+
+TEST(AriTest, PartialAgreementBetweenZeroAndOne) {
+  Labels a = {0, 0, 0, 0, 1, 1, 1, 1};
+  Labels b = {0, 0, 0, 1, 1, 1, 1, 1};
+  double ari = AdjustedRandIndex(a, b);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(AriTest, NoiseTreatedAsClass) {
+  Labels a = {0, 0, kNoise, kNoise};
+  Labels b = {0, 0, 0, 0};
+  EXPECT_LT(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AriTest, AllSingletonsVsAllOne) {
+  Labels a = {0, 1, 2, 3};
+  Labels b = {0, 0, 0, 0};
+  EXPECT_LE(AdjustedRandIndex(a, b), 0.0 + 1e-9);
+}
+
+TEST(SameClusteringTest, ExactMatch) {
+  EXPECT_TRUE(SameClustering({0, 1, kNoise}, {0, 1, kNoise}));
+}
+
+TEST(SameClusteringTest, BijectiveRenaming) {
+  EXPECT_TRUE(SameClustering({0, 0, 1, kNoise}, {7, 7, 2, kNoise}));
+}
+
+TEST(SameClusteringTest, NonBijectiveMappingRejected) {
+  // Two clusters of `a` collapse into one of `b`.
+  EXPECT_FALSE(SameClustering({0, 1}, {0, 0}));
+  EXPECT_FALSE(SameClustering({0, 0}, {0, 1}));
+}
+
+TEST(SameClusteringTest, NoiseMustMatchExactly) {
+  EXPECT_FALSE(SameClustering({0, kNoise}, {0, 0}));
+  EXPECT_FALSE(SameClustering({kNoise, 0}, {0, 0}));
+}
+
+TEST(SameClusteringTest, LengthMismatch) {
+  EXPECT_FALSE(SameClustering({0}, {0, 0}));
+}
+
+TEST(SameClusteringTest, UnclassifiedHandled) {
+  EXPECT_TRUE(SameClustering({kUnclassified, 0}, {kUnclassified, 4}));
+  EXPECT_FALSE(SameClustering({kUnclassified, 0}, {0, 0}));
+}
+
+TEST(NoiseAgreementTest, Fractions) {
+  EXPECT_DOUBLE_EQ(NoiseAgreement({kNoise, 0, 1}, {kNoise, 2, kNoise}),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(NoiseAgreement({0, 1}, {5, 9}), 1.0);
+}
+
+TEST(MetricsDeathTest, EmptyInputsAbort) {
+  EXPECT_DEATH(AdjustedRandIndex({}, {}), "non-empty");
+  EXPECT_DEATH(NoiseAgreement({0}, {0, 1}), "equal length");
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,96 @@
+#include "bigint/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+TEST(MontgomeryTest, RejectsEvenModulus) {
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt(100)).ok());
+}
+
+TEST(MontgomeryTest, RejectsTrivialModulus) {
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt(1)).ok());
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt(0)).ok());
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt(-7)).ok());
+}
+
+TEST(MontgomeryTest, ToFromMontRoundTrip) {
+  SecureRng rng(1);
+  BigInt mod = BigInt::RandomBits(rng, 256) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  for (int i = 0; i < 50; ++i) {
+    BigInt x = BigInt::RandomBelow(rng, mod);
+    EXPECT_EQ(ctx->FromMont(ctx->ToMont(x)), x);
+  }
+}
+
+TEST(MontgomeryTest, MulMatchesPlainModularProduct) {
+  SecureRng rng(2);
+  for (size_t bits : {33u, 64u, 128u, 521u}) {
+    BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+    if (mod.IsEven()) mod += BigInt(1);
+    Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+    ASSERT_TRUE(ctx.ok());
+    for (int i = 0; i < 25; ++i) {
+      BigInt a = BigInt::RandomBelow(rng, mod);
+      BigInt b = BigInt::RandomBelow(rng, mod);
+      BigInt got = ctx->FromMont(ctx->MulMont(ctx->ToMont(a), ctx->ToMont(b)));
+      EXPECT_EQ(got, (a * b).Mod(mod));
+    }
+  }
+}
+
+TEST(MontgomeryTest, ExpMatchesSquareAndMultiply) {
+  SecureRng rng(3);
+  BigInt mod = BigInt::RandomBits(rng, 192) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  for (int i = 0; i < 25; ++i) {
+    BigInt base = BigInt::RandomBelow(rng, mod);
+    BigInt exp = BigInt::RandomBits(rng, 96);
+    // Reference: naive square-and-multiply on BigInt.
+    BigInt expect(1);
+    for (size_t bit = exp.BitLength(); bit-- > 0;) {
+      expect = (expect * expect).Mod(mod);
+      if (exp.TestBit(bit)) expect = (expect * base).Mod(mod);
+    }
+    EXPECT_EQ(ctx->Exp(base, exp), expect);
+  }
+}
+
+TEST(MontgomeryTest, ExpEdgeExponents) {
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(BigInt(1000003));
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx->Exp(BigInt(12345), BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx->Exp(BigInt(12345), BigInt(1)), BigInt(12345));
+  EXPECT_EQ(ctx->Exp(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(ctx->Exp(BigInt(1), BigInt(1) << 40), BigInt(1));
+}
+
+TEST(MontgomeryTest, SingleLimbModulus) {
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(BigInt(97));
+  ASSERT_TRUE(ctx.ok());
+  for (int a = 0; a < 97; a += 13) {
+    for (int e = 0; e < 10; ++e) {
+      int64_t expect = 1;
+      for (int k = 0; k < e; ++k) expect = expect * a % 97;
+      EXPECT_EQ(ctx->Exp(BigInt(a), BigInt(e)), BigInt(expect));
+    }
+  }
+}
+
+TEST(MontgomeryTest, ModulusAccessor) {
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(BigInt(12345677));
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(ctx->modulus(), BigInt(12345677));
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,200 @@
+#include "core/multiparty.h"
+
+#include <gtest/gtest.h>
+
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset MakePoints(const std::vector<std::vector<int64_t>>& points) {
+  Dataset ds(points.empty() ? 1 : points[0].size());
+  for (const auto& p : points) PPD_CHECK(ds.Add(p).ok());
+  return ds;
+}
+
+SmcOptions FastSmc() {
+  SmcOptions smc;
+  smc.paillier_bits = 256;
+  smc.rsa_bits = 128;
+  return smc;
+}
+
+ProtocolOptions FastOptions(int64_t eps_squared, size_t min_pts) {
+  ProtocolOptions options;
+  options.params = {eps_squared, min_pts};
+  options.comparator.kind = ComparatorKind::kIdeal;
+  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 1 << 12);
+  return options;
+}
+
+TEST(MultipartyTest, RejectsFewerThanTwoParties) {
+  std::vector<Dataset> parties;
+  parties.push_back(MakePoints({{0, 0}}));
+  Result<MultipartyOutcome> out =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), FastOptions(2, 2));
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultipartyTest, RejectsEnhancedMode) {
+  std::vector<Dataset> parties{MakePoints({{0, 0}}), MakePoints({{1, 0}})};
+  ProtocolOptions options = FastOptions(2, 2);
+  options.mode = HorizontalMode::kEnhanced;
+  Result<MultipartyOutcome> out =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), options);
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultipartyTest, RejectsCrossPartyMerge) {
+  std::vector<Dataset> parties{MakePoints({{0, 0}}), MakePoints({{1, 0}})};
+  ProtocolOptions options = FastOptions(2, 2);
+  options.cross_party_merge = true;
+  Result<MultipartyOutcome> out =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), options);
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MultipartyTest, TwoPartiesMatchTwoPartyProtocol) {
+  // P = 2 must reduce exactly to RunHorizontalDbscan's output.
+  Dataset alice = MakePoints({{0, 0}, {1, 0}, {0, 1}, {9, 9}});
+  Dataset bob = MakePoints({{1, 1}, {10, 9}, {9, 10}});
+  ProtocolOptions options = FastOptions(2, 3);
+
+  Result<MultipartyOutcome> multi = ExecuteMultipartyHorizontal(
+      {alice, bob}, FastSmc(), options);
+  ASSERT_TRUE(multi.ok()) << multi.status();
+
+  ExecutionConfig config;
+  config.smc = FastSmc();
+  config.protocol = options;
+  Result<TwoPartyOutcome> two = ExecuteHorizontal(alice, bob, config);
+  ASSERT_TRUE(two.ok()) << two.status();
+
+  EXPECT_EQ(multi->results[0].labels, two->alice.labels);
+  EXPECT_EQ(multi->results[1].labels, two->bob.labels);
+  EXPECT_EQ(multi->results[0].is_core, two->alice.is_core);
+  EXPECT_EQ(multi->results[1].is_core, two->bob.is_core);
+}
+
+TEST(MultipartyTest, DensityAccumulatesAcrossAllPeers) {
+  // The center point is core only because THREE parties each contribute
+  // one neighbour; the satellites are pairwise farther than Eps apart, so
+  // each satellite sees only itself and the center (2 < MinPts = 4).
+  Dataset p0 = MakePoints({{0, 0}});          // the tested point
+  Dataset p1 = MakePoints({{2, 0}, {50, 0}});
+  Dataset p2 = MakePoints({{-2, 0}, {60, 0}});
+  Dataset p3 = MakePoints({{0, 2}, {70, 0}});
+  ProtocolOptions options = FastOptions(4, 4);
+  Result<MultipartyOutcome> out = ExecuteMultipartyHorizontal(
+      {p0, p1, p2, p3}, FastSmc(), options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->results[0].is_core[0]);
+  EXPECT_EQ(out->results[0].labels[0], 0);
+  // Every other party's points are non-core (only 2 neighbours each).
+  for (size_t p = 1; p <= 3; ++p) {
+    EXPECT_FALSE(out->results[p].is_core[0]) << "party " << p;
+  }
+}
+
+TEST(MultipartyTest, PartySeparatedClustersAreExact) {
+  // Each party wholly owns one dense blob; per-party output must match
+  // centralized DBSCAN restricted to that party (same guarantee the
+  // two-party protocol gives).
+  SecureRng rng(17);
+  std::vector<Dataset> parties;
+  Dataset full(2);
+  const int64_t centers[3][2] = {{0, 0}, {40, 0}, {0, 40}};
+  for (const auto& c : centers) {
+    Dataset party(2);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        std::vector<int64_t> pt{c[0] + dx, c[1] + dy};
+        PPD_CHECK(party.Add(pt).ok());
+        PPD_CHECK(full.Add(pt).ok());
+      }
+    }
+    parties.push_back(std::move(party));
+  }
+  ProtocolOptions options = FastOptions(2, 4);
+  Result<MultipartyOutcome> out =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), options);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  DbscanResult central = RunDbscan(full, options.params);
+  EXPECT_EQ(central.num_clusters, 3u);
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(out->results[p].num_clusters, 1u) << "party " << p;
+    Labels restricted(central.labels.begin() + 9 * p,
+                      central.labels.begin() + 9 * (p + 1));
+    EXPECT_DOUBLE_EQ(
+        AdjustedRandIndex(out->results[p].labels, restricted), 1.0);
+  }
+}
+
+TEST(MultipartyTest, DeterministicUnderSeeds) {
+  SecureRng rng(21);
+  RawDataset raw = MakeBlobs(rng, 2, 9, 2, 0.5, 5.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  std::vector<Dataset> parties{Dataset(2), Dataset(2), Dataset(2)};
+  for (size_t i = 0; i < full.size(); ++i) {
+    PPD_CHECK(parties[i % 3].Add(full.point(i)).ok());
+  }
+  ProtocolOptions options = FastOptions(*enc.EncodeEpsSquared(1.4), 3);
+  Result<MultipartyOutcome> a =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), options, 555);
+  Result<MultipartyOutcome> b =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), options, 555);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(a->results[p].labels, b->results[p].labels);
+  }
+}
+
+TEST(MultipartyTest, DisclosureCountsOneRecordPerPeerPerCoreTest) {
+  // Basic-mode Theorem 9 accounting generalizes per link: every core test
+  // records exactly P-1 peer counts.
+  Dataset p0 = MakePoints({{0, 0}, {30, 30}});
+  Dataset p1 = MakePoints({{1, 0}});
+  Dataset p2 = MakePoints({{0, 1}});
+  ProtocolOptions options = FastOptions(2, 3);
+  Result<MultipartyOutcome> out =
+      ExecuteMultipartyHorizontal({p0, p1, p2}, FastSmc(), options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Party 0 ran 2 core tests x 2 peers.
+  EXPECT_EQ(out->disclosures[0].Count("peer_neighbor_count"), 4u);
+  EXPECT_EQ(out->disclosures[1].Count("peer_neighbor_count"), 2u);
+  EXPECT_EQ(out->disclosures[2].Count("peer_neighbor_count"), 2u);
+}
+
+TEST(MultipartyTest, TrafficGrowsWithPartyCountAtFixedN) {
+  // E8 shape: at fixed total n with equal shares, pairwise work is
+  // n²·(1 − 1/P) — monotonically increasing in P.
+  SecureRng rng(33);
+  RawDataset raw = MakeBlobs(rng, 2, 12, 2, 0.5, 5.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  ProtocolOptions options = FastOptions(*enc.EncodeEpsSquared(1.4), 3);
+
+  uint64_t prev_bytes = 0;
+  for (size_t p : {2, 3, 4}) {
+    std::vector<Dataset> parties(p, Dataset(2));
+    for (size_t i = 0; i < full.size(); ++i) {
+      PPD_CHECK(parties[i % p].Add(full.point(i)).ok());
+    }
+    Result<MultipartyOutcome> out =
+        ExecuteMultipartyHorizontal(parties, FastSmc(), options);
+    ASSERT_TRUE(out.ok()) << out.status();
+    uint64_t total = 0;
+    for (const ChannelStats& s : out->stats) total += s.bytes_sent;
+    EXPECT_GT(total, prev_bytes) << "P=" << p;
+    prev_bytes = total;
+  }
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,110 @@
+#include "smc/multiplication.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+using testing_util::MakeSessionPair;
+using testing_util::RunTwoParty;
+using testing_util::SessionPair;
+
+class MultiplicationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pair_ = new SessionPair(MakeSessionPair(256, 128));
+  }
+  static SessionPair* pair_;
+
+  // Runs the protocol and returns the reconstructed product x·y.
+  static BigInt Reconstruct(const BigInt& x, const BigInt& y) {
+    auto [u, v] = RunTwoParty<Result<BigInt>, Result<BigInt>>(
+        *pair_,
+        [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+          return RunMultiplicationReceiver(ch, s, x, rng);
+        },
+        [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+          return RunMultiplicationHelper(ch, s, y, rng);
+        });
+    PPD_CHECK(u.ok() && v.ok());
+    const PaillierContext& ctx = pair_->alice->own_paillier_ctx();
+    return ctx.DecodeSigned((*u - *v).Mod(ctx.pub().n));
+  }
+};
+SessionPair* MultiplicationTest::pair_ = nullptr;
+
+TEST_F(MultiplicationTest, ProductsAcrossSignCombinations) {
+  EXPECT_EQ(Reconstruct(BigInt(7), BigInt(6)), BigInt(42));
+  EXPECT_EQ(Reconstruct(BigInt(-7), BigInt(6)), BigInt(-42));
+  EXPECT_EQ(Reconstruct(BigInt(7), BigInt(-6)), BigInt(-42));
+  EXPECT_EQ(Reconstruct(BigInt(-7), BigInt(-6)), BigInt(42));
+}
+
+TEST_F(MultiplicationTest, ZeroInputs) {
+  EXPECT_EQ(Reconstruct(BigInt(0), BigInt(12345)), BigInt(0));
+  EXPECT_EQ(Reconstruct(BigInt(12345), BigInt(0)), BigInt(0));
+}
+
+TEST_F(MultiplicationTest, RandomizedSweep) {
+  SecureRng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    int64_t x = static_cast<int64_t>(rng.UniformU64(1 << 20)) - (1 << 19);
+    int64_t y = static_cast<int64_t>(rng.UniformU64(1 << 20)) - (1 << 19);
+    EXPECT_EQ(Reconstruct(BigInt(x), BigInt(y)), BigInt(x) * BigInt(y));
+  }
+}
+
+TEST_F(MultiplicationTest, ReceiverShareLooksUniform) {
+  // The receiver's share u = xy + v must not reveal xy: with fixed inputs,
+  // distinct runs must produce distinct u (v is fresh each time).
+  auto run = [&] {
+    auto [u, v] = RunTwoParty<Result<BigInt>, Result<BigInt>>(
+        *pair_,
+        [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+          return RunMultiplicationReceiver(ch, s, BigInt(5), rng);
+        },
+        [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+          return RunMultiplicationHelper(ch, s, BigInt(9), rng);
+        });
+    PPD_CHECK(u.ok() && v.ok());
+    return std::pair<BigInt, BigInt>(*u, *v);
+  };
+  auto [u1, v1] = run();
+  auto [u2, v2] = run();
+  EXPECT_NE(u1, u2);
+  EXPECT_NE(v1, v2);
+}
+
+TEST_F(MultiplicationTest, CallerChosenMask) {
+  BigInt mask(123456789);
+  auto [u, v] = RunTwoParty<Result<BigInt>, Result<BigInt>>(
+      *pair_,
+      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+        return RunMultiplicationReceiver(ch, s, BigInt(11), rng);
+      },
+      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+        return RunMultiplicationHelperWithMask(ch, s, BigInt(13), mask, rng);
+      });
+  ASSERT_TRUE(u.ok() && v.ok());
+  EXPECT_EQ(*v, mask);
+  EXPECT_EQ(*u, BigInt(11 * 13) + mask);
+}
+
+TEST_F(MultiplicationTest, InvalidMaskAbortsBothSides) {
+  auto [u, v] = RunTwoParty<Result<BigInt>, Result<BigInt>>(
+      *pair_,
+      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+        return RunMultiplicationReceiver(ch, s, BigInt(1), rng);
+      },
+      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+        return RunMultiplicationHelperWithMask(ch, s, BigInt(1), BigInt(-1),
+                                               rng);
+      });
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(u.status().code(), StatusCode::kUnavailable);  // abort frame
+}
+
+}  // namespace
+}  // namespace ppdbscan

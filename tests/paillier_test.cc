@@ -1,0 +1,193 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.h"
+
+namespace ppdbscan {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SecureRng rng(11);
+    kp_ = new PaillierKeyPair(*GeneratePaillierKeyPair(rng, 256));
+    dec_ = new PaillierDecryptor(*PaillierDecryptor::Create(*kp_));
+  }
+  static PaillierKeyPair* kp_;
+  static PaillierDecryptor* dec_;
+};
+PaillierKeyPair* PaillierTest::kp_ = nullptr;
+PaillierDecryptor* PaillierTest::dec_ = nullptr;
+
+TEST_F(PaillierTest, KeyStructure) {
+  EXPECT_EQ(kp_->pub.n, kp_->p * kp_->q);
+  EXPECT_EQ(kp_->pub.n.BitLength(), 256u);
+  EXPECT_EQ(kp_->pub.n_squared, kp_->pub.n * kp_->pub.n);
+  EXPECT_EQ(kp_->pub.g, kp_->pub.n + BigInt(1));
+  // gcd(pq, (p-1)(q-1)) = 1 — the paper's key generation condition.
+  EXPECT_EQ(BigInt::Gcd(kp_->pub.n,
+                        (kp_->p - BigInt(1)) * (kp_->q - BigInt(1))),
+            BigInt(1));
+  // λ·µ = 1 (mod n) for g = n+1.
+  EXPECT_EQ((kp_->lambda * kp_->mu).Mod(kp_->pub.n), BigInt(1));
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  SecureRng rng(12);
+  const PaillierContext& ctx = dec_->context();
+  for (int i = 0; i < 25; ++i) {
+    BigInt m = BigInt::RandomBelow(rng, kp_->pub.n);
+    Result<BigInt> c = ctx.Encrypt(m, rng);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*dec_->Decrypt(*c), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+  SecureRng rng(13);
+  const PaillierContext& ctx = dec_->context();
+  BigInt c1 = *ctx.Encrypt(BigInt(42), rng);
+  BigInt c2 = *ctx.Encrypt(BigInt(42), rng);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(*dec_->Decrypt(c1), *dec_->Decrypt(c2));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  SecureRng rng(14);
+  const PaillierContext& ctx = dec_->context();
+  for (int i = 0; i < 15; ++i) {
+    BigInt m1 = BigInt::RandomBelow(rng, kp_->pub.n);
+    BigInt m2 = BigInt::RandomBelow(rng, kp_->pub.n);
+    BigInt sum_cipher = ctx.Add(*ctx.Encrypt(m1, rng), *ctx.Encrypt(m2, rng));
+    EXPECT_EQ(*dec_->Decrypt(sum_cipher), (m1 + m2).Mod(kp_->pub.n));
+  }
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiplication) {
+  SecureRng rng(15);
+  const PaillierContext& ctx = dec_->context();
+  for (int64_t k : {0, 1, 2, 1000, -1, -37}) {
+    BigInt m(123456789);
+    BigInt c = ctx.MulPlain(*ctx.Encrypt(m, rng), BigInt(k));
+    EXPECT_EQ(*dec_->Decrypt(c), (m * BigInt(k)).Mod(kp_->pub.n)) << k;
+  }
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintextChangesCiphertext) {
+  SecureRng rng(16);
+  const PaillierContext& ctx = dec_->context();
+  BigInt c = *ctx.Encrypt(BigInt(777), rng);
+  BigInt c2 = *ctx.Rerandomize(c, rng);
+  EXPECT_NE(c, c2);
+  EXPECT_EQ(*dec_->Decrypt(c2), BigInt(777));
+}
+
+TEST_F(PaillierTest, SignedEncoding) {
+  SecureRng rng(17);
+  const PaillierContext& ctx = dec_->context();
+  for (int64_t v : {0, 1, -1, 1000000, -1000000}) {
+    Result<BigInt> c = ctx.EncryptSigned(BigInt(v), rng);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*dec_->DecryptSigned(*c), BigInt(v));
+  }
+}
+
+TEST_F(PaillierTest, SignedHomomorphicArithmetic) {
+  SecureRng rng(18);
+  const PaillierContext& ctx = dec_->context();
+  // (-50)·7 + 13 = -337, computed under encryption.
+  BigInt c = ctx.MulPlain(*ctx.EncryptSigned(BigInt(-50), rng), BigInt(7));
+  c = ctx.Add(c, *ctx.EncryptSigned(BigInt(13), rng));
+  EXPECT_EQ(*dec_->DecryptSigned(c), BigInt(-337));
+}
+
+TEST_F(PaillierTest, SignedEncodingRejectsHuge) {
+  const PaillierContext& ctx = dec_->context();
+  EXPECT_EQ(ctx.EncodeSigned(kp_->pub.n).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(PaillierTest, PlaintextRangeChecks) {
+  SecureRng rng(19);
+  const PaillierContext& ctx = dec_->context();
+  EXPECT_EQ(ctx.Encrypt(BigInt(-1), rng).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ctx.Encrypt(kp_->pub.n, rng).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(PaillierTest, CiphertextRangeChecks) {
+  EXPECT_FALSE(dec_->Decrypt(BigInt(0)).ok());
+  EXPECT_FALSE(dec_->Decrypt(kp_->pub.n_squared).ok());
+  EXPECT_FALSE(dec_->context().IsValidCiphertext(BigInt(-5)));
+}
+
+TEST_F(PaillierTest, PublicKeySerializationRoundTrip) {
+  ByteWriter w;
+  kp_->pub.Serialize(w);
+  ByteReader r(w.data());
+  Result<PaillierPublicKey> back = PaillierPublicKey::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->n, kp_->pub.n);
+  EXPECT_EQ(back->g, kp_->pub.g);
+  EXPECT_EQ(back->n_squared, kp_->pub.n_squared);
+  EXPECT_EQ(back->modulus_bits, kp_->pub.modulus_bits);
+}
+
+TEST_F(PaillierTest, DeserializationRejectsTruncation) {
+  ByteWriter w;
+  kp_->pub.Serialize(w);
+  std::vector<uint8_t> bytes = w.data();
+  bytes.resize(bytes.size() / 2);
+  ByteReader r(bytes);
+  EXPECT_FALSE(PaillierPublicKey::Deserialize(r).ok());
+}
+
+TEST(PaillierKeygenTest, RejectsBadSizes) {
+  SecureRng rng(20);
+  EXPECT_FALSE(GeneratePaillierKeyPair(rng, 32).ok());
+  EXPECT_FALSE(GeneratePaillierKeyPair(rng, 127).ok());
+}
+
+TEST(PaillierKeygenTest, RandomGeneratorPath) {
+  SecureRng rng(21);
+  Result<PaillierKeyPair> kp = GeneratePaillierKeyPair(rng, 128,
+                                                       /*random_g=*/true);
+  ASSERT_TRUE(kp.ok());
+  EXPECT_NE(kp->pub.g, kp->pub.n + BigInt(1));
+  Result<PaillierDecryptor> dec = PaillierDecryptor::Create(*kp);
+  ASSERT_TRUE(dec.ok());
+  for (int64_t v : {0, 5, 123456}) {
+    BigInt c = *dec->context().Encrypt(BigInt(v), rng);
+    EXPECT_EQ(*dec->Decrypt(c), BigInt(v));
+  }
+}
+
+TEST(PaillierKeygenTest, CrtDecryptionMatchesTextbookFormula) {
+  SecureRng rng(22);
+  Result<PaillierKeyPair> kp = GeneratePaillierKeyPair(rng, 128);
+  ASSERT_TRUE(kp.ok());
+  Result<PaillierDecryptor> dec = PaillierDecryptor::Create(*kp);
+  ASSERT_TRUE(dec.ok());
+  for (int i = 0; i < 10; ++i) {
+    BigInt m = BigInt::RandomBelow(rng, kp->pub.n);
+    BigInt c = *dec->context().Encrypt(m, rng);
+    // Textbook: m = L(c^λ mod n²)·µ mod n.
+    BigInt l = (BigInt::ModExp(c, kp->lambda, kp->pub.n_squared) - BigInt(1)) /
+               kp->pub.n;
+    BigInt textbook = (l * kp->mu).Mod(kp->pub.n);
+    EXPECT_EQ(*dec->Decrypt(c), textbook);
+    EXPECT_EQ(textbook, m);
+  }
+}
+
+TEST(PaillierKeygenTest, DecryptorRejectsInconsistentKeyPair) {
+  SecureRng rng(23);
+  PaillierKeyPair kp = *GeneratePaillierKeyPair(rng, 128);
+  kp.p = kp.p + BigInt(2);  // corrupt
+  EXPECT_FALSE(PaillierDecryptor::Create(kp).ok());
+}
+
+}  // namespace
+}  // namespace ppdbscan

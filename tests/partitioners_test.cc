@@ -1,0 +1,137 @@
+#include "data/partitioners.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset MakeSequential(size_t n, size_t dims) {
+  Dataset ds(dims);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<int64_t> p(dims);
+    for (size_t t = 0; t < dims; ++t) {
+      p[t] = static_cast<int64_t>(i * dims + t);
+    }
+    PPD_CHECK(ds.Add(p).ok());
+  }
+  return ds;
+}
+
+TEST(HorizontalPartitionTest, CoversAllRecordsDisjointly) {
+  SecureRng rng(1);
+  Dataset ds = MakeSequential(50, 2);
+  Result<HorizontalPartition> hp = PartitionHorizontal(ds, rng, 0.5);
+  ASSERT_TRUE(hp.ok());
+  EXPECT_EQ(hp->alice.size() + hp->bob.size(), 50u);
+  std::set<size_t> ids(hp->alice_ids.begin(), hp->alice_ids.end());
+  ids.insert(hp->bob_ids.begin(), hp->bob_ids.end());
+  EXPECT_EQ(ids.size(), 50u);
+  // Values preserved.
+  for (size_t i = 0; i < hp->alice.size(); ++i) {
+    EXPECT_EQ(hp->alice.point(i), ds.point(hp->alice_ids[i]));
+  }
+}
+
+TEST(HorizontalPartitionTest, BothPartiesNonEmptyEvenAtExtremes) {
+  SecureRng rng(2);
+  Dataset ds = MakeSequential(10, 2);
+  for (double frac : {0.0, 0.01, 0.99, 1.0}) {
+    Result<HorizontalPartition> hp = PartitionHorizontal(ds, rng, frac);
+    ASSERT_TRUE(hp.ok());
+    EXPECT_GE(hp->alice.size(), 1u) << frac;
+    EXPECT_GE(hp->bob.size(), 1u) << frac;
+  }
+}
+
+TEST(HorizontalPartitionTest, SkewRespected) {
+  SecureRng rng(3);
+  Dataset ds = MakeSequential(1000, 1);
+  Result<HorizontalPartition> hp = PartitionHorizontal(ds, rng, 0.8);
+  ASSERT_TRUE(hp.ok());
+  EXPECT_GT(hp->alice.size(), 700u);
+  EXPECT_LT(hp->alice.size(), 900u);
+}
+
+TEST(HorizontalPartitionTest, RejectsBadFraction) {
+  SecureRng rng(4);
+  Dataset ds = MakeSequential(5, 1);
+  EXPECT_FALSE(PartitionHorizontal(ds, rng, -0.1).ok());
+  EXPECT_FALSE(PartitionHorizontal(ds, rng, 1.5).ok());
+}
+
+TEST(VerticalPartitionTest, SplitsColumns) {
+  Dataset ds = MakeSequential(10, 4);
+  Result<VerticalPartition> vp = PartitionVertical(ds, 1);
+  ASSERT_TRUE(vp.ok());
+  EXPECT_EQ(vp->alice.dims(), 1u);
+  EXPECT_EQ(vp->bob.dims(), 3u);
+  EXPECT_EQ(vp->alice.size(), 10u);
+  EXPECT_EQ(vp->bob.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(vp->alice.point(i)[0], ds.point(i)[0]);
+    EXPECT_EQ(vp->bob.point(i)[0], ds.point(i)[1]);
+    EXPECT_EQ(vp->bob.point(i)[2], ds.point(i)[3]);
+  }
+}
+
+TEST(VerticalPartitionTest, DistanceDecomposition) {
+  // S_A + S_B must equal the joint squared distance — the VDP identity.
+  Dataset ds = MakeSequential(6, 3);
+  Result<VerticalPartition> vp = PartitionVertical(ds, 2);
+  ASSERT_TRUE(vp.ok());
+  for (size_t x = 0; x < 6; ++x) {
+    for (size_t y = 0; y < 6; ++y) {
+      EXPECT_EQ(vp->alice.DistanceSquared(x, y) + vp->bob.DistanceSquared(x, y),
+                ds.DistanceSquared(x, y));
+    }
+  }
+}
+
+TEST(VerticalPartitionTest, RejectsDegenerateSplits) {
+  Dataset ds = MakeSequential(5, 3);
+  EXPECT_FALSE(PartitionVertical(ds, 0).ok());
+  EXPECT_FALSE(PartitionVertical(ds, 3).ok());
+}
+
+TEST(ArbitraryPartitionTest, MasksAreComplementary) {
+  SecureRng rng(5);
+  Dataset ds = MakeSequential(20, 3);
+  Result<ArbitraryPartition> ap = PartitionArbitrary(ds, rng, 0.5);
+  ASSERT_TRUE(ap.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t t = 0; t < 3; ++t) {
+      EXPECT_NE(ap->alice.owned[i][t], ap->bob.owned[i][t]);
+      // The owning party holds the true value, the other a zero.
+      int64_t true_value = ds.point(i)[t];
+      if (ap->alice.owned[i][t]) {
+        EXPECT_EQ(ap->alice.values[i][t], true_value);
+        EXPECT_EQ(ap->bob.values[i][t], 0);
+      } else {
+        EXPECT_EQ(ap->bob.values[i][t], true_value);
+        EXPECT_EQ(ap->alice.values[i][t], 0);
+      }
+    }
+  }
+}
+
+TEST(ArbitraryPartitionTest, ExtremeFractionsDegenerate) {
+  SecureRng rng(6);
+  Dataset ds = MakeSequential(8, 2);
+  Result<ArbitraryPartition> all_alice = PartitionArbitrary(ds, rng, 1.0);
+  ASSERT_TRUE(all_alice.ok());
+  for (const auto& row : all_alice->alice.owned) {
+    for (uint8_t o : row) EXPECT_EQ(o, 1);
+  }
+  Result<ArbitraryPartition> all_bob = PartitionArbitrary(ds, rng, 0.0);
+  ASSERT_TRUE(all_bob.ok());
+  for (const auto& row : all_bob->bob.owned) {
+    for (uint8_t o : row) EXPECT_EQ(o, 1);
+  }
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,93 @@
+#include "bigint/prime.h"
+
+#include <gmp.h>
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+bool GmpSaysPrime(const BigInt& v) {
+  mpz_t x;
+  mpz_init(x);
+  mpz_set_str(x, v.ToDecimal().c_str(), 10);
+  int r = mpz_probab_prime_p(x, 40);
+  mpz_clear(x);
+  return r != 0;
+}
+
+TEST(PrimeTest, SmallKnownPrimes) {
+  SecureRng rng(1);
+  for (int64_t p : {2, 3, 5, 7, 11, 13, 97, 7919, 104729}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallKnownComposites) {
+  SecureRng rng(2);
+  for (int64_t c : {0, 1, 4, 6, 9, 15, 91, 7917, 104730}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, NegativesAreNotPrime) {
+  SecureRng rng(3);
+  EXPECT_FALSE(IsProbablePrime(BigInt(-7), rng));
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  SecureRng rng(4);
+  for (int64_t c : {561, 1105, 1729, 2465, 2821, 6601, 8911, 41041,
+                    825265}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrime) {
+  SecureRng rng(5);
+  // 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite.
+  EXPECT_TRUE(IsProbablePrime((BigInt(1) << 127) - BigInt(1), rng));
+  EXPECT_FALSE(IsProbablePrime((BigInt(1) << 128) + BigInt(1), rng));
+}
+
+TEST(PrimeTest, ProductOfTwoPrimesRejected) {
+  SecureRng rng(6);
+  BigInt p = GeneratePrime(rng, 64);
+  BigInt q = GeneratePrime(rng, 64);
+  EXPECT_FALSE(IsProbablePrime(p * q, rng));
+}
+
+class GeneratePrimeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratePrimeTest, GeneratedPrimesVerifiedByGmp) {
+  const size_t bits = GetParam();
+  SecureRng rng(100 + bits);
+  for (int i = 0; i < 3; ++i) {
+    BigInt p = GeneratePrime(rng, bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    // Top two bits set (key-size guarantee).
+    EXPECT_TRUE(p.TestBit(bits - 1));
+    EXPECT_TRUE(p.TestBit(bits - 2));
+    EXPECT_TRUE(p.IsOdd());
+    EXPECT_TRUE(GmpSaysPrime(p)) << p.ToDecimal();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, GeneratePrimeTest,
+                         ::testing::Values(16, 24, 32, 48, 64, 128, 256, 512),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST(GeneratePrimeDeathTest, RejectsTinySizes) {
+  SecureRng rng(7);
+  EXPECT_DEATH(GeneratePrime(rng, 8), "prime size");
+}
+
+TEST(PrimeTest, DeterministicWithSeed) {
+  SecureRng a(42), b(42);
+  EXPECT_EQ(GeneratePrime(a, 96), GeneratePrime(b, 96));
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,174 @@
+// Cross-protocol property sweep (TEST_P over workload shapes × split
+// parameters): invariants that must hold for EVERY workload, not just the
+// crafted unit-test geometries.
+//
+//  P1  Core-point agreement: a party's core flags equal centralized
+//      DBSCAN's core flags on its own records — core-ness depends only on
+//      the joint neighbourhood count, which the protocols compute exactly.
+//  P2  Clustered-implies-clustered: any point the horizontal protocol
+//      assigns to a cluster is clustered by centralized DBSCAN too
+//      (own-party reachability chains are a subset of joint chains).
+//  P3  Vertical and arbitrary protocols reproduce centralized DBSCAN
+//      exactly, and both parties end with identical labels.
+//  P4  Enhanced mode (either selection algorithm) equals basic mode.
+//  P5  Vertical local pruning changes nothing but the traffic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace ppdbscan {
+namespace {
+
+struct SweepCase {
+  std::string shape;
+  uint64_t seed;
+  double split_fraction;  // horizontal/arbitrary split
+  double eps;
+  size_t min_pts;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string frac = std::to_string(
+      static_cast<int>(info.param.split_fraction * 100));
+  return info.param.shape + "_seed" + std::to_string(info.param.seed) +
+         "_split" + frac;
+}
+
+class ProtocolPropertyTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const SweepCase& param = GetParam();
+    SecureRng rng(param.seed);
+    RawDataset raw;
+    if (param.shape == "blobs") {
+      raw = MakeBlobs(rng, 3, 9, 2, 0.5, 5.0);
+      AddUniformNoise(raw, rng, 4, 7.0);
+    } else if (param.shape == "moons") {
+      raw = MakeTwoMoons(rng, 14, 0.05);
+    } else if (param.shape == "rings") {
+      raw = MakeRings(rng, 16, {1.5, 4.0}, 0.05);
+    } else {
+      raw = MakeDumbbell(rng, 10, 6, 6.0, 0.45);
+      AddUniformNoise(raw, rng, 3, 6.0);
+    }
+    FixedPointEncoder enc(8.0);
+    full_ = *enc.Encode(raw);
+    params_ = {.eps_squared = *enc.EncodeEpsSquared(param.eps),
+               .min_pts = param.min_pts};
+    central_ = RunDbscan(full_, params_);
+
+    config_.smc.paillier_bits = 256;
+    config_.smc.rsa_bits = 128;
+    config_.protocol.params = params_;
+    config_.protocol.comparator.kind = ComparatorKind::kIdeal;
+    config_.protocol.comparator.magnitude_bound =
+        RecommendedComparatorBound(2, 1 << 12);
+  }
+
+  Dataset full_{2};
+  DbscanParams params_;
+  DbscanResult central_;
+  ExecutionConfig config_;
+};
+
+TEST_P(ProtocolPropertyTest, HorizontalCoreAndClusterInvariants) {
+  SecureRng split_rng(GetParam().seed + 1);
+  HorizontalPartition hp =
+      *PartitionHorizontal(full_, split_rng, GetParam().split_fraction);
+  Result<TwoPartyOutcome> out = ExecuteHorizontal(hp.alice, hp.bob, config_);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  auto check_party = [&](const PartyClusteringResult& result,
+                         const std::vector<size_t>& ids, const char* who) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      // P1: core flags match centralized exactly.
+      EXPECT_EQ(result.is_core[i], central_.is_core[ids[i]])
+          << who << " point " << i;
+      // P2: protocol-clustered implies centrally clustered.
+      if (result.labels[i] >= 0) {
+        EXPECT_GE(central_.labels[ids[i]], 0) << who << " point " << i;
+      }
+    }
+  };
+  check_party(out->alice, hp.alice_ids, "alice");
+  check_party(out->bob, hp.bob_ids, "bob");
+}
+
+TEST_P(ProtocolPropertyTest, VerticalMatchesCentralizedExactly) {
+  size_t split_dim = 1;
+  VerticalPartition vp = *PartitionVertical(full_, split_dim);
+  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config_);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(SameClustering(out->alice.labels, central_.labels));
+  EXPECT_EQ(out->alice.labels, out->bob.labels);
+  EXPECT_EQ(out->alice.is_core, central_.is_core);
+}
+
+TEST_P(ProtocolPropertyTest, ArbitraryMatchesCentralizedExactly) {
+  SecureRng split_rng(GetParam().seed + 2);
+  ArbitraryPartition ap =
+      *PartitionArbitrary(full_, split_rng, GetParam().split_fraction);
+  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config_);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(SameClustering(out->alice.labels, central_.labels));
+  EXPECT_EQ(out->alice.labels, out->bob.labels);
+}
+
+TEST_P(ProtocolPropertyTest, EnhancedModesMatchBasic) {
+  SecureRng split_rng(GetParam().seed + 1);
+  HorizontalPartition hp =
+      *PartitionHorizontal(full_, split_rng, GetParam().split_fraction);
+  Result<TwoPartyOutcome> basic =
+      ExecuteHorizontal(hp.alice, hp.bob, config_);
+  ASSERT_TRUE(basic.ok()) << basic.status();
+
+  for (SelectionAlgorithm selection :
+       {SelectionAlgorithm::kKPass, SelectionAlgorithm::kQuickSelect}) {
+    ExecutionConfig enhanced_config = config_;
+    enhanced_config.protocol.mode = HorizontalMode::kEnhanced;
+    enhanced_config.protocol.selection = selection;
+    Result<TwoPartyOutcome> enhanced =
+        ExecuteHorizontal(hp.alice, hp.bob, enhanced_config);
+    ASSERT_TRUE(enhanced.ok()) << enhanced.status();
+    EXPECT_EQ(basic->alice.labels, enhanced->alice.labels);
+    EXPECT_EQ(basic->bob.labels, enhanced->bob.labels);
+    EXPECT_EQ(basic->alice.is_core, enhanced->alice.is_core);
+  }
+}
+
+TEST_P(ProtocolPropertyTest, VerticalPruningOnlyChangesTraffic) {
+  VerticalPartition vp = *PartitionVertical(full_, 1);
+  Result<TwoPartyOutcome> plain = ExecuteVertical(vp, config_);
+  ASSERT_TRUE(plain.ok());
+  ExecutionConfig pruned_config = config_;
+  pruned_config.protocol.vdp_local_pruning = true;
+  Result<TwoPartyOutcome> pruned = ExecuteVertical(vp, pruned_config);
+  ASSERT_TRUE(pruned.ok()) << pruned.status();
+  EXPECT_EQ(plain->alice.labels, pruned->alice.labels);
+  EXPECT_EQ(plain->alice.is_core, pruned->alice.is_core);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProtocolPropertyTest,
+    ::testing::Values(
+        SweepCase{"blobs", 101, 0.5, 1.3, 4},
+        SweepCase{"blobs", 102, 0.3, 1.3, 4},
+        SweepCase{"blobs", 103, 0.7, 1.1, 3},
+        SweepCase{"moons", 201, 0.5, 0.35, 3},
+        SweepCase{"moons", 202, 0.3, 0.4, 4},
+        SweepCase{"rings", 301, 0.5, 0.8, 3},
+        SweepCase{"rings", 302, 0.7, 0.8, 4},
+        SweepCase{"dumbbell", 401, 0.5, 1.2, 4},
+        SweepCase{"dumbbell", 402, 0.3, 1.2, 3}),
+    CaseName);
+
+}  // namespace
+}  // namespace ppdbscan

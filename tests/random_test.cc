@@ -1,0 +1,104 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ppdbscan {
+namespace {
+
+TEST(SecureRngTest, DeterministicForEqualSeeds) {
+  SecureRng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(SecureRngTest, DifferentSeedsDiverge) {
+  SecureRng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LE(equal, 1);
+}
+
+TEST(SecureRngTest, BytesMatchIncrementalFill) {
+  SecureRng a(7), b(7);
+  std::vector<uint8_t> big = a.Bytes(100);
+  std::vector<uint8_t> parts;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<uint8_t> p = b.Bytes(25);
+    parts.insert(parts.end(), p.begin(), p.end());
+  }
+  EXPECT_EQ(big, parts);
+}
+
+TEST(SecureRngTest, UniformU64StaysBelowBound) {
+  SecureRng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, (1ull << 50) + 3}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+}
+
+TEST(SecureRngTest, UniformU64CoversSmallDomains) {
+  SecureRng rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformU64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SecureRngTest, UniformU64ChiSquare) {
+  // 16 buckets, 16k draws: chi-square with 15 dof, 99.9% quantile ~ 37.7.
+  SecureRng rng(5);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 16384;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformU64(kBuckets)];
+  double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi = 0;
+  for (int c : counts) chi += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi, 37.7);
+}
+
+TEST(SecureRngTest, NextDoubleInUnitInterval) {
+  SecureRng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SecureRngTest, GaussianMoments) {
+  SecureRng rng(8);
+  constexpr int kDraws = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(SecureRngTest, ByteHistogramIsFlat) {
+  SecureRng rng(9);
+  std::vector<uint8_t> bytes = rng.Bytes(65536);
+  int counts[256] = {0};
+  for (uint8_t b : bytes) ++counts[b];
+  // 255 dof; 99.99% quantile ~ 347.
+  double expected = 65536.0 / 256.0;
+  double chi = 0;
+  for (int c : counts) chi += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi, 347.0);
+}
+
+TEST(SecureRngTest, UniformBoundZeroAborts) {
+  SecureRng rng(10);
+  EXPECT_DEATH(rng.UniformU64(0), "bound must be positive");
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,96 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SecureRng rng(31);
+    kp_ = new RsaKeyPair(*GenerateRsaKeyPair(rng, 256));
+    pub_ = new RsaPublicOps(*RsaPublicOps::Create(kp_->pub));
+    priv_ = new RsaPrivateOps(*RsaPrivateOps::Create(*kp_));
+  }
+  static RsaKeyPair* kp_;
+  static RsaPublicOps* pub_;
+  static RsaPrivateOps* priv_;
+};
+RsaKeyPair* RsaTest::kp_ = nullptr;
+RsaPublicOps* RsaTest::pub_ = nullptr;
+RsaPrivateOps* RsaTest::priv_ = nullptr;
+
+TEST_F(RsaTest, KeyStructure) {
+  EXPECT_EQ(kp_->pub.n, kp_->p * kp_->q);
+  EXPECT_EQ(kp_->pub.n.BitLength(), 256u);
+  EXPECT_EQ(kp_->pub.e, BigInt(65537));
+  BigInt phi = (kp_->p - BigInt(1)) * (kp_->q - BigInt(1));
+  EXPECT_EQ((kp_->pub.e * kp_->d).Mod(phi), BigInt(1));
+  EXPECT_EQ(kp_->dp, kp_->d.Mod(kp_->p - BigInt(1)));
+  EXPECT_EQ((kp_->q * kp_->q_inv).Mod(kp_->p), BigInt(1));
+}
+
+TEST_F(RsaTest, RoundTrip) {
+  SecureRng rng(32);
+  for (int i = 0; i < 40; ++i) {
+    BigInt m = BigInt::RandomBelow(rng, kp_->pub.n);
+    EXPECT_EQ(*priv_->Decrypt(*pub_->Encrypt(m)), m);
+  }
+}
+
+TEST_F(RsaTest, PermutationIsDeterministic) {
+  BigInt m(123456789);
+  EXPECT_EQ(*pub_->Encrypt(m), *pub_->Encrypt(m));
+}
+
+TEST_F(RsaTest, FixedPoints) {
+  EXPECT_EQ(*pub_->Encrypt(BigInt(0)), BigInt(0));
+  EXPECT_EQ(*pub_->Encrypt(BigInt(1)), BigInt(1));
+}
+
+TEST_F(RsaTest, RangeChecks) {
+  EXPECT_EQ(pub_->Encrypt(BigInt(-1)).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(pub_->Encrypt(kp_->pub.n).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(priv_->Decrypt(kp_->pub.n).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  ByteWriter w;
+  kp_->pub.Serialize(w);
+  ByteReader r(w.data());
+  Result<RsaPublicKey> back = RsaPublicKey::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->n, kp_->pub.n);
+  EXPECT_EQ(back->e, kp_->pub.e);
+}
+
+TEST(RsaKeygenTest, RejectsBadParameters) {
+  SecureRng rng(33);
+  EXPECT_FALSE(GenerateRsaKeyPair(rng, 63).ok());
+  EXPECT_FALSE(GenerateRsaKeyPair(rng, 128, 4).ok());   // even exponent
+  EXPECT_FALSE(GenerateRsaKeyPair(rng, 128, 1).ok());   // tiny exponent
+}
+
+TEST(RsaKeygenTest, AlternativePublicExponent) {
+  SecureRng rng(34);
+  Result<RsaKeyPair> kp = GenerateRsaKeyPair(rng, 128, 3);
+  ASSERT_TRUE(kp.ok());
+  RsaPublicOps pub = *RsaPublicOps::Create(kp->pub);
+  RsaPrivateOps priv = *RsaPrivateOps::Create(*kp);
+  BigInt m(424242);
+  EXPECT_EQ(*priv.Decrypt(*pub.Encrypt(m)), m);
+}
+
+TEST(RsaKeygenTest, PrivateOpsRejectInconsistentKeyPair) {
+  SecureRng rng(35);
+  RsaKeyPair kp = *GenerateRsaKeyPair(rng, 128);
+  kp.p += BigInt(2);
+  EXPECT_FALSE(RsaPrivateOps::Create(kp).ok());
+}
+
+}  // namespace
+}  // namespace ppdbscan

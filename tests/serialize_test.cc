@@ -1,0 +1,111 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/codec.h"
+
+namespace ppdbscan {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(SerializeTest, BigEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(SerializeTest, BytesRoundTrip) {
+  ByteWriter w;
+  std::vector<uint8_t> blob = {1, 2, 3, 4, 5};
+  w.PutBytes(blob);
+  w.PutBytes({});
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetBytes(), blob);
+  EXPECT_TRUE(r.GetBytes()->empty());
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(SerializeTest, TruncatedScalarFails) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU8().ok());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, TruncatedBytesFails) {
+  ByteWriter w;
+  w.PutU32(100);  // length prefix promising 100 bytes
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetBytes().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.PutU64(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(SerializeTest, ToHex) {
+  EXPECT_EQ(ToHex({}), "");
+  EXPECT_EQ(ToHex({0x00, 0xff, 0x1a}), "00ff1a");
+}
+
+TEST(BigIntCodecTest, RoundTripValues) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456789},
+                    int64_t{-987654321}}) {
+    ByteWriter w;
+    WriteBigInt(w, BigInt(v));
+    ByteReader r(w.data());
+    Result<BigInt> back = ReadBigInt(r);
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, BigInt(v));
+    EXPECT_TRUE(r.Done());
+  }
+}
+
+TEST(BigIntCodecTest, LargeValueRoundTrip) {
+  BigInt v = (BigInt(1) << 300) - BigInt(12345);
+  ByteWriter w;
+  WriteBigInt(w, -v);
+  ByteReader r(w.data());
+  EXPECT_EQ(*ReadBigInt(r), -v);
+}
+
+TEST(BigIntCodecTest, RejectsBadSignByte) {
+  ByteWriter w;
+  w.PutU8(3);  // invalid sign
+  w.PutBytes({1});
+  ByteReader r(w.data());
+  EXPECT_EQ(ReadBigInt(r).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BigIntCodecTest, RejectsInconsistentZero) {
+  ByteWriter w;
+  w.PutU8(1);       // claims positive
+  w.PutBytes({});   // but zero magnitude
+  ByteReader r(w.data());
+  EXPECT_EQ(ReadBigInt(r).status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace ppdbscan

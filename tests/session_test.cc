@@ -1,0 +1,59 @@
+#include "smc/session.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+using testing_util::MakeSessionPair;
+using testing_util::SessionPair;
+
+TEST(SessionTest, EstablishExchangesPublicKeys) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  // Alice's view of Bob's Paillier key equals Bob's own key, and vice versa.
+  EXPECT_EQ(pair.alice->peer_paillier().pub().n,
+            pair.bob->own_paillier_ctx().pub().n);
+  EXPECT_EQ(pair.bob->peer_paillier().pub().n,
+            pair.alice->own_paillier_ctx().pub().n);
+  EXPECT_EQ(pair.alice->peer_rsa().pub().n, pair.bob->own_rsa().pub().n);
+  EXPECT_EQ(pair.bob->peer_rsa().pub().n, pair.alice->own_rsa().pub().n);
+}
+
+TEST(SessionTest, PartiesHaveDistinctKeys) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  EXPECT_NE(pair.alice->own_paillier_ctx().pub().n,
+            pair.bob->own_paillier_ctx().pub().n);
+  EXPECT_NE(pair.alice->own_rsa().pub().n, pair.bob->own_rsa().pub().n);
+}
+
+TEST(SessionTest, RequestedKeySizesHonoured) {
+  SessionPair pair = MakeSessionPair(256, 128);
+  EXPECT_EQ(pair.alice->own_paillier_ctx().pub().n.BitLength(), 256u);
+  EXPECT_EQ(pair.alice->own_rsa().pub().n.BitLength(), 128u);
+  EXPECT_EQ(pair.alice->peer_paillier().pub().modulus_bits, 256u);
+}
+
+TEST(SessionTest, CrossKeyEncryptionWorks) {
+  // Alice encrypts under Bob's public key; Bob decrypts.
+  SessionPair pair = MakeSessionPair(128, 128);
+  SecureRng rng(5);
+  BigInt m(424242);
+  Result<BigInt> c = pair.alice->peer_paillier().Encrypt(m, rng);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*pair.bob->own_paillier().Decrypt(*c), m);
+}
+
+TEST(SessionTest, EstablishFailsAgainstClosedChannel) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  b->Close();
+  SecureRng rng(1);
+  SmcOptions options;
+  options.paillier_bits = 128;
+  options.rsa_bits = 128;
+  EXPECT_FALSE(SmcSession::Establish(*a, rng, options).ok());
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,92 @@
+#include "net/socket_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ppdbscan {
+namespace {
+
+struct TcpPair {
+  std::unique_ptr<SocketChannel> server;
+  std::unique_ptr<SocketChannel> client;
+};
+
+// Binds a kernel-assigned port first, so there is no fixed-port collision
+// between test processes and no listen/connect race.
+TcpPair Connect() {
+  TcpPair pair;
+  Result<SocketListener> listener = SocketListener::Bind(0);
+  if (!listener.ok()) return pair;
+  std::thread acceptor([&] {
+    Result<std::unique_ptr<SocketChannel>> s = listener->Accept();
+    if (s.ok()) pair.server = std::move(*s);
+  });
+  Result<std::unique_ptr<SocketChannel>> c =
+      SocketChannel::Connect("127.0.0.1", listener->port());
+  acceptor.join();
+  if (c.ok()) pair.client = std::move(*c);
+  return pair;
+}
+
+TEST(SocketChannelTest, RoundTrip) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  ASSERT_TRUE(pair.client->Send({1, 2, 3, 4}).ok());
+  EXPECT_EQ(*pair.server->Recv(), (std::vector<uint8_t>{1, 2, 3, 4}));
+  ASSERT_TRUE(pair.server->Send({9}).ok());
+  EXPECT_EQ(*pair.client->Recv(), std::vector<uint8_t>{9});
+}
+
+TEST(SocketChannelTest, LargeFrame) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  std::vector<uint8_t> big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(pair.client->Send(big).ok());
+  EXPECT_EQ(*pair.server->Recv(), big);
+}
+
+TEST(SocketChannelTest, EmptyFrame) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  ASSERT_TRUE(pair.client->Send({}).ok());
+  EXPECT_TRUE(pair.server->Recv()->empty());
+}
+
+TEST(SocketChannelTest, PeerCloseSurfacesUnavailable) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  pair.client->Close();
+  EXPECT_EQ(pair.server->Recv().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketChannelTest, ConnectTimeoutWhenNobodyListens) {
+  Result<std::unique_ptr<SocketChannel>> c =
+      SocketChannel::Connect("127.0.0.1", 42299, /*timeout_ms=*/300);
+  EXPECT_EQ(c.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketChannelTest, RejectsBadAddress) {
+  Result<std::unique_ptr<SocketChannel>> c =
+      SocketChannel::Connect("not-an-ip", 1234, 100);
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocketChannelTest, StatsTracked) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  ASSERT_TRUE(pair.client->Send({1, 2, 3}).ok());
+  (void)pair.server->Recv();
+  EXPECT_EQ(pair.client->stats().bytes_sent, 3u);
+  EXPECT_EQ(pair.server->stats().bytes_received, 3u);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,104 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::DataLoss("a"));
+}
+
+TEST(StatusTest, CodeToStringCoversAll) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, OkStatusConversionIsInternalError) {
+  // Constructing a Result from an OK status is a bug; it must degrade to an
+  // error rather than a valueless success.
+  Result<int> r{Status::Ok()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailingHelper() { return Status::DataLoss("inner"); }
+
+Status UsesReturnIfError() {
+  PPD_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(MacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kDataLoss);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PPD_ASSIGN_OR_RETURN(int v, std::move(in));
+  return 2 * v;
+}
+
+TEST(MacrosTest, AssignOrReturnValue) {
+  Result<int> r = Doubler(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(MacrosTest, AssignOrReturnError) {
+  Result<int> r = Doubler(Status::Unavailable("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MacrosTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ PPD_CHECK(1 == 2); }, "PPD_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ppdbscan

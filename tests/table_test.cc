@@ -1,0 +1,45 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ppdbscan {
+namespace {
+
+TEST(ResultTableTest, MarkdownLayout) {
+  ResultTable t({"n", "bytes"});
+  t.AddRow({"10", "12345"});
+  t.AddRow({"100", "9"});
+  std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| n   | bytes |"), std::string::npos);
+  EXPECT_NE(md.find("| 10  | 12345 |"), std::string::npos);
+  EXPECT_NE(md.find("| 100 | 9     |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(md.find("|-----|"), std::string::npos);
+}
+
+TEST(ResultTableTest, CsvLayout) {
+  ResultTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(ResultTableTest, EmptyTableStillRendersHeader) {
+  ResultTable t({"only"});
+  EXPECT_NE(t.ToMarkdown().find("| only |"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "only\n");
+}
+
+TEST(ResultTableTest, Formatting) {
+  EXPECT_EQ(ResultTable::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ResultTable::Fmt(3.0, 0), "3");
+  EXPECT_EQ(ResultTable::Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(ResultTable::Fmt(int64_t{-42}), "-42");
+}
+
+TEST(ResultTableDeathTest, RowWidthMismatchAborts) {
+  ResultTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"1"}), "row width");
+}
+
+}  // namespace
+}  // namespace ppdbscan

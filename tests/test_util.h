@@ -1,0 +1,95 @@
+#ifndef PPDBSCAN_TESTS_TEST_UTIL_H_
+#define PPDBSCAN_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/memory_channel.h"
+#include "smc/session.h"
+
+namespace ppdbscan {
+namespace testing_util {
+
+/// A connected pair of SMC sessions over an in-process channel, with
+/// per-party deterministic RNGs. Key generation is the slow part of most
+/// protocol tests, so suites share one pair via static SetUpTestSuite.
+struct SessionPair {
+  std::unique_ptr<MemoryChannel> alice_channel;
+  std::unique_ptr<MemoryChannel> bob_channel;
+  std::unique_ptr<SmcSession> alice;
+  std::unique_ptr<SmcSession> bob;
+  std::unique_ptr<SecureRng> alice_rng;
+  std::unique_ptr<SecureRng> bob_rng;
+};
+
+/// Builds a SessionPair with the given key sizes. Aborts on failure (test
+/// environments only).
+inline SessionPair MakeSessionPair(size_t paillier_bits = 256,
+                                   size_t rsa_bits = 256,
+                                   uint64_t seed = 1234) {
+  SessionPair pair;
+  auto [a, b] = MemoryChannel::CreatePair();
+  pair.alice_channel = std::move(a);
+  pair.bob_channel = std::move(b);
+  pair.alice_rng = std::make_unique<SecureRng>(seed);
+  pair.bob_rng = std::make_unique<SecureRng>(seed + 1);
+  SmcOptions options;
+  options.paillier_bits = paillier_bits;
+  options.rsa_bits = rsa_bits;
+  Result<SmcSession> alice = Status::Internal("unset");
+  Result<SmcSession> bob = Status::Internal("unset");
+  std::thread ta([&] {
+    alice = SmcSession::Establish(*pair.alice_channel, *pair.alice_rng,
+                                  options);
+  });
+  std::thread tb([&] {
+    bob = SmcSession::Establish(*pair.bob_channel, *pair.bob_rng, options);
+  });
+  ta.join();
+  tb.join();
+  PPD_CHECK_MSG(alice.ok() && bob.ok(), "session establishment failed");
+  pair.alice = std::make_unique<SmcSession>(std::move(alice).value());
+  pair.bob = std::make_unique<SmcSession>(std::move(bob).value());
+  return pair;
+}
+
+/// Runs the two party bodies on two threads and returns their outcomes.
+/// Each body receives its own channel/session/rng from the pair.
+///
+/// With `close_on_return` (single-use pairs only — it poisons the channel
+/// for later calls), each party closes its channel end as soon as its body
+/// returns, mirroring the production harness (RunProtocol in core/run.cc):
+/// a peer blocked in Recv then observes a clean close instead of hanging
+/// when one side bails out early with an error.
+template <typename A, typename B>
+std::pair<A, B> RunTwoParty(SessionPair& pair,
+                            const std::function<A(Channel&, const SmcSession&,
+                                                  SecureRng&)>& alice_body,
+                            const std::function<B(Channel&, const SmcSession&,
+                                                  SecureRng&)>& bob_body,
+                            bool close_on_return = false) {
+  std::unique_ptr<A> alice_out;
+  std::unique_ptr<B> bob_out;
+  std::thread ta([&] {
+    alice_out = std::make_unique<A>(alice_body(
+        *pair.alice_channel, *pair.alice, *pair.alice_rng));
+    if (close_on_return) pair.alice_channel->Close();
+  });
+  std::thread tb([&] {
+    bob_out = std::make_unique<B>(
+        bob_body(*pair.bob_channel, *pair.bob, *pair.bob_rng));
+    if (close_on_return) pair.bob_channel->Close();
+  });
+  ta.join();
+  tb.join();
+  return {std::move(*alice_out), std::move(*bob_out)};
+}
+
+}  // namespace testing_util
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,236 @@
+#include "core/vertical.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/memory_channel.h"
+
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+
+namespace ppdbscan {
+namespace {
+
+ExecutionConfig FastConfig(int64_t eps_squared, size_t min_pts) {
+  ExecutionConfig config;
+  config.smc.paillier_bits = 256;
+  config.smc.rsa_bits = 128;
+  config.protocol.params = {eps_squared, min_pts};
+  config.protocol.comparator.kind = ComparatorKind::kIdeal;
+  config.protocol.comparator.magnitude_bound =
+      RecommendedComparatorBound(4, 1 << 12);
+  return config;
+}
+
+struct VerticalCase {
+  const char* name;
+  size_t clusters;
+  size_t per_cluster;
+  size_t dims;
+  size_t split;
+  double eps;
+  size_t min_pts;
+};
+
+class VerticalEquivalenceTest : public ::testing::TestWithParam<VerticalCase> {
+};
+
+TEST_P(VerticalEquivalenceTest, MatchesCentralizedExactly) {
+  const VerticalCase& c = GetParam();
+  SecureRng rng(42);
+  RawDataset raw = MakeBlobs(rng, c.clusters, c.per_cluster, c.dims, 0.5, 6.0);
+  AddUniformNoise(raw, rng, c.per_cluster / 2, 8.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  DbscanParams params{*enc.EncodeEpsSquared(c.eps), c.min_pts};
+  DbscanResult central = RunDbscan(full, params);
+
+  VerticalPartition vp = *PartitionVertical(full, c.split);
+  ExecutionConfig config = FastConfig(params.eps_squared, params.min_pts);
+  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  // Theorem 10 setting: both parties obtain the exact centralized result.
+  EXPECT_TRUE(SameClustering(out->alice.labels, central.labels));
+  EXPECT_TRUE(SameClustering(out->bob.labels, central.labels));
+  EXPECT_EQ(out->alice.labels, out->bob.labels);
+  EXPECT_EQ(out->alice.is_core, central.is_core);
+  EXPECT_EQ(out->alice.num_clusters, central.num_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, VerticalEquivalenceTest,
+    ::testing::Values(VerticalCase{"two_blobs_2d", 2, 10, 2, 1, 1.2, 3},
+                      VerticalCase{"three_blobs_3d", 3, 8, 3, 1, 1.2, 4},
+                      VerticalCase{"three_blobs_3d_split2", 3, 8, 3, 2, 1.2,
+                                   4},
+                      VerticalCase{"four_dims", 2, 8, 4, 2, 1.4, 3},
+                      VerticalCase{"dense_minpts2", 2, 12, 2, 1, 1.0, 2}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(VerticalTest, BothPartiesSeeIdenticalDisclosures) {
+  SecureRng rng(7);
+  RawDataset raw = MakeBlobs(rng, 2, 8, 2, 0.5, 5.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  VerticalPartition vp = *PartitionVertical(full, 1);
+  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 3);
+  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  ASSERT_TRUE(out.ok());
+  // Neighbourhood sizes are revealed to both parties (Theorem 10) and must
+  // agree event-by-event.
+  EXPECT_EQ(out->alice_disclosures.values("neighborhood_size"),
+            out->bob_disclosures.values("neighborhood_size"));
+  EXPECT_GT(out->alice_disclosures.Count("neighborhood_size"), 0u);
+}
+
+TEST(VerticalTest, RecordCountMismatchRejected) {
+  Dataset alice_cols(1);
+  PPD_CHECK(alice_cols.Add({0}).ok());
+  PPD_CHECK(alice_cols.Add({1}).ok());
+  Dataset bob_cols(1);
+  PPD_CHECK(bob_cols.Add({0}).ok());
+  VerticalPartition vp{alice_cols, bob_cols, 1};
+  ExecutionConfig config = FastConfig(1, 1);
+  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VerticalTest, SinglePointDataset) {
+  Dataset alice_cols(1), bob_cols(1);
+  PPD_CHECK(alice_cols.Add({5}).ok());
+  PPD_CHECK(bob_cols.Add({7}).ok());
+  VerticalPartition vp{alice_cols, bob_cols, 1};
+  ExecutionConfig config = FastConfig(100, 1);
+  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->alice.labels[0], 0);
+}
+
+TEST(VerticalTest, QuadraticCommunicationShape) {
+  // §4.3.2: O(n²) comparisons. Doubling n should roughly quadruple bytes.
+  auto measure = [&](size_t n) -> uint64_t {
+    Dataset alice_cols(1), bob_cols(1);
+    for (size_t i = 0; i < n; ++i) {
+      PPD_CHECK(alice_cols.Add({static_cast<int64_t>(10 * i)}).ok());
+      PPD_CHECK(bob_cols.Add({0}).ok());
+    }
+    VerticalPartition vp{alice_cols, bob_cols, 1};
+    ExecutionConfig config = FastConfig(4, 2);
+    Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+    PPD_CHECK(out.ok());
+    return out->alice_stats.total_bytes();
+  };
+  uint64_t small = measure(8);
+  uint64_t big = measure(16);
+  EXPECT_GT(big, 3 * small);
+  EXPECT_LT(big, 6 * small);
+}
+
+TEST(VerticalTest, BlindedComparatorMatchesIdeal) {
+  SecureRng rng(8);
+  RawDataset raw = MakeBlobs(rng, 2, 6, 2, 0.5, 5.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  VerticalPartition vp = *PartitionVertical(full, 1);
+  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 3);
+  Result<TwoPartyOutcome> ideal = ExecuteVertical(vp, config);
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+  Result<TwoPartyOutcome> blinded = ExecuteVertical(vp, config);
+  ASSERT_TRUE(ideal.ok() && blinded.ok()) << blinded.status();
+  EXPECT_EQ(ideal->alice.labels, blinded->alice.labels);
+}
+
+TEST(VerticalTest, LocalPruningPreservesClustering) {
+  // E9: pruning only ever skips pairs whose total distance provably
+  // exceeds EpsÂ², so labels, core flags and cluster counts are identical
+  // across a spread of workloads and parameters.
+  for (uint64_t seed : {3u, 8u, 21u}) {
+    SecureRng rng(seed);
+    RawDataset raw = MakeBlobs(rng, 3, 7, 2, 0.6, 6.0);
+    AddUniformNoise(raw, rng, 4, 8.0);
+    FixedPointEncoder enc(4.0);
+    Dataset full = *enc.Encode(raw);
+    VerticalPartition vp = *PartitionVertical(full, 1);
+    ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.3), 3);
+    Result<TwoPartyOutcome> plain = ExecuteVertical(vp, config);
+    config.protocol.vdp_local_pruning = true;
+    Result<TwoPartyOutcome> pruned = ExecuteVertical(vp, config);
+    ASSERT_TRUE(plain.ok() && pruned.ok()) << pruned.status();
+    EXPECT_EQ(plain->alice.labels, pruned->alice.labels) << "seed " << seed;
+    EXPECT_EQ(plain->alice.is_core, pruned->alice.is_core);
+    EXPECT_EQ(pruned->alice.labels, pruned->bob.labels);
+  }
+}
+
+TEST(VerticalTest, LocalPruningSavesComparisonsOnSpreadData) {
+  // Records spread along Alice's axis: most pairs are prunable from her
+  // partials alone, so the pruned run must move far fewer bytes even
+  // after paying for the bitmaps.
+  Dataset alice_cols(1), bob_cols(1);
+  for (size_t i = 0; i < 16; ++i) {
+    PPD_CHECK(alice_cols.Add({static_cast<int64_t>(100 * i)}).ok());
+    PPD_CHECK(bob_cols.Add({0}).ok());
+  }
+  VerticalPartition vp{alice_cols, bob_cols, 1};
+  ExecutionConfig config = FastConfig(4, 2);
+  Result<TwoPartyOutcome> plain = ExecuteVertical(vp, config);
+  config.protocol.vdp_local_pruning = true;
+  Result<TwoPartyOutcome> pruned = ExecuteVertical(vp, config);
+  ASSERT_TRUE(plain.ok() && pruned.ok());
+  EXPECT_EQ(plain->alice.labels, pruned->alice.labels);
+  EXPECT_LT(pruned->alice_stats.total_bytes(),
+            plain->alice_stats.total_bytes() / 2);
+  // Bob prunes nothing (his column is constant); Alice's map does all the
+  // work, and each party records what it learned from the other's bitmap.
+  EXPECT_GT(pruned->bob_disclosures.Count("peer_pruned_count"), 0u);
+}
+
+TEST(VerticalTest, PruningMismatchFailsCleanly) {
+  // One party pruning while the other does not must desynchronize into a
+  // Status error (unexpected message tag), not a hang or silent corruption.
+  Dataset cols(1);
+  for (int i = 0; i < 4; ++i) PPD_CHECK(cols.Add({i}).ok());
+  VerticalPartition vp{cols, cols, 1};
+  ExecutionConfig config = FastConfig(1, 2);
+
+  auto [alice_ch, bob_ch] = MemoryChannel::CreatePair();
+  SecureRng alice_rng(1), bob_rng(2);
+  Result<SmcSession> alice_session = Status::Internal("unset");
+  Result<SmcSession> bob_session = Status::Internal("unset");
+  {
+    std::thread t([&] {
+      alice_session = SmcSession::Establish(*alice_ch, alice_rng, config.smc);
+    });
+    bob_session = SmcSession::Establish(*bob_ch, bob_rng, config.smc);
+    t.join();
+  }
+  ASSERT_TRUE(alice_session.ok() && bob_session.ok());
+
+  ProtocolOptions alice_options = config.protocol;
+  alice_options.vdp_local_pruning = true;   // mismatch
+  ProtocolOptions bob_options = config.protocol;
+
+  Result<PartyClusteringResult> alice_result = Status::Internal("unset");
+  Result<PartyClusteringResult> bob_result = Status::Internal("unset");
+  std::thread alice_thread([&] {
+    alice_result =
+        RunVerticalDbscan(*alice_ch, *alice_session, vp.alice,
+                          PartyRole::kAlice, alice_options, alice_rng);
+    alice_ch->Close();
+  });
+  bob_result = RunVerticalDbscan(*bob_ch, *bob_session, vp.bob,
+                                 PartyRole::kBob, bob_options, bob_rng);
+  bob_ch->Close();
+  alice_thread.join();
+  EXPECT_FALSE(alice_result.ok() && bob_result.ok());
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,132 @@
+#include "smc/ymp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppdbscan {
+namespace {
+
+using testing_util::MakeSessionPair;
+using testing_util::RunTwoParty;
+using testing_util::SessionPair;
+
+class YmppTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pair_ = new SessionPair(MakeSessionPair(128, 128));
+  }
+  static SessionPair* pair_;
+
+  struct Outcome {
+    Result<std::optional<bool>> key_owner = Status::Internal("unset");
+    Result<bool> evaluator = Status::Internal("unset");
+  };
+
+  static Outcome Run(uint64_t i, uint64_t j, const YmppOptions& options) {
+    Outcome out;
+    auto [a, b] = RunTwoParty<Result<std::optional<bool>>, Result<bool>>(
+        *pair_,
+        [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+          return RunYmppKeyOwner(ch, s, i, options, rng);
+        },
+        [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
+          return RunYmppEvaluator(ch, s, j, options, rng);
+        });
+    out.key_owner = std::move(a);
+    out.evaluator = std::move(b);
+    return out;
+  }
+};
+SessionPair* YmppTest::pair_ = nullptr;
+
+TEST_F(YmppTest, ExhaustiveSmallDomain) {
+  YmppOptions options;
+  options.domain = 6;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    for (uint64_t j = 1; j <= 6; ++j) {
+      Outcome out = Run(i, j, options);
+      ASSERT_TRUE(out.evaluator.ok()) << out.evaluator.status();
+      ASSERT_TRUE(out.key_owner.ok()) << out.key_owner.status();
+      EXPECT_EQ(*out.evaluator, i < j) << "i=" << i << " j=" << j;
+      ASSERT_TRUE(out.key_owner->has_value());
+      EXPECT_EQ(**out.key_owner, i < j);
+    }
+  }
+}
+
+TEST_F(YmppTest, BoundaryValues) {
+  YmppOptions options;
+  options.domain = 64;
+  EXPECT_FALSE(*Run(1, 1, options).evaluator);      // equal → not less
+  EXPECT_TRUE(*Run(1, 64, options).evaluator);      // extremes
+  EXPECT_FALSE(*Run(64, 1, options).evaluator);
+  EXPECT_FALSE(*Run(64, 64, options).evaluator);
+  EXPECT_TRUE(*Run(63, 64, options).evaluator);     // adjacent
+  EXPECT_FALSE(*Run(64, 63, options).evaluator);
+}
+
+TEST_F(YmppTest, OneSidedModeHidesResultFromKeyOwner) {
+  YmppOptions options;
+  options.domain = 16;
+  options.report_result = false;
+  Outcome out = Run(5, 9, options);
+  ASSERT_TRUE(out.evaluator.ok());
+  EXPECT_TRUE(*out.evaluator);
+  ASSERT_TRUE(out.key_owner.ok());
+  EXPECT_FALSE(out.key_owner->has_value());  // step 7 skipped
+}
+
+TEST_F(YmppTest, InputValidationAbortsCleanly) {
+  YmppOptions options;
+  options.domain = 8;
+  // Key-owner input out of range.
+  Outcome out = Run(9, 3, options);
+  EXPECT_EQ(out.key_owner.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out.evaluator.status().code(), StatusCode::kUnavailable);
+  // Evaluator input out of range.
+  out = Run(3, 0, options);
+  EXPECT_EQ(out.evaluator.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out.key_owner.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(YmppTest, DomainValidation) {
+  YmppOptions options;
+  options.domain = 1;
+  Outcome out = Run(1, 1, options);
+  EXPECT_FALSE(out.key_owner.ok());
+  EXPECT_FALSE(out.evaluator.ok());
+}
+
+TEST_F(YmppTest, RandomizedMediumDomain) {
+  YmppOptions options;
+  options.domain = 200;
+  SecureRng rng(5);
+  for (int iter = 0; iter < 6; ++iter) {
+    uint64_t i = 1 + rng.UniformU64(options.domain);
+    uint64_t j = 1 + rng.UniformU64(options.domain);
+    Outcome out = Run(i, j, options);
+    ASSERT_TRUE(out.evaluator.ok());
+    EXPECT_EQ(*out.evaluator, i < j) << "i=" << i << " j=" << j;
+  }
+}
+
+TEST_F(YmppTest, CommunicationScalesLinearlyInDomain) {
+  // Θ(c2·n0) table traffic (§4.2.2's second term): doubling the domain
+  // should roughly double the key-owner → evaluator bytes.
+  auto measure = [&](uint64_t domain) {
+    YmppOptions options;
+    options.domain = domain;
+    pair_->alice_channel->ResetStats();
+    Outcome out = Run(domain / 2, domain / 2, options);
+    PPD_CHECK(out.evaluator.ok());
+    return pair_->alice_channel->stats().bytes_sent;
+  };
+  uint64_t small = measure(32);
+  uint64_t big = measure(128);
+  EXPECT_GT(big, 3 * small + small / 2);  // ~4x with fixed overheads
+  EXPECT_LT(big, 6 * small);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,30 @@
+# FindGMP — locate the GNU multiple-precision library.
+#
+# GMP is a TEST-ONLY dependency here: the bigint library is from scratch and
+# GMP is used exclusively as a differential-testing oracle. Never link the
+# GMP::GMP target into a ppdbscan library target.
+#
+# Defines:
+#   GMP_FOUND
+#   GMP_INCLUDE_DIR
+#   GMP_LIBRARY
+#   GMP::GMP imported target
+
+find_path(GMP_INCLUDE_DIR
+  NAMES gmp.h
+  PATH_SUFFIXES x86_64-linux-gnu aarch64-linux-gnu)
+
+find_library(GMP_LIBRARY NAMES gmp)
+
+include(FindPackageHandleStandardArgs)
+find_package_handle_standard_args(GMP
+  REQUIRED_VARS GMP_LIBRARY GMP_INCLUDE_DIR)
+
+if(GMP_FOUND AND NOT TARGET GMP::GMP)
+  add_library(GMP::GMP UNKNOWN IMPORTED)
+  set_target_properties(GMP::GMP PROPERTIES
+    IMPORTED_LOCATION "${GMP_LIBRARY}"
+    INTERFACE_INCLUDE_DIRECTORIES "${GMP_INCLUDE_DIR}")
+endif()
+
+mark_as_advanced(GMP_INCLUDE_DIR GMP_LIBRARY)

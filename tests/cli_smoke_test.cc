@@ -1,0 +1,109 @@
+// End-to-end smoke test for tools/ppdbscan_cli.cc: generate a tiny CSV with
+// the CLI itself, cluster it centrally, and check exit codes plus the shape
+// of everything written to disk and stdout. The binary path is injected by
+// CMake as PPDBSCAN_CLI_PATH.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/csv.h"
+
+#ifndef PPDBSCAN_CLI_PATH
+#error "PPDBSCAN_CLI_PATH must be defined by the build"
+#endif
+
+namespace ppdbscan {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command = std::string(PPDBSCAN_CLI_PATH) + " " + args +
+                              " 2>/dev/null";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.stdout_text += buffer;
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+size_t CountLines(const std::string& text) {
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  return lines;
+}
+
+TEST(CliSmokeTest, NoArgumentsPrintsUsageAndFails) {
+  CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliSmokeTest, UnknownCommandFails) {
+  CommandResult result = RunCli("frobnicate --in nowhere.csv");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliSmokeTest, GenerateThenCentralEndToEnd) {
+  const std::string dir = ::testing::TempDir();
+  const std::string data_csv = dir + "/cli_smoke_data.csv";
+  const std::string labels_csv = dir + "/cli_smoke_labels.csv";
+
+  CommandResult generate = RunCli(
+      "generate --shape blobs --n 30 --dims 2 --seed 7 --out " + data_csv);
+  ASSERT_EQ(generate.exit_code, 0) << generate.stdout_text;
+  EXPECT_NE(generate.stdout_text.find("wrote"), std::string::npos);
+
+  // The generated file must itself load as a dataset of the promised shape
+  // (generated blobs carry a trailing ground-truth label column).
+  auto loaded = LoadCsvDataset(data_csv, /*label_column=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 30u);
+  EXPECT_EQ(loaded->dims, 2u);
+  EXPECT_EQ(loaded->true_labels.size(), 30u);
+
+  CommandResult central = RunCli("central --in " + data_csv +
+                                 " --eps 1.2 --minpts 3 --out " + labels_csv);
+  ASSERT_EQ(central.exit_code, 0) << central.stdout_text;
+  EXPECT_NE(central.stdout_text.find("centralized DBSCAN: 30 points"),
+            std::string::npos)
+      << central.stdout_text;
+  // The generated file has a label column, so the CLI must pick it up and
+  // report agreement against it rather than clustering it as a coordinate.
+  EXPECT_NE(central.stdout_text.find("ARI vs CSV label column"),
+            std::string::npos)
+      << central.stdout_text;
+
+  // labels.csv: one header line plus one `index,label` row per point.
+  const std::string labels = ReadWholeFile(labels_csv);
+  EXPECT_EQ(CountLines(labels), 31u);
+  EXPECT_EQ(labels.rfind("index,label\n", 0), 0u) << labels.substr(0, 32);
+}
+
+TEST(CliSmokeTest, CentralRejectsMissingInput) {
+  CommandResult result =
+      RunCli("central --in /nonexistent/x.csv --eps 1.0 --minpts 4");
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -7,9 +7,14 @@
 #include "data/generators.h"
 #include "dbscan/dbscan.h"
 #include "eval/metrics.h"
+#include "test_util.h"
 
 namespace ppdbscan {
 namespace {
+
+using testing_util::MakeSessionRing;
+using testing_util::RunParties;
+using testing_util::SessionRing;
 
 Dataset MakePoints(const std::vector<std::vector<int64_t>>& points) {
   Dataset ds(points.empty() ? 1 : points[0].size());
@@ -169,6 +174,81 @@ TEST(MultipartyTest, DisclosureCountsOneRecordPerPeerPerCoreTest) {
   EXPECT_EQ(out->disclosures[0].Count("peer_neighbor_count"), 4u);
   EXPECT_EQ(out->disclosures[1].Count("peer_neighbor_count"), 2u);
   EXPECT_EQ(out->disclosures[2].Count("peer_neighbor_count"), 2u);
+}
+
+TEST(MultipartySessionRingTest, LowLevelRingMatchesHarness) {
+  // Driving RunMultipartyHorizontalDbscan directly over a SessionRing must
+  // reproduce the in-process harness exactly (same data, ideal comparator,
+  // so the clustering is a deterministic function of the inputs).
+  std::vector<Dataset> parties{
+      MakePoints({{0, 0}, {1, 0}, {0, 1}, {9, 9}}),
+      MakePoints({{1, 1}, {10, 9}, {9, 10}}),
+      MakePoints({{0, 2}, {30, 30}})};
+  ProtocolOptions options = FastOptions(2, 3);
+
+  Result<MultipartyOutcome> harness =
+      ExecuteMultipartyHorizontal(parties, FastSmc(), options);
+  ASSERT_TRUE(harness.ok()) << harness.status();
+
+  SessionRing ring = MakeSessionRing(parties.size(), 256, 128, 77);
+  std::vector<Result<PartyClusteringResult>> ring_results =
+      RunParties<Result<PartyClusteringResult>>(
+          ring, [&](size_t i, SessionRing& r) {
+            return RunMultipartyHorizontalDbscan(
+                r.LinksFor(i), r.SessionsFor(i), parties[i],
+                MultipartyRole{.index = i, .parties = r.parties}, options,
+                *r.rngs[i]);
+          });
+
+  for (size_t i = 0; i < parties.size(); ++i) {
+    ASSERT_TRUE(ring_results[i].ok()) << "party " << i << ": "
+                                      << ring_results[i].status();
+    EXPECT_EQ(ring_results[i]->labels, harness->results[i].labels)
+        << "party " << i;
+    EXPECT_EQ(ring_results[i]->is_core, harness->results[i].is_core)
+        << "party " << i;
+    EXPECT_EQ(ring_results[i]->num_clusters, harness->results[i].num_clusters)
+        << "party " << i;
+  }
+}
+
+TEST(MultipartySessionRingTest, FourPartyDensityAccumulatesOverRing) {
+  // N = 4 over the low-level API: the center point is core only because
+  // three peers each contribute one neighbour (same scenario as the
+  // harness-level DensityAccumulatesAcrossAllPeers).
+  std::vector<Dataset> parties{
+      MakePoints({{0, 0}}), MakePoints({{2, 0}, {50, 0}}),
+      MakePoints({{-2, 0}, {60, 0}}), MakePoints({{0, 2}, {70, 0}})};
+  ProtocolOptions options = FastOptions(4, 4);
+
+  SessionRing ring = MakeSessionRing(parties.size(), 256, 128, 99);
+  std::vector<Result<PartyClusteringResult>> results =
+      RunParties<Result<PartyClusteringResult>>(
+          ring, [&](size_t i, SessionRing& r) {
+            return RunMultipartyHorizontalDbscan(
+                r.LinksFor(i), r.SessionsFor(i), parties[i],
+                MultipartyRole{.index = i, .parties = r.parties}, options,
+                *r.rngs[i]);
+          });
+
+  for (size_t i = 0; i < parties.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "party " << i << ": "
+                                 << results[i].status();
+  }
+  EXPECT_TRUE(results[0]->is_core[0]);
+  EXPECT_EQ(results[0]->labels[0], 0);
+  for (size_t p = 1; p <= 3; ++p) {
+    EXPECT_FALSE(results[p]->is_core[0]) << "party " << p;
+  }
+  // Every pairwise link carried protocol traffic (key exchange excluded by
+  // MakeSessionRing's counter reset).
+  for (size_t i = 0; i < ring.parties; ++i) {
+    for (size_t j = 0; j < ring.parties; ++j) {
+      if (i == j) continue;
+      EXPECT_GT(ring.channels[i][j]->stats().bytes_sent, 0u)
+          << "link " << i << "->" << j;
+    }
+  }
 }
 
 TEST(MultipartyTest, TrafficGrowsWithPartyCountAtFixedN) {

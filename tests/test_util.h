@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -87,6 +88,140 @@ std::pair<A, B> RunTwoParty(SessionPair& pair,
   ta.join();
   tb.join();
   return {std::move(*alice_out), std::move(*bob_out)};
+}
+
+/// SessionPair's N-party (N >= 3) sibling: parties in ring order (the
+/// public driver order of the multi-party protocol) wired with a full
+/// pairwise mesh of in-process channels, one established SMC session and
+/// one deterministic RNG per party per link — the exact shape
+/// RunMultipartyHorizontalDbscan consumes.
+struct SessionRing {
+  size_t parties = 0;
+  /// channels[i][j] = party i's endpoint of the (i, j) link; null on the
+  /// diagonal.
+  std::vector<std::vector<std::unique_ptr<MemoryChannel>>> channels;
+  /// sessions[i][j] = party i's session with party j; null on the diagonal.
+  std::vector<std::vector<std::unique_ptr<SmcSession>>> sessions;
+  std::vector<std::unique_ptr<SecureRng>> rngs;
+
+  /// Party i's link row in the `links[j]` layout the protocol expects.
+  std::vector<Channel*> LinksFor(size_t i) const {
+    std::vector<Channel*> links(parties, nullptr);
+    for (size_t j = 0; j < parties; ++j) {
+      if (j != i) links[j] = channels[i][j].get();
+    }
+    return links;
+  }
+
+  std::vector<const SmcSession*> SessionsFor(size_t i) const {
+    std::vector<const SmcSession*> out(parties, nullptr);
+    for (size_t j = 0; j < parties; ++j) {
+      if (j != i) out[j] = sessions[i][j].get();
+    }
+    return out;
+  }
+};
+
+/// Builds a SessionRing with the given key sizes. Pairwise key exchange
+/// runs every (a, b) pair in the same public order on one thread per party
+/// (mirroring ExecuteMultipartyHorizontal), then traffic counters are
+/// reset so tests observe protocol bytes only. Aborts on failure (test
+/// environments only).
+inline SessionRing MakeSessionRing(size_t parties, size_t paillier_bits = 256,
+                                   size_t rsa_bits = 256,
+                                   uint64_t seed = 1234) {
+  PPD_CHECK_MSG(parties >= 2, "a session ring needs >= 2 parties");
+  SessionRing ring;
+  ring.parties = parties;
+  ring.channels.resize(parties);
+  ring.sessions.resize(parties);
+  for (size_t i = 0; i < parties; ++i) {
+    ring.channels[i].resize(parties);
+    ring.sessions[i].resize(parties);
+    ring.rngs.push_back(std::make_unique<SecureRng>(seed + i));
+  }
+  for (size_t i = 0; i < parties; ++i) {
+    for (size_t j = i + 1; j < parties; ++j) {
+      auto [a, b] = MemoryChannel::CreatePair();
+      ring.channels[i][j] = std::move(a);
+      ring.channels[j][i] = std::move(b);
+    }
+  }
+
+  SmcOptions options;
+  options.paillier_bits = paillier_bits;
+  options.rsa_bits = rsa_bits;
+  std::vector<std::vector<std::unique_ptr<Result<SmcSession>>>> established(
+      parties);
+  for (size_t i = 0; i < parties; ++i) {
+    for (size_t j = 0; j < parties; ++j) {
+      established[i].push_back(
+          std::make_unique<Result<SmcSession>>(Status::Internal("unset")));
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(parties);
+  for (size_t i = 0; i < parties; ++i) {
+    threads.emplace_back([&, i] {
+      for (size_t a = 0; a < parties; ++a) {
+        for (size_t b = a + 1; b < parties; ++b) {
+          if (a != i && b != i) continue;
+          const size_t peer = a == i ? b : a;
+          *established[i][peer] = SmcSession::Establish(
+              *ring.channels[i][peer], *ring.rngs[i], options);
+          if (!established[i][peer]->ok()) {
+            // Unblock peers still waiting on this party so the joins below
+            // finish and the failure aborts instead of deadlocking.
+            for (size_t j = 0; j < parties; ++j) {
+              if (j != i) ring.channels[i][j]->Close();
+            }
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < parties; ++i) {
+    for (size_t j = 0; j < parties; ++j) {
+      if (i == j) continue;
+      PPD_CHECK_MSG(established[i][j]->ok(),
+                    "ring session establishment failed");
+      ring.sessions[i][j] = std::make_unique<SmcSession>(
+          std::move(*established[i][j]).value());
+      ring.channels[i][j]->ResetStats();
+    }
+  }
+  return ring;
+}
+
+/// Runs one body per party on its own thread and returns the outputs in
+/// party order. Each body gets its party index plus the ring itself (use
+/// LinksFor/SessionsFor/rngs). On `close_on_return`, a finishing party
+/// closes all of its channel ends (single-use rings only), so peers
+/// blocked in Recv observe a clean close instead of hanging.
+template <typename T>
+std::vector<T> RunParties(SessionRing& ring,
+                          const std::function<T(size_t, SessionRing&)>& body,
+                          bool close_on_return = false) {
+  std::vector<std::unique_ptr<T>> outputs(ring.parties);
+  std::vector<std::thread> threads;
+  threads.reserve(ring.parties);
+  for (size_t i = 0; i < ring.parties; ++i) {
+    threads.emplace_back([&, i] {
+      outputs[i] = std::make_unique<T>(body(i, ring));
+      if (close_on_return) {
+        for (size_t j = 0; j < ring.parties; ++j) {
+          if (j != i) ring.channels[i][j]->Close();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<T> results;
+  results.reserve(ring.parties);
+  for (auto& out : outputs) results.push_back(std::move(*out));
+  return results;
 }
 
 }  // namespace testing_util

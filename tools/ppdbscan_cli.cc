@@ -18,9 +18,11 @@
 // the agreement with centralized DBSCAN on the pooled data, and optionally
 // write per-record labels as CSV.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -133,6 +135,28 @@ struct LoadedInput {
   FixedPointEncoder encoder{1.0};
 };
 
+/// True when the file starts with a header row whose last column is
+/// "label" — the shape FormatCsvDataset writes for labeled datasets. Without
+/// this, `generate --out d.csv` followed by `central --in d.csv` would
+/// silently cluster the label column as an extra coordinate.
+bool HasLabelHeader(const std::string& path) {
+  std::ifstream file(path);
+  std::string header;
+  if (!file || !std::getline(file, header)) return false;
+  size_t comma = header.rfind(',');
+  std::string last =
+      comma == std::string::npos ? header : header.substr(comma + 1);
+  // Tolerate trailing CR/whitespace, surrounding quotes, and case.
+  const auto trim = [](const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n\"");
+    size_t e = s.find_last_not_of(" \t\r\n\"");
+    return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+  };
+  last = trim(last);
+  for (char& c : last) c = static_cast<char>(std::tolower(c));
+  return last == "label";
+}
+
 Result<LoadedInput> LoadInput(const Flags& flags) {
   const std::string in = flags.Str("in", "");
   if (in.empty()) return Status::InvalidArgument("--in is required");
@@ -143,7 +167,8 @@ Result<LoadedInput> LoadInput(const Flags& flags) {
                     .encoded = Dataset(1),
                     .params = {},
                     .encoder = FixedPointEncoder(flags.Num("scale", 16.0))};
-  PPD_ASSIGN_OR_RETURN(input.raw, LoadCsvDataset(in));
+  PPD_ASSIGN_OR_RETURN(input.raw,
+                       LoadCsvDataset(in, HasLabelHeader(in)));
   PPD_ASSIGN_OR_RETURN(input.encoded, input.encoder.Encode(input.raw));
   PPD_ASSIGN_OR_RETURN(input.params.eps_squared,
                        input.encoder.EncodeEpsSquared(flags.Num("eps", 1.0)));

@@ -10,6 +10,7 @@
 #include "bigint/montgomery.h"
 #include "bigint/prime.h"
 #include "common/random.h"
+#include "microbench_main.h"
 
 namespace ppdbscan {
 namespace {
@@ -77,6 +78,37 @@ void BM_MontgomeryMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MontgomeryMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
 
+// Dedicated squaring path: the Exp inner loop is almost all squarings, so
+// the Sqr/Mul ratio here bounds the exponentiation gain.
+void BM_MontgomerySqr(benchmark::State& state) {
+  SecureRng rng(5);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  MontgomeryCtx ctx = *MontgomeryCtx::Create(mod);
+  BigInt a = ctx.ToMont(BigInt::RandomBelow(rng, mod));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.SqrMont(a));
+  }
+}
+BENCHMARK(BM_MontgomerySqr)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// Short exponents (the MulPlain-with-tiny-scalar shape): the sliding
+// window must not pay full-table precomputation here.
+void BM_ModExpSmallExponent(benchmark::State& state) {
+  SecureRng rng(9);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  MontgomeryCtx ctx = *MontgomeryCtx::Create(mod);
+  BigInt base = BigInt::RandomBelow(rng, mod);
+  BigInt exp(131071);  // 17 bits, a protocol-realistic plaintext scalar
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Exp(base, exp));
+  }
+}
+BENCHMARK(BM_ModExpSmallExponent)->Arg(512)->Arg(1024)->Arg(2048);
+
 void BM_MillerRabin(benchmark::State& state) {
   SecureRng rng(6);
   const size_t bits = static_cast<size_t>(state.range(0));
@@ -108,4 +140,6 @@ BENCHMARK(BM_DecimalRoundTrip)->Arg(256)->Arg(2048);
 }  // namespace
 }  // namespace ppdbscan
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ppdbscan::bench_util::RunMicrobenchMain(argc, argv);
+}

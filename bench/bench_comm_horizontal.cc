@@ -6,10 +6,25 @@
 // exact bytes on the instrumented channel for each sweep.
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "eval/cost_model.h"
 
 namespace ppdbscan {
 namespace {
+
+/// Appends one machine-readable record (bytes on the wire for one
+/// protocol configuration) when --json was requested.
+void RecordBytes(std::vector<bench_util::BenchRecord>* records,
+                 const std::string& op, uint64_t bytes,
+                 const ExecutionConfig& config) {
+  if (records == nullptr) return;
+  bench_util::BenchRecord rec;
+  rec.op = op;
+  rec.bytes = static_cast<double>(bytes);
+  rec.threads = GlobalThreadPool().size();
+  rec.modulus_bits = config.smc.paillier_bits;
+  records->push_back(std::move(rec));
+}
 
 uint64_t MeasureBytes(const Dataset& alice, const Dataset& bob,
                       ExecutionConfig config) {
@@ -37,14 +52,18 @@ ExecutionConfig BlindedConfig() {
   return config;
 }
 
-void Run(bool csv) {
+void Run(bool csv, bool smoke, std::vector<bench_util::BenchRecord>* records) {
   // (a) Sweep n at fixed split 1/2: bytes should track l(n−l) = n²/4.
   {
     ResultTable table({"n", "l(n-l)", "bytes total", "bytes / l(n-l)"});
-    for (size_t n : {12, 18, 24, 36, 48}) {
+    std::vector<size_t> sweep = smoke ? std::vector<size_t>{12}
+                                      : std::vector<size_t>{12, 18, 24, 36, 48};
+    for (size_t n : sweep) {
       HorizontalPartition hp = MakeWorkload(n, 2, 0.5, 17);
       uint64_t pairs = hp.alice.size() * hp.bob.size();
-      uint64_t bytes = MeasureBytes(hp.alice, hp.bob, BlindedConfig());
+      ExecutionConfig config = BlindedConfig();
+      uint64_t bytes = MeasureBytes(hp.alice, hp.bob, config);
+      RecordBytes(records, "E2.a_bytes_n" + std::to_string(n), bytes, config);
       table.AddRow({ResultTable::Fmt(static_cast<uint64_t>(n)),
                     ResultTable::Fmt(pairs), ResultTable::Fmt(bytes),
                     ResultTable::Fmt(static_cast<double>(bytes) /
@@ -55,13 +74,18 @@ void Run(bool csv) {
                      "total bits scale with l(n-l); the per-pair cost "
                      "column should be ~constant");
   }
+  // --smoke: one tiny end-to-end run is enough to exercise the protocol,
+  // the thread pool underneath it, and the JSON path (CI's bench stage).
+  if (smoke) return;
 
   // (b) Sweep dimension m at fixed n: the c1·m term.
   {
     ResultTable table({"m", "bytes total", "bytes / m"});
     for (size_t m : {2, 3, 4, 6, 8}) {
       HorizontalPartition hp = MakeWorkload(24, m, 0.5, 18);
-      uint64_t bytes = MeasureBytes(hp.alice, hp.bob, BlindedConfig());
+      ExecutionConfig config = BlindedConfig();
+      uint64_t bytes = MeasureBytes(hp.alice, hp.bob, config);
+      RecordBytes(records, "E2.b_bytes_m" + std::to_string(m), bytes, config);
       table.AddRow({ResultTable::Fmt(static_cast<uint64_t>(m)),
                     ResultTable::Fmt(bytes),
                     ResultTable::Fmt(static_cast<double>(bytes) / m, 1)});
@@ -77,7 +101,11 @@ void Run(bool csv) {
     for (double frac : {0.125, 0.25, 0.5, 0.75}) {
       HorizontalPartition hp = MakeWorkload(32, 2, frac, 19);
       uint64_t pairs = hp.alice.size() * hp.bob.size();
-      uint64_t bytes = MeasureBytes(hp.alice, hp.bob, BlindedConfig());
+      ExecutionConfig config = BlindedConfig();
+      uint64_t bytes = MeasureBytes(hp.alice, hp.bob, config);
+      RecordBytes(records,
+                  "E2.c_bytes_frac" + std::to_string(frac).substr(0, 5), bytes,
+                  config);
       table.AddRow({ResultTable::Fmt(frac, 3), ResultTable::Fmt(pairs),
                     ResultTable::Fmt(bytes)});
     }
@@ -102,6 +130,8 @@ void Run(bool csv) {
       config.protocol.comparator.kind = ComparatorKind::kYmpp;
       config.protocol.comparator.magnitude_bound = BigInt(bound);
       uint64_t bytes = MeasureBytes(alice, bob, config);
+      RecordBytes(records, "E2.d_bytes_B" + std::to_string(bound), bytes,
+                  config);
       uint64_t n0 = 2 * static_cast<uint64_t>(bound) + 3;
       table.AddRow({ResultTable::Fmt(bound), ResultTable::Fmt(n0),
                     ResultTable::Fmt(bytes),
@@ -139,6 +169,9 @@ void Run(bool csv) {
           ExecuteHorizontal(hp.alice, hp.bob, config);
       PPD_CHECK(out.ok());
       const ChannelStats& stats = out->alice_stats;
+      RecordBytes(records,
+                  std::string("E2.e_bytes_") + ComparatorKindToString(kind),
+                  stats.total_bytes(), config);
       table.AddRow({ComparatorKindToString(kind),
                     ResultTable::Fmt(stats.total_bytes()),
                     ResultTable::Fmt(stats.rounds),
@@ -163,6 +196,11 @@ void Run(bool csv) {
 }  // namespace ppdbscan
 
 int main(int argc, char** argv) {
-  ppdbscan::Run(ppdbscan::bench_util::WantCsv(argc, argv));
+  std::string json_path = ppdbscan::bench_util::TakeJsonPath(&argc, argv);
+  std::vector<ppdbscan::bench_util::BenchRecord> records;
+  ppdbscan::Run(ppdbscan::bench_util::WantCsv(argc, argv),
+                ppdbscan::bench_util::HasFlag(argc, argv, "--smoke"),
+                json_path.empty() ? nullptr : &records);
+  ppdbscan::bench_util::WriteBenchJson(json_path, records);
   return 0;
 }

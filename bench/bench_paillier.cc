@@ -7,7 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "crypto/paillier.h"
+#include "microbench_main.h"
 
 namespace ppdbscan {
 namespace {
@@ -98,7 +100,118 @@ void BM_PaillierEncryptRandomG(benchmark::State& state) {
 BENCHMARK(BM_PaillierEncryptRandomG)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
+// --- batched / parallel pipeline (the HDP hot path shape) -------------------
+// One iteration = one batch of kBatch plaintexts, so Serial64 vs Batch64 vs
+// PooledOnline64 are directly comparable: the ratio is the end-to-end
+// speedup of the batch APIs and of the offline/online randomness split.
+constexpr size_t kBatch = 64;
+
+std::vector<BigInt> BatchPlaintexts() {
+  std::vector<BigInt> ms;
+  ms.reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    ms.push_back(BigInt(static_cast<int64_t>(1000 + i)));
+  }
+  return ms;
+}
+
+// Legacy shape: one serial Encrypt call per element.
+void BM_PaillierEncryptSerial64(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  std::vector<BigInt> ms = BatchPlaintexts();
+  for (auto _ : state) {
+    std::vector<BigInt> out;
+    out.reserve(ms.size());
+    for (const BigInt& m : ms) {
+      out.push_back(*f.dec.context().Encrypt(m, f.rng));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_PaillierEncryptSerial64)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// EncryptBatch across the global thread pool (PPDBSCAN_THREADS).
+void BM_PaillierEncryptBatch64(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  std::vector<BigInt> ms = BatchPlaintexts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dec.context().EncryptBatch(ms, f.rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_PaillierEncryptBatch64)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Online half of the offline/online split: the r^n factors are prefilled
+// outside the timed region, so this measures the protocol-critical-path
+// cost when the randomizer pool has kept up.
+void BM_PaillierEncryptPooledOnline64(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  std::vector<BigInt> ms = BatchPlaintexts();
+  PaillierRandomizerPool pool(f.dec.context(), SecureRng(7), kBatch);
+  for (auto _ : state) {
+    state.PauseTiming();
+    pool.Prefill(kBatch);
+    state.ResumeTiming();
+    for (const BigInt& m : ms) {
+      benchmark::DoNotOptimize(pool.Encrypt(m));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+// Fixed iteration count: every iteration forces a full offline refill
+// (64 exponentiations outside the timed region), so the default
+// min-time search would run for minutes of untimed producer work.
+BENCHMARK(BM_PaillierEncryptPooledOnline64)->Arg(256)->Arg(512)->Arg(1024)
+    ->Iterations(32)->Unit(benchmark::kMillisecond);
+
+// MulPlain with a protocol-sized (small) scalar, the other HDP per-
+// coordinate operation: serial loop vs batch.
+void BM_PaillierMulPlainSerial64(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  std::vector<BigInt> cs(kBatch, f.cipher), ks;
+  for (size_t i = 0; i < kBatch; ++i) ks.push_back(BigInt(int64_t(i + 2)));
+  for (auto _ : state) {
+    std::vector<BigInt> out;
+    out.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      out.push_back(f.dec.context().MulPlain(cs[i], ks[i]));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_PaillierMulPlainSerial64)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PaillierMulPlainBatch64(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  std::vector<BigInt> cs(kBatch, f.cipher), ks;
+  for (size_t i = 0; i < kBatch; ++i) ks.push_back(BigInt(int64_t(i + 2)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dec.context().MulPlainBatch(cs, ks));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_PaillierMulPlainBatch64)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PaillierDecryptBatch64(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<size_t>(state.range(0)));
+  std::vector<BigInt> cs(kBatch, f.cipher);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dec.DecryptBatch(cs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_PaillierDecryptBatch64)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace ppdbscan
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ppdbscan::bench_util::RunMicrobenchMain(argc, argv);
+}

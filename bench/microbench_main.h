@@ -1,0 +1,71 @@
+#ifndef PPDBSCAN_BENCH_MICROBENCH_MAIN_H_
+#define PPDBSCAN_BENCH_MICROBENCH_MAIN_H_
+
+// Shared main() for the Google-Benchmark microbenches: standard gbench
+// flags plus the repository-wide `--json <path>` perf-baseline writer
+// (bench_util.h). Include once per bench binary and call
+// RunMicrobenchMain from main().
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+
+namespace ppdbscan {
+namespace bench_util {
+
+/// Forwards to the console reporter and captures one BenchRecord per run.
+/// The trailing benchmark argument ("BM_PaillierEncrypt/512") is recorded
+/// as modulus_bits; threads reflects the global pool (PPDBSCAN_THREADS).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      BenchRecord rec;
+      rec.op = run.benchmark_name();
+      rec.ns_per_op =
+          run.real_accumulated_time / static_cast<double>(run.iterations) *
+          1e9;
+      rec.threads = GlobalThreadPool().size();
+      // First all-digit path segment ("BM_Foo/512/iterations:2" -> 512).
+      for (size_t pos = rec.op.find('/'); pos != std::string::npos;) {
+        size_t end = rec.op.find('/', pos + 1);
+        std::string seg = rec.op.substr(
+            pos + 1, end == std::string::npos ? end : end - pos - 1);
+        if (!seg.empty() &&
+            seg.find_first_not_of("0123456789") == std::string::npos) {
+          rec.modulus_bits = static_cast<size_t>(std::stoull(seg));
+          break;
+        }
+        pos = end;
+      }
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+inline int RunMicrobenchMain(int argc, char** argv) {
+  std::string json_path = TakeJsonPath(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  WriteBenchJson(json_path, reporter.records());
+  return 0;
+}
+
+}  // namespace bench_util
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BENCH_MICROBENCH_MAIN_H_

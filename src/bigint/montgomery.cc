@@ -116,37 +116,139 @@ BigInt MontgomeryCtx::FromMont(const BigInt& x) const {
   return BigInt::FromLimbs(std::move(out), 1);
 }
 
+std::vector<uint32_t> MontgomeryCtx::SqrLimbs(
+    const std::vector<uint32_t>& a) const {
+  // Clamp like MulLimbs: operands wider than the modulus contribute only
+  // their low k_ limbs (t is sized for a k_-limb square).
+  const size_t len = std::min(a.size(), k_);
+  // t = a² (2k limbs + 1 doubling bit), then k REDC rounds shift it down by
+  // k limbs; one spare limb absorbs the final carry.
+  std::vector<uint32_t> t(2 * k_ + 2, 0);
+
+  // Cross terms a_i·a_j for j > i, each computed once.
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t ai = a[i];
+    uint64_t carry = 0;
+    for (size_t j = i + 1; j < len; ++j) {
+      uint64_t s = static_cast<uint64_t>(t[i + j]) + ai * a[j] + carry;
+      t[i + j] = static_cast<uint32_t>(s);
+      carry = s >> 32;
+    }
+    for (size_t idx = i + len; carry != 0; ++idx) {
+      carry += t[idx];
+      t[idx] = static_cast<uint32_t>(carry);
+      carry >>= 32;
+    }
+  }
+
+  // Single pass: double the cross terms and fold in the a_i² diagonal.
+  // Per limb pair the sum 2·t + sq_limb + carry stays below 2^34, so a
+  // 64-bit accumulator absorbs it.
+  uint64_t carry = 0;
+  for (size_t i = 0; i < k_ + 1; ++i) {
+    uint64_t sq = i < len ? static_cast<uint64_t>(a[i]) * a[i] : 0;
+    uint64_t s0 = (static_cast<uint64_t>(t[2 * i]) << 1) +
+                  static_cast<uint32_t>(sq) + carry;
+    t[2 * i] = static_cast<uint32_t>(s0);
+    uint64_t s1 = (static_cast<uint64_t>(t[2 * i + 1]) << 1) + (sq >> 32) +
+                  (s0 >> 32);
+    t[2 * i + 1] = static_cast<uint32_t>(s1);
+    carry = s1 >> 32;
+  }
+
+  // REDC: clear the low k limbs one at a time.
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t m = static_cast<uint32_t>(t[i] * n0_inv_);
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k_; ++j) {
+      uint64_t s = m * n_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint32_t>(s);
+      carry = s >> 32;
+    }
+    for (size_t idx = i + k_; carry != 0; ++idx) {
+      carry += t[idx];
+      t[idx] = static_cast<uint32_t>(carry);
+      carry >>= 32;
+    }
+  }
+
+  std::vector<uint32_t> result(t.begin() + static_cast<long>(k_), t.end());
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  if (CmpLimbs(result, n_) >= 0) {
+    result.resize(std::max(result.size(), n_.size()), 0);
+    SubInPlace(result, n_);
+    while (!result.empty() && result.back() == 0) result.pop_back();
+  }
+  return result;
+}
+
 BigInt MontgomeryCtx::MulMont(const BigInt& a, const BigInt& b) const {
   return BigInt::FromLimbs(MulLimbs(a.limbs(), b.limbs()), 1);
 }
 
+BigInt MontgomeryCtx::SqrMont(const BigInt& a) const {
+  return BigInt::FromLimbs(SqrLimbs(a.limbs()), 1);
+}
+
+int MontgomeryCtx::WindowBitsForExponent(size_t exp_bits) {
+  // Crossovers equate table build cost (2^(w-1)-1 muls + 1 sqr) with the
+  // ~bits/(w+1) window multiplies saved; tiny exponents get no table at
+  // all beyond the base itself.
+  if (exp_bits <= 6) return 1;
+  if (exp_bits <= 24) return 2;
+  if (exp_bits <= 80) return 3;
+  if (exp_bits <= 240) return 4;
+  return 5;
+}
+
 BigInt MontgomeryCtx::Exp(const BigInt& base, const BigInt& exponent) const {
   PPD_CHECK_MSG(!exponent.IsNegative(), "negative exponent");
-  std::vector<uint32_t> result = one_;  // Montgomery form of 1
   if (exponent.IsZero()) {
-    return BigInt::FromLimbs(MulLimbs(result, {1u}), 1);
+    return BigInt::FromLimbs(MulLimbs(one_, {1u}), 1);
   }
   std::vector<uint32_t> b = MulLimbs(base.limbs(), r2_);  // to Montgomery
 
-  // Fixed 4-bit window: table[i] = base^i in Montgomery form.
-  constexpr int kWindow = 4;
-  std::vector<std::vector<uint32_t>> table(1 << kWindow);
-  table[0] = one_;
-  for (int i = 1; i < (1 << kWindow); ++i) {
-    table[i] = MulLimbs(table[i - 1], b);
+  const size_t bits = exponent.BitLength();
+  const int w = WindowBitsForExponent(bits);
+
+  // Odd-power table: table[i] = base^(2i+1) in Montgomery form.
+  std::vector<std::vector<uint32_t>> table(size_t{1} << (w - 1));
+  table[0] = b;
+  if (table.size() > 1) {
+    std::vector<uint32_t> b2 = SqrLimbs(b);
+    for (size_t i = 1; i < table.size(); ++i) {
+      table[i] = MulLimbs(table[i - 1], b2);
+    }
   }
 
-  size_t bits = exponent.BitLength();
-  size_t windows = (bits + kWindow - 1) / kWindow;
-  for (size_t w = windows; w-- > 0;) {
-    if (w != windows - 1) {
-      for (int s = 0; s < kWindow; ++s) result = MulLimbs(result, result);
+  // Left-to-right sliding window: runs of zeros cost one squaring per bit;
+  // each window of <= w bits (ending in a set bit) costs one table multiply.
+  // The first window seeds the accumulator directly, skipping the leading
+  // squarings of 1.
+  std::vector<uint32_t> result;
+  bool started = false;
+  ptrdiff_t i = static_cast<ptrdiff_t>(bits) - 1;
+  while (i >= 0) {
+    if (!exponent.TestBit(static_cast<size_t>(i))) {
+      if (started) result = SqrLimbs(result);
+      --i;
+      continue;
     }
+    ptrdiff_t low = i - w + 1;
+    if (low < 0) low = 0;
+    while (!exponent.TestBit(static_cast<size_t>(low))) ++low;
     uint32_t idx = 0;
-    for (int s = kWindow - 1; s >= 0; --s) {
-      idx = (idx << 1) | (exponent.TestBit(w * kWindow + s) ? 1u : 0u);
+    for (ptrdiff_t s = i; s >= low; --s) {
+      idx = (idx << 1) | (exponent.TestBit(static_cast<size_t>(s)) ? 1u : 0u);
     }
-    if (idx != 0) result = MulLimbs(result, table[idx]);
+    if (started) {
+      for (ptrdiff_t s = 0; s <= i - low; ++s) result = SqrLimbs(result);
+      result = MulLimbs(result, table[(idx - 1) / 2]);
+    } else {
+      result = table[(idx - 1) / 2];
+      started = true;
+    }
+    i = low - 1;
   }
   // Convert out of the Montgomery domain.
   return BigInt::FromLimbs(MulLimbs(result, {1u}), 1);

@@ -13,9 +13,13 @@ namespace ppdbscan {
 ///
 /// Values in the Montgomery domain are represented as x·R mod n where
 /// R = 2^(32·k) and k is the limb count of n. Multiplication uses the CIOS
-/// (coarsely integrated operand scanning) algorithm; exponentiation uses a
-/// fixed 4-bit window. This is the hot path for every Paillier/RSA
-/// operation in the library.
+/// (coarsely integrated operand scanning) algorithm; squaring uses a
+/// dedicated path that halves the cross-product work; exponentiation uses
+/// a sliding window sized by the exponent bit length. This is the hot path
+/// for every Paillier/RSA operation in the library.
+///
+/// Thread-compatible: all methods are const and touch only immutable
+/// precomputed state, so one context may serve many threads concurrently.
 class MontgomeryCtx {
  public:
   /// Builds a context; fails with kInvalidArgument unless modulus is odd
@@ -28,10 +32,20 @@ class MontgomeryCtx {
   BigInt FromMont(const BigInt& x) const;
   /// Montgomery product a·b·R⁻¹ mod n (inputs/outputs in the domain).
   BigInt MulMont(const BigInt& a, const BigInt& b) const;
+  /// Montgomery square a²·R⁻¹ mod n; same contract as MulMont(a, a) but
+  /// ~1.15–1.35× faster, growing with the modulus size (the a_i·a_j cross
+  /// terms are computed once and doubled).
+  BigInt SqrMont(const BigInt& a) const;
 
   /// (base^exponent) mod n for plain-domain base in [0, n) and
   /// exponent >= 0; returns a plain-domain value.
   BigInt Exp(const BigInt& base, const BigInt& exponent) const;
+
+  /// Sliding-window width used by Exp for an exponent of `exp_bits` bits.
+  /// Exposed so tests can pin behaviour at the width boundaries; the
+  /// thresholds balance the 2^(w-1)-entry odd-power table against the
+  /// multiplies saved per window.
+  static int WindowBitsForExponent(size_t exp_bits);
 
   const BigInt& modulus() const { return modulus_; }
 
@@ -41,6 +55,9 @@ class MontgomeryCtx {
   // Raw-limb CIOS product; a and b are little-endian, length <= k_.
   std::vector<uint32_t> MulLimbs(const std::vector<uint32_t>& a,
                                  const std::vector<uint32_t>& b) const;
+  // Raw-limb Montgomery squaring (schoolbook square with doubled cross
+  // terms, then k REDC rounds); a little-endian, length <= k_.
+  std::vector<uint32_t> SqrLimbs(const std::vector<uint32_t>& a) const;
 
   BigInt modulus_;
   std::vector<uint32_t> n_;   // modulus limbs (little-endian)

@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace ppdbscan {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::RunOnePending() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = [] {
+    size_t threads = 0;
+    if (const char* env = std::getenv("PPDBSCAN_THREADS")) {
+      char* end = nullptr;
+      long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        threads = static_cast<size_t>(parsed);
+      }
+    }
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 ThreadPool* pool) {
+  if (n == 0) return;
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  if (pool->size() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared cursor: every participant (pool workers plus this thread) grabs
+  // the next unclaimed index. Tasks are coarse, so per-index claiming costs
+  // nothing and load-balances perfectly.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_mu = std::make_shared<std::mutex>();
+  auto drain = [next, failed, first_error, error_mu, n, &fn] {
+    size_t i;
+    while (!failed->load(std::memory_order_relaxed) &&
+           (i = next->fetch_add(1)) < n) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mu);
+        if (!*first_error) *first_error = std::current_exception();
+        failed->store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  size_t helpers = std::min(pool->size(), n - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) futures.push_back(pool->Submit(drain));
+  drain();
+  for (std::future<void>& f : futures) {
+    // Help run queued work (possibly other callers' tasks) while waiting,
+    // so nested ParallelFor calls cannot deadlock the pool.
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool->RunOnePending()) {
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    f.get();  // drain() swallows fn's exceptions; this never throws
+  }
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+}  // namespace ppdbscan

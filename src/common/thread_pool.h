@@ -1,0 +1,75 @@
+#ifndef PPDBSCAN_COMMON_THREAD_POOL_H_
+#define PPDBSCAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppdbscan {
+
+/// Fixed-size pool of worker threads draining a single FIFO task queue.
+///
+/// Deliberately simple (no work stealing, no priorities): the tasks this
+/// library submits are coarse-grained bigint operations (one Montgomery
+/// exponentiation each, ~10µs–10ms), so a single locked queue is nowhere
+/// near contention. Waiters can call RunOnePending() to execute queued
+/// tasks while they block, which makes nested submission (a pool task that
+/// itself fans out onto the same pool) deadlock-free.
+///
+/// Thread-safe: Submit/RunOnePending may be called from any thread,
+/// including pool workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Drains nothing: outstanding tasks are completed before destruction
+  /// returns (the queue is run to exhaustion by the workers).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future that becomes ready when it has run.
+  /// An exception thrown by `fn` is captured into the future.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Pops and runs one queued task on the calling thread. Returns false if
+  /// the queue was empty. Call in a wait loop to help the pool make
+  /// progress instead of blocking.
+  bool RunOnePending();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Process-wide pool, created on first use. Sized by the PPDBSCAN_THREADS
+/// environment variable when set to a positive integer, otherwise by
+/// std::thread::hardware_concurrency(). With PPDBSCAN_THREADS=1 the pool
+/// still exists but ParallelFor degrades to a plain serial loop.
+ThreadPool& GlobalThreadPool();
+
+/// Runs fn(0) … fn(n-1), fanning the calls across `pool` (the global pool
+/// when null). The calling thread participates, so the call never blocks
+/// on an idle pool and nesting is safe. Iteration order is unspecified;
+/// fn must be safe to call concurrently with itself. The first exception
+/// thrown by any fn is rethrown on the calling thread after all scheduled
+/// iterations have finished; remaining iterations are abandoned.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 ThreadPool* pool = nullptr);
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_COMMON_THREAD_POOL_H_

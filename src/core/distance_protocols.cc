@@ -1,6 +1,7 @@
 #include "core/distance_protocols.h"
 
 #include "bigint/codec.h"
+#include "common/thread_pool.h"
 #include "core/wire.h"
 #include "net/message.h"
 
@@ -54,25 +55,54 @@ Result<size_t> HdpBatchDriver(Channel& channel, const SmcSession& session,
 
   // For every responder point k and coordinate j, complete the
   // Multiplication Protocol as the Helper: E(y_kj)^{x_j} · E(r_kj), with
-  // masks summing to zero per point.
-  ByteWriter out;
-  for (uint32_t k = 0; k < count; ++k) {
-    std::vector<BigInt> masks = ZeroSumMasks(rng, dims, n);
-    for (uint32_t j = 0; j < dims; ++j) {
-      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
-      if (!peer.IsValidCiphertext(cipher)) {
-        return AbortPeer(channel, Status::DataLoss("HDP cipher invalid"),
-                         "hdp cipher invalid");
-      }
-      BigInt product = peer.MulPlain(cipher, BigInt(x[j]));
-      PPD_ASSIGN_OR_RETURN(BigInt mask_cipher, peer.Encrypt(masks[j], rng));
-      WriteBigInt(out, peer.Add(product, mask_cipher));
+  // masks summing to zero per point. The whole count × dims cipher matrix
+  // is collected first so the expensive transforms run as three batch
+  // passes (MulPlain, Encrypt, Add) fanned across the thread pool. The
+  // message layout and cipher semantics are unchanged; only the order the
+  // mask/randomizer values are drawn from rng differs from the old
+  // per-coordinate loop (all masks first, then all randomizers).
+  const size_t total = size_t{count} * dims;
+  // count comes off the wire: reject before reserving when the payload
+  // cannot possibly hold that many ciphers (>= 5 bytes each serialized).
+  if (total > reader.remaining() / 5) {
+    return AbortPeer(channel, Status::DataLoss("HDP payload truncated"),
+                     "hdp payload truncated");
+  }
+  std::vector<BigInt> ciphers;
+  ciphers.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+    if (!peer.IsValidCiphertext(cipher)) {
+      return AbortPeer(channel, Status::DataLoss("HDP cipher invalid"),
+                       "hdp cipher invalid");
     }
+    ciphers.push_back(std::move(cipher));
   }
   if (!reader.Done()) {
     return AbortPeer(channel, Status::DataLoss("trailing HDP bytes"),
                      "hdp trailing bytes");
   }
+  std::vector<BigInt> masks;
+  masks.reserve(ciphers.size());
+  for (uint32_t k = 0; k < count; ++k) {
+    std::vector<BigInt> point_masks = ZeroSumMasks(rng, dims, n);
+    for (uint32_t j = 0; j < dims; ++j) {
+      masks.push_back(std::move(point_masks[j]));
+    }
+  }
+  // The scalar pattern repeats every dims entries, so index into dims
+  // pre-built BigInts instead of materializing count × dims copies.
+  std::vector<BigInt> x_scalars(dims);
+  for (uint32_t j = 0; j < dims; ++j) x_scalars[j] = BigInt(x[j]);
+  std::vector<BigInt> products(total);
+  ParallelFor(total, [&](size_t i) {
+    products[i] = peer.MulPlain(ciphers[i], x_scalars[i % dims]);
+  });
+  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> mask_ciphers,
+                       peer.EncryptBatch(masks, rng));
+  std::vector<BigInt> blinded = peer.AddBatch(products, mask_ciphers);
+  ByteWriter out;
+  for (const BigInt& c : blinded) WriteBigInt(out, c);
   PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHdpResponse, out));
 
   // S_A = Σ x_j², then one comparison per responder point.
@@ -113,45 +143,52 @@ Status HdpBatchResponder(Channel& channel, const SmcSession& session,
     order = std::move(shuffled);
   }
 
+  // Encrypt the whole |order| × dims coordinate matrix as one batch so the
+  // per-coordinate exponentiations fan across the thread pool.
   const size_t dims = own.dims();
+  std::vector<BigInt> plain;
+  plain.reserve(order.size() * dims);
+  for (size_t idx : order) {
+    const std::vector<int64_t>& y = own.point(idx);
+    for (size_t j = 0; j < dims; ++j) plain.push_back(BigInt(y[j]));
+  }
+  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> cipher_matrix,
+                       ctx.EncryptSignedBatch(plain, rng));
   ByteWriter ciphers;
   ciphers.PutU32(static_cast<uint32_t>(order.size()));
   ciphers.PutU32(static_cast<uint32_t>(dims));
-  for (size_t idx : order) {
-    const std::vector<int64_t>& y = own.point(idx);
-    for (size_t j = 0; j < dims; ++j) {
-      PPD_ASSIGN_OR_RETURN(BigInt cipher,
-                           ctx.EncryptSigned(BigInt(y[j]), rng));
-      WriteBigInt(ciphers, cipher);
-    }
-  }
+  for (const BigInt& c : cipher_matrix) WriteBigInt(ciphers, c);
   PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHdpCiphers, ciphers));
 
   PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                        ExpectMessage(channel, wire::kHdpResponse));
   ByteReader reader(payload);
-  std::vector<BigInt> s_b(order.size());
-  for (size_t k = 0; k < order.size(); ++k) {
-    // u_kj = x_j·y_kj + r_kj; Σ_j u_kj = Σ_j x_j y_kj since Σ_j r_kj = 0.
-    BigInt sum_u;
-    for (size_t j = 0; j < dims; ++j) {
-      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
-      if (!ctx.IsValidCiphertext(cipher)) {
-        return AbortPeer(channel,
-                         Status::DataLoss("HDP response cipher invalid"),
-                         "hdp response cipher invalid");
-      }
-      PPD_ASSIGN_OR_RETURN(BigInt u, session.own_paillier().Decrypt(cipher));
-      sum_u += u;
+  std::vector<BigInt> response;
+  response.reserve(order.size() * dims);
+  for (size_t i = 0; i < order.size() * dims; ++i) {
+    PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+    if (!ctx.IsValidCiphertext(cipher)) {
+      return AbortPeer(channel,
+                       Status::DataLoss("HDP response cipher invalid"),
+                       "hdp response cipher invalid");
     }
-    const std::vector<int64_t>& y = own.point(order[k]);
-    BigInt sum_y2;
-    for (int64_t c : y) sum_y2 += BigInt(c) * BigInt(c);
-    s_b[k] = ctx.DecodeSigned((sum_y2 - BigInt(2) * sum_u).Mod(n));
+    response.push_back(std::move(cipher));
   }
   if (!reader.Done()) {
     return AbortPeer(channel, Status::DataLoss("trailing HDP response bytes"),
                      "hdp response trailing bytes");
+  }
+  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> us,
+                       session.own_paillier().DecryptBatch(response));
+  std::vector<BigInt> s_b(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    // u_kj = x_j·y_kj + r_kj; Σ_j u_kj = Σ_j x_j y_kj since Σ_j r_kj = 0.
+    BigInt sum_u;
+    for (size_t j = 0; j < dims; ++j) sum_u += us[k * dims + j];
+    const std::vector<int64_t>& y = own.point(order[k]);
+    BigInt sum_y2;
+    for (int64_t c : y) sum_y2 += BigInt(c) * BigInt(c);
+    s_b[k] = ctx.DecodeSigned((sum_y2 - BigInt(2) * sum_u).Mod(n));
   }
 
   for (size_t k = 0; k < order.size(); ++k) {

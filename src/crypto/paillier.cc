@@ -112,30 +112,95 @@ bool PaillierContext::IsValidCiphertext(const BigInt& c) const {
   return c.sign() > 0 && c < pub_.n_squared;
 }
 
-Result<BigInt> PaillierContext::Encrypt(const BigInt& m,
-                                        SecureRng& rng) const {
-  if (m.IsNegative() || m >= pub_.n) {
-    return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
-  }
-  // Random r in Z*_n.
+BigInt PaillierContext::SampleRandomizer(SecureRng& rng) const {
   BigInt r;
   do {
     r = BigInt::RandomBelow(rng, pub_.n - BigInt(1)) + BigInt(1);
   } while (BigInt::Gcd(r, pub_.n) != BigInt(1));
-  BigInt rn = ctx_n2_->Exp(r, pub_.n);
+  return r;
+}
+
+BigInt PaillierContext::RandomizerFactor(const BigInt& r) const {
+  return ctx_n2_->Exp(r, pub_.n);
+}
+
+Result<BigInt> PaillierContext::EncryptWithFactor(const BigInt& m,
+                                                  const BigInt& factor) const {
+  if (m.IsNegative() || m >= pub_.n) {
+    return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+  }
   BigInt gm;
   if (g_is_n_plus_1_) {
     gm = (BigInt(1) + m * pub_.n).Mod(pub_.n_squared);
   } else {
     gm = ctx_n2_->Exp(pub_.g, m);
   }
-  return (gm * rn).Mod(pub_.n_squared);
+  return (gm * factor).Mod(pub_.n_squared);
+}
+
+Result<BigInt> PaillierContext::Encrypt(const BigInt& m,
+                                        SecureRng& rng) const {
+  if (m.IsNegative() || m >= pub_.n) {
+    return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+  }
+  return EncryptWithFactor(m, RandomizerFactor(SampleRandomizer(rng)));
 }
 
 Result<BigInt> PaillierContext::EncryptSigned(const BigInt& v,
                                               SecureRng& rng) const {
   PPD_ASSIGN_OR_RETURN(BigInt m, EncodeSigned(v));
   return Encrypt(m, rng);
+}
+
+Result<std::vector<BigInt>> PaillierContext::EncryptBatch(
+    const std::vector<BigInt>& ms, SecureRng& rng, ThreadPool* pool) const {
+  for (const BigInt& m : ms) {
+    if (m.IsNegative() || m >= pub_.n) {
+      return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+    }
+  }
+  // Draw every randomizer serially first: the rng stream matches the
+  // serial Encrypt loop exactly, and the expensive exponentiations below
+  // then run with no shared mutable state.
+  std::vector<BigInt> rs(ms.size());
+  for (size_t i = 0; i < ms.size(); ++i) rs[i] = SampleRandomizer(rng);
+  std::vector<BigInt> out(ms.size());
+  ParallelFor(
+      ms.size(),
+      [&](size_t i) {
+        out[i] = *EncryptWithFactor(ms[i], RandomizerFactor(rs[i]));
+      },
+      pool);
+  return out;
+}
+
+Result<std::vector<BigInt>> PaillierContext::EncryptSignedBatch(
+    const std::vector<BigInt>& vs, SecureRng& rng, ThreadPool* pool) const {
+  std::vector<BigInt> ms(vs.size());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    PPD_ASSIGN_OR_RETURN(ms[i], EncodeSigned(vs[i]));
+  }
+  return EncryptBatch(ms, rng, pool);
+}
+
+std::vector<BigInt> PaillierContext::MulPlainBatch(
+    const std::vector<BigInt>& cs, const std::vector<BigInt>& ks,
+    ThreadPool* pool) const {
+  PPD_CHECK_MSG(cs.size() == ks.size(), "MulPlainBatch size mismatch");
+  std::vector<BigInt> out(cs.size());
+  ParallelFor(
+      cs.size(), [&](size_t i) { out[i] = MulPlain(cs[i], ks[i]); }, pool);
+  return out;
+}
+
+std::vector<BigInt> PaillierContext::AddBatch(const std::vector<BigInt>& c1s,
+                                              const std::vector<BigInt>& c2s,
+                                              ThreadPool* pool) const {
+  PPD_CHECK_MSG(c1s.size() == c2s.size(), "AddBatch size mismatch");
+  std::vector<BigInt> out(c1s.size());
+  ParallelFor(
+      c1s.size(), [&](size_t i) { out[i] = Add(c1s[i], c2s[i]); }, pool);
+  return out;
 }
 
 BigInt PaillierContext::Add(const BigInt& c1, const BigInt& c2) const {
@@ -189,9 +254,12 @@ Result<PaillierDecryptor> PaillierDecryptor::Create(PaillierKeyPair kp) {
   PPD_RETURN_IF_ERROR(mq.status());
   dec.ctx_q2_ = std::make_shared<const MontgomeryCtx>(std::move(mq).value());
 
-  // h_p = L_p(g^{p-1} mod p²)⁻¹ mod p (and the analogue for q).
-  BigInt p1 = kp.p - BigInt(1);
-  BigInt q1 = kp.q - BigInt(1);
+  // h_p = L_p(g^{p-1} mod p²)⁻¹ mod p (and the analogue for q). The p−1 and
+  // q−1 exponents are cached: Decrypt uses them on every call.
+  dec.p_minus_1_ = kp.p - BigInt(1);
+  dec.q_minus_1_ = kp.q - BigInt(1);
+  const BigInt& p1 = dec.p_minus_1_;
+  const BigInt& q1 = dec.q_minus_1_;
   BigInt lp = (dec.ctx_p2_->Exp(kp.pub.g.Mod(dec.p_squared_), p1) - BigInt(1)) / kp.p;
   BigInt lq = (dec.ctx_q2_->Exp(kp.pub.g.Mod(dec.q_squared_), q1) - BigInt(1)) / kp.q;
   Result<BigInt> hp = BigInt::ModInverse(lp, kp.p);
@@ -213,13 +281,11 @@ Result<BigInt> PaillierDecryptor::Decrypt(const BigInt& c) const {
   }
   // CRT decryption: m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise for q,
   // recombined via Garner's formula.
-  BigInt p1 = kp_.p - BigInt(1);
-  BigInt q1 = kp_.q - BigInt(1);
   BigInt mp =
-      ((ctx_p2_->Exp(c.Mod(p_squared_), p1) - BigInt(1)) / kp_.p * hp_)
+      ((ctx_p2_->Exp(c.Mod(p_squared_), p_minus_1_) - BigInt(1)) / kp_.p * hp_)
           .Mod(kp_.p);
   BigInt mq =
-      ((ctx_q2_->Exp(c.Mod(q_squared_), q1) - BigInt(1)) / kp_.q * hq_)
+      ((ctx_q2_->Exp(c.Mod(q_squared_), q_minus_1_) - BigInt(1)) / kp_.q * hq_)
           .Mod(kp_.q);
   BigInt h = ((mp - mq) * q_inv_mod_p_).Mod(kp_.p);
   return mq + h * kp_.q;
@@ -228,6 +294,118 @@ Result<BigInt> PaillierDecryptor::Decrypt(const BigInt& c) const {
 Result<BigInt> PaillierDecryptor::DecryptSigned(const BigInt& c) const {
   PPD_ASSIGN_OR_RETURN(BigInt m, Decrypt(c));
   return context_.DecodeSigned(m);
+}
+
+Result<std::vector<BigInt>> PaillierDecryptor::DecryptBatch(
+    const std::vector<BigInt>& cs, ThreadPool* pool) const {
+  for (const BigInt& c : cs) {
+    if (!context_.IsValidCiphertext(c)) {
+      return Status::InvalidArgument("ciphertext out of range");
+    }
+  }
+  std::vector<BigInt> out(cs.size());
+  ParallelFor(
+      cs.size(), [&](size_t i) { out[i] = *Decrypt(cs[i]); }, pool);
+  return out;
+}
+
+Result<std::vector<BigInt>> PaillierDecryptor::DecryptSignedBatch(
+    const std::vector<BigInt>& cs, ThreadPool* pool) const {
+  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> ms, DecryptBatch(cs, pool));
+  for (BigInt& m : ms) m = context_.DecodeSigned(m);
+  return ms;
+}
+
+PaillierRandomizerPool::PaillierRandomizerPool(PaillierContext ctx,
+                                               SecureRng rng, size_t target)
+    : ctx_(std::move(ctx)),
+      target_(target == 0 ? 1 : target),
+      rng_(std::move(rng)),
+      producer_([this] { ProducerLoop(); }) {}
+
+PaillierRandomizerPool::~PaillierRandomizerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  refill_cv_.notify_all();
+  producer_.join();
+}
+
+void PaillierRandomizerPool::ProducerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      refill_cv_.wait(lock,
+                      [this] { return stop_ || factors_.size() < target_; });
+      if (stop_) return;
+    }
+    // Only the rng draw needs mu_; the Z*_n membership check and the
+    // exponentiation run unlocked so online consumers never stall on a
+    // background refill. (This re-implements SampleRandomizer's rejection
+    // loop with the Gcd outside the lock.)
+    BigInt r;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+        r = BigInt::RandomBelow(rng_, ctx_.pub().n - BigInt(1)) + BigInt(1);
+      }
+      if (BigInt::Gcd(r, ctx_.pub().n) == BigInt(1)) break;
+    }
+    BigInt factor = ctx_.RandomizerFactor(r);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      factors_.push_back(std::move(factor));
+      ++produced_;
+    }
+    filled_cv_.notify_all();
+  }
+}
+
+BigInt PaillierRandomizerPool::TakeFactor() {
+  BigInt r;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!factors_.empty()) {
+      BigInt factor = std::move(factors_.front());
+      factors_.pop_front();
+      refill_cv_.notify_one();
+      return factor;
+    }
+    // Empty buffer: draw under the lock, compute inline without it.
+    r = ctx_.SampleRandomizer(rng_);
+    ++produced_;
+  }
+  return ctx_.RandomizerFactor(r);
+}
+
+Result<BigInt> PaillierRandomizerPool::Encrypt(const BigInt& m) {
+  if (m.IsNegative() || m >= ctx_.pub().n) {
+    return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+  }
+  return ctx_.EncryptWithFactor(m, TakeFactor());
+}
+
+Result<BigInt> PaillierRandomizerPool::EncryptSigned(const BigInt& v) {
+  PPD_ASSIGN_OR_RETURN(BigInt m, ctx_.EncodeSigned(v));
+  return Encrypt(m);
+}
+
+void PaillierRandomizerPool::Prefill(size_t count) {
+  if (count > target_) count = target_;
+  std::unique_lock<std::mutex> lock(mu_);
+  filled_cv_.wait(lock, [&] { return factors_.size() >= count; });
+}
+
+size_t PaillierRandomizerPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factors_.size();
+}
+
+uint64_t PaillierRandomizerPool::produced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return produced_;
 }
 
 }  // namespace ppdbscan

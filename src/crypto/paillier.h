@@ -1,13 +1,19 @@
 #ifndef PPDBSCAN_CRYPTO_PAILLIER_H_
 #define PPDBSCAN_CRYPTO_PAILLIER_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "bigint/bigint.h"
 #include "bigint/montgomery.h"
 #include "common/random.h"
 #include "common/serialize.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace ppdbscan {
 
@@ -67,6 +73,47 @@ class PaillierContext {
   /// k may be negative (reduced mod n first).
   BigInt MulPlain(const BigInt& c, const BigInt& k) const;
 
+  // --- Offline/online encryption split -------------------------------------
+  // Encrypt(m) factors as g^m · (r^n mod n²); the second term is independent
+  // of m and dominates the cost. These pieces let callers (and
+  // PaillierRandomizerPool) precompute it off the critical path.
+
+  /// Samples the encryption randomizer r ∈ Z*_n (the same rejection loop
+  /// Encrypt runs internally).
+  BigInt SampleRandomizer(SecureRng& rng) const;
+  /// The precomputable factor r^n mod n² for a randomizer r.
+  BigInt RandomizerFactor(const BigInt& r) const;
+  /// Encrypts m with a precomputed factor: g^m · factor mod n². With the
+  /// default g = n+1 this is two modular multiplications — no
+  /// exponentiation. The factor must be RandomizerFactor(r) for a fresh,
+  /// never-reused r, or the ciphertext leaks.
+  Result<BigInt> EncryptWithFactor(const BigInt& m, const BigInt& factor) const;
+
+  // --- Batch operations ----------------------------------------------------
+  // Fan the per-element modular exponentiations across `pool` (the global
+  // pool when null). Randomness is drawn from `rng` serially in element
+  // order *before* any parallel work, so for a fixed rng stream the outputs
+  // are bit-identical to calling the serial method in a loop, regardless of
+  // thread count.
+
+  /// Element-wise Encrypt. Fails (consuming no randomness) if any plaintext
+  /// is out of range.
+  Result<std::vector<BigInt>> EncryptBatch(const std::vector<BigInt>& ms,
+                                           SecureRng& rng,
+                                           ThreadPool* pool = nullptr) const;
+  /// Element-wise EncryptSigned.
+  Result<std::vector<BigInt>> EncryptSignedBatch(
+      const std::vector<BigInt>& vs, SecureRng& rng,
+      ThreadPool* pool = nullptr) const;
+  /// Element-wise MulPlain: out[i] = MulPlain(cs[i], ks[i]).
+  std::vector<BigInt> MulPlainBatch(const std::vector<BigInt>& cs,
+                                    const std::vector<BigInt>& ks,
+                                    ThreadPool* pool = nullptr) const;
+  /// Element-wise Add: out[i] = Add(c1s[i], c2s[i]).
+  std::vector<BigInt> AddBatch(const std::vector<BigInt>& c1s,
+                               const std::vector<BigInt>& c2s,
+                               ThreadPool* pool = nullptr) const;
+
   /// Fresh re-randomization: multiplies by an encryption of zero.
   Result<BigInt> Rerandomize(const BigInt& c, SecureRng& rng) const;
 
@@ -90,6 +137,7 @@ class PaillierContext {
 };
 
 /// Private-key operations. Decryption uses the CRT over p and q.
+/// Thread-compatible (const methods are safe to call concurrently).
 class PaillierDecryptor {
  public:
   static Result<PaillierDecryptor> Create(PaillierKeyPair key_pair);
@@ -101,6 +149,14 @@ class PaillierDecryptor {
   /// Decrypts and applies the signed decoding.
   Result<BigInt> DecryptSigned(const BigInt& c) const;
 
+  /// Element-wise Decrypt, fanned across `pool` (global pool when null).
+  /// Validation happens up front; the result order matches `cs`.
+  Result<std::vector<BigInt>> DecryptBatch(const std::vector<BigInt>& cs,
+                                           ThreadPool* pool = nullptr) const;
+  /// Element-wise DecryptSigned, fanned across `pool`.
+  Result<std::vector<BigInt>> DecryptSignedBatch(
+      const std::vector<BigInt>& cs, ThreadPool* pool = nullptr) const;
+
  private:
   PaillierDecryptor() = default;
 
@@ -108,9 +164,67 @@ class PaillierDecryptor {
   PaillierContext context_;
   // CRT components: m = L_p(c^{p-1} mod p²)·h_p mod p recombined with q part.
   BigInt p_squared_, q_squared_;
+  BigInt p_minus_1_, q_minus_1_;  // CRT exponents, cached at Create time
   BigInt hp_, hq_;       // precomputed L(g^{p-1} mod p²)^{-1} mod p etc.
   BigInt q_inv_mod_p_;
   std::shared_ptr<const MontgomeryCtx> ctx_p2_, ctx_q2_;
+};
+
+/// Background precomputation of Paillier encryption randomizer factors
+/// (r^n mod n²), the offline half of the offline/online split: a producer
+/// thread keeps up to `target` factors buffered, and the online
+/// Encrypt()/EncryptSigned() reduce to g^m · factor mod n² — two modular
+/// multiplications with the default g = n+1.
+///
+/// Factors are strictly single-use: every Take/Encrypt pops one, and the
+/// producer refills in the background. When the buffer is empty the
+/// calling thread computes a fresh factor inline (correct, just not
+/// accelerated).
+///
+/// Thread-safe. The pool owns a copy of the context and its own rng; pass
+/// a seeded rng for reproducible tests.
+class PaillierRandomizerPool {
+ public:
+  PaillierRandomizerPool(PaillierContext ctx, SecureRng rng,
+                         size_t target = 64);
+  ~PaillierRandomizerPool();
+
+  PaillierRandomizerPool(const PaillierRandomizerPool&) = delete;
+  PaillierRandomizerPool& operator=(const PaillierRandomizerPool&) = delete;
+
+  const PaillierContext& context() const { return ctx_; }
+
+  /// Pops one precomputed r^n mod n² factor (computing inline on an empty
+  /// buffer). Never returns the same factor twice.
+  BigInt TakeFactor();
+
+  /// One-multiplication online encryption using a pooled factor.
+  Result<BigInt> Encrypt(const BigInt& m);
+  /// Signed-encoding variant.
+  Result<BigInt> EncryptSigned(const BigInt& v);
+
+  /// Blocks until min(count, target) factors are buffered. Benchmarks use
+  /// this to measure the online phase in isolation.
+  void Prefill(size_t count);
+
+  /// Currently buffered factors.
+  size_t available() const;
+  /// Total factors ever produced (buffered + inline).
+  uint64_t produced() const;
+
+ private:
+  void ProducerLoop();
+
+  PaillierContext ctx_;
+  const size_t target_;
+  mutable std::mutex mu_;
+  std::condition_variable refill_cv_;   // producer waits: buffer full
+  std::condition_variable filled_cv_;   // Prefill waits: buffer level
+  SecureRng rng_;                       // guarded by mu_
+  std::deque<BigInt> factors_;          // guarded by mu_
+  uint64_t produced_ = 0;               // guarded by mu_
+  bool stop_ = false;                   // guarded by mu_
+  std::thread producer_;
 };
 
 }  // namespace ppdbscan

@@ -1,6 +1,9 @@
 #include "smc/dot_product.h"
 
+#include <algorithm>
+
 #include "bigint/codec.h"
+#include "common/thread_pool.h"
 #include "net/message.h"
 
 namespace ppdbscan {
@@ -18,12 +21,11 @@ Result<std::vector<BigInt>> RunDotProductReceiver(
                      "dot product alpha empty");
   }
   const PaillierContext& ctx = session.own_paillier_ctx();
+  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> alpha_ciphers,
+                       ctx.EncryptSignedBatch(alpha, rng));
   ByteWriter out;
   out.PutU32(static_cast<uint32_t>(alpha.size()));
-  for (const BigInt& a : alpha) {
-    PPD_ASSIGN_OR_RETURN(BigInt cipher, ctx.EncryptSigned(a, rng));
-    WriteBigInt(out, cipher);
-  }
+  for (const BigInt& cipher : alpha_ciphers) WriteBigInt(out, cipher);
   PPD_RETURN_IF_ERROR(SendMessage(channel, kDotAlpha, out));
 
   PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
@@ -33,20 +35,20 @@ Result<std::vector<BigInt>> RunDotProductReceiver(
   if (expected_rows != 0 && rows != expected_rows) {
     return Status::DataLoss("dot product row count mismatch");
   }
-  std::vector<BigInt> shares;
-  shares.reserve(rows);
+  std::vector<BigInt> ciphers;
+  // rows is wire-controlled; cap the reserve by what the payload can hold.
+  ciphers.reserve(std::min<size_t>(rows, reader.remaining() / 5));
   for (uint32_t i = 0; i < rows; ++i) {
     PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
     if (!ctx.IsValidCiphertext(cipher)) {
       return Status::DataLoss("dot product response out of range");
     }
-    PPD_ASSIGN_OR_RETURN(BigInt u, session.own_paillier().Decrypt(cipher));
-    shares.push_back(std::move(u));
+    ciphers.push_back(std::move(cipher));
   }
   if (!reader.Done()) {
     return Status::DataLoss("trailing bytes in dot product response");
   }
-  return shares;
+  return session.own_paillier().DecryptBatch(ciphers);
 }
 
 Result<std::vector<BigInt>> RunDotProductHelper(
@@ -71,28 +73,36 @@ Result<std::vector<BigInt>> RunDotProductHelper(
     return Status::DataLoss("trailing bytes in dot product alpha");
   }
 
-  ByteWriter out;
-  out.PutU32(static_cast<uint32_t>(rows.size()));
-  std::vector<BigInt> masks;
-  masks.reserve(rows.size());
   for (const std::vector<BigInt>& row : rows) {
     if (row.size() != alpha_ciphers.size()) {
       return AbortPeer(
           channel, Status::InvalidArgument("row length does not match alpha"),
           "dot product row length mismatch");
     }
-    BigInt v = options.mask_bits == 0
-                   ? BigInt::RandomBelow(rng, peer.pub().n)
-                   : BigInt::RandomBits(rng, options.mask_bits);
+  }
+  // Randomness first (serial, cheap), then the E(α_t)^{β_t} accumulation
+  // for every row in parallel: rows are independent, and each one is a
+  // string of Montgomery exponentiations.
+  std::vector<BigInt> masks;
+  masks.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    masks.push_back(options.mask_bits == 0
+                        ? BigInt::RandomBelow(rng, peer.pub().n)
+                        : BigInt::RandomBits(rng, options.mask_bits));
+  }
+  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> accs,
+                       peer.EncryptBatch(masks, rng));
+  ParallelFor(rows.size(), [&](size_t i) {
     // E(α·β + v) = Π E(α_t)^{β_t} · E(v).
-    PPD_ASSIGN_OR_RETURN(BigInt acc, peer.Encrypt(v, rng));
+    const std::vector<BigInt>& row = rows[i];
     for (size_t t = 0; t < row.size(); ++t) {
       if (row[t].IsZero()) continue;  // E(x)^0 contributes nothing
-      acc = peer.Add(acc, peer.MulPlain(alpha_ciphers[t], row[t]));
+      accs[i] = peer.Add(accs[i], peer.MulPlain(alpha_ciphers[t], row[t]));
     }
-    WriteBigInt(out, acc);
-    masks.push_back(std::move(v));
-  }
+  });
+  ByteWriter out;
+  out.PutU32(static_cast<uint32_t>(rows.size()));
+  for (const BigInt& acc : accs) WriteBigInt(out, acc);
   PPD_RETURN_IF_ERROR(SendMessage(channel, kDotResponse, out));
   return masks;
 }

@@ -92,5 +92,77 @@ TEST(MontgomeryTest, ModulusAccessor) {
   EXPECT_EQ(ctx->modulus(), BigInt(12345677));
 }
 
+TEST(MontgomeryTest, SqrMontMatchesMulMont) {
+  SecureRng rng(31);
+  for (size_t bits : {33u, 64u, 128u, 521u, 1024u}) {
+    BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+    if (mod.IsEven()) mod += BigInt(1);
+    Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+    ASSERT_TRUE(ctx.ok());
+    for (int i = 0; i < 25; ++i) {
+      BigInt a = ctx->ToMont(BigInt::RandomBelow(rng, mod));
+      EXPECT_EQ(ctx->SqrMont(a), ctx->MulMont(a, a)) << "bits=" << bits;
+    }
+  }
+  // Degenerate inputs.
+  Result<MontgomeryCtx> small = MontgomeryCtx::Create(BigInt(97));
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->SqrMont(BigInt(0)), BigInt(0));
+}
+
+TEST(MontgomeryTest, WindowWidthGrowsWithExponentSize) {
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(1), 1);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(6), 1);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(7), 2);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(24), 2);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(25), 3);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(80), 3);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(81), 4);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(240), 4);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(241), 5);
+  EXPECT_EQ(MontgomeryCtx::WindowBitsForExponent(2048), 5);
+}
+
+// Regression for the sliding-window rewrite: exponents whose bit lengths
+// sit exactly on and around the window-selection boundaries, including the
+// short exponents that used to pay for a full 16-entry table.
+TEST(MontgomeryTest, ExpCorrectAtWindowBoundaryBitLengths) {
+  SecureRng rng(32);
+  BigInt mod = BigInt::RandomBits(rng, 256) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  for (size_t exp_bits : {1u, 2u, 6u, 7u, 15u, 16u, 17u, 24u, 25u, 80u, 81u,
+                          240u, 241u}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      // Force the exact bit length by setting the top bit.
+      BigInt exp = BigInt::RandomBits(rng, exp_bits - 1) +
+                   (BigInt(1) << (exp_bits - 1));
+      ASSERT_EQ(exp.BitLength(), exp_bits);
+      BigInt base = BigInt::RandomBelow(rng, mod);
+      BigInt expect(1);
+      for (size_t bit = exp.BitLength(); bit-- > 0;) {
+        expect = (expect * expect).Mod(mod);
+        if (exp.TestBit(bit)) expect = (expect * base).Mod(mod);
+      }
+      EXPECT_EQ(ctx->Exp(base, exp), expect) << "exp_bits=" << exp_bits;
+    }
+  }
+}
+
+TEST(MontgomeryTest, ExpExhaustiveSmallExponents) {
+  SecureRng rng(33);
+  BigInt mod = BigInt::RandomBits(rng, 128) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  BigInt base = BigInt::RandomBelow(rng, mod);
+  BigInt expect(1);
+  for (int64_t e = 0; e <= 70; ++e) {
+    EXPECT_EQ(ctx->Exp(base, BigInt(e)), expect) << "e=" << e;
+    expect = (expect * base).Mod(mod);
+  }
+}
+
 }  // namespace
 }  // namespace ppdbscan

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "bigint/prime.h"
+#include "common/thread_pool.h"
 
 namespace ppdbscan {
 namespace {
@@ -142,6 +146,157 @@ TEST_F(PaillierTest, DeserializationRejectsTruncation) {
   bytes.resize(bytes.size() / 2);
   ByteReader r(bytes);
   EXPECT_FALSE(PaillierPublicKey::Deserialize(r).ok());
+}
+
+TEST_F(PaillierTest, EncryptBatchBitIdenticalToSerial) {
+  const PaillierContext& ctx = dec_->context();
+  std::vector<BigInt> ms;
+  SecureRng data_rng(40);
+  for (int i = 0; i < 24; ++i) {
+    ms.push_back(BigInt::RandomBelow(data_rng, kp_->pub.n));
+  }
+  // Serial reference: the legacy one-call-per-element loop.
+  SecureRng serial_rng(41);
+  std::vector<BigInt> expect;
+  for (const BigInt& m : ms) expect.push_back(*ctx.Encrypt(m, serial_rng));
+  // The batch draws the same randomness in the same order, so the outputs
+  // must be bit-identical for every pool width.
+  for (size_t workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    SecureRng batch_rng(41);
+    Result<std::vector<BigInt>> batch = ctx.EncryptBatch(ms, batch_rng, &pool);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(*batch, expect) << "workers=" << workers;
+  }
+  // Global-pool overload too.
+  SecureRng batch_rng(41);
+  Result<std::vector<BigInt>> batch = ctx.EncryptBatch(ms, batch_rng);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, expect);
+}
+
+TEST_F(PaillierTest, EncryptSignedBatchBitIdenticalToSerial) {
+  const PaillierContext& ctx = dec_->context();
+  std::vector<BigInt> vs;
+  for (int64_t v : {0, 1, -1, 7, -4242, 1000000, -999999}) {
+    vs.push_back(BigInt(v));
+  }
+  SecureRng serial_rng(42);
+  std::vector<BigInt> expect;
+  for (const BigInt& v : vs) {
+    expect.push_back(*ctx.EncryptSigned(v, serial_rng));
+  }
+  ThreadPool pool(3);
+  SecureRng batch_rng(42);
+  Result<std::vector<BigInt>> batch =
+      ctx.EncryptSignedBatch(vs, batch_rng, &pool);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, expect);
+}
+
+TEST_F(PaillierTest, EncryptBatchRejectsOutOfRangeWithoutConsumingRandomness) {
+  const PaillierContext& ctx = dec_->context();
+  SecureRng rng_a(43), rng_b(43);
+  std::vector<BigInt> bad = {BigInt(1), kp_->pub.n};
+  EXPECT_EQ(ctx.EncryptBatch(bad, rng_a).status().code(),
+            StatusCode::kOutOfRange);
+  // rng_a was not advanced: a subsequent encryption matches rng_b's.
+  EXPECT_EQ(*ctx.Encrypt(BigInt(5), rng_a), *ctx.Encrypt(BigInt(5), rng_b));
+}
+
+TEST_F(PaillierTest, MulPlainAddDecryptBatchesMatchSerial) {
+  const PaillierContext& ctx = dec_->context();
+  SecureRng rng(44);
+  std::vector<BigInt> cs, ks, c2s;
+  for (int i = 0; i < 17; ++i) {
+    BigInt m = BigInt::RandomBelow(rng, kp_->pub.n);
+    cs.push_back(*ctx.Encrypt(m, rng));
+    c2s.push_back(*ctx.Encrypt(BigInt(i), rng));
+    ks.push_back(BigInt((i % 5) - 2));  // include negative and zero scalars
+  }
+  ThreadPool pool(4);
+  std::vector<BigInt> prod = ctx.MulPlainBatch(cs, ks, &pool);
+  std::vector<BigInt> sums = ctx.AddBatch(cs, c2s, &pool);
+  Result<std::vector<BigInt>> dec_batch = dec_->DecryptBatch(cs, &pool);
+  ASSERT_TRUE(dec_batch.ok());
+  ASSERT_EQ(prod.size(), cs.size());
+  ASSERT_EQ(sums.size(), cs.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_EQ(prod[i], ctx.MulPlain(cs[i], ks[i])) << i;
+    EXPECT_EQ(sums[i], ctx.Add(cs[i], c2s[i])) << i;
+    EXPECT_EQ((*dec_batch)[i], *dec_->Decrypt(cs[i])) << i;
+  }
+}
+
+TEST_F(PaillierTest, DecryptSignedBatchRoundTrip) {
+  const PaillierContext& ctx = dec_->context();
+  SecureRng rng(45);
+  std::vector<BigInt> vs, cs;
+  for (int64_t v : {0, 1, -1, 31337, -31337}) {
+    vs.push_back(BigInt(v));
+    cs.push_back(*ctx.EncryptSigned(BigInt(v), rng));
+  }
+  Result<std::vector<BigInt>> back = dec_->DecryptSignedBatch(cs);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, vs);
+}
+
+TEST_F(PaillierTest, DecryptBatchRejectsInvalidCiphertext) {
+  std::vector<BigInt> cs = {BigInt(1), BigInt(0)};
+  EXPECT_EQ(dec_->DecryptBatch(cs).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PaillierTest, EncryptWithFactorMatchesManualComposition) {
+  const PaillierContext& ctx = dec_->context();
+  SecureRng rng(46);
+  BigInt r = ctx.SampleRandomizer(rng);
+  EXPECT_EQ(BigInt::Gcd(r, kp_->pub.n), BigInt(1));
+  BigInt factor = ctx.RandomizerFactor(r);
+  EXPECT_EQ(factor, BigInt::ModExp(r, kp_->pub.n, kp_->pub.n_squared));
+  Result<BigInt> c = ctx.EncryptWithFactor(BigInt(123), factor);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*dec_->Decrypt(*c), BigInt(123));
+  EXPECT_EQ(ctx.EncryptWithFactor(kp_->pub.n, factor).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(PaillierTest, RandomizerPoolCiphertextsDecryptCorrectly) {
+  PaillierRandomizerPool pool(dec_->context(), SecureRng(47), /*target=*/8);
+  for (int64_t v : {0, 1, -1, 424242, -424242}) {
+    Result<BigInt> c = pool.EncryptSigned(BigInt(v));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*dec_->DecryptSigned(*c), BigInt(v));
+  }
+  Result<BigInt> c = pool.Encrypt(BigInt(99));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*dec_->Decrypt(*c), BigInt(99));
+  EXPECT_EQ(pool.Encrypt(BigInt(-1)).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PaillierTest, RandomizerPoolNeverReusesFactors) {
+  PaillierRandomizerPool pool(dec_->context(), SecureRng(48), /*target=*/4);
+  // Factors must be pairwise distinct (single-use), and therefore equal
+  // plaintexts must map to pairwise distinct ciphertexts.
+  std::set<BigInt> factors;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(factors.insert(pool.TakeFactor()).second) << i;
+  }
+  std::set<BigInt> ciphers;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(ciphers.insert(*pool.Encrypt(BigInt(7))).second) << i;
+  }
+  EXPECT_GE(pool.produced(), 48u);
+}
+
+TEST_F(PaillierTest, RandomizerPoolPrefillBuffersFactors) {
+  PaillierRandomizerPool pool(dec_->context(), SecureRng(49), /*target=*/6);
+  pool.Prefill(6);
+  EXPECT_GE(pool.available(), 6u);
+  // Online encryptions drain the buffer and still decrypt correctly.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*dec_->Decrypt(*pool.Encrypt(BigInt(i))), BigInt(i));
+  }
 }
 
 TEST(PaillierKeygenTest, RejectsBadSizes) {

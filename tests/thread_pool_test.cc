@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace ppdbscan {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, PoolOfSizeOneStillWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  pool.Submit([] {}).get();
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlock) {
+  // A task that submits to its own pool and helps drain while waiting.
+  // With one worker the inner task can only run via RunOnePending.
+  ThreadPool pool(1);
+  std::atomic<bool> inner_ran{false};
+  std::future<void> outer = pool.Submit([&] {
+    std::future<void> inner = pool.Submit([&inner_ran] { inner_ran = true; });
+    while (inner.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      pool.RunOnePending();
+    }
+  });
+  outer.get();
+  EXPECT_TRUE(inner_ran.load());
+}
+
+TEST(ThreadPoolTest, RunOnePendingReportsEmptyQueue) {
+  ThreadPool pool(1);
+  // Drain whatever might be queued, then the queue must report empty.
+  while (pool.RunOnePending()) {
+  }
+  EXPECT_FALSE(pool.RunOnePending());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    for (size_t n : {0u, 1u, 2u, 7u, 64u, 257u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h = 0;
+      ParallelFor(n, [&hits](size_t i) { ++hits[i]; }, &pool);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "workers=" << workers << " n=" << n
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ResultsMatchSerialExecution) {
+  ThreadPool pool(4);
+  const size_t n = 100;
+  std::vector<uint64_t> parallel_out(n), serial_out(n);
+  auto f = [](size_t i) { return (i * 2654435761u) ^ (i << 7); };
+  for (size_t i = 0; i < n; ++i) serial_out[i] = f(i);
+  ParallelFor(n, [&](size_t i) { parallel_out[i] = f(i); }, &pool);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelForTest, RethrowsExceptionFromWorkerIteration) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelFor(
+          32,
+          [](size_t i) {
+            if (i == 13) throw std::runtime_error("iteration 13");
+          },
+          &pool),
+      std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<int> counter{0};
+  ParallelFor(8, [&counter](size_t) { ++counter; }, &pool);
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(
+      4,
+      [&](size_t) {
+        ParallelFor(8, [&counter](size_t) { ++counter; }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ParallelForTest, StressManySmallIterations) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  const size_t n = 10000;
+  ParallelFor(n, [&sum](size_t i) { sum += i; }, &pool);
+  EXPECT_EQ(sum.load(), uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, NullPoolUsesGlobalPool) {
+  std::atomic<int> counter{0};
+  ParallelFor(16, [&counter](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 16);
+  EXPECT_GE(GlobalThreadPool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ppdbscan

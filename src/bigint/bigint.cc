@@ -10,9 +10,9 @@ namespace ppdbscan {
 
 namespace {
 
-using Limbs = std::vector<uint32_t>;
+using Limbs = std::vector<Limb>;
 
-constexpr uint64_t kBase = uint64_t{1} << 32;
+constexpr DoubleLimb kBase = DoubleLimb{1} << kLimbBits;
 constexpr size_t kKaratsubaThreshold = 24;  // limbs
 
 void TrimMag(Limbs& a) {
@@ -31,13 +31,13 @@ Limbs AddMag(const Limbs& a, const Limbs& b) {
   const Limbs& big = a.size() >= b.size() ? a : b;
   const Limbs& small = a.size() >= b.size() ? b : a;
   Limbs out(big.size() + 1, 0);
-  uint64_t carry = 0;
+  DoubleLimb carry = 0;
   for (size_t i = 0; i < big.size(); ++i) {
-    uint64_t s = carry + big[i] + (i < small.size() ? small[i] : 0u);
-    out[i] = static_cast<uint32_t>(s);
-    carry = s >> 32;
+    DoubleLimb s = carry + big[i] + (i < small.size() ? small[i] : Limb{0});
+    out[i] = static_cast<Limb>(s);
+    carry = s >> kLimbBits;
   }
-  out[big.size()] = static_cast<uint32_t>(carry);
+  out[big.size()] = static_cast<Limb>(carry);
   TrimMag(out);
   return out;
 }
@@ -45,35 +45,36 @@ Limbs AddMag(const Limbs& a, const Limbs& b) {
 // Requires a >= b.
 Limbs SubMag(const Limbs& a, const Limbs& b) {
   Limbs out(a.size(), 0);
-  int64_t borrow = 0;
+  SignedDoubleLimb borrow = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    int64_t d = static_cast<int64_t>(a[i]) - borrow -
-                (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    SignedDoubleLimb d =
+        static_cast<SignedDoubleLimb>(a[i]) - borrow -
+        (i < b.size() ? static_cast<SignedDoubleLimb>(b[i]) : 0);
     if (d < 0) {
-      d += static_cast<int64_t>(kBase);
+      d += static_cast<SignedDoubleLimb>(kBase);
       borrow = 1;
     } else {
       borrow = 0;
     }
-    out[i] = static_cast<uint32_t>(d);
+    out[i] = static_cast<Limb>(d);
   }
   PPD_CHECK_MSG(borrow == 0, "SubMag underflow");
   TrimMag(out);
   return out;
 }
 
-void MulSchoolbook(const uint32_t* a, size_t an, const uint32_t* b, size_t bn,
-                   uint32_t* out) {
+void MulSchoolbook(const Limb* a, size_t an, const Limb* b, size_t bn,
+                   Limb* out) {
   // out[0 .. an+bn) must be zero-initialized by the caller.
   for (size_t i = 0; i < an; ++i) {
-    uint64_t carry = 0;
-    uint64_t ai = a[i];
+    DoubleLimb carry = 0;
+    DoubleLimb ai = a[i];
     for (size_t j = 0; j < bn; ++j) {
-      uint64_t t = ai * b[j] + out[i + j] + carry;
-      out[i + j] = static_cast<uint32_t>(t);
-      carry = t >> 32;
+      DoubleLimb t = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(t);
+      carry = t >> kLimbBits;
     }
-    out[i + bn] = static_cast<uint32_t>(carry);
+    out[i + bn] = static_cast<Limb>(carry);
   }
 }
 
@@ -95,17 +96,17 @@ Limbs MulKaratsuba(const Limbs& a, const Limbs& b) {
   // result = z2 << 2h | z1 << h | z0  (limb shifts)
   Limbs out(a.size() + b.size() + 1, 0);
   auto add_at = [&out](const Limbs& v, size_t shift) {
-    uint64_t carry = 0;
+    DoubleLimb carry = 0;
     size_t i = 0;
     for (; i < v.size(); ++i) {
-      uint64_t s = carry + out[shift + i] + v[i];
-      out[shift + i] = static_cast<uint32_t>(s);
-      carry = s >> 32;
+      DoubleLimb s = carry + out[shift + i] + v[i];
+      out[shift + i] = static_cast<Limb>(s);
+      carry = s >> kLimbBits;
     }
     while (carry != 0) {
-      uint64_t s = carry + out[shift + i];
-      out[shift + i] = static_cast<uint32_t>(s);
-      carry = s >> 32;
+      DoubleLimb s = carry + out[shift + i];
+      out[shift + i] = static_cast<Limb>(s);
+      carry = s >> kLimbBits;
       ++i;
     }
   };
@@ -129,29 +130,30 @@ Limbs MulMag(const Limbs& a, const Limbs& b) {
 
 Limbs ShlMag(const Limbs& a, size_t bits) {
   if (a.empty()) return {};
-  size_t limb_shift = bits / 32;
-  size_t bit_shift = bits % 32;
+  size_t limb_shift = bits / kLimbBits;
+  size_t bit_shift = bits % kLimbBits;
   Limbs out(a.size() + limb_shift + 1, 0);
   for (size_t i = 0; i < a.size(); ++i) {
-    uint64_t v = static_cast<uint64_t>(a[i]) << bit_shift;
-    out[i + limb_shift] |= static_cast<uint32_t>(v);
-    out[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+    DoubleLimb v = static_cast<DoubleLimb>(a[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<Limb>(v);
+    out[i + limb_shift + 1] |= static_cast<Limb>(v >> kLimbBits);
   }
   TrimMag(out);
   return out;
 }
 
 Limbs ShrMag(const Limbs& a, size_t bits) {
-  size_t limb_shift = bits / 32;
-  size_t bit_shift = bits % 32;
+  size_t limb_shift = bits / kLimbBits;
+  size_t bit_shift = bits % kLimbBits;
   if (limb_shift >= a.size()) return {};
   Limbs out(a.size() - limb_shift, 0);
   for (size_t i = 0; i < out.size(); ++i) {
-    uint64_t v = a[i + limb_shift] >> bit_shift;
+    DoubleLimb v = a[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < a.size()) {
-      v |= static_cast<uint64_t>(a[i + limb_shift + 1]) << (32 - bit_shift);
+      v |= static_cast<DoubleLimb>(a[i + limb_shift + 1])
+           << (kLimbBits - bit_shift);
     }
-    out[i] = static_cast<uint32_t>(v);
+    out[i] = static_cast<Limb>(v);
   }
   TrimMag(out);
   return out;
@@ -167,19 +169,19 @@ void DivModMag(const Limbs& u_in, const Limbs& v_in, Limbs* q_out,
     return;
   }
   if (v_in.size() == 1) {
-    uint64_t d = v_in[0];
-    uint64_t rem = 0;
+    Limb d = v_in[0];
+    Limb rem = 0;
     Limbs q(u_in.size(), 0);
     for (size_t i = u_in.size(); i-- > 0;) {
-      uint64_t cur = (rem << 32) | u_in[i];
-      q[i] = static_cast<uint32_t>(cur / d);
-      rem = cur % d;
+      DoubleLimb cur = (static_cast<DoubleLimb>(rem) << kLimbBits) | u_in[i];
+      q[i] = static_cast<Limb>(cur / d);
+      rem = static_cast<Limb>(cur % d);
     }
     TrimMag(q);
     if (q_out) *q_out = std::move(q);
     if (r_out) {
       r_out->clear();
-      if (rem != 0) r_out->push_back(static_cast<uint32_t>(rem));
+      if (rem != 0) r_out->push_back(rem);
     }
     return;
   }
@@ -194,46 +196,49 @@ void DivModMag(const Limbs& u_in, const Limbs& v_in, Limbs* q_out,
 
   Limbs q(m + 1, 0);
   for (size_t j = m + 1; j-- > 0;) {
-    uint64_t num = (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
-    uint64_t qhat = num / v[n - 1];
-    uint64_t rhat = num % v[n - 1];
+    DoubleLimb num =
+        (static_cast<DoubleLimb>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    DoubleLimb qhat = num / v[n - 1];
+    DoubleLimb rhat = num % v[n - 1];
     while (qhat >= kBase ||
-           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+           qhat * v[n - 2] >
+               ((rhat << kLimbBits) | u[j + n - 2])) {
       --qhat;
       rhat += v[n - 1];
       if (rhat >= kBase) break;
     }
     // Multiply-and-subtract qhat * v from u[j .. j+n].
-    uint64_t carry = 0;
-    int64_t borrow = 0;
+    DoubleLimb carry = 0;
+    SignedDoubleLimb borrow = 0;
     for (size_t i = 0; i < n; ++i) {
-      uint64_t p = qhat * v[i] + carry;
-      carry = p >> 32;
-      int64_t t = static_cast<int64_t>(u[i + j]) -
-                  static_cast<int64_t>(static_cast<uint32_t>(p)) - borrow;
+      DoubleLimb p = qhat * v[i] + carry;
+      carry = p >> kLimbBits;
+      SignedDoubleLimb t =
+          static_cast<SignedDoubleLimb>(u[i + j]) -
+          static_cast<SignedDoubleLimb>(static_cast<Limb>(p)) - borrow;
       if (t < 0) {
-        t += static_cast<int64_t>(kBase);
+        t += static_cast<SignedDoubleLimb>(kBase);
         borrow = 1;
       } else {
         borrow = 0;
       }
-      u[i + j] = static_cast<uint32_t>(t);
+      u[i + j] = static_cast<Limb>(t);
     }
-    int64_t t = static_cast<int64_t>(u[j + n]) - static_cast<int64_t>(carry) -
-                borrow;
-    u[j + n] = static_cast<uint32_t>(t);
+    SignedDoubleLimb t = static_cast<SignedDoubleLimb>(u[j + n]) -
+                         static_cast<SignedDoubleLimb>(carry) - borrow;
+    u[j + n] = static_cast<Limb>(t);
     if (t < 0) {
       // qhat was one too large: add v back.
       --qhat;
-      uint64_t c = 0;
+      DoubleLimb c = 0;
       for (size_t i = 0; i < n; ++i) {
-        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + c;
-        u[i + j] = static_cast<uint32_t>(sum);
-        c = sum >> 32;
+        DoubleLimb sum = static_cast<DoubleLimb>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<Limb>(sum);
+        c = sum >> kLimbBits;
       }
-      u[j + n] = static_cast<uint32_t>(u[j + n] + c);
+      u[j + n] = static_cast<Limb>(u[j + n] + c);
     }
-    q[j] = static_cast<uint32_t>(qhat);
+    q[j] = static_cast<Limb>(qhat);
   }
 
   if (q_out) {
@@ -254,6 +259,18 @@ int DigitValue(char c) {
   return -1;
 }
 
+// Appends the limbs of a native 64-bit magnitude (little-endian).
+void PushU64(Limbs& limbs, uint64_t mag) {
+  while (mag != 0) {
+    limbs.push_back(static_cast<Limb>(mag));
+    if constexpr (kLimbBits >= 64) {
+      mag = 0;
+    } else {
+      mag >>= kLimbBits;
+    }
+  }
+}
+
 }  // namespace
 
 BigInt::BigInt(int64_t value) {
@@ -262,20 +279,18 @@ BigInt::BigInt(int64_t value) {
   // Careful with INT64_MIN: negate in unsigned space.
   uint64_t mag = value < 0 ? ~static_cast<uint64_t>(value) + 1
                            : static_cast<uint64_t>(value);
-  limbs_.push_back(static_cast<uint32_t>(mag));
-  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+  PushU64(limbs_, mag);
 }
 
 BigInt BigInt::FromU64(uint64_t value) {
   BigInt out;
   if (value == 0) return out;
   out.sign_ = 1;
-  out.limbs_.push_back(static_cast<uint32_t>(value));
-  if (value >> 32) out.limbs_.push_back(static_cast<uint32_t>(value >> 32));
+  PushU64(out.limbs_, value);
   return out;
 }
 
-BigInt BigInt::FromLimbs(std::vector<uint32_t> limbs, int sign) {
+BigInt BigInt::FromLimbs(std::vector<Limb> limbs, int sign) {
   BigInt out;
   out.limbs_ = std::move(limbs);
   out.sign_ = sign;
@@ -299,7 +314,6 @@ Result<BigInt> BigInt::FromDecimal(std::string_view text) {
   }
   if (pos == text.size()) return Status::InvalidArgument("sign-only string");
   BigInt out;
-  const BigInt chunk_base(1000000000);  // 10^9
   while (pos < text.size()) {
     size_t take = std::min<size_t>(9, text.size() - pos);
     uint32_t chunk = 0;
@@ -352,8 +366,8 @@ std::vector<uint8_t> BigInt::ToBytes() const {
   size_t nbytes = (BitLength() + 7) / 8;
   std::vector<uint8_t> out(nbytes, 0);
   for (size_t i = 0; i < nbytes; ++i) {
-    size_t limb = i / 4;
-    size_t shift = (i % 4) * 8;
+    size_t limb = i / kLimbBytes;
+    size_t shift = (i % kLimbBytes) * 8;
     out[nbytes - 1 - i] = static_cast<uint8_t>(limbs_[limb] >> shift);
   }
   return out;
@@ -363,11 +377,11 @@ std::string BigInt::ToDecimal() const {
   if (IsZero()) return "0";
   Limbs rem = limbs_;
   std::string digits;
-  const Limbs billion = {1000000000u};
+  const Limbs billion = {Limb{1000000000u}};
   while (!rem.empty()) {
     Limbs q, r;
     DivModMag(rem, billion, &q, &r);
-    uint32_t chunk = r.empty() ? 0u : r[0];
+    uint32_t chunk = r.empty() ? 0u : static_cast<uint32_t>(r[0]);
     for (int i = 0; i < 9; ++i) {
       digits.push_back(static_cast<char>('0' + chunk % 10));
       chunk /= 10;
@@ -385,7 +399,7 @@ std::string BigInt::ToHex() const {
   static const char* kDigits = "0123456789abcdef";
   std::string out;
   for (size_t i = limbs_.size(); i-- > 0;) {
-    for (int shift = 28; shift >= 0; shift -= 4) {
+    for (int shift = static_cast<int>(kLimbBits) - 4; shift >= 0; shift -= 4) {
       out.push_back(kDigits[(limbs_[i] >> shift) & 0xf]);
     }
   }
@@ -397,23 +411,24 @@ std::string BigInt::ToHex() const {
 
 size_t BigInt::BitLength() const {
   if (limbs_.empty()) return 0;
-  return 32 * limbs_.size() -
+  return kLimbBits * limbs_.size() -
          static_cast<size_t>(std::countl_zero(limbs_.back()));
 }
 
 bool BigInt::TestBit(size_t i) const {
-  size_t limb = i / 32;
+  size_t limb = i / kLimbBits;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1u;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
 }
 
-bool BigInt::FitsU64() const { return limbs_.size() <= 2; }
+bool BigInt::FitsU64() const { return limbs_.size() <= 64 / kLimbBits; }
 
 uint64_t BigInt::MagnitudeU64() const {
   PPD_CHECK_MSG(FitsU64(), "magnitude exceeds 64 bits");
   uint64_t v = 0;
-  if (limbs_.size() > 1) v = static_cast<uint64_t>(limbs_[1]) << 32;
-  if (!limbs_.empty()) v |= limbs_[0];
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    v |= static_cast<uint64_t>(limbs_[i]) << (i * kLimbBits);
+  }
   return v;
 }
 

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bigint/limb.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -15,8 +16,11 @@ namespace ppdbscan {
 /// Arbitrary-precision signed integer.
 ///
 /// Representation: sign/magnitude, with the magnitude stored as a normalized
-/// little-endian vector of 32-bit limbs (no trailing zero limbs; zero is the
-/// empty vector with sign 0). All arithmetic is exact; operations never
+/// little-endian vector of limbs (no trailing zero limbs; zero is the empty
+/// vector with sign 0). The limb width is selected at compile time
+/// (bigint/limb.h): 64-bit limbs with `unsigned __int128` products by
+/// default, 32-bit limbs as fallback. The serialized byte format is
+/// limb-width independent. All arithmetic is exact; operations never
 /// throw — domain errors (e.g. division by zero) abort via PPD_CHECK, and
 /// parsing returns Result.
 ///
@@ -121,14 +125,14 @@ class BigInt {
   static BigInt RandomBelow(SecureRng& rng, const BigInt& bound);
 
   // Internal limb access for the Montgomery machinery (src/bigint only).
-  const std::vector<uint32_t>& limbs() const { return limbs_; }
-  static BigInt FromLimbs(std::vector<uint32_t> limbs, int sign);
+  const std::vector<Limb>& limbs() const { return limbs_; }
+  static BigInt FromLimbs(std::vector<Limb> limbs, int sign);
 
  private:
   void Normalize();
 
-  int sign_ = 0;                  // -1, 0, +1
-  std::vector<uint32_t> limbs_;   // little-endian magnitude
+  int sign_ = 0;              // -1, 0, +1
+  std::vector<Limb> limbs_;   // little-endian magnitude
 };
 
 std::ostream& operator<<(std::ostream& os, const BigInt& v);

@@ -1,0 +1,38 @@
+#ifndef PPDBSCAN_BIGINT_LIMB_H_
+#define PPDBSCAN_BIGINT_LIMB_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppdbscan {
+
+/// Compile-time limb-width selection for the bigint substrate.
+///
+/// With PPDBSCAN_LIMB64 defined (the default on toolchains providing
+/// `unsigned __int128`, selected by the PPDBSCAN_LIMB64 CMake option) the
+/// magnitude is stored as 64-bit limbs and every product/accumulation runs
+/// in 128-bit registers: the CIOS inner loops do half the iterations of the
+/// 32-bit build, which roughly halves Montgomery multiply/square cost.
+/// Without it the original 32-bit limb / 64-bit accumulator path is used —
+/// a tested fallback for toolchains without `__int128`.
+///
+/// Everything outside src/bigint is limb-width independent: the serialized
+/// byte format (ToBytes/FromBytes, codec.h) is defined over the value, not
+/// the representation, so wire bytes and ciphertexts are bit-identical
+/// across both builds (asserted by limb_width_test).
+#if defined(PPDBSCAN_LIMB64)
+using Limb = std::uint64_t;
+using DoubleLimb = unsigned __int128;
+using SignedDoubleLimb = __int128;
+#else
+using Limb = std::uint32_t;
+using DoubleLimb = std::uint64_t;
+using SignedDoubleLimb = std::int64_t;
+#endif
+
+inline constexpr size_t kLimbBytes = sizeof(Limb);
+inline constexpr size_t kLimbBits = kLimbBytes * 8;
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BIGINT_LIMB_H_

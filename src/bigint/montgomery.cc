@@ -9,29 +9,30 @@ namespace ppdbscan {
 namespace {
 
 // Compares little-endian limb vectors of equal logical value domain.
-int CmpLimbs(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+int CmpLimbs(const std::vector<Limb>& a, const std::vector<Limb>& b) {
   size_t n = std::max(a.size(), b.size());
   for (size_t i = n; i-- > 0;) {
-    uint32_t av = i < a.size() ? a[i] : 0;
-    uint32_t bv = i < b.size() ? b[i] : 0;
+    Limb av = i < a.size() ? a[i] : 0;
+    Limb bv = i < b.size() ? b[i] : 0;
     if (av != bv) return av < bv ? -1 : 1;
   }
   return 0;
 }
 
 // a -= b in place; requires a >= b. Both little-endian, a.size() >= b size.
-void SubInPlace(std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
-  int64_t borrow = 0;
+void SubInPlace(std::vector<Limb>& a, const std::vector<Limb>& b) {
+  SignedDoubleLimb borrow = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    int64_t d = static_cast<int64_t>(a[i]) - borrow -
-                (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    SignedDoubleLimb d =
+        static_cast<SignedDoubleLimb>(a[i]) - borrow -
+        (i < b.size() ? static_cast<SignedDoubleLimb>(b[i]) : 0);
     if (d < 0) {
-      d += int64_t{1} << 32;
+      d += static_cast<SignedDoubleLimb>(DoubleLimb{1} << kLimbBits);
       borrow = 1;
     } else {
       borrow = 0;
     }
-    a[i] = static_cast<uint32_t>(d);
+    a[i] = static_cast<Limb>(d);
   }
   PPD_CHECK(borrow == 0);
 }
@@ -47,54 +48,55 @@ Result<MontgomeryCtx> MontgomeryCtx::Create(const BigInt& modulus) {
   ctx.modulus_ = modulus;
   ctx.n_ = modulus.limbs();
   ctx.k_ = ctx.n_.size();
-  // n0_inv = -n^{-1} mod 2^32 via Newton iteration (5 steps suffice for 32
-  // bits: precision doubles each step starting from 3 correct bits).
-  uint32_t n0 = ctx.n_[0];
-  uint32_t inv = 1;
-  for (int i = 0; i < 5; ++i) inv *= 2u - n0 * inv;
-  ctx.n0_inv_ = ~inv + 1u;  // negate mod 2^32
+  // n0_inv = -n^{-1} mod 2^kLimbBits via Newton iteration (6 steps suffice
+  // for 64 bits: precision doubles each step starting from 1 correct bit,
+  // 1 -> 2 -> 4 -> 8 -> 16 -> 32 -> 64).
+  Limb n0 = ctx.n_[0];
+  Limb inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= Limb{2} - n0 * inv;
+  ctx.n0_inv_ = ~inv + 1u;  // negate mod 2^kLimbBits
 
-  // R^2 mod n with R = 2^(32k).
-  BigInt r2 = (BigInt(1) << (64 * ctx.k_)).Mod(modulus);
+  // R^2 mod n with R = 2^(kLimbBits·k).
+  BigInt r2 = (BigInt(1) << (2 * kLimbBits * ctx.k_)).Mod(modulus);
   ctx.r2_ = r2.limbs();
-  BigInt r1 = (BigInt(1) << (32 * ctx.k_)).Mod(modulus);
+  BigInt r1 = (BigInt(1) << (kLimbBits * ctx.k_)).Mod(modulus);
   ctx.one_ = r1.limbs();
   return ctx;
 }
 
-std::vector<uint32_t> MontgomeryCtx::MulLimbs(
-    const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
+std::vector<Limb> MontgomeryCtx::MulLimbs(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) const {
   // CIOS: t has k+2 limbs.
-  std::vector<uint32_t> t(k_ + 2, 0);
+  std::vector<Limb> t(k_ + 2, 0);
   for (size_t i = 0; i < k_; ++i) {
-    uint64_t ai = i < a.size() ? a[i] : 0;
+    DoubleLimb ai = i < a.size() ? a[i] : 0;
     // t += ai * b
-    uint64_t carry = 0;
+    DoubleLimb carry = 0;
     for (size_t j = 0; j < k_; ++j) {
-      uint64_t bj = j < b.size() ? b[j] : 0;
-      uint64_t s = ai * bj + t[j] + carry;
-      t[j] = static_cast<uint32_t>(s);
-      carry = s >> 32;
+      DoubleLimb bj = j < b.size() ? b[j] : 0;
+      DoubleLimb s = ai * bj + t[j] + carry;
+      t[j] = static_cast<Limb>(s);
+      carry = s >> kLimbBits;
     }
-    uint64_t s = static_cast<uint64_t>(t[k_]) + carry;
-    t[k_] = static_cast<uint32_t>(s);
-    t[k_ + 1] = static_cast<uint32_t>(t[k_ + 1] + (s >> 32));
+    DoubleLimb s = static_cast<DoubleLimb>(t[k_]) + carry;
+    t[k_] = static_cast<Limb>(s);
+    t[k_ + 1] = static_cast<Limb>(t[k_ + 1] + (s >> kLimbBits));
 
-    // m = t[0] * n0_inv mod 2^32; t += m * n; t >>= 32
-    uint32_t m = t[0] * n0_inv_;
-    uint64_t mm = m;
-    carry = (mm * n_[0] + t[0]) >> 32;
+    // m = t[0] * n0_inv mod 2^kLimbBits; t += m * n; t >>= kLimbBits
+    Limb m = t[0] * n0_inv_;
+    DoubleLimb mm = m;
+    carry = (mm * n_[0] + t[0]) >> kLimbBits;
     for (size_t j = 1; j < k_; ++j) {
-      uint64_t s2 = mm * n_[j] + t[j] + carry;
-      t[j - 1] = static_cast<uint32_t>(s2);
-      carry = s2 >> 32;
+      DoubleLimb s2 = mm * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<Limb>(s2);
+      carry = s2 >> kLimbBits;
     }
-    uint64_t s2 = static_cast<uint64_t>(t[k_]) + carry;
-    t[k_ - 1] = static_cast<uint32_t>(s2);
-    t[k_] = static_cast<uint32_t>(t[k_ + 1] + (s2 >> 32));
+    DoubleLimb s2 = static_cast<DoubleLimb>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<Limb>(s2);
+    t[k_] = static_cast<Limb>(t[k_ + 1] + (s2 >> kLimbBits));
     t[k_ + 1] = 0;
   }
-  std::vector<uint32_t> result(t.begin(), t.begin() + static_cast<long>(k_) + 1);
+  std::vector<Limb> result(t.begin(), t.begin() + static_cast<long>(k_) + 1);
   while (!result.empty() && result.back() == 0) result.pop_back();
   if (CmpLimbs(result, n_) >= 0) {
     result.resize(std::max(result.size(), n_.size()), 0);
@@ -106,73 +108,72 @@ std::vector<uint32_t> MontgomeryCtx::MulLimbs(
 
 BigInt MontgomeryCtx::ToMont(const BigInt& x) const {
   PPD_CHECK_MSG(!x.IsNegative(), "ToMont requires non-negative input");
-  std::vector<uint32_t> out = MulLimbs(x.limbs(), r2_);
+  std::vector<Limb> out = MulLimbs(x.limbs(), r2_);
   return BigInt::FromLimbs(std::move(out), 1);
 }
 
 BigInt MontgomeryCtx::FromMont(const BigInt& x) const {
-  std::vector<uint32_t> one = {1u};
-  std::vector<uint32_t> out = MulLimbs(x.limbs(), one);
+  std::vector<Limb> one = {1u};
+  std::vector<Limb> out = MulLimbs(x.limbs(), one);
   return BigInt::FromLimbs(std::move(out), 1);
 }
 
-std::vector<uint32_t> MontgomeryCtx::SqrLimbs(
-    const std::vector<uint32_t>& a) const {
+std::vector<Limb> MontgomeryCtx::SqrLimbs(const std::vector<Limb>& a) const {
   // Clamp like MulLimbs: operands wider than the modulus contribute only
   // their low k_ limbs (t is sized for a k_-limb square).
   const size_t len = std::min(a.size(), k_);
   // t = a² (2k limbs + 1 doubling bit), then k REDC rounds shift it down by
   // k limbs; one spare limb absorbs the final carry.
-  std::vector<uint32_t> t(2 * k_ + 2, 0);
+  std::vector<Limb> t(2 * k_ + 2, 0);
 
   // Cross terms a_i·a_j for j > i, each computed once.
   for (size_t i = 0; i < len; ++i) {
-    uint64_t ai = a[i];
-    uint64_t carry = 0;
+    DoubleLimb ai = a[i];
+    DoubleLimb carry = 0;
     for (size_t j = i + 1; j < len; ++j) {
-      uint64_t s = static_cast<uint64_t>(t[i + j]) + ai * a[j] + carry;
-      t[i + j] = static_cast<uint32_t>(s);
-      carry = s >> 32;
+      DoubleLimb s = static_cast<DoubleLimb>(t[i + j]) + ai * a[j] + carry;
+      t[i + j] = static_cast<Limb>(s);
+      carry = s >> kLimbBits;
     }
     for (size_t idx = i + len; carry != 0; ++idx) {
       carry += t[idx];
-      t[idx] = static_cast<uint32_t>(carry);
-      carry >>= 32;
+      t[idx] = static_cast<Limb>(carry);
+      carry >>= kLimbBits;
     }
   }
 
   // Single pass: double the cross terms and fold in the a_i² diagonal.
-  // Per limb pair the sum 2·t + sq_limb + carry stays below 2^34, so a
-  // 64-bit accumulator absorbs it.
-  uint64_t carry = 0;
+  // Per limb pair the sum 2·t + sq_limb + carry stays below 2^(kLimbBits+2),
+  // so a DoubleLimb accumulator absorbs it.
+  DoubleLimb carry = 0;
   for (size_t i = 0; i < k_ + 1; ++i) {
-    uint64_t sq = i < len ? static_cast<uint64_t>(a[i]) * a[i] : 0;
-    uint64_t s0 = (static_cast<uint64_t>(t[2 * i]) << 1) +
-                  static_cast<uint32_t>(sq) + carry;
-    t[2 * i] = static_cast<uint32_t>(s0);
-    uint64_t s1 = (static_cast<uint64_t>(t[2 * i + 1]) << 1) + (sq >> 32) +
-                  (s0 >> 32);
-    t[2 * i + 1] = static_cast<uint32_t>(s1);
-    carry = s1 >> 32;
+    DoubleLimb sq = i < len ? static_cast<DoubleLimb>(a[i]) * a[i] : 0;
+    DoubleLimb s0 = (static_cast<DoubleLimb>(t[2 * i]) << 1) +
+                    static_cast<Limb>(sq) + carry;
+    t[2 * i] = static_cast<Limb>(s0);
+    DoubleLimb s1 = (static_cast<DoubleLimb>(t[2 * i + 1]) << 1) +
+                    (sq >> kLimbBits) + (s0 >> kLimbBits);
+    t[2 * i + 1] = static_cast<Limb>(s1);
+    carry = s1 >> kLimbBits;
   }
 
   // REDC: clear the low k limbs one at a time.
   for (size_t i = 0; i < k_; ++i) {
-    uint64_t m = static_cast<uint32_t>(t[i] * n0_inv_);
-    uint64_t carry = 0;
+    DoubleLimb m = static_cast<Limb>(t[i] * n0_inv_);
+    DoubleLimb carry = 0;
     for (size_t j = 0; j < k_; ++j) {
-      uint64_t s = m * n_[j] + t[i + j] + carry;
-      t[i + j] = static_cast<uint32_t>(s);
-      carry = s >> 32;
+      DoubleLimb s = m * n_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Limb>(s);
+      carry = s >> kLimbBits;
     }
     for (size_t idx = i + k_; carry != 0; ++idx) {
       carry += t[idx];
-      t[idx] = static_cast<uint32_t>(carry);
-      carry >>= 32;
+      t[idx] = static_cast<Limb>(carry);
+      carry >>= kLimbBits;
     }
   }
 
-  std::vector<uint32_t> result(t.begin() + static_cast<long>(k_), t.end());
+  std::vector<Limb> result(t.begin() + static_cast<long>(k_), t.end());
   while (!result.empty() && result.back() == 0) result.pop_back();
   if (CmpLimbs(result, n_) >= 0) {
     result.resize(std::max(result.size(), n_.size()), 0);
@@ -206,16 +207,16 @@ BigInt MontgomeryCtx::Exp(const BigInt& base, const BigInt& exponent) const {
   if (exponent.IsZero()) {
     return BigInt::FromLimbs(MulLimbs(one_, {1u}), 1);
   }
-  std::vector<uint32_t> b = MulLimbs(base.limbs(), r2_);  // to Montgomery
+  std::vector<Limb> b = MulLimbs(base.limbs(), r2_);  // to Montgomery
 
   const size_t bits = exponent.BitLength();
   const int w = WindowBitsForExponent(bits);
 
   // Odd-power table: table[i] = base^(2i+1) in Montgomery form.
-  std::vector<std::vector<uint32_t>> table(size_t{1} << (w - 1));
+  std::vector<std::vector<Limb>> table(size_t{1} << (w - 1));
   table[0] = b;
   if (table.size() > 1) {
-    std::vector<uint32_t> b2 = SqrLimbs(b);
+    std::vector<Limb> b2 = SqrLimbs(b);
     for (size_t i = 1; i < table.size(); ++i) {
       table[i] = MulLimbs(table[i - 1], b2);
     }
@@ -225,7 +226,7 @@ BigInt MontgomeryCtx::Exp(const BigInt& base, const BigInt& exponent) const {
   // each window of <= w bits (ending in a set bit) costs one table multiply.
   // The first window seeds the accumulator directly, skipping the leading
   // squarings of 1.
-  std::vector<uint32_t> result;
+  std::vector<Limb> result;
   bool started = false;
   ptrdiff_t i = static_cast<ptrdiff_t>(bits) - 1;
   while (i >= 0) {

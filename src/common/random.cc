@@ -90,6 +90,30 @@ SecureRng::SecureRng(uint64_t seed) {
   state_[15] = static_cast<uint32_t>(next());
 }
 
+SecureRng::SecureRng(const std::array<uint8_t, 32>& key) {
+  state_[0] = kSigma[0];
+  state_[1] = kSigma[1];
+  state_[2] = kSigma[2];
+  state_[3] = kSigma[3];
+  // RFC 8439 key layout: 8 little-endian key words.
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = static_cast<uint32_t>(key[4 * i]) |
+                    static_cast<uint32_t>(key[4 * i + 1]) << 8 |
+                    static_cast<uint32_t>(key[4 * i + 2]) << 16 |
+                    static_cast<uint32_t>(key[4 * i + 3]) << 24;
+  }
+  state_[12] = 0;  // block counter
+  state_[13] = 0;  // zero nonce: streams differ iff keys differ
+  state_[14] = 0;
+  state_[15] = 0;
+}
+
+SecureRng SecureRng::Fork() {
+  std::array<uint8_t, 32> key;
+  FillBytes(key.data(), key.size());
+  return SecureRng(key);
+}
+
 void SecureRng::Refill() {
   ChaCha20Block(state_, buffer_.data());
   buffer_pos_ = 0;

@@ -12,11 +12,14 @@ namespace ppdbscan {
 /// ChaCha20 stream cipher (RFC 8439 block function) running in counter mode
 /// over an all-zero message.
 ///
-/// Two construction modes:
+/// Three construction modes:
 ///  * `SecureRng()` seeds 32 key bytes from std::random_device (OS entropy);
 ///    use for protocol runs.
 ///  * `SecureRng(seed)` expands a 64-bit seed into the key; use for
 ///    reproducible tests and benchmarks.
+///  * `SecureRng(key)` installs a full 256-bit key; use to fork a child
+///    stream from a parent rng (draw 32 bytes and construct) without
+///    collapsing the parent's entropy to 64 bits.
 ///
 /// Not thread-safe; create one instance per thread/party.
 class SecureRng {
@@ -26,6 +29,14 @@ class SecureRng {
   /// Deterministically expands `seed` into the cipher key. Streams from
   /// equal seeds are identical across platforms.
   explicit SecureRng(uint64_t seed);
+  /// Installs `key` as the full 256-bit ChaCha20 key (zero nonce/counter).
+  /// Streams from equal keys are identical across platforms.
+  explicit SecureRng(const std::array<uint8_t, 32>& key);
+
+  /// Forks an independent child stream keyed by 32 bytes drawn from this
+  /// rng: deterministic when this rng is seeded, full-entropy when it is
+  /// OS-seeded.
+  SecureRng Fork();
 
   SecureRng(const SecureRng&) = delete;
   SecureRng& operator=(const SecureRng&) = delete;

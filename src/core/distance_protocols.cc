@@ -105,16 +105,19 @@ Result<size_t> HdpBatchDriver(Channel& channel, const SmcSession& session,
   for (const BigInt& c : blinded) WriteBigInt(out, c);
   PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHdpResponse, out));
 
-  // S_A = Σ x_j², then one comparison per responder point.
+  // S_A = Σ x_j², then one comparison per responder point, batched so
+  // backends with non-interactive rounds run their cryptography through
+  // the Paillier batch APIs.
   BigInt s_a;
   for (int64_t c : x) s_a += BigInt(c) * BigInt(c);
   const BigInt threshold(eps_squared);
+  std::vector<BigInt> xqs(count, s_a);
+  PPD_ASSIGN_OR_RETURN(std::vector<bool> cmp,
+                       comparator.QuerierCompareBatch(channel, xqs, threshold));
   size_t in_range = 0;
   if (bits != nullptr) bits->assign(count, false);
   for (uint32_t k = 0; k < count; ++k) {
-    PPD_ASSIGN_OR_RETURN(bool bit,
-                         comparator.QuerierCompare(channel, s_a, threshold));
-    if (bit) {
+    if (cmp[k]) {
       ++in_range;
       if (bits != nullptr) (*bits)[k] = true;
     }
@@ -144,7 +147,9 @@ Status HdpBatchResponder(Channel& channel, const SmcSession& session,
   }
 
   // Encrypt the whole |order| × dims coordinate matrix as one batch so the
-  // per-coordinate exponentiations fan across the thread pool.
+  // per-coordinate exponentiations fan across the thread pool. With a
+  // session randomizer pool the r^n factors were precomputed during
+  // network waits and the batch runs at online (multiplication-only) cost.
   const size_t dims = own.dims();
   std::vector<BigInt> plain;
   plain.reserve(order.size() * dims);
@@ -152,8 +157,12 @@ Status HdpBatchResponder(Channel& channel, const SmcSession& session,
     const std::vector<int64_t>& y = own.point(idx);
     for (size_t j = 0; j < dims; ++j) plain.push_back(BigInt(y[j]));
   }
-  PPD_ASSIGN_OR_RETURN(std::vector<BigInt> cipher_matrix,
-                       ctx.EncryptSignedBatch(plain, rng));
+  std::vector<BigInt> cipher_matrix;
+  if (PaillierRandomizerPool* rpool = session.own_randomizer_pool()) {
+    PPD_ASSIGN_OR_RETURN(cipher_matrix, rpool->EncryptSignedBatch(plain));
+  } else {
+    PPD_ASSIGN_OR_RETURN(cipher_matrix, ctx.EncryptSignedBatch(plain, rng));
+  }
   ByteWriter ciphers;
   ciphers.PutU32(static_cast<uint32_t>(order.size()));
   ciphers.PutU32(static_cast<uint32_t>(dims));
@@ -191,10 +200,7 @@ Status HdpBatchResponder(Channel& channel, const SmcSession& session,
     s_b[k] = ctx.DecodeSigned((sum_y2 - BigInt(2) * sum_u).Mod(n));
   }
 
-  for (size_t k = 0; k < order.size(); ++k) {
-    PPD_RETURN_IF_ERROR(comparator.PeerAssist(channel, s_b[k]));
-  }
-  return Status::Ok();
+  return comparator.PeerAssistBatch(channel, s_b);
 }
 
 namespace {
@@ -248,21 +254,34 @@ Result<bool> ArbitraryPairDriver(Channel& channel, const SmcSession& session,
                        Status::DataLoss("cross attribute count mismatch"),
                        "arbitrary cross count mismatch");
     }
-    std::vector<BigInt> masks = ZeroSumMasks(rng, split.cross.size(), n);
-    ByteWriter out;
+    // Same shape as HDP: collect the cross-attribute ciphers first, then
+    // run the three expensive passes (MulPlain, Encrypt, Add) as batches
+    // fanned across the thread pool. Message layout is unchanged; only the
+    // rng draw order differs from the per-attribute loop (all masks first,
+    // then all mask randomizers).
+    std::vector<BigInt> ciphers;
+    std::vector<BigInt> scalars;
+    ciphers.reserve(split.cross.size());
+    scalars.reserve(split.cross.size());
     for (size_t c = 0; c < split.cross.size(); ++c) {
       PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
       if (!peer.IsValidCiphertext(cipher)) {
         return AbortPeer(channel, Status::DataLoss("cross cipher invalid"),
                          "arbitrary cross cipher invalid");
       }
+      ciphers.push_back(std::move(cipher));
       size_t t = split.cross[c];
       int64_t a = own.owned[xi][t] != 0 ? own.values[xi][t]
                                         : own.values[yi][t];
-      BigInt product = peer.MulPlain(cipher, BigInt(a));
-      PPD_ASSIGN_OR_RETURN(BigInt mask_cipher, peer.Encrypt(masks[c], rng));
-      WriteBigInt(out, peer.Add(product, mask_cipher));
+      scalars.push_back(BigInt(a));
     }
+    std::vector<BigInt> masks = ZeroSumMasks(rng, split.cross.size(), n);
+    std::vector<BigInt> products = peer.MulPlainBatch(ciphers, scalars);
+    PPD_ASSIGN_OR_RETURN(std::vector<BigInt> mask_ciphers,
+                         peer.EncryptBatch(masks, rng));
+    std::vector<BigInt> blinded = peer.AddBatch(products, mask_ciphers);
+    ByteWriter out;
+    for (const BigInt& c : blinded) WriteBigInt(out, c);
     PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kArbPairResponse, out));
   }
 
@@ -280,20 +299,32 @@ Status ArbitraryPairResponder(Channel& channel, const SmcSession& session,
 
   BigInt cross_part;
   if (!split.cross.empty()) {
-    ByteWriter ciphers;
-    ciphers.PutU32(static_cast<uint32_t>(split.cross.size()));
+    // Batch the cross-attribute encryptions (pooled factors when the
+    // session carries a randomizer pool) and the response decryptions;
+    // the per-message wire layout is unchanged.
+    std::vector<BigInt> plain;
+    plain.reserve(split.cross.size());
     for (size_t t : split.cross) {
       int64_t b = own.owned[xi][t] != 0 ? own.values[xi][t]
                                         : own.values[yi][t];
-      PPD_ASSIGN_OR_RETURN(BigInt cipher, ctx.EncryptSigned(BigInt(b), rng));
-      WriteBigInt(ciphers, cipher);
+      plain.push_back(BigInt(b));
     }
+    std::vector<BigInt> cipher_vec;
+    if (PaillierRandomizerPool* rpool = session.own_randomizer_pool()) {
+      PPD_ASSIGN_OR_RETURN(cipher_vec, rpool->EncryptSignedBatch(plain));
+    } else {
+      PPD_ASSIGN_OR_RETURN(cipher_vec, ctx.EncryptSignedBatch(plain, rng));
+    }
+    ByteWriter ciphers;
+    ciphers.PutU32(static_cast<uint32_t>(split.cross.size()));
+    for (const BigInt& c : cipher_vec) WriteBigInt(ciphers, c);
     PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kArbPairCiphers, ciphers));
 
     PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                          ExpectMessage(channel, wire::kArbPairResponse));
     ByteReader reader(payload);
-    BigInt sum_u;
+    std::vector<BigInt> response;
+    response.reserve(split.cross.size());
     for (size_t c = 0; c < split.cross.size(); ++c) {
       PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
       if (!ctx.IsValidCiphertext(cipher)) {
@@ -301,13 +332,16 @@ Status ArbitraryPairResponder(Channel& channel, const SmcSession& session,
                          Status::DataLoss("cross response cipher invalid"),
                          "arbitrary cross response invalid");
       }
-      PPD_ASSIGN_OR_RETURN(BigInt u, session.own_paillier().Decrypt(cipher));
-      sum_u += u;
+      response.push_back(std::move(cipher));
     }
     if (!reader.Done()) {
       return AbortPeer(channel, Status::DataLoss("trailing pair bytes"),
                        "arbitrary pair trailing bytes");
     }
+    PPD_ASSIGN_OR_RETURN(std::vector<BigInt> us,
+                         session.own_paillier().DecryptBatch(response));
+    BigInt sum_u;
+    for (const BigInt& u : us) sum_u += u;
     cross_part = ctx.DecodeSigned(
         (BigInt(split.cross_squares) - BigInt(2) * sum_u).Mod(n));
   }

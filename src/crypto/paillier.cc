@@ -183,6 +183,24 @@ Result<std::vector<BigInt>> PaillierContext::EncryptSignedBatch(
   return EncryptBatch(ms, rng, pool);
 }
 
+Result<std::vector<BigInt>> PaillierContext::EncryptBatchWithFactors(
+    const std::vector<BigInt>& ms, const std::vector<BigInt>& factors,
+    ThreadPool* pool) const {
+  PPD_CHECK_MSG(ms.size() == factors.size(),
+                "EncryptBatchWithFactors size mismatch");
+  for (const BigInt& m : ms) {
+    if (m.IsNegative() || m >= pub_.n) {
+      return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+    }
+  }
+  std::vector<BigInt> out(ms.size());
+  ParallelFor(
+      ms.size(),
+      [&](size_t i) { out[i] = *EncryptWithFactor(ms[i], factors[i]); },
+      pool);
+  return out;
+}
+
 std::vector<BigInt> PaillierContext::MulPlainBatch(
     const std::vector<BigInt>& cs, const std::vector<BigInt>& ks,
     ThreadPool* pool) const {
@@ -334,50 +352,109 @@ PaillierRandomizerPool::~PaillierRandomizerPool() {
 
 void PaillierRandomizerPool::ProducerLoop() {
   while (true) {
+    BigInt r;
+    uint64_t seq;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      refill_cv_.wait(lock,
-                      [this] { return stop_ || factors_.size() < target_; });
+      // Pause while a consumer is mid-Take: starting a new draw then would
+      // put the consumer's next sequence number perpetually in flight and
+      // serialize its batch behind this one thread.
+      refill_cv_.wait(lock, [this] {
+        return stop_ ||
+               (ready_.size() < target_ && pending_consumers_ == 0);
+      });
       if (stop_) return;
+      // Draw (with the Z*_n rejection loop) and claim the sequence slot
+      // atomically: the rng stream position always equals the draw
+      // sequence, which is what makes pooled encryption deterministic
+      // under a seeded rng.
+      r = ctx_.SampleRandomizer(rng_);
+      seq = next_draw_seq_++;
+      ++produced_;
     }
-    // Only the rng draw needs mu_; the Z*_n membership check and the
-    // exponentiation run unlocked so online consumers never stall on a
-    // background refill. (This re-implements SampleRandomizer's rejection
-    // loop with the Gcd outside the lock.)
-    BigInt r;
-    while (true) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stop_) return;
-        r = BigInt::RandomBelow(rng_, ctx_.pub().n - BigInt(1)) + BigInt(1);
-      }
-      if (BigInt::Gcd(r, ctx_.pub().n) == BigInt(1)) break;
-    }
+    // Only the exponentiation runs unlocked, so online consumers never
+    // stall on a background refill.
     BigInt factor = ctx_.RandomizerFactor(r);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      factors_.push_back(std::move(factor));
-      ++produced_;
+      ready_.emplace(seq, std::move(factor));
     }
     filled_cv_.notify_all();
   }
 }
 
-BigInt PaillierRandomizerPool::TakeFactor() {
-  BigInt r;
+void PaillierRandomizerPool::TakeFactorsInto(size_t count,
+                                             std::vector<BigInt>& out,
+                                             ThreadPool* pool) {
+  std::vector<BigInt> rs;  // randomizers still needing the r^n exponentiation
+  size_t inline_base = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (!factors_.empty()) {
-      BigInt factor = std::move(factors_.front());
-      factors_.pop_front();
-      refill_cv_.notify_one();
-      return factor;
+    ++pending_consumers_;
+    size_t taken = 0;
+    while (taken < count) {
+      auto it = ready_.find(next_consume_seq_);
+      if (it != ready_.end()) {
+        out.push_back(std::move(it->second));
+        ready_.erase(it);
+        ++next_consume_seq_;
+        ++taken;
+        continue;
+      }
+      if (next_consume_seq_ < next_draw_seq_) {
+        // The producer (or another consumer) has this sequence number in
+        // flight; wait for it to land rather than skipping ahead (one
+        // factor's worth of latency, the same cost the inline path would
+        // pay). The predicate also wakes when another consumer advances
+        // next_consume_seq_ up to next_draw_seq_ — then this thread falls
+        // through to the inline path instead of sleeping on a sequence
+        // number nobody is producing.
+        filled_cv_.wait(lock, [this] {
+          return ready_.count(next_consume_seq_) != 0 ||
+                 next_consume_seq_ >= next_draw_seq_;
+        });
+        continue;
+      }
+      // Ahead of the producer: draw the remaining randomizers now (under
+      // the lock, claiming their sequence slots) and exponentiate outside.
+      inline_base = out.size();
+      rs.reserve(count - taken);
+      while (taken < count) {
+        rs.push_back(ctx_.SampleRandomizer(rng_));
+        ++next_draw_seq_;
+        ++next_consume_seq_;
+        ++produced_;
+        ++taken;
+      }
     }
-    // Empty buffer: draw under the lock, compute inline without it.
-    r = ctx_.SampleRandomizer(rng_);
-    ++produced_;
+    --pending_consumers_;
   }
-  return ctx_.RandomizerFactor(r);
+  refill_cv_.notify_one();
+  // Wake any consumer parked on a sequence number this call consumed or
+  // claimed inline — its wait predicate reads the advanced counters.
+  filled_cv_.notify_all();
+  if (!rs.empty()) {
+    out.resize(inline_base + rs.size());
+    ParallelFor(
+        rs.size(),
+        [&](size_t i) { out[inline_base + i] = ctx_.RandomizerFactor(rs[i]); },
+        pool);
+  }
+}
+
+BigInt PaillierRandomizerPool::TakeFactor() {
+  std::vector<BigInt> out;
+  out.reserve(1);
+  TakeFactorsInto(1, out, nullptr);
+  return std::move(out[0]);
+}
+
+std::vector<BigInt> PaillierRandomizerPool::TakeFactors(size_t count,
+                                                        ThreadPool* pool) {
+  std::vector<BigInt> factors;
+  factors.reserve(count);
+  TakeFactorsInto(count, factors, pool);
+  return factors;
 }
 
 Result<BigInt> PaillierRandomizerPool::Encrypt(const BigInt& m) {
@@ -392,15 +469,37 @@ Result<BigInt> PaillierRandomizerPool::EncryptSigned(const BigInt& v) {
   return Encrypt(m);
 }
 
+Result<std::vector<BigInt>> PaillierRandomizerPool::EncryptBatch(
+    const std::vector<BigInt>& ms, ThreadPool* pool) {
+  // Pre-validate before TakeFactors so invalid input cannot burn
+  // single-use factors (EncryptBatchWithFactors re-checks for its other,
+  // non-pooled callers; the duplicate scan is cheap next to the crypto).
+  for (const BigInt& m : ms) {
+    if (m.IsNegative() || m >= ctx_.pub().n) {
+      return Status::OutOfRange("Paillier plaintext must lie in [0, n)");
+    }
+  }
+  return ctx_.EncryptBatchWithFactors(ms, TakeFactors(ms.size(), pool), pool);
+}
+
+Result<std::vector<BigInt>> PaillierRandomizerPool::EncryptSignedBatch(
+    const std::vector<BigInt>& vs, ThreadPool* pool) {
+  std::vector<BigInt> ms(vs.size());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    PPD_ASSIGN_OR_RETURN(ms[i], ctx_.EncodeSigned(vs[i]));
+  }
+  return EncryptBatch(ms, pool);
+}
+
 void PaillierRandomizerPool::Prefill(size_t count) {
   if (count > target_) count = target_;
   std::unique_lock<std::mutex> lock(mu_);
-  filled_cv_.wait(lock, [&] { return factors_.size() >= count; });
+  filled_cv_.wait(lock, [&] { return ready_.size() >= count; });
 }
 
 size_t PaillierRandomizerPool::available() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return factors_.size();
+  return ready_.size();
 }
 
 uint64_t PaillierRandomizerPool::produced() const {

@@ -2,7 +2,7 @@
 #define PPDBSCAN_CRYPTO_PAILLIER_H_
 
 #include <condition_variable>
-#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -105,6 +105,14 @@ class PaillierContext {
   Result<std::vector<BigInt>> EncryptSignedBatch(
       const std::vector<BigInt>& vs, SecureRng& rng,
       ThreadPool* pool = nullptr) const;
+  /// Element-wise EncryptWithFactor: out[i] = g^{ms[i]} · factors[i] mod n².
+  /// Each factor must be RandomizerFactor(r) for a fresh, never-reused r
+  /// (PaillierRandomizerPool::TakeFactors provides exactly that). With the
+  /// default g = n+1 this is the all-multiplication online phase — no
+  /// exponentiation at all.
+  Result<std::vector<BigInt>> EncryptBatchWithFactors(
+      const std::vector<BigInt>& ms, const std::vector<BigInt>& factors,
+      ThreadPool* pool = nullptr) const;
   /// Element-wise MulPlain: out[i] = MulPlain(cs[i], ks[i]).
   std::vector<BigInt> MulPlainBatch(const std::vector<BigInt>& cs,
                                     const std::vector<BigInt>& ks,
@@ -181,6 +189,14 @@ class PaillierDecryptor {
 /// calling thread computes a fresh factor inline (correct, just not
 /// accelerated).
 ///
+/// Consumption is deterministic: randomizers are drawn from the pool rng
+/// under the lock with a strictly increasing sequence number, and Take*
+/// always consumes factors in draw order (waiting out a factor the
+/// producer has in flight rather than skipping past it). For a seeded rng
+/// the k-th pooled encryption therefore uses the k-th sampled randomizer
+/// no matter how producer and consumers interleave — fixed-seed protocol
+/// runs produce byte-identical transcripts.
+///
 /// Thread-safe. The pool owns a copy of the context and its own rng; pass
 /// a seeded rng for reproducible tests.
 class PaillierRandomizerPool {
@@ -198,10 +214,25 @@ class PaillierRandomizerPool {
   /// buffer). Never returns the same factor twice.
   BigInt TakeFactor();
 
+  /// Pops `count` factors: buffered ones first, then inline-computed
+  /// fills (fanned across `pool`, global pool when null) for the rest.
+  /// Every returned factor is single-use, as with TakeFactor.
+  std::vector<BigInt> TakeFactors(size_t count, ThreadPool* pool = nullptr);
+
   /// One-multiplication online encryption using a pooled factor.
   Result<BigInt> Encrypt(const BigInt& m);
   /// Signed-encoding variant.
   Result<BigInt> EncryptSigned(const BigInt& v);
+
+  /// Element-wise Encrypt drawing all randomizer factors from the pool:
+  /// the batch analogue of Encrypt(m). This is the session-layer fast
+  /// path — factors precomputed during network waits make the whole batch
+  /// run at online (multiplication-only) cost.
+  Result<std::vector<BigInt>> EncryptBatch(const std::vector<BigInt>& ms,
+                                           ThreadPool* pool = nullptr);
+  /// Element-wise EncryptSigned via pooled factors.
+  Result<std::vector<BigInt>> EncryptSignedBatch(const std::vector<BigInt>& vs,
+                                                 ThreadPool* pool = nullptr);
 
   /// Blocks until min(count, target) factors are buffered. Benchmarks use
   /// this to measure the online phase in isolation.
@@ -214,14 +245,22 @@ class PaillierRandomizerPool {
 
  private:
   void ProducerLoop();
+  // Appends `count` factors to `out`, consuming sequence numbers in order.
+  // Factors the producer has in flight are waited for; the rest are drawn
+  // inline and computed outside the lock (fanned across `pool`).
+  void TakeFactorsInto(size_t count, std::vector<BigInt>& out,
+                       ThreadPool* pool);
 
   PaillierContext ctx_;
   const size_t target_;
   mutable std::mutex mu_;
   std::condition_variable refill_cv_;   // producer waits: buffer full
-  std::condition_variable filled_cv_;   // Prefill waits: buffer level
+  std::condition_variable filled_cv_;   // consumers wait: factor landed
   SecureRng rng_;                       // guarded by mu_
-  std::deque<BigInt> factors_;          // guarded by mu_
+  std::map<uint64_t, BigInt> ready_;    // seq -> factor, guarded by mu_
+  uint64_t next_draw_seq_ = 0;          // guarded by mu_
+  uint64_t next_consume_seq_ = 0;       // guarded by mu_
+  size_t pending_consumers_ = 0;        // guarded by mu_; pauses new draws
   uint64_t produced_ = 0;               // guarded by mu_
   bool stop_ = false;                   // guarded by mu_
   std::thread producer_;

@@ -158,6 +158,98 @@ class BlindedPaillierComparator : public SecureComparator {
     return SendMessage(channel, kBlindAnswer, out);
   }
 
+  // Batched rounds: one non-interactive query/answer exchange per element,
+  // with the cryptography running through the Paillier batch APIs (and the
+  // session randomizer pool on the querier side when present). Message
+  // framing per comparison is identical to the serial path; only message
+  // *order* changes (all queries, then all answers).
+  Result<std::vector<bool>> QuerierCompareBatchImpl(
+      Channel& channel, const std::vector<BigInt>& xqs,
+      const BigInt& threshold) override {
+    if (xqs.empty()) return std::vector<bool>();
+    const PaillierContext& ctx = session_.own_paillier_ctx();
+    std::vector<BigInt> ms(xqs.size());
+    for (size_t i = 0; i < xqs.size(); ++i) {
+      // The HDP shape repeats one S_A across the whole batch; reuse the
+      // reduced plaintext instead of redoing the wide subtraction mod n.
+      if (i > 0 && xqs[i] == xqs[i - 1]) {
+        ms[i] = ms[i - 1];
+        continue;
+      }
+      ms[i] = (xqs[i] - threshold - BigInt(1)).Mod(ctx.pub().n);
+    }
+    std::vector<BigInt> ciphers;
+    if (PaillierRandomizerPool* rpool = session_.own_randomizer_pool()) {
+      PPD_ASSIGN_OR_RETURN(ciphers, rpool->EncryptBatch(ms));
+    } else {
+      PPD_ASSIGN_OR_RETURN(ciphers, ctx.EncryptBatch(ms, rng_));
+    }
+    for (const BigInt& cipher : ciphers) {
+      ByteWriter out;
+      WriteBigInt(out, cipher);
+      PPD_RETURN_IF_ERROR(SendMessage(channel, kBlindQuery, out));
+    }
+    std::vector<BigInt> answers;
+    answers.reserve(xqs.size());
+    for (size_t i = 0; i < xqs.size(); ++i) {
+      PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           ExpectMessage(channel, kBlindAnswer));
+      ByteReader reader(payload);
+      PPD_ASSIGN_OR_RETURN(BigInt answer, ReadBigInt(reader));
+      if (!ctx.IsValidCiphertext(answer)) {
+        return Status::DataLoss("blinded answer out of range");
+      }
+      answers.push_back(std::move(answer));
+    }
+    PPD_ASSIGN_OR_RETURN(std::vector<BigInt> ws,
+                         session_.own_paillier().DecryptSignedBatch(answers));
+    std::vector<bool> bits(ws.size());
+    for (size_t i = 0; i < ws.size(); ++i) bits[i] = ws[i].IsNegative();
+    return bits;
+  }
+
+  Status PeerAssistBatchImpl(Channel& channel,
+                             const std::vector<BigInt>& xps) override {
+    if (xps.empty()) return Status::Ok();
+    const PaillierContext& peer = session_.peer_paillier();
+    std::vector<BigInt> queries;
+    queries.reserve(xps.size());
+    for (size_t i = 0; i < xps.size(); ++i) {
+      PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           ExpectMessage(channel, kBlindQuery));
+      ByteReader reader(payload);
+      PPD_ASSIGN_OR_RETURN(BigInt cipher, ReadBigInt(reader));
+      if (!peer.IsValidCiphertext(cipher)) {
+        return Status::DataLoss("blinded query out of range");
+      }
+      queries.push_back(std::move(cipher));
+    }
+    // Blinding values are drawn serially per element before the batch
+    // passes, matching the serial path's per-element semantics.
+    std::vector<BigInt> xp_ms(xps.size());
+    std::vector<BigInt> rhos(xps.size());
+    std::vector<BigInt> sigmas(xps.size());
+    for (size_t i = 0; i < xps.size(); ++i) {
+      xp_ms[i] = xps[i].Mod(peer.pub().n);
+      rhos[i] = BigInt::RandomBits(rng_, blinding_bits_ - 1) +
+                (BigInt(1) << (blinding_bits_ - 1));
+      sigmas[i] = BigInt::RandomBelow(rng_, rhos[i]);
+    }
+    PPD_ASSIGN_OR_RETURN(std::vector<BigInt> xp_ciphers,
+                         peer.EncryptBatch(xp_ms, rng_));
+    std::vector<BigInt> deltas = peer.AddBatch(queries, xp_ciphers);
+    std::vector<BigInt> blinded = peer.MulPlainBatch(deltas, rhos);
+    PPD_ASSIGN_OR_RETURN(std::vector<BigInt> sigma_ciphers,
+                         peer.EncryptBatch(sigmas, rng_));
+    blinded = peer.AddBatch(blinded, sigma_ciphers);
+    for (const BigInt& answer : blinded) {
+      ByteWriter out;
+      WriteBigInt(out, answer);
+      PPD_RETURN_IF_ERROR(SendMessage(channel, kBlindAnswer, out));
+    }
+    return Status::Ok();
+  }
+
  private:
   const SmcSession& session_;
   SecureRng& rng_;

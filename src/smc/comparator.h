@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bigint/bigint.h"
 #include "common/random.h"
@@ -48,6 +49,25 @@ class SecureComparator {
     return PeerAssistImpl(channel, x_p);
   }
 
+  /// Batched querier role: element-wise QuerierCompare of xqs[i] against a
+  /// shared threshold. The per-comparison wire format and leakage are those
+  /// of the backend; backends with non-interactive rounds (blinded
+  /// Paillier) override to run the cryptography through the Paillier batch
+  /// APIs. Both parties must use the batched entry points together, with
+  /// equal counts.
+  Result<std::vector<bool>> QuerierCompareBatch(Channel& channel,
+                                                const std::vector<BigInt>& xqs,
+                                                const BigInt& threshold) {
+    invocations_ += xqs.size();
+    return QuerierCompareBatchImpl(channel, xqs, threshold);
+  }
+
+  /// Batched peer role, pairing with QuerierCompareBatch.
+  Status PeerAssistBatch(Channel& channel, const std::vector<BigInt>& xps) {
+    invocations_ += xps.size();
+    return PeerAssistBatchImpl(channel, xps);
+  }
+
   virtual std::string name() const = 0;
 
   /// Number of comparisons this instance has participated in (either
@@ -59,6 +79,28 @@ class SecureComparator {
   virtual Result<bool> QuerierCompareImpl(Channel& channel, const BigInt& x_q,
                                           const BigInt& threshold) = 0;
   virtual Status PeerAssistImpl(Channel& channel, const BigInt& x_p) = 0;
+
+  // Default batched rounds: the serial loop. Interactive backends (YMPP)
+  // inherit these; both sides then interleave exactly as the unbatched
+  // calls would.
+  virtual Result<std::vector<bool>> QuerierCompareBatchImpl(
+      Channel& channel, const std::vector<BigInt>& xqs,
+      const BigInt& threshold) {
+    std::vector<bool> bits(xqs.size());
+    for (size_t i = 0; i < xqs.size(); ++i) {
+      PPD_ASSIGN_OR_RETURN(bool bit,
+                           QuerierCompareImpl(channel, xqs[i], threshold));
+      bits[i] = bit;
+    }
+    return bits;
+  }
+  virtual Status PeerAssistBatchImpl(Channel& channel,
+                                     const std::vector<BigInt>& xps) {
+    for (const BigInt& x_p : xps) {
+      PPD_RETURN_IF_ERROR(PeerAssistImpl(channel, x_p));
+    }
+    return Status::Ok();
+  }
 
  private:
   uint64_t invocations_ = 0;

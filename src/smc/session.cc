@@ -53,6 +53,16 @@ Result<SmcSession> SmcSession::Establish(Channel& channel, SecureRng& rng,
   PPD_ASSIGN_OR_RETURN(RsaPublicOps peer_rsa,
                        RsaPublicOps::Create(std::move(peer_rsa_pub)));
   session.peer_rsa_ = std::make_shared<const RsaPublicOps>(std::move(peer_rsa));
+  if (options.randomizer_pool_target > 0) {
+    // The pool owns a copy of the own-key context and a forked rng: a full
+    // 256-bit child key drawn from the caller's stream, so OS-seeded
+    // sessions keep their full entropy while fixed-seed runs stay
+    // byte-identical on the wire (together with the pool's in-order factor
+    // consumption, the k-th pooled encryption always uses the k-th factor).
+    session.own_pool_ = std::make_shared<PaillierRandomizerPool>(
+        session.own_paillier_->context(), rng.Fork(),
+        options.randomizer_pool_target);
+  }
   return session;
 }
 

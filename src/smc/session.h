@@ -20,6 +20,12 @@ struct SmcOptions {
   size_t rsa_bits = 512;
   /// Exercise the general-generator path of §3.7 instead of g = n + 1.
   bool paillier_random_g = false;
+  /// Target depth of the per-session randomizer pool: a background thread
+  /// keeps this many r^n mod n² encryption factors precomputed under this
+  /// party's own key, so responder-side batch encryptions run at online
+  /// (multiplication-only) cost — the factors are built during network
+  /// waits. 0 disables the pool (cold randomness on every encryption).
+  size_t randomizer_pool_target = 32;
 };
 
 /// Per-party cryptographic state for one two-party protocol session: this
@@ -53,6 +59,14 @@ class SmcSession {
   /// key owner).
   const RsaPublicOps& peer_rsa() const { return *peer_rsa_; }
 
+  /// Background randomizer pool for this party's own Paillier key, or null
+  /// when SmcOptions::randomizer_pool_target is 0. Protocol responders use
+  /// it to encrypt with factors precomputed during network waits instead of
+  /// cold randomness. Thread-safe; drawing a factor consumes it forever.
+  PaillierRandomizerPool* own_randomizer_pool() const {
+    return own_pool_.get();
+  }
+
  private:
   SmcSession() = default;
 
@@ -61,6 +75,7 @@ class SmcSession {
   std::shared_ptr<const PaillierContext> peer_paillier_;
   std::shared_ptr<const RsaPrivateOps> own_rsa_;
   std::shared_ptr<const RsaPublicOps> peer_rsa_;
+  std::shared_ptr<PaillierRandomizerPool> own_pool_;
 };
 
 }  // namespace ppdbscan

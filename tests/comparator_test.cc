@@ -99,6 +99,58 @@ TEST_P(ComparatorTest, InvocationCounter) {
   EXPECT_EQ(pieces.alice->invocations(), 0u);
 }
 
+TEST_P(ComparatorTest, BatchMatchesTruthTable) {
+  ComparatorOptions options;
+  options.kind = GetParam();
+  options.magnitude_bound = BigInt(64);
+  options.blinding_bits = 20;
+  Pieces pieces = Make(options);
+  // Shared threshold, per-element querier/peer values — the HDP shape
+  // (same S_A against many responder points).
+  const BigInt threshold(7);
+  std::vector<int64_t> xq = {0, 0, 0, -20, 20, 3, 3, 3};
+  std::vector<int64_t> xp = {-20, 7, 8, 20, -20, 4, 5, 0};
+  std::vector<BigInt> xqs, xps;
+  for (size_t i = 0; i < xq.size(); ++i) {
+    xqs.push_back(BigInt(xq[i]));
+    xps.push_back(BigInt(xp[i]));
+  }
+  // Each element in a batch uses xqs[i] on the querier side; every element
+  // here keeps x_q identical per call pair on both sides of the protocol.
+  auto [bits, assist] = RunTwoParty<Result<std::vector<bool>>, Status>(
+      *pair_,
+      [&](Channel& ch, const SmcSession&, SecureRng&) {
+        return pieces.alice->QuerierCompareBatch(ch, xqs, threshold);
+      },
+      [&](Channel& ch, const SmcSession&, SecureRng&) {
+        return pieces.bob->PeerAssistBatch(ch, xps);
+      });
+  ASSERT_TRUE(bits.ok()) << bits.status();
+  ASSERT_TRUE(assist.ok()) << assist;
+  ASSERT_EQ(bits->size(), xq.size());
+  for (size_t i = 0; i < xq.size(); ++i) {
+    EXPECT_EQ((*bits)[i], xq[i] + xp[i] <= 7)
+        << "i=" << i << " x_q=" << xq[i] << " x_p=" << xp[i];
+  }
+  // Batch counts every element as one invocation, matching the serial path.
+  EXPECT_EQ(pieces.alice->invocations(), xq.size());
+  EXPECT_EQ(pieces.bob->invocations(), xp.size());
+
+  // Empty batches are no-ops that touch neither channel nor counters.
+  auto [empty_bits, empty_assist] =
+      RunTwoParty<Result<std::vector<bool>>, Status>(
+          *pair_,
+          [&](Channel& ch, const SmcSession&, SecureRng&) {
+            return pieces.alice->QuerierCompareBatch(ch, {}, threshold);
+          },
+          [&](Channel& ch, const SmcSession&, SecureRng&) {
+            return pieces.bob->PeerAssistBatch(ch, {});
+          });
+  ASSERT_TRUE(empty_bits.ok() && empty_assist.ok());
+  EXPECT_TRUE(empty_bits->empty());
+  EXPECT_EQ(pieces.alice->invocations(), xq.size());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, ComparatorTest,
     ::testing::Values(ComparatorKind::kYmpp, ComparatorKind::kBlindedPaillier,

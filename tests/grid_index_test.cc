@@ -47,8 +47,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(int64_t{1}, int64_t{16}, int64_t{100},
                                          int64_t{900})),
     [](const auto& info) {
-      return "d" + std::to_string(std::get<0>(info.param)) + "_eps" +
-             std::to_string(std::get<1>(info.param));
+      // Built via append rather than operator+ chains: gcc 12's -Wrestrict
+      // false-positives on the inlined temporary-string concatenation.
+      std::string name = "d";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_eps";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 TEST(GridIndexTest, SelfAlwaysIncluded) {

@@ -299,6 +299,80 @@ TEST_F(PaillierTest, RandomizerPoolPrefillBuffersFactors) {
   }
 }
 
+TEST_F(PaillierTest, RandomizerPoolTakeFactorsBatchDecrypts) {
+  PaillierRandomizerPool pool(dec_->context(), SecureRng(50), /*target=*/4);
+  // More factors than the target so the inline-fill path runs too.
+  std::vector<BigInt> ms;
+  for (int64_t m = 0; m < 10; ++m) ms.push_back(BigInt(m * m + 1));
+  Result<std::vector<BigInt>> cs = pool.EncryptBatch(ms);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_EQ(cs->size(), ms.size());
+  std::set<std::string> distinct;
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(*dec_->Decrypt((*cs)[i]), ms[i]);
+    distinct.insert((*cs)[i].ToHex());
+  }
+  EXPECT_EQ(distinct.size(), ms.size());  // single-use factors
+  EXPECT_GE(pool.produced(), ms.size());
+}
+
+TEST_F(PaillierTest, RandomizerPoolSignedBatchRoundTrip) {
+  PaillierRandomizerPool pool(dec_->context(), SecureRng(51), /*target=*/4);
+  std::vector<BigInt> vs = {BigInt(-7), BigInt(0), BigInt(99),
+                            BigInt(-123456), BigInt(1) << 40};
+  Result<std::vector<BigInt>> cs = pool.EncryptSignedBatch(vs);
+  ASSERT_TRUE(cs.ok());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_EQ(*dec_->DecryptSigned((*cs)[i]), vs[i]);
+  }
+}
+
+TEST_F(PaillierTest, RandomizerPoolConsumptionIsDeterministic) {
+  // Same seed + same request pattern -> identical ciphertexts, no matter
+  // how the background producer interleaves: factors are consumed strictly
+  // in rng draw order.
+  auto run = [&](size_t target) {
+    PaillierRandomizerPool pool(dec_->context(), SecureRng(52), target);
+    std::vector<std::string> out;
+    out.push_back(pool.Encrypt(BigInt(17))->ToHex());
+    std::vector<BigInt> ms = {BigInt(1), BigInt(2), BigInt(3), BigInt(4),
+                              BigInt(5), BigInt(6)};
+    Result<std::vector<BigInt>> batch = pool.EncryptBatch(ms);
+    for (const BigInt& c : *batch) out.push_back(c.ToHex());
+    out.push_back(pool.EncryptSigned(BigInt(-9))->ToHex());
+    return out;
+  };
+  // Different targets change the producer/consumer interleaving but must
+  // not change the factor sequence.
+  std::vector<std::string> a = run(1);
+  std::vector<std::string> b = run(8);
+  std::vector<std::string> c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST_F(PaillierTest, EncryptBatchWithFactorsMatchesManualComposition) {
+  SecureRng rng(53);
+  const PaillierContext& ctx = dec_->context();
+  std::vector<BigInt> ms = {BigInt(3), BigInt(1) << 100, BigInt(0)};
+  std::vector<BigInt> rs(ms.size());
+  std::vector<BigInt> factors(ms.size());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    rs[i] = ctx.SampleRandomizer(rng);
+    factors[i] = ctx.RandomizerFactor(rs[i]);
+  }
+  Result<std::vector<BigInt>> cs = ctx.EncryptBatchWithFactors(ms, factors);
+  ASSERT_TRUE(cs.ok());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(*ctx.EncryptWithFactor(ms[i], factors[i]), (*cs)[i]);
+    EXPECT_EQ(*dec_->Decrypt((*cs)[i]), ms[i]);
+  }
+  // Out-of-range plaintexts fail without producing ciphertexts.
+  std::vector<BigInt> bad = {ctx.pub().n};
+  std::vector<BigInt> one_factor = {factors[0]};
+  EXPECT_FALSE(ctx.EncryptBatchWithFactors(bad, one_factor).ok());
+}
+
 TEST(PaillierKeygenTest, RejectsBadSizes) {
   SecureRng rng(20);
   EXPECT_FALSE(GeneratePaillierKeyPair(rng, 32).ok());

@@ -95,6 +95,34 @@ TEST(SecureRngTest, ByteHistogramIsFlat) {
   EXPECT_LT(chi, 347.0);
 }
 
+TEST(SecureRngTest, KeyConstructorDeterministicPerKey) {
+  std::array<uint8_t, 32> key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
+  SecureRng a(key);
+  SecureRng b(key);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  // One flipped key bit yields an unrelated stream.
+  std::array<uint8_t, 32> flipped = key;
+  flipped[31] ^= 1;
+  SecureRng c(key);
+  SecureRng d(flipped);
+  EXPECT_NE(c.NextU64(), d.NextU64());
+}
+
+TEST(SecureRngTest, ForkIsDeterministicAndIndependent) {
+  SecureRng parent1(77);
+  SecureRng parent2(77);
+  SecureRng child1 = parent1.Fork();
+  SecureRng child2 = parent2.Fork();
+  // Equal parent streams -> equal children; the fork also advances the
+  // parent identically.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(parent1.NextU64(), parent2.NextU64());
+  // A second fork yields a different child stream.
+  SecureRng child3 = parent1.Fork();
+  EXPECT_NE(child1.NextU64(), child3.NextU64());
+}
+
 TEST(SecureRngTest, UniformBoundZeroAborts) {
   SecureRng rng(10);
   EXPECT_DEATH(rng.UniformU64(0), "bound must be positive");

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "test_util.h"
 
 namespace ppdbscan {
@@ -43,6 +46,44 @@ TEST(SessionTest, CrossKeyEncryptionWorks) {
   Result<BigInt> c = pair.alice->peer_paillier().Encrypt(m, rng);
   ASSERT_TRUE(c.ok());
   EXPECT_EQ(*pair.bob->own_paillier().Decrypt(*c), m);
+}
+
+TEST(SessionTest, RandomizerPoolPresentByDefault) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  ASSERT_NE(pair.alice->own_randomizer_pool(), nullptr);
+  ASSERT_NE(pair.bob->own_randomizer_pool(), nullptr);
+  // Pooled encryption under Alice's own key decrypts with Alice's key —
+  // the responder-side fast path of the distance protocols.
+  Result<BigInt> c =
+      pair.alice->own_randomizer_pool()->EncryptSigned(BigInt(-31337));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*pair.alice->own_paillier().DecryptSigned(*c), BigInt(-31337));
+  // Batch path, mixed signs.
+  std::vector<BigInt> vs = {BigInt(12), BigInt(-1), BigInt(0)};
+  Result<std::vector<BigInt>> cs =
+      pair.bob->own_randomizer_pool()->EncryptSignedBatch(vs);
+  ASSERT_TRUE(cs.ok());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_EQ(*pair.bob->own_paillier().DecryptSigned((*cs)[i]), vs[i]);
+  }
+}
+
+TEST(SessionTest, RandomizerPoolDisabledByOption) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  SecureRng arng(71), brng(72);
+  SmcOptions options;
+  options.paillier_bits = 128;
+  options.rsa_bits = 128;
+  options.randomizer_pool_target = 0;
+  Result<SmcSession> alice = Status::Internal("unset");
+  Result<SmcSession> bob = Status::Internal("unset");
+  std::thread ta([&] { alice = SmcSession::Establish(*a, arng, options); });
+  std::thread tb([&] { bob = SmcSession::Establish(*b, brng, options); });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  EXPECT_EQ(alice->own_randomizer_pool(), nullptr);
+  EXPECT_EQ(bob->own_randomizer_pool(), nullptr);
 }
 
 TEST(SessionTest, EstablishFailsAgainstClosedChannel) {

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare two bench --json baseline files op by op.
+
+Usage:
+    python3 tools/bench_delta.py OLD.json NEW.json [--threshold PCT]
+
+Prints old-vs-new ns/op (or bytes for communication records) per operation,
+with the speedup ratio old/new. Ops present in only one file are listed
+separately. With --threshold, exits 1 when any matched op regressed by more
+than PCT percent — useful as a CI tripwire; without it the script is purely
+informational (shared CI runners are too noisy to gate on).
+
+Typical uses:
+    # limb-width comparison (same machine, single-threaded):
+    python3 tools/bench_delta.py \
+        bench/baseline/BENCH_bigint_limb32.json bench/baseline/BENCH_bigint.json
+    # PR regression check against the committed baseline:
+    python3 tools/bench_delta.py bench/baseline/BENCH_paillier.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        records = json.load(f)
+    out = {}
+    for rec in records:
+        value = rec.get("ns_per_op") or 0
+        unit = "ns/op"
+        if not value and rec.get("bytes"):
+            value = rec["bytes"]
+            unit = "bytes"
+        out[rec["op"]] = (value, unit)
+    return out
+
+
+def fmt(value):
+    if value >= 1e6:
+        return f"{value / 1e6:.3g}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.3g}k"
+    return f"{value:.4g}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) when any op regresses by more than PCT percent")
+    args = parser.parse_args()
+
+    old = load(args.old)
+    new = load(args.new)
+    shared = [op for op in old if op in new]
+    if not shared:
+        print("no shared ops between the two files", file=sys.stderr)
+        return 1
+
+    width = max(len(op) for op in shared)
+    print(f"{'op':<{width}}  {'old':>10}  {'new':>10}  {'old/new':>8}  delta")
+    regressions = []
+    for op in shared:
+        old_v, unit = old[op]
+        new_v, _ = new[op]
+        if old_v == 0 or new_v == 0:
+            # A zero metric means the record is unusable (broken bench or
+            # wrong field); surface it rather than silently shrinking the
+            # comparison.
+            print(f"{op:<{width}}  skipped: zero/missing metric "
+                  f"(old={old_v}, new={new_v})")
+            continue
+        ratio = old_v / new_v
+        delta_pct = (new_v - old_v) / old_v * 100.0
+        marker = ""
+        if args.threshold is not None and delta_pct > args.threshold:
+            regressions.append((op, delta_pct))
+            marker = "  REGRESSION"
+        print(f"{op:<{width}}  {fmt(old_v):>10}  {fmt(new_v):>10}  "
+              f"{ratio:>7.2f}x  {delta_pct:+6.1f}% {unit}{marker}")
+
+    for name, only in (("old", old.keys() - new.keys()),
+                       ("new", new.keys() - old.keys())):
+        for op in sorted(only):
+            print(f"only in {name}: {op}")
+
+    if regressions:
+        print(f"\n{len(regressions)} op(s) regressed beyond "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for op, pct in regressions:
+            print(f"  {op}: {pct:+.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

@@ -73,36 +73,46 @@ int Run() {
               bank_only.num_clusters,
               AdjustedRandIndex(bank_only.labels, truth));
 
-  ExecutionConfig config;
-  config.smc.paillier_bits = 512;
-  config.smc.rsa_bits = 512;
-  config.protocol.params = params;
-  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  config.protocol.comparator.magnitude_bound =
+  SmcOptions smc;
+  smc.paillier_bits = 512;
+  smc.rsa_bits = 512;
+  ProtocolOptions options;
+  options.params = params;
+  options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  options.comparator.magnitude_bound =
       RecommendedComparatorBound(joint.dims(), /*max_abs_coord=*/128);
 
-  Result<TwoPartyOutcome> outcome = ExecuteVertical(split, config);
+  // One vertical ClusteringJob per institution, run through the
+  // PartyRuntime facade (the bank drives as Alice by convention).
+  Result<std::vector<RunOutcome>> outcome = ExecuteLocal(
+      {{ClusteringJob::Vertical(split.alice, PartyRole::kAlice, options),
+        /*seed=*/0xba2c},
+       {ClusteringJob::Vertical(split.bob, PartyRole::kBob, options),
+        /*seed=*/0x12a5}},
+      smc);
   if (!outcome.ok()) {
     std::fprintf(stderr, "protocol: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
   }
+  const RunOutcome& bank = (*outcome)[0];
+  const RunOutcome& insurer = (*outcome)[1];
   std::printf("Joint private clustering: %zu clusters, ARI vs truth %.3f\n",
-              outcome->alice.num_clusters,
-              AdjustedRandIndex(outcome->alice.labels, truth));
+              bank.clustering.num_clusters,
+              AdjustedRandIndex(bank.clustering.labels, truth));
 
   DbscanResult central = RunDbscan(joint, params);
   std::printf("Centralized reference:    %zu clusters, ARI vs joint "
               "protocol %.3f (expect 1.000)\n",
               central.num_clusters,
-              AdjustedRandIndex(outcome->alice.labels, central.labels));
+              AdjustedRandIndex(bank.clustering.labels, central.labels));
   std::printf("\nBoth parties hold the identical record→cluster map: %s\n",
-              outcome->alice.labels == outcome->bob.labels ? "yes" : "NO");
+              bank.clustering.labels == insurer.clustering.labels ? "yes"
+                                                                  : "NO");
   std::printf("Bytes exchanged: %llu (VDP runs one secure comparison per "
               "candidate pair)\n",
-              static_cast<unsigned long long>(
-                  outcome->alice_stats.total_bytes()));
-  return SameClustering(outcome->alice.labels, central.labels) ? 0 : 1;
+              static_cast<unsigned long long>(bank.stats.total_bytes()));
+  return SameClustering(bank.clustering.labels, central.labels) ? 0 : 1;
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "common/random.h"
-#include "core/multiparty.h"
+#include "core/run.h"
 #include "data/fixed_point.h"
 #include "data/generators.h"
 #include "dbscan/dbscan.h"
@@ -78,9 +78,17 @@ int Run() {
                 shared_per_hospital);
   }
 
-  // The consortium run.
-  Result<MultipartyOutcome> outcome =
-      ExecuteMultipartyHorizontal(hospitals, smc, options);
+  // The consortium run: one kMultiparty ClusteringJob per hospital, run
+  // over the in-process mesh by the PartyRuntime facade. The negotiation
+  // round on every pairwise link guarantees all four hospitals agree on
+  // Eps/MinPts/comparator before any patient-derived ciphertext flows.
+  std::vector<LocalJob> jobs;
+  for (size_t h = 0; h < kHospitals; ++h) {
+    jobs.push_back({ClusteringJob::Multiparty(hospitals[h], h, kHospitals,
+                                              options),
+                    /*seed=*/0x9bd1 + h});
+  }
+  Result<std::vector<RunOutcome>> outcome = ExecuteLocal(jobs, smc);
   if (!outcome.ok()) {
     std::fprintf(stderr, "protocol: %s\n",
                  outcome.status().ToString().c_str());
@@ -92,7 +100,7 @@ int Run() {
   DbscanResult central = RunDbscan(pooled, options.params);
   bool all_recovered = true;
   for (size_t h = 0; h < kHospitals; ++h) {
-    const PartyClusteringResult& r = outcome->results[h];
+    const PartyClusteringResult& r = (*outcome)[h].clustering;
     // This hospital's shared-cohort members sit at indices 0..k-1 (they
     // were added first); recovered = all of them clustered.
     bool recovered = true;
@@ -104,8 +112,8 @@ int Run() {
                   ResultTable::Fmt(uint64_t{hospitals[h].size()}),
                   ResultTable::Fmt(uint64_t{r.num_clusters}),
                   recovered ? "yes" : "NO",
-                  ResultTable::Fmt(outcome->stats[h].bytes_sent),
-                  ResultTable::Fmt(outcome->disclosures[h].Count(
+                  ResultTable::Fmt((*outcome)[h].stats.bytes_sent),
+                  ResultTable::Fmt((*outcome)[h].disclosures.Count(
                       "peer_neighbor_count"))});
   }
   std::printf("\n%s", table.ToMarkdown().c_str());

@@ -66,68 +66,84 @@ int Run() {
               "attributes: %zu\n\n",
               hospitals.alice.size(), hospitals.bob.size(), all.dims());
 
-  ExecutionConfig config;
-  config.smc.paillier_bits = 512;
-  config.smc.rsa_bits = 512;
-  config.protocol.params.eps_squared = *encoder.EncodeEpsSquared(1.6);
-  config.protocol.params.min_pts = 5;
-  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  config.protocol.comparator.magnitude_bound =
+  SmcOptions smc;
+  smc.paillier_bits = 512;
+  smc.rsa_bits = 512;
+  ProtocolOptions options;
+  options.params.eps_squared = *encoder.EncodeEpsSquared(1.6);
+  options.params.min_pts = 5;
+  options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  options.comparator.magnitude_bound =
       RecommendedComparatorBound(all.dims(), /*max_abs_coord=*/128);
+
+  // Both runs go through the ClusteringJob/PartyRuntime facade; the
+  // negotiation round guarantees the two hospitals agree on every protocol
+  // parameter (mode included) before any patient-derived ciphertext flows.
+  auto run_jobs = [&](const ProtocolOptions& agreed) {
+    return ExecuteLocal(
+        {{ClusteringJob::Horizontal(hospitals.alice, PartyRole::kAlice,
+                                    agreed),
+          /*seed=*/0x0a11ce},
+         {ClusteringJob::Horizontal(hospitals.bob, PartyRole::kBob, agreed),
+          /*seed=*/0x0b0b}},
+        smc);
+  };
 
   ResultTable table({"protocol", "clusters A", "clusters B", "bytes",
                      "count disclosures", "bit disclosures"});
 
   // --- Basic protocol (§4.2) ---------------------------------------------
-  Result<TwoPartyOutcome> basic =
-      ExecuteHorizontal(hospitals.alice, hospitals.bob, config);
+  Result<std::vector<RunOutcome>> basic = run_jobs(options);
   if (!basic.ok()) {
     std::fprintf(stderr, "basic: %s\n", basic.status().ToString().c_str());
     return 1;
   }
+  const RunOutcome& basic_a = (*basic)[0];
+  const RunOutcome& basic_b = (*basic)[1];
   std::printf("Basic protocol disclosures (Theorem 9):\n");
-  PrintDisclosures("A saw", basic->alice_disclosures);
-  PrintDisclosures("B saw", basic->bob_disclosures);
+  PrintDisclosures("A saw", basic_a.disclosures);
+  PrintDisclosures("B saw", basic_b.disclosures);
   table.AddRow({"basic (Alg. 3/4)",
-                ResultTable::Fmt(uint64_t{basic->alice.num_clusters}),
-                ResultTable::Fmt(uint64_t{basic->bob.num_clusters}),
-                ResultTable::Fmt(basic->alice_stats.total_bytes()),
-                ResultTable::Fmt(basic->alice_disclosures.Count(
+                ResultTable::Fmt(uint64_t{basic_a.clustering.num_clusters}),
+                ResultTable::Fmt(uint64_t{basic_b.clustering.num_clusters}),
+                ResultTable::Fmt(basic_a.stats.total_bytes()),
+                ResultTable::Fmt(basic_a.disclosures.Count(
                     "peer_neighbor_count")),
-                ResultTable::Fmt(basic->alice_disclosures.Count(
+                ResultTable::Fmt(basic_a.disclosures.Count(
                     "peer_core_bit"))});
 
   // --- Enhanced protocol (§5) ---------------------------------------------
-  config.protocol.mode = HorizontalMode::kEnhanced;
-  Result<TwoPartyOutcome> enhanced =
-      ExecuteHorizontal(hospitals.alice, hospitals.bob, config);
+  options.mode = HorizontalMode::kEnhanced;
+  Result<std::vector<RunOutcome>> enhanced = run_jobs(options);
   if (!enhanced.ok()) {
     std::fprintf(stderr, "enhanced: %s\n",
                  enhanced.status().ToString().c_str());
     return 1;
   }
+  const RunOutcome& enh_a = (*enhanced)[0];
+  const RunOutcome& enh_b = (*enhanced)[1];
   std::printf("\nEnhanced protocol disclosures (Theorem 11):\n");
-  PrintDisclosures("A saw", enhanced->alice_disclosures);
-  PrintDisclosures("B saw", enhanced->bob_disclosures);
+  PrintDisclosures("A saw", enh_a.disclosures);
+  PrintDisclosures("B saw", enh_b.disclosures);
   table.AddRow({"enhanced (Alg. 7/8)",
-                ResultTable::Fmt(uint64_t{enhanced->alice.num_clusters}),
-                ResultTable::Fmt(uint64_t{enhanced->bob.num_clusters}),
-                ResultTable::Fmt(enhanced->alice_stats.total_bytes()),
-                ResultTable::Fmt(enhanced->alice_disclosures.Count(
+                ResultTable::Fmt(uint64_t{enh_a.clustering.num_clusters}),
+                ResultTable::Fmt(uint64_t{enh_b.clustering.num_clusters}),
+                ResultTable::Fmt(enh_a.stats.total_bytes()),
+                ResultTable::Fmt(enh_a.disclosures.Count(
                     "peer_neighbor_count")),
-                ResultTable::Fmt(enhanced->alice_disclosures.Count(
+                ResultTable::Fmt(enh_a.disclosures.Count(
                     "peer_core_bit"))});
 
   std::printf("\n%s\n", table.ToMarkdown().c_str());
 
   const bool identical =
-      basic->alice.labels == enhanced->alice.labels &&
-      basic->bob.labels == enhanced->bob.labels;
+      basic_a.clustering.labels == enh_a.clustering.labels &&
+      basic_b.clustering.labels == enh_b.clustering.labels;
   std::printf("Clusterings identical across variants: %s\n",
               identical ? "yes" : "NO (unexpected)");
   const double byte_ratio =
-      static_cast<double>(enhanced->alice_stats.total_bytes()) /
-      static_cast<double>(basic->alice_stats.total_bytes());
+      static_cast<double>(enh_a.stats.total_bytes()) /
+      static_cast<double>(basic_a.stats.total_bytes());
   std::printf("Bytes, enhanced vs basic: %.2fx — the batched §5 dot product "
               "sends one ciphertext\nper peer point where basic HDP sends "
               "one per attribute, so the stronger guarantee\ncan even be "

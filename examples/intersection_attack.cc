@@ -18,11 +18,10 @@
 #include "baseline/attack.h"
 #include "baseline/kumar.h"
 #include "common/random.h"
-#include "core/options.h"
+#include "core/job.h"
 #include "data/fixed_point.h"
 #include "dbscan/dataset.h"
 #include "net/memory_channel.h"
-#include "smc/session.h"
 
 namespace {
 
@@ -58,32 +57,38 @@ int Run() {
   options.comparator.magnitude_bound = RecommendedComparatorBound(2, 64);
 
   // --- Replay the Kumar disclosure over the real wire ---------------------
+  // The PartyRuntime facade establishes the reusable SMC session (key
+  // exchange) on each side; the Kumar baseline is then layered over the
+  // runtime's session/channel/rng — the supported path for custom
+  // sub-protocols that are not one of the facade's schemes.
   auto [bob_ch, alice_ch] = MemoryChannel::CreatePair();
-  SecureRng bob_rng(1), alice_rng(2);
   SmcOptions smc;
   smc.paillier_bits = 512;
   smc.rsa_bits = 512;
-  Result<SmcSession> bob_session = Status::Internal("unset");
-  Result<SmcSession> alice_session = Status::Internal("unset");
+  Result<PartyRuntime> bob_runtime = Status::Internal("unset");
+  Result<PartyRuntime> alice_runtime = Status::Internal("unset");
   {
     std::thread tb([&] {
-      bob_session = SmcSession::Establish(*bob_ch, bob_rng, smc);
+      bob_runtime = PartyRuntime::Connect(*bob_ch, SecureRng(1), smc);
     });
-    alice_session = SmcSession::Establish(*alice_ch, alice_rng, smc);
+    alice_runtime = PartyRuntime::Connect(*alice_ch, SecureRng(2), smc);
     tb.join();
   }
-  PPD_CHECK(bob_session.ok() && alice_session.ok());
+  PPD_CHECK(bob_runtime.ok() && alice_runtime.ok());
 
   Result<LinkedNeighbourhoods> linked = Status::Internal("unset");
   Status responder = Status::Ok();
   {
     std::thread tb([&] {
       // Bob is the attacker: he queries with each of his points.
-      linked = KumarDisclosureQuerier(*bob_ch, *bob_session, bob_points,
-                                      options, bob_rng);
+      linked = KumarDisclosureQuerier(bob_runtime->channel(),
+                                      bob_runtime->session(), bob_points,
+                                      options, bob_runtime->rng());
     });
-    responder = KumarDisclosureResponder(*alice_ch, *alice_session,
-                                         alice_points, options, alice_rng);
+    responder = KumarDisclosureResponder(alice_runtime->channel(),
+                                         alice_runtime->session(),
+                                         alice_points, options,
+                                         alice_runtime->rng());
     tb.join();
   }
   PPD_CHECK(linked.ok() && responder.ok());

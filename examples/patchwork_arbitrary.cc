@@ -48,35 +48,42 @@ int Run() {
               100.0 * static_cast<double>(alice_cells) /
                   static_cast<double>(total_cells));
 
-  ExecutionConfig config;
-  config.smc.paillier_bits = 512;
-  config.smc.rsa_bits = 512;
-  config.protocol.params.eps_squared = *encoder.EncodeEpsSquared(1.7);
-  config.protocol.params.min_pts = 4;
-  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  config.protocol.comparator.magnitude_bound =
+  SmcOptions smc;
+  smc.paillier_bits = 512;
+  smc.rsa_bits = 512;
+  ProtocolOptions options;
+  options.params.eps_squared = *encoder.EncodeEpsSquared(1.7);
+  options.params.min_pts = 4;
+  options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  options.comparator.magnitude_bound =
       RecommendedComparatorBound(joint.dims(), /*max_abs_coord=*/128);
 
-  Result<TwoPartyOutcome> outcome = ExecuteArbitrary(patchwork, config);
+  // Each party's job carries its ArbitraryPartyView (public ownership
+  // masks, private values); the facade runs §4.4 end to end.
+  Result<std::vector<RunOutcome>> outcome = ExecuteLocal(
+      {{ClusteringJob::Arbitrary(patchwork.alice, PartyRole::kAlice, options),
+        /*seed=*/0x9a7c},
+       {ClusteringJob::Arbitrary(patchwork.bob, PartyRole::kBob, options),
+        /*seed=*/0x30b5}},
+      smc);
   if (!outcome.ok()) {
     std::fprintf(stderr, "protocol: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
   }
+  const RunOutcome& alice = (*outcome)[0];
 
-  DbscanParams params = config.protocol.params;
-  DbscanResult central = RunDbscan(joint, params);
+  DbscanResult central = RunDbscan(joint, options.params);
   std::printf("Clusters found: %zu (centralized: %zu)\n",
-              outcome->alice.num_clusters, central.num_clusters);
+              alice.clustering.num_clusters, central.num_clusters);
   std::printf("ARI(joint protocol, centralized) = %.3f (expect 1.000)\n",
-              AdjustedRandIndex(outcome->alice.labels, central.labels));
+              AdjustedRandIndex(alice.clustering.labels, central.labels));
   std::printf("Bytes exchanged: %llu\n",
-              static_cast<unsigned long long>(
-                  outcome->alice_stats.total_bytes()));
+              static_cast<unsigned long long>(alice.stats.total_bytes()));
   std::printf("\nEvery record is split between the parties, so per §3.3 "
               "both learn the full\nrecord→cluster map — and nothing else "
               "about the other party's cells.\n");
-  return SameClustering(outcome->alice.labels, central.labels) ? 0 : 1;
+  return SameClustering(alice.clustering.labels, central.labels) ? 0 : 1;
 }
 
 }  // namespace

@@ -4,10 +4,11 @@
 //   1. Generate three Gaussian cohorts plus outliers.
 //   2. Split the records randomly between Alice and Bob (horizontal
 //      partitioning, paper Figure 2).
-//   3. Run the privacy-preserving protocol with real cryptography (Paillier
-//      multiplication protocol + blinded secure comparison) and print what
-//      each party learned, what it cost, and how the joint result compares
-//      to centralized DBSCAN on the pooled data.
+//   3. Build one ClusteringJob per party and run the privacy-preserving
+//      protocol with real cryptography (Paillier multiplication protocol +
+//      blinded secure comparison) through the PartyRuntime facade; print
+//      what each party learned, what it cost, and how the joint result
+//      compares to centralized DBSCAN on the pooled data.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 //
@@ -62,39 +63,49 @@ int Run() {
               split->alice.size(), split->bob.size(), split->alice.dims());
 
   // --- 3. Protocol run ----------------------------------------------------
-  ExecutionConfig config;
-  config.smc.paillier_bits = 384;  // demo size; use >= 2048 in production
-  config.smc.rsa_bits = 384;
-  config.protocol.params.eps_squared = *encoder.EncodeEpsSquared(1.1);
-  config.protocol.params.min_pts = 4;
-  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  config.protocol.comparator.magnitude_bound =
+  // Both parties must agree on the ProtocolOptions; PartyRuntime verifies
+  // that agreement on the wire before any protocol traffic flows.
+  SmcOptions smc;
+  smc.paillier_bits = 384;  // demo size; use >= 2048 in production
+  smc.rsa_bits = 384;
+  ProtocolOptions options;
+  options.params.eps_squared = *encoder.EncodeEpsSquared(1.1);
+  options.params.min_pts = 4;
+  options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  options.comparator.magnitude_bound =
       RecommendedComparatorBound(encoded->dims(), /*max_abs_coord=*/128);
 
-  Result<TwoPartyOutcome> outcome =
-      ExecuteHorizontal(split->alice, split->bob, config);
+  Result<std::vector<RunOutcome>> outcome = ExecuteLocal(
+      {{ClusteringJob::Horizontal(split->alice, PartyRole::kAlice, options),
+        /*seed=*/0x0a11ce},
+       {ClusteringJob::Horizontal(split->bob, PartyRole::kBob, options),
+        /*seed=*/0x0b0b}},
+      smc);
   if (!outcome.ok()) {
     std::fprintf(stderr, "protocol: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
   }
+  const RunOutcome& alice = (*outcome)[0];
+  const RunOutcome& bob = (*outcome)[1];
 
   std::printf("\nAlice found %zu cluster(s) over her records\n",
-              outcome->alice.num_clusters);
+              alice.clustering.num_clusters);
   std::printf("Bob   found %zu cluster(s) over his records\n",
-              outcome->bob.num_clusters);
-  std::printf("Communication: Alice sent %llu bytes in %llu frames\n",
-              static_cast<unsigned long long>(
-                  outcome->alice_stats.bytes_sent),
-              static_cast<unsigned long long>(
-                  outcome->alice_stats.frames_sent));
+              bob.clustering.num_clusters);
+  std::printf("Communication: Alice sent %llu bytes in %llu frames "
+              "(negotiation %.1f ms, protocol %.0f ms)\n",
+              static_cast<unsigned long long>(alice.stats.bytes_sent),
+              static_cast<unsigned long long>(alice.stats.frames_sent),
+              alice.timings.negotiation_seconds * 1e3,
+              alice.timings.protocol_seconds * 1e3);
 
   // --- 4. Compare against the centralized baseline ------------------------
   // Per-party exactness: each party's labels partition its own records the
   // same way centralized DBSCAN on the POOLED data does (restricted to that
   // party's records). This is the paper's correctness claim for dense
   // clusters.
-  DbscanResult central = RunDbscan(*encoded, config.protocol.params);
+  DbscanResult central = RunDbscan(*encoded, options.params);
   Labels central_alice, central_bob;
   for (size_t id : split->alice_ids) central_alice.push_back(
       central.labels[id]);
@@ -102,16 +113,20 @@ int Run() {
   std::printf("\nCentralized DBSCAN on the pooled data finds %zu "
               "cluster(s).\n", central.num_clusters);
   std::printf("ARI(Alice's labels, centralized restricted to Alice) = %.3f\n",
-              AdjustedRandIndex(outcome->alice.labels, central_alice));
+              AdjustedRandIndex(alice.clustering.labels, central_alice));
   std::printf("ARI(Bob's   labels, centralized restricted to Bob)   = %.3f\n",
-              AdjustedRandIndex(outcome->bob.labels, central_bob));
+              AdjustedRandIndex(bob.clustering.labels, central_bob));
 
   // The two parties' cluster ids live in separate spaces. The E7 merge
   // extension links them into one joint space; with it, the combined
   // labels reproduce centralized DBSCAN exactly.
-  config.protocol.cross_party_merge = true;
-  Result<TwoPartyOutcome> merged =
-      ExecuteHorizontal(split->alice, split->bob, config);
+  options.cross_party_merge = true;
+  Result<std::vector<RunOutcome>> merged = ExecuteLocal(
+      {{ClusteringJob::Horizontal(split->alice, PartyRole::kAlice, options),
+        /*seed=*/0x0a11ce},
+       {ClusteringJob::Horizontal(split->bob, PartyRole::kBob, options),
+        /*seed=*/0x0b0b}},
+      smc);
   if (!merged.ok()) {
     std::fprintf(stderr, "merge run: %s\n",
                  merged.status().ToString().c_str());
@@ -119,14 +134,14 @@ int Run() {
   }
   Labels combined(encoded->size(), kUnclassified);
   for (size_t i = 0; i < split->alice_ids.size(); ++i) {
-    combined[split->alice_ids[i]] = merged->alice.labels[i];
+    combined[split->alice_ids[i]] = (*merged)[0].clustering.labels[i];
   }
   for (size_t i = 0; i < split->bob_ids.size(); ++i) {
-    combined[split->bob_ids[i]] = merged->bob.labels[i];
+    combined[split->bob_ids[i]] = (*merged)[1].clustering.labels[i];
   }
   std::printf("With the cross-party merge extension: %zu joint cluster(s), "
               "ARI vs centralized = %.3f\n",
-              merged->alice.num_clusters,
+              (*merged)[0].clustering.num_clusters,
               AdjustedRandIndex(combined, central.labels));
   std::printf("ARI(joint labels, generator truth) = %.3f\n",
               AdjustedRandIndex(

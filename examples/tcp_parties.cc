@@ -9,8 +9,12 @@
 //
 // Alice listens, Bob connects. Both generate the same synthetic dataset
 // from a shared seed and keep their own half — stand-ins for their private
-// databases — then run the §4.2 horizontal protocol and print their own
-// labels only.
+// databases. Everything after transport setup is ONE PartyRuntime::Connect
+// (key exchange, reusable across jobs) and ONE Run call: the runtime
+// negotiates the protocol configuration on the wire — a party started with
+// different Eps/MinPts/comparator settings fails with a descriptive error
+// instead of desyncing — then runs the §4.2 horizontal protocol and prints
+// its own labels only.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,13 +22,11 @@
 #include <string>
 
 #include "common/random.h"
-#include "core/horizontal.h"
-#include "core/options.h"
+#include "core/job.h"
 #include "data/fixed_point.h"
 #include "data/generators.h"
 #include "data/partitioners.h"
 #include "net/socket_channel.h"
-#include "smc/session.h"
 
 namespace {
 
@@ -48,61 +50,59 @@ int RunParty(PartyRole role, uint16_t port, const std::string& host) {
   const Dataset& own =
       role == PartyRole::kAlice ? split.alice : split.bob;
 
-  // Transport.
-  std::unique_ptr<SocketChannel> channel;
-  if (role == PartyRole::kAlice) {
-    std::printf("[alice] listening on port %u...\n", port);
-    Result<std::unique_ptr<SocketChannel>> ch = SocketChannel::Listen(port);
-    if (!ch.ok()) {
-      std::fprintf(stderr, "listen: %s\n", ch.status().ToString().c_str());
-      return 1;
-    }
-    channel = std::move(*ch);
-  } else {
-    std::printf("[bob] connecting to %s:%u...\n", host.c_str(), port);
-    Result<std::unique_ptr<SocketChannel>> ch =
-        SocketChannel::Connect(host, port, /*timeout_ms=*/15000);
-    if (!ch.ok()) {
-      std::fprintf(stderr, "connect: %s\n", ch.status().ToString().c_str());
-      return 1;
-    }
-    channel = std::move(*ch);
-  }
-
-  // Session (one-time public-key exchange), then the protocol proper.
-  SecureRng rng(role == PartyRole::kAlice ? 1 : 2);
-  SmcOptions smc;
-  smc.paillier_bits = 512;
-  smc.rsa_bits = 512;
-  Result<SmcSession> session = SmcSession::Establish(*channel, rng, smc);
-  if (!session.ok()) {
-    std::fprintf(stderr, "session: %s\n",
-                 session.status().ToString().c_str());
+  // Transport: Alice listens, Bob connects.
+  Result<std::unique_ptr<SocketChannel>> channel =
+      role == PartyRole::kAlice
+          ? (std::printf("[alice] listening on port %u...\n", port),
+             SocketChannel::Listen(port))
+          : (std::printf("[bob] connecting to %s:%u...\n", host.c_str(),
+                         port),
+             SocketChannel::Connect(host, port, /*timeout_ms=*/15000));
+  if (!channel.ok()) {
+    std::fprintf(stderr, "transport: %s\n",
+                 channel.status().ToString().c_str());
     return 1;
   }
 
+  // The protocol configuration both parties must agree on; Run() verifies
+  // the agreement on the wire before any data-derived ciphertext flows.
   ProtocolOptions options;
   options.params.eps_squared = *encoder.EncodeEpsSquared(0.3);
   options.params.min_pts = 4;
   options.comparator.kind = ComparatorKind::kBlindedPaillier;
   options.comparator.magnitude_bound = RecommendedComparatorBound(2, 64);
 
-  Result<PartyClusteringResult> result =
-      RunHorizontalDbscan(*channel, *session, own, role, options, rng);
-  channel->Close();
-  if (!result.ok()) {
+  SmcOptions smc;
+  smc.paillier_bits = 512;
+  smc.rsa_bits = 512;
+
+  // One Connect (key exchange; the session is reusable across further
+  // jobs on this connection), one Run.
+  Result<PartyRuntime> runtime = PartyRuntime::Connect(
+      std::move(*channel), SecureRng(role == PartyRole::kAlice ? 1 : 2), smc);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 runtime.status().ToString().c_str());
+    return 1;
+  }
+  Result<RunOutcome> outcome =
+      runtime->Run(ClusteringJob::Horizontal(own, role, options));
+  runtime->channel().Close();
+  if (!outcome.ok()) {
     std::fprintf(stderr, "protocol: %s\n",
-                 result.status().ToString().c_str());
+                 outcome.status().ToString().c_str());
     return 1;
   }
 
-  const char* tag = role == PartyRole::kAlice ? "alice" : "bob";
-  std::printf("[%s] %zu own records -> %zu cluster(s); sent %llu bytes\n",
-              tag, own.size(), result->num_clusters,
-              static_cast<unsigned long long>(
-                  channel->stats().bytes_sent));
+  const char* tag = PartyRoleToString(role);
+  std::printf("[%s] %zu own records -> %zu cluster(s); sent %llu bytes "
+              "(negotiation %.1f ms, protocol %.0f ms)\n",
+              tag, own.size(), outcome->clustering.num_clusters,
+              static_cast<unsigned long long>(outcome->stats.bytes_sent),
+              outcome->timings.negotiation_seconds * 1e3,
+              outcome->timings.protocol_seconds * 1e3);
   std::printf("[%s] labels:", tag);
-  for (int32_t l : result->labels) std::printf(" %d", l);
+  for (int32_t l : outcome->clustering.labels) std::printf(" %d", l);
   std::printf("\n");
   return 0;
 }

@@ -2,14 +2,13 @@
 
 #include <deque>
 #include <memory>
-#include <thread>
 #include <utility>
 
 #include "core/distance_protocols.h"
 #include "core/horizontal.h"
+#include "core/run.h"
 #include "core/wire.h"
 #include "dbscan/dbscan.h"
-#include "net/memory_channel.h"
 #include "net/message.h"
 
 namespace ppdbscan {
@@ -175,102 +174,25 @@ Result<MultipartyOutcome> ExecuteMultipartyHorizontal(
     return Status::InvalidArgument("multi-party run needs >= 2 parties");
   }
 
-  // Full mesh of in-memory channels: channels[i][j] is party i's endpoint
-  // of the (i, j) link.
-  std::vector<std::vector<std::unique_ptr<MemoryChannel>>> channels(p);
-  for (auto& row : channels) row.resize(p);
+  // Thin shim over the job facade: one kMultiparty job per party, run on
+  // an in-process MemoryChannel mesh by ExecuteLocal (core/run.h).
+  std::vector<LocalJob> jobs;
+  jobs.reserve(p);
   for (size_t i = 0; i < p; ++i) {
-    for (size_t j = i + 1; j < p; ++j) {
-      auto [a, b] = MemoryChannel::CreatePair();
-      channels[i][j] = std::move(a);
-      channels[j][i] = std::move(b);
-    }
+    jobs.push_back({ClusteringJob::Multiparty(parties[i], i, p, options),
+                    seed_base + i});
   }
-
-  std::vector<SecureRng> rngs;
-  rngs.reserve(p);
-  for (size_t i = 0; i < p; ++i) rngs.emplace_back(seed_base + i);
-
-  // Pairwise key exchange, every pair in the same public order. Sessions
-  // are stored per (party, peer).
-  std::vector<std::vector<Result<SmcSession>>> sessions(p);
-  for (size_t i = 0; i < p; ++i) {
-    for (size_t j = 0; j < p; ++j) {
-      sessions[i].emplace_back(Status::Internal("unset"));
-    }
-  }
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(p);
-    for (size_t i = 0; i < p; ++i) {
-      threads.emplace_back([&, i] {
-        for (size_t a = 0; a < p; ++a) {
-          for (size_t b = a + 1; b < p; ++b) {
-            if (a != i && b != i) continue;
-            size_t peer = a == i ? b : a;
-            sessions[i][peer] =
-                SmcSession::Establish(*channels[i][peer], rngs[i], smc);
-            if (!sessions[i][peer].ok()) return;
-          }
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
-  for (size_t i = 0; i < p; ++i) {
-    for (size_t j = 0; j < p; ++j) {
-      if (i == j) continue;
-      PPD_RETURN_IF_ERROR(sessions[i][j].status());
-      channels[i][j]->ResetStats();  // exclude key exchange, like run.cc
-    }
-  }
+  PPD_ASSIGN_OR_RETURN(std::vector<RunOutcome> outcomes,
+                       ExecuteLocal(jobs, smc));
 
   MultipartyOutcome outcome;
   outcome.results.resize(p);
   outcome.stats.resize(p);
   outcome.disclosures.resize(p);
-  std::vector<Result<PartyClusteringResult>> results;
   for (size_t i = 0; i < p; ++i) {
-    results.emplace_back(Status::Internal("unset"));
-  }
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(p);
-    for (size_t i = 0; i < p; ++i) {
-      threads.emplace_back([&, i] {
-        std::vector<Channel*> links(p, nullptr);
-        std::vector<const SmcSession*> session_ptrs(p, nullptr);
-        for (size_t j = 0; j < p; ++j) {
-          if (j == i) continue;
-          links[j] = channels[i][j].get();
-          session_ptrs[j] = &*sessions[i][j];
-        }
-        results[i] = RunMultipartyHorizontalDbscan(
-            links, session_ptrs, parties[i],
-            MultipartyRole{.index = i, .parties = p}, options, rngs[i],
-            &outcome.disclosures[i]);
-        // Unblock any peer still waiting on this party after an error.
-        if (!results[i].ok()) {
-          for (size_t j = 0; j < p; ++j) {
-            if (j != i) channels[i][j]->Close();
-          }
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
-  for (size_t i = 0; i < p; ++i) {
-    PPD_RETURN_IF_ERROR(results[i].status());
-    outcome.results[i] = std::move(results[i]).value();
-    for (size_t j = 0; j < p; ++j) {
-      if (i == j) continue;
-      const ChannelStats& s = channels[i][j]->stats();
-      outcome.stats[i].bytes_sent += s.bytes_sent;
-      outcome.stats[i].bytes_received += s.bytes_received;
-      outcome.stats[i].frames_sent += s.frames_sent;
-      outcome.stats[i].frames_received += s.frames_received;
-      outcome.stats[i].rounds += s.rounds;
-    }
+    outcome.results[i] = std::move(outcomes[i].clustering);
+    outcome.stats[i] = outcomes[i].stats;
+    outcome.disclosures[i] = std::move(outcomes[i].disclosures);
   }
   return outcome;
 }

@@ -1,9 +1,44 @@
 #include "core/options.h"
 
+#include "bigint/codec.h"
+#include "common/serialize.h"
+
 namespace ppdbscan {
 
 const char* PartyRoleToString(PartyRole role) {
   return role == PartyRole::kAlice ? "alice" : "bob";
+}
+
+const char* HorizontalModeToString(HorizontalMode mode) {
+  return mode == HorizontalMode::kBasic ? "basic" : "enhanced";
+}
+
+const char* SelectionAlgorithmToString(SelectionAlgorithm selection) {
+  return selection == SelectionAlgorithm::kKPass ? "k-pass" : "quickselect";
+}
+
+uint64_t ProtocolOptionsDigest(const ProtocolOptions& options) {
+  ByteWriter canon;
+  canon.PutU64(static_cast<uint64_t>(options.params.eps_squared));
+  canon.PutU64(static_cast<uint64_t>(options.params.min_pts));
+  canon.PutU8(static_cast<uint8_t>(options.comparator.kind));
+  WriteBigInt(canon, options.comparator.magnitude_bound);
+  canon.PutU64(static_cast<uint64_t>(options.comparator.blinding_bits));
+  canon.PutU32(static_cast<uint32_t>(options.comparator.ymp_prime_rounds));
+  canon.PutU64(static_cast<uint64_t>(options.comparator.max_batch_in_flight));
+  canon.PutU8(static_cast<uint8_t>(options.mode));
+  canon.PutU8(static_cast<uint8_t>(options.selection));
+  canon.PutU64(static_cast<uint64_t>(options.share_mask_bits));
+  canon.PutU8(options.cross_party_merge ? 1 : 0);
+  canon.PutU8(options.vdp_local_pruning ? 1 : 0);
+
+  // FNV-1a, 64-bit.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (uint8_t byte : canon.data()) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
 }
 
 BigInt RecommendedComparatorBound(size_t dims, int64_t max_abs_coord) {

@@ -71,6 +71,18 @@ struct ProtocolOptions {
 /// partial sums, squared distances, and their pairwise differences.
 BigInt RecommendedComparatorBound(size_t dims, int64_t max_abs_coord);
 
+const char* HorizontalModeToString(HorizontalMode mode);
+const char* SelectionAlgorithmToString(SelectionAlgorithm selection);
+
+/// Order-stable 64-bit FNV-1a digest over the canonical serialization of
+/// EVERY field of `options` (DBSCAN parameters, comparator configuration
+/// including the magnitude bound and batch limit, mode/selection flags).
+/// The job negotiation round (core/job.h) exchanges this digest so parties
+/// with any configuration divergence fail fast instead of desyncing
+/// mid-protocol. Equal options always digest equally across platforms and
+/// limb widths (the bound is serialized via its wire codec).
+uint64_t ProtocolOptionsDigest(const ProtocolOptions& options);
+
 /// Per-party clustering output. For horizontal runs, `labels` covers the
 /// party's own points; for vertical/arbitrary runs it covers all records.
 struct PartyClusteringResult {

@@ -1,7 +1,10 @@
 #ifndef PPDBSCAN_CORE_RUN_H_
 #define PPDBSCAN_CORE_RUN_H_
 
+#include <vector>
+
 #include "common/status.h"
+#include "core/job.h"
 #include "core/options.h"
 #include "data/partitioners.h"
 #include "dbscan/dataset.h"
@@ -11,9 +14,33 @@
 
 namespace ppdbscan {
 
+/// One party's slot in an in-process execution: its job plus the seed of
+/// its deterministic rng (each party gets an independent stream).
+struct LocalJob {
+  ClusteringJob job;
+  uint64_t seed = 0;
+};
+
+/// Transport used between the in-process parties.
+enum class LocalTransport {
+  kMemory,       ///< MemoryChannel pair/mesh — zero-overhead, exact counters
+  kTcpLoopback,  ///< real TCP over 127.0.0.1 (two-party only)
+};
+
+/// N-party in-process harness over the ClusteringJob/PartyRuntime facade:
+/// connects the parties (pair for N == 2, full MemoryChannel mesh for
+/// multiparty), runs each party's job on its own thread through a
+/// PartyRuntime (key exchange, negotiation round, protocol), and returns
+/// the outcomes in party order. Every Execute* convenience below is a thin
+/// shim over this helper. The first failing party's status is returned;
+/// channels are closed on failure so no peer hangs.
+Result<std::vector<RunOutcome>> ExecuteLocal(
+    const std::vector<LocalJob>& parties, const SmcOptions& smc = {},
+    LocalTransport transport = LocalTransport::kMemory);
+
 /// Joint result of one in-process two-party protocol execution.
-/// Channel statistics cover the protocol phase only (key exchange is
-/// excluded, matching the paper's per-invocation accounting).
+/// Channel statistics cover the negotiation and protocol phases only (key
+/// exchange is excluded, matching the paper's per-invocation accounting).
 struct TwoPartyOutcome {
   PartyClusteringResult alice;
   PartyClusteringResult bob;
@@ -34,18 +61,19 @@ struct ExecutionConfig {
   uint64_t bob_seed = 0x0b0b;
 };
 
-/// Runs the horizontal protocol with both parties on in-process threads
-/// joined by a MemoryChannel pair.
+/// Runs the horizontal protocol with both parties on in-process threads.
+/// Thin shim over ExecuteLocal — new code should build ClusteringJobs and
+/// call ExecuteLocal (or drive a PartyRuntime directly) instead.
 Result<TwoPartyOutcome> ExecuteHorizontal(const Dataset& alice_points,
                                           const Dataset& bob_points,
                                           const ExecutionConfig& config);
 
 /// Runs the vertical protocol (Alice holds `partition.alice` columns, Bob
-/// `partition.bob`).
+/// `partition.bob`). Thin shim over ExecuteLocal.
 Result<TwoPartyOutcome> ExecuteVertical(const VerticalPartition& partition,
                                         const ExecutionConfig& config);
 
-/// Runs the arbitrary-partition protocol.
+/// Runs the arbitrary-partition protocol. Thin shim over ExecuteLocal.
 Result<TwoPartyOutcome> ExecuteArbitrary(const ArbitraryPartition& partition,
                                          const ExecutionConfig& config);
 

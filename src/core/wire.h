@@ -38,6 +38,13 @@ inline constexpr uint16_t kArbPairResponse = 0x1031;
 inline constexpr uint16_t kMergeCores = 0x1040;   // payload: u32 core count
 inline constexpr uint16_t kMergeLinks = 0x1041;   // payload: linked pairs
 
+// Job-facade config negotiation (core/job.h). Sent once per link at the
+// start of every PartyRuntime::Run: protocol version, scheme tag, party
+// position, the public scalar protocol parameters, and a digest of the
+// remaining ProtocolOptions. Mismatches fail with kFailedPrecondition on
+// both sides before any protocol traffic flows.
+inline constexpr uint16_t kJobHello = 0x1050;
+
 }  // namespace wire
 
 }  // namespace ppdbscan

@@ -361,7 +361,9 @@ void PaillierRandomizerPool::ProducerLoop() {
       // serialize its batch behind this one thread.
       refill_cv_.wait(lock, [this] {
         return stop_ ||
-               (ready_.size() < target_ && pending_consumers_ == 0);
+               ((ready_.size() < target_ ||
+                 next_draw_seq_ < reserve_target_seq_) &&
+                pending_consumers_ == 0);
       });
       if (stop_) return;
       // Draw (with the Z*_n rejection loop) and claim the sequence slot
@@ -489,6 +491,15 @@ Result<std::vector<BigInt>> PaillierRandomizerPool::EncryptSignedBatch(
     PPD_ASSIGN_OR_RETURN(ms[i], ctx_.EncodeSigned(vs[i]));
   }
   return EncryptBatch(ms, pool);
+}
+
+void PaillierRandomizerPool::Reserve(size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t want = next_consume_seq_ + count;
+    if (want > reserve_target_seq_) reserve_target_seq_ = want;
+  }
+  refill_cv_.notify_one();
 }
 
 void PaillierRandomizerPool::Prefill(size_t count) {

@@ -238,6 +238,16 @@ class PaillierRandomizerPool {
   /// this to measure the online phase in isolation.
   void Prefill(size_t count);
 
+  /// Non-blocking demand hint: asks the producer to keep building factors
+  /// until `count` beyond the current consumption point exist, even past
+  /// the steady-state buffer target. Callers that know a job's total
+  /// encryption demand up front (e.g. a count × dims cipher matrix) use
+  /// this so the first query does not pay the inline-fill tail. Factors are
+  /// still consumed strictly in draw order, so reserving never changes
+  /// which factor the k-th encryption uses — fixed-seed transcripts stay
+  /// byte-identical.
+  void Reserve(size_t count);
+
   /// Currently buffered factors.
   size_t available() const;
   /// Total factors ever produced (buffered + inline).
@@ -260,6 +270,7 @@ class PaillierRandomizerPool {
   std::map<uint64_t, BigInt> ready_;    // seq -> factor, guarded by mu_
   uint64_t next_draw_seq_ = 0;          // guarded by mu_
   uint64_t next_consume_seq_ = 0;       // guarded by mu_
+  uint64_t reserve_target_seq_ = 0;     // guarded by mu_; Reserve() demand
   size_t pending_consumers_ = 0;        // guarded by mu_; pauses new draws
   uint64_t produced_ = 0;               // guarded by mu_
   bool stop_ = false;                   // guarded by mu_

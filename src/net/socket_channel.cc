@@ -1,8 +1,10 @@
 #include "net/socket_channel.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -73,12 +75,51 @@ SocketListener::~SocketListener() {
   if (fd_ >= 0) close(fd_);
 }
 
-Result<std::unique_ptr<SocketChannel>> SocketListener::Accept() {
+Result<std::unique_ptr<SocketChannel>> SocketListener::Accept(int timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("listener already consumed");
-  int fd = accept(fd_, nullptr, nullptr);
+  int fd = -1;
+  if (timeout_ms < 0) {
+    fd = accept(fd_, nullptr, nullptr);
+  } else {
+    // Non-blocking poll+accept loop against a deadline: a queued
+    // connection that is reset before we reach accept() (peer crashed
+    // between connect and our wakeup) surfaces as EAGAIN and we keep
+    // waiting for the remainder of the budget instead of blocking forever.
+    fcntl(fd_, F_SETFL, fcntl(fd_, F_GETFL, 0) | O_NONBLOCK);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        close(fd_);
+        fd_ = -1;
+        return Status::Unavailable("accept timed out");
+      }
+      pollfd pending{fd_, POLLIN, 0};
+      int ready = poll(&pending, 1, static_cast<int>(remaining.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) {
+        close(fd_);
+        fd_ = -1;
+        return Errno("poll");
+      }
+      if (ready == 0) continue;  // loop re-checks the deadline
+      fd = accept(fd_, nullptr, nullptr);
+      if (fd < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                     errno == ECONNABORTED || errno == EINTR)) {
+        continue;
+      }
+      break;
+    }
+  }
   close(fd_);
   fd_ = -1;
   if (fd < 0) return Errno("accept");
+  // Accepted sockets must be blocking regardless of the listener's flags
+  // (inheritance is platform-dependent).
+  fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
   SetNoDelay(fd);
   return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
 }

@@ -29,8 +29,11 @@ class SocketListener {
   /// The port actually bound (resolves port 0 to the kernel's choice).
   uint16_t port() const { return port_; }
 
-  /// Accepts exactly one peer and releases the listening socket.
-  Result<std::unique_ptr<SocketChannel>> Accept();
+  /// Accepts exactly one peer and releases the listening socket. A
+  /// non-negative `timeout_ms` bounds the wait (kUnavailable on expiry),
+  /// so a harness thread blocked in Accept cannot hang forever when the
+  /// connecting side fails; -1 blocks indefinitely.
+  Result<std::unique_ptr<SocketChannel>> Accept(int timeout_ms = -1);
 
  private:
   SocketListener(int fd, uint16_t port) : fd_(fd), port_(port) {}

@@ -323,6 +323,7 @@ Result<std::unique_ptr<SecureComparator>> CreateComparator(
   if (options.magnitude_bound.sign() <= 0) {
     return Status::InvalidArgument("magnitude_bound must be positive");
   }
+  std::unique_ptr<SecureComparator> comparator;
   switch (options.kind) {
     case ComparatorKind::kYmpp: {
       if (!options.magnitude_bound.FitsU64() ||
@@ -331,19 +332,25 @@ Result<std::unique_ptr<SecureComparator>> CreateComparator(
             "YMPP comparator bound too large (protocol is Θ(domain); use "
             "the blinded backend for large domains)");
       }
-      return std::unique_ptr<SecureComparator>(
-          new YmppComparator(session, options, rng));
+      comparator.reset(new YmppComparator(session, options, rng));
+      break;
     }
     case ComparatorKind::kBlindedPaillier: {
       auto cmp = std::make_unique<BlindedPaillierComparator>(session, options,
                                                              rng);
       PPD_RETURN_IF_ERROR(cmp->Validate());
-      return std::unique_ptr<SecureComparator>(std::move(cmp));
+      comparator = std::move(cmp);
+      break;
     }
     case ComparatorKind::kIdeal:
-      return std::unique_ptr<SecureComparator>(new IdealComparator(session));
+      comparator.reset(new IdealComparator(session));
+      break;
   }
-  return Status::InvalidArgument("unknown comparator kind");
+  if (comparator == nullptr) {
+    return Status::InvalidArgument("unknown comparator kind");
+  }
+  comparator->set_max_batch_in_flight(options.max_batch_in_flight);
+  return comparator;
 }
 
 }  // namespace ppdbscan

@@ -1,6 +1,8 @@
 #ifndef PPDBSCAN_SMC_COMPARATOR_H_
 #define PPDBSCAN_SMC_COMPARATOR_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,18 +57,57 @@ class SecureComparator {
   /// Paillier) override to run the cryptography through the Paillier batch
   /// APIs. Both parties must use the batched entry points together, with
   /// equal counts.
+  ///
+  /// Batches larger than max_batch_in_flight are split into chunks so the
+  /// all-queries-then-all-answers rounds of non-interactive backends cannot
+  /// fill both TCP buffers on the socket path (the querier drains each
+  /// chunk's answers before sending the next chunk's queries). Both parties
+  /// split identically — the limit is part of the negotiated
+  /// ComparatorOptions. Batches at or below the limit are byte-identical
+  /// to the unchunked rounds; above it the per-message wire format and the
+  /// results are unchanged, but the peer's blinding randomness is grouped
+  /// per flight, so those transcript bytes can differ from an unchunked
+  /// run of the same seed.
   Result<std::vector<bool>> QuerierCompareBatch(Channel& channel,
                                                 const std::vector<BigInt>& xqs,
                                                 const BigInt& threshold) {
     invocations_ += xqs.size();
-    return QuerierCompareBatchImpl(channel, xqs, threshold);
+    const size_t chunk = ChunkSize(xqs.size());
+    if (xqs.size() <= chunk) {
+      return QuerierCompareBatchImpl(channel, xqs, threshold);
+    }
+    std::vector<bool> bits;
+    bits.reserve(xqs.size());
+    for (size_t base = 0; base < xqs.size(); base += chunk) {
+      const size_t len = std::min(chunk, xqs.size() - base);
+      std::vector<BigInt> part(xqs.begin() + static_cast<ptrdiff_t>(base),
+                               xqs.begin() + static_cast<ptrdiff_t>(base + len));
+      PPD_ASSIGN_OR_RETURN(std::vector<bool> part_bits,
+                           QuerierCompareBatchImpl(channel, part, threshold));
+      bits.insert(bits.end(), part_bits.begin(), part_bits.end());
+    }
+    return bits;
   }
 
-  /// Batched peer role, pairing with QuerierCompareBatch.
+  /// Batched peer role, pairing with QuerierCompareBatch (same chunking).
   Status PeerAssistBatch(Channel& channel, const std::vector<BigInt>& xps) {
     invocations_ += xps.size();
-    return PeerAssistBatchImpl(channel, xps);
+    const size_t chunk = ChunkSize(xps.size());
+    if (xps.size() <= chunk) return PeerAssistBatchImpl(channel, xps);
+    for (size_t base = 0; base < xps.size(); base += chunk) {
+      const size_t len = std::min(chunk, xps.size() - base);
+      std::vector<BigInt> part(xps.begin() + static_cast<ptrdiff_t>(base),
+                               xps.begin() + static_cast<ptrdiff_t>(base + len));
+      PPD_RETURN_IF_ERROR(PeerAssistBatchImpl(channel, part));
+    }
+    return Status::Ok();
   }
+
+  /// Installs the per-flight comparison cap (0 = unlimited). Set by
+  /// CreateComparator from ComparatorOptions::max_batch_in_flight; both
+  /// parties must agree (enforced by the job negotiation round).
+  void set_max_batch_in_flight(size_t limit) { max_batch_in_flight_ = limit; }
+  size_t max_batch_in_flight() const { return max_batch_in_flight_; }
 
   virtual std::string name() const = 0;
 
@@ -103,7 +144,12 @@ class SecureComparator {
   }
 
  private:
+  size_t ChunkSize(size_t total) const {
+    return max_batch_in_flight_ == 0 ? total : max_batch_in_flight_;
+  }
+
   uint64_t invocations_ = 0;
+  size_t max_batch_in_flight_ = 0;
 };
 
 enum class ComparatorKind {
@@ -124,6 +170,14 @@ struct ComparatorOptions {
   size_t blinding_bits = 40;
   /// Miller-Rabin rounds for YMPP's separating prime.
   int ymp_prime_rounds = 12;
+  /// Cap on comparisons in flight per batched round (0 = unlimited). The
+  /// batched blinded backend sends all queries before reading any answer;
+  /// on SocketChannel an unbounded batch could fill both TCP buffers and
+  /// deadlock. Chunks of this size bound the in-flight frames; batches at
+  /// or below the limit stay byte-identical to the unchunked rounds (the
+  /// default preserves every pre-existing test transcript). Part of the
+  /// negotiated protocol configuration — both parties must agree.
+  size_t max_batch_in_flight = 256;
 };
 
 /// Builds a comparator bound to `session` (which must outlive it). `rng`

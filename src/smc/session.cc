@@ -8,6 +8,10 @@ namespace {
 constexpr uint16_t kSessionHello = 0x0001;
 }  // namespace
 
+void SmcSession::PrewarmRandomizers(size_t count) const {
+  if (own_pool_ != nullptr) own_pool_->Reserve(count);
+}
+
 Result<SmcSession> SmcSession::Establish(Channel& channel, SecureRng& rng,
                                          const SmcOptions& options) {
   SmcSession session;

@@ -67,6 +67,14 @@ class SmcSession {
     return own_pool_.get();
   }
 
+  /// Job-metadata pre-warm hook: asks the randomizer pool (when present) to
+  /// build `count` encryption factors in the background, beyond the fixed
+  /// steady-state target. PartyRuntime calls this with the job's expected
+  /// cipher-matrix size (count × dims) at job start so the first protocol
+  /// round does not pay the inline-fill tail. No-op without a pool; never
+  /// blocks; never changes which factor the k-th encryption consumes.
+  void PrewarmRandomizers(size_t count) const;
+
  private:
   SmcSession() = default;
 

@@ -12,15 +12,32 @@
 namespace ppdbscan {
 namespace {
 
-ExecutionConfig FastConfig(int64_t eps_squared, size_t min_pts) {
-  ExecutionConfig config;
-  config.smc.paillier_bits = 256;
-  config.smc.rsa_bits = 128;
-  config.protocol.params = {eps_squared, min_pts};
-  config.protocol.comparator.kind = ComparatorKind::kIdeal;
-  config.protocol.comparator.magnitude_bound =
-      RecommendedComparatorBound(3, 1 << 12);
-  return config;
+/// Shared configuration of one two-party test run under the job facade.
+struct FastConfig {
+  SmcOptions smc;
+  ProtocolOptions protocol;
+
+  explicit FastConfig(int64_t eps_squared, size_t min_pts) {
+    smc.paillier_bits = 256;
+    smc.rsa_bits = 128;
+    protocol.params = {eps_squared, min_pts};
+    protocol.comparator.kind = ComparatorKind::kIdeal;
+    protocol.comparator.magnitude_bound =
+        RecommendedComparatorBound(3, 1 << 12);
+  }
+};
+
+/// Runs the two arbitrary-partition jobs in-process and returns
+/// {alice, bob} outcomes.
+Result<std::vector<RunOutcome>> RunArbitrary(const ArbitraryPartition& ap,
+                                             const FastConfig& config) {
+  return ExecuteLocal(
+      {{ClusteringJob::Arbitrary(ap.alice, PartyRole::kAlice,
+                                 config.protocol),
+        0x0a11ce},
+       {ClusteringJob::Arbitrary(ap.bob, PartyRole::kBob, config.protocol),
+        0x0b0b}},
+      config.smc);
 }
 
 /// §4.4's generality claim: for ANY cell-ownership fraction the protocol
@@ -39,12 +56,12 @@ TEST_P(ArbitraryEquivalenceTest, MatchesCentralizedExactly) {
   DbscanResult central = RunDbscan(full, params);
 
   ArbitraryPartition ap = *PartitionArbitrary(full, rng, fraction);
-  ExecutionConfig config = FastConfig(params.eps_squared, params.min_pts);
-  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config);
+  FastConfig config(params.eps_squared, params.min_pts);
+  Result<std::vector<RunOutcome>> out = RunArbitrary(ap, config);
   ASSERT_TRUE(out.ok()) << out.status();
-  EXPECT_TRUE(SameClustering(out->alice.labels, central.labels));
-  EXPECT_EQ(out->alice.labels, out->bob.labels);
-  EXPECT_EQ(out->alice.is_core, central.is_core);
+  EXPECT_TRUE(SameClustering((*out)[0].clustering.labels, central.labels));
+  EXPECT_EQ((*out)[0].clustering.labels, (*out)[1].clustering.labels);
+  EXPECT_EQ((*out)[0].clustering.is_core, central.is_core);
 }
 
 INSTANTIATE_TEST_SUITE_P(Fractions, ArbitraryEquivalenceTest,
@@ -86,12 +103,13 @@ TEST(ArbitraryTest, MixedRowOwnershipPattern) {
   add_record({1, 0, 0, 0}, {0, 0, 0, 1});
   add_record({10, 10, 10, 10}, {1, 0, 1, 0});
 
-  ExecutionConfig config = FastConfig(2, 2);
-  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config);
+  FastConfig config(2, 2);
+  Result<std::vector<RunOutcome>> out = RunArbitrary(ap, config);
   ASSERT_TRUE(out.ok()) << out.status();
   // Records 0 and 1 are within eps of each other; record 2 is isolated.
-  EXPECT_EQ(out->alice.labels[0], out->alice.labels[1]);
-  EXPECT_EQ(out->alice.labels[2], kNoise);
+  const Labels& labels = (*out)[0].clustering.labels;
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], kNoise);
 }
 
 TEST(ArbitraryTest, RecordCountMismatchRejected) {
@@ -102,8 +120,8 @@ TEST(ArbitraryTest, RecordCountMismatchRejected) {
   // Bob's view claims two records.
   ap.bob.values = {{0, 0}, {0, 0}};
   ap.bob.owned = {{0, 0}, {0, 0}};
-  ExecutionConfig config = FastConfig(1, 1);
-  Result<TwoPartyOutcome> out = ExecuteArbitrary(ap, config);
+  FastConfig config(1, 1);
+  Result<std::vector<RunOutcome>> out = RunArbitrary(ap, config);
   EXPECT_FALSE(out.ok());
 }
 
@@ -113,12 +131,12 @@ TEST(ArbitraryTest, BlindedComparatorMatchesIdeal) {
   FixedPointEncoder enc(4.0);
   Dataset full = *enc.Encode(raw);
   ArbitraryPartition ap = *PartitionArbitrary(full, rng, 0.5);
-  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 3);
-  Result<TwoPartyOutcome> ideal = ExecuteArbitrary(ap, config);
+  FastConfig config(*enc.EncodeEpsSquared(1.2), 3);
+  Result<std::vector<RunOutcome>> ideal = RunArbitrary(ap, config);
   config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  Result<TwoPartyOutcome> blinded = ExecuteArbitrary(ap, config);
+  Result<std::vector<RunOutcome>> blinded = RunArbitrary(ap, config);
   ASSERT_TRUE(ideal.ok() && blinded.ok()) << blinded.status();
-  EXPECT_EQ(ideal->alice.labels, blinded->alice.labels);
+  EXPECT_EQ((*ideal)[0].clustering.labels, (*blinded)[0].clustering.labels);
 }
 
 }  // namespace

@@ -99,6 +99,39 @@ TEST(CliSmokeTest, GenerateThenCentralEndToEnd) {
   EXPECT_EQ(labels.rfind("index,label\n", 0), 0u) << labels.substr(0, 32);
 }
 
+TEST(CliSmokeTest, HorizontalOverTcpLoopbackEndToEnd) {
+  // --transport tcp runs the two parties over real loopback sockets via
+  // the PartyRuntime facade; small keys + ideal comparator keep the run in
+  // smoke-test time. The table must report the transport and the ARI row.
+  const std::string dir = ::testing::TempDir();
+  const std::string data_csv = dir + "/cli_smoke_tcp_data.csv";
+  CommandResult generate = RunCli(
+      "generate --shape blobs --n 24 --dims 2 --seed 11 --out " + data_csv);
+  ASSERT_EQ(generate.exit_code, 0) << generate.stdout_text;
+
+  CommandResult run = RunCli(
+      "horizontal --in " + data_csv +
+      " --eps 1.2 --minpts 3 --paillier-bits 256 --rsa-bits 128"
+      " --comparator ideal --transport tcp");
+  ASSERT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_NE(run.stdout_text.find("tcp loopback"), std::string::npos)
+      << run.stdout_text;
+  EXPECT_NE(run.stdout_text.find("ARI vs centralized DBSCAN"),
+            std::string::npos)
+      << run.stdout_text;
+}
+
+TEST(CliSmokeTest, RejectsUnknownTransport) {
+  const std::string dir = ::testing::TempDir();
+  const std::string data_csv = dir + "/cli_smoke_tr_data.csv";
+  CommandResult generate = RunCli(
+      "generate --shape blobs --n 12 --dims 2 --seed 5 --out " + data_csv);
+  ASSERT_EQ(generate.exit_code, 0) << generate.stdout_text;
+  CommandResult run = RunCli("horizontal --in " + data_csv +
+                             " --eps 1.0 --minpts 3 --transport carrier-pigeon");
+  EXPECT_EQ(run.exit_code, 1);
+}
+
 TEST(CliSmokeTest, CentralRejectsMissingInput) {
   CommandResult result =
       RunCli("central --in /nonexistent/x.csv --eps 1.0 --minpts 4");

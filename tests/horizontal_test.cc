@@ -18,30 +18,46 @@ Dataset MakePoints(const std::vector<std::vector<int64_t>>& points) {
   return ds;
 }
 
-ExecutionConfig FastConfig(int64_t eps_squared, size_t min_pts) {
-  ExecutionConfig config;
-  config.smc.paillier_bits = 256;
-  config.smc.rsa_bits = 128;
-  config.protocol.params = {eps_squared, min_pts};
-  config.protocol.comparator.kind = ComparatorKind::kIdeal;
-  config.protocol.comparator.magnitude_bound =
-      RecommendedComparatorBound(2, 1 << 12);
-  return config;
+/// Shared configuration of one two-party test run under the job facade.
+struct FastConfig {
+  SmcOptions smc;
+  ProtocolOptions protocol;
+
+  explicit FastConfig(int64_t eps_squared, size_t min_pts) {
+    smc.paillier_bits = 256;
+    smc.rsa_bits = 128;
+    protocol.params = {eps_squared, min_pts};
+    protocol.comparator.kind = ComparatorKind::kIdeal;
+    protocol.comparator.magnitude_bound = RecommendedComparatorBound(2, 1 << 12);
+  }
+};
+
+/// Runs Alice's and Bob's horizontal jobs in-process through ExecuteLocal
+/// and returns the per-party outcomes {alice, bob}.
+Result<std::vector<RunOutcome>> RunHorizontal(const Dataset& alice,
+                                              const Dataset& bob,
+                                              const FastConfig& config) {
+  return ExecuteLocal(
+      {{ClusteringJob::Horizontal(alice, PartyRole::kAlice, config.protocol),
+        0x0a11ce},
+       {ClusteringJob::Horizontal(bob, PartyRole::kBob, config.protocol),
+        0x0b0b}},
+      config.smc);
 }
 
 /// Combines per-party labels back into the original record order, keeping
 /// the two parties' cluster id spaces disjoint (unless merged).
 Labels CombineLabels(const HorizontalPartition& hp,
-                     const TwoPartyOutcome& outcome, bool merged) {
+                     const std::vector<RunOutcome>& outcome, bool merged) {
   size_t n = hp.alice_ids.size() + hp.bob_ids.size();
   Labels combined(n, kUnclassified);
   int32_t offset =
-      merged ? 0 : static_cast<int32_t>(outcome.alice.num_clusters);
+      merged ? 0 : static_cast<int32_t>(outcome[0].clustering.num_clusters);
   for (size_t i = 0; i < hp.alice_ids.size(); ++i) {
-    combined[hp.alice_ids[i]] = outcome.alice.labels[i];
+    combined[hp.alice_ids[i]] = outcome[0].clustering.labels[i];
   }
   for (size_t i = 0; i < hp.bob_ids.size(); ++i) {
-    int32_t l = outcome.bob.labels[i];
+    int32_t l = outcome[1].clustering.labels[i];
     combined[hp.bob_ids[i]] = l >= 0 ? l + offset : l;
   }
   return combined;
@@ -53,13 +69,13 @@ TEST(HorizontalTest, PartySeparatedClustersMatchCentralized) {
   // combined output must match centralized DBSCAN exactly.
   Dataset alice = MakePoints({{0, 0}, {1, 0}, {0, 1}, {1, 1}});
   Dataset bob = MakePoints({{50, 50}, {51, 50}, {50, 51}, {51, 51}});
-  ExecutionConfig config = FastConfig(2, 3);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(2, 3);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok()) << out.status();
-  EXPECT_EQ(out->alice.num_clusters, 1u);
-  EXPECT_EQ(out->bob.num_clusters, 1u);
-  for (int32_t l : out->alice.labels) EXPECT_EQ(l, 0);
-  for (int32_t l : out->bob.labels) EXPECT_EQ(l, 0);
+  EXPECT_EQ((*out)[0].clustering.num_clusters, 1u);
+  EXPECT_EQ((*out)[1].clustering.num_clusters, 1u);
+  for (int32_t l : (*out)[0].clustering.labels) EXPECT_EQ(l, 0);
+  for (int32_t l : (*out)[1].clustering.labels) EXPECT_EQ(l, 0);
 }
 
 TEST(HorizontalTest, PeerDensityCountsTowardCoreStatus) {
@@ -67,20 +83,20 @@ TEST(HorizontalTest, PeerDensityCountsTowardCoreStatus) {
   // the protocol must include cross-party density (|seedsA| + |seedsB|).
   Dataset alice = MakePoints({{0, 0}});
   Dataset bob = MakePoints({{1, 0}, {0, 1}});
-  ExecutionConfig config = FastConfig(2, 3);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(2, 3);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok()) << out.status();
-  EXPECT_EQ(out->alice.labels[0], 0);  // clustered, not noise
-  EXPECT_TRUE(out->alice.is_core[0]);
+  EXPECT_EQ((*out)[0].clustering.labels[0], 0);  // clustered, not noise
+  EXPECT_TRUE((*out)[0].clustering.is_core[0]);
 }
 
 TEST(HorizontalTest, WithoutPeerDensityPointIsNoise) {
   Dataset alice = MakePoints({{0, 0}});
   Dataset bob = MakePoints({{100, 100}, {101, 100}});
-  ExecutionConfig config = FastConfig(2, 3);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(2, 3);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice.labels[0], kNoise);
+  EXPECT_EQ((*out)[0].clustering.labels[0], kNoise);
 }
 
 TEST(HorizontalTest, CrossPartyBridgeSplitsWithoutMerge) {
@@ -91,11 +107,11 @@ TEST(HorizontalTest, CrossPartyBridgeSplitsWithoutMerge) {
       {{0, 0}, {1, 0}, {0, 1}, {20, 0}, {21, 0}, {20, 1}});
   Dataset bob = MakePoints(
       {{3, 0}, {6, 0}, {9, 0}, {12, 0}, {15, 0}, {18, 0}});
-  ExecutionConfig config = FastConfig(10, 2);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(10, 2);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice.num_clusters, 2u);
-  EXPECT_NE(out->alice.labels[0], out->alice.labels[3]);
+  EXPECT_EQ((*out)[0].clustering.num_clusters, 2u);
+  EXPECT_NE((*out)[0].clustering.labels[0], (*out)[0].clustering.labels[3]);
 
   // Centralized DBSCAN on the union finds ONE cluster.
   Dataset all = MakePoints({{0, 0}, {1, 0}, {0, 1}, {20, 0}, {21, 0}, {20, 1},
@@ -109,22 +125,24 @@ TEST(HorizontalTest, MergeExtensionReconnectsBridge) {
       {{0, 0}, {1, 0}, {0, 1}, {20, 0}, {21, 0}, {20, 1}});
   Dataset bob = MakePoints(
       {{3, 0}, {6, 0}, {9, 0}, {12, 0}, {15, 0}, {18, 0}});
-  ExecutionConfig config = FastConfig(10, 2);
+  FastConfig config(10, 2);
   config.protocol.cross_party_merge = true;
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok()) << out.status();
   // After merging, both Alice blobs and Bob's bridge share one id space
   // with a single component.
-  EXPECT_EQ(out->alice.num_clusters, 1u);
-  EXPECT_EQ(out->bob.num_clusters, 1u);
-  EXPECT_EQ(out->alice.labels[0], out->alice.labels[3]);
-  EXPECT_EQ(out->alice.labels[0], out->bob.labels[0]);
+  const PartyClusteringResult& a = (*out)[0].clustering;
+  const PartyClusteringResult& b = (*out)[1].clustering;
+  EXPECT_EQ(a.num_clusters, 1u);
+  EXPECT_EQ(b.num_clusters, 1u);
+  EXPECT_EQ(a.labels[0], a.labels[3]);
+  EXPECT_EQ(a.labels[0], b.labels[0]);
   // The E7 extension's documented extra disclosure: the set of
   // cross-party cluster-adjacency links (2 here — each Alice blob touches
   // Bob's bridge), recorded once per party.
-  ASSERT_EQ(out->alice_disclosures.Count("merge_links"), 1u);
-  EXPECT_EQ(out->alice_disclosures.values("merge_links")[0], 2);
-  EXPECT_EQ(out->bob_disclosures.values("merge_links")[0], 2);
+  ASSERT_EQ((*out)[0].disclosures.Count("merge_links"), 1u);
+  EXPECT_EQ((*out)[0].disclosures.values("merge_links")[0], 2);
+  EXPECT_EQ((*out)[1].disclosures.values("merge_links")[0], 2);
 }
 
 TEST(HorizontalTest, BasicAndEnhancedProduceIdenticalClusterings) {
@@ -134,17 +152,19 @@ TEST(HorizontalTest, BasicAndEnhancedProduceIdenticalClusterings) {
   FixedPointEncoder enc(4.0);
   Dataset full = *enc.Encode(raw);
   HorizontalPartition hp = *PartitionHorizontal(full, rng, 0.5);
-  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 4);
+  FastConfig config(*enc.EncodeEpsSquared(1.2), 4);
 
-  Result<TwoPartyOutcome> basic = ExecuteHorizontal(hp.alice, hp.bob, config);
+  Result<std::vector<RunOutcome>> basic = RunHorizontal(hp.alice, hp.bob,
+                                                        config);
   ASSERT_TRUE(basic.ok()) << basic.status();
   config.protocol.mode = HorizontalMode::kEnhanced;
-  Result<TwoPartyOutcome> enhanced =
-      ExecuteHorizontal(hp.alice, hp.bob, config);
+  Result<std::vector<RunOutcome>> enhanced = RunHorizontal(hp.alice, hp.bob,
+                                                           config);
   ASSERT_TRUE(enhanced.ok()) << enhanced.status();
-  EXPECT_EQ(basic->alice.labels, enhanced->alice.labels);
-  EXPECT_EQ(basic->bob.labels, enhanced->bob.labels);
-  EXPECT_EQ(basic->alice.is_core, enhanced->alice.is_core);
+  EXPECT_EQ((*basic)[0].clustering.labels, (*enhanced)[0].clustering.labels);
+  EXPECT_EQ((*basic)[1].clustering.labels, (*enhanced)[1].clustering.labels);
+  EXPECT_EQ((*basic)[0].clustering.is_core,
+            (*enhanced)[0].clustering.is_core);
 }
 
 TEST(HorizontalTest, CombinedLabelsVsCentralizedOnBridgeWorkload) {
@@ -164,14 +184,14 @@ TEST(HorizontalTest, CombinedLabelsVsCentralizedOnBridgeWorkload) {
                             {3, 0}, {6, 0}, {9, 0}, {12, 0}, {15, 0}, {18, 0}});
   DbscanResult central = RunDbscan(all, {.eps_squared = 10, .min_pts = 2});
 
-  ExecutionConfig config = FastConfig(10, 2);
-  Result<TwoPartyOutcome> split = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(10, 2);
+  Result<std::vector<RunOutcome>> split = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(split.ok());
   Labels split_combined = CombineLabels(hp, *split, /*merged=*/false);
   EXPECT_LT(AdjustedRandIndex(split_combined, central.labels), 1.0);
 
   config.protocol.cross_party_merge = true;
-  Result<TwoPartyOutcome> merged = ExecuteHorizontal(alice, bob, config);
+  Result<std::vector<RunOutcome>> merged = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(merged.ok());
   Labels merged_combined = CombineLabels(hp, *merged, /*merged=*/true);
   EXPECT_DOUBLE_EQ(AdjustedRandIndex(merged_combined, central.labels), 1.0);
@@ -182,26 +202,25 @@ TEST(HorizontalTest, DisclosureAccountingMatchesTheorem9) {
   // (every point is core-tested exactly once).
   Dataset alice = MakePoints({{0, 0}, {1, 0}, {30, 30}});
   Dataset bob = MakePoints({{0, 1}, {40, 40}});
-  ExecutionConfig config = FastConfig(2, 2);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(2, 2);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice_disclosures.Count("peer_neighbor_count"),
-            alice.size());
-  EXPECT_EQ(out->bob_disclosures.Count("peer_neighbor_count"), bob.size());
-  EXPECT_EQ(out->alice_disclosures.Count("peer_core_bit"), 0u);
+  EXPECT_EQ((*out)[0].disclosures.Count("peer_neighbor_count"), alice.size());
+  EXPECT_EQ((*out)[1].disclosures.Count("peer_neighbor_count"), bob.size());
+  EXPECT_EQ((*out)[0].disclosures.Count("peer_core_bit"), 0u);
 }
 
 TEST(HorizontalTest, EnhancedDisclosesOnlyBits) {
   Dataset alice = MakePoints({{0, 0}, {1, 0}, {30, 30}});
   Dataset bob = MakePoints({{0, 1}, {40, 40}});
-  ExecutionConfig config = FastConfig(2, 2);
+  FastConfig config(2, 2);
   config.protocol.mode = HorizontalMode::kEnhanced;
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice_disclosures.Count("peer_core_bit"), alice.size());
-  EXPECT_EQ(out->alice_disclosures.Count("peer_neighbor_count"), 0u);
+  EXPECT_EQ((*out)[0].disclosures.Count("peer_core_bit"), alice.size());
+  EXPECT_EQ((*out)[0].disclosures.Count("peer_neighbor_count"), 0u);
   // A bit discloses at most 1 bit of entropy; a count can disclose more.
-  EXPECT_LE(out->alice_disclosures.EntropyBits("peer_core_bit"), 1.0);
+  EXPECT_LE((*out)[0].disclosures.EntropyBits("peer_core_bit"), 1.0);
 }
 
 TEST(HorizontalTest, DeterministicUnderSeeds) {
@@ -210,13 +229,13 @@ TEST(HorizontalTest, DeterministicUnderSeeds) {
   FixedPointEncoder enc(4.0);
   Dataset full = *enc.Encode(raw);
   HorizontalPartition hp = *PartitionHorizontal(full, rng, 0.5);
-  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.0), 3);
-  Result<TwoPartyOutcome> a = ExecuteHorizontal(hp.alice, hp.bob, config);
-  Result<TwoPartyOutcome> b = ExecuteHorizontal(hp.alice, hp.bob, config);
+  FastConfig config(*enc.EncodeEpsSquared(1.0), 3);
+  Result<std::vector<RunOutcome>> a = RunHorizontal(hp.alice, hp.bob, config);
+  Result<std::vector<RunOutcome>> b = RunHorizontal(hp.alice, hp.bob, config);
   ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_EQ(a->alice.labels, b->alice.labels);
-  EXPECT_EQ(a->bob.labels, b->bob.labels);
-  EXPECT_EQ(a->alice_stats.bytes_sent, b->alice_stats.bytes_sent);
+  EXPECT_EQ((*a)[0].clustering.labels, (*b)[0].clustering.labels);
+  EXPECT_EQ((*a)[1].clustering.labels, (*b)[1].clustering.labels);
+  EXPECT_EQ((*a)[0].stats.bytes_sent, (*b)[0].stats.bytes_sent);
 }
 
 TEST(HorizontalTest, BlindedComparatorMatchesIdeal) {
@@ -225,47 +244,48 @@ TEST(HorizontalTest, BlindedComparatorMatchesIdeal) {
   FixedPointEncoder enc(4.0);
   Dataset full = *enc.Encode(raw);
   HorizontalPartition hp = *PartitionHorizontal(full, rng, 0.5);
-  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.0), 3);
-  Result<TwoPartyOutcome> ideal = ExecuteHorizontal(hp.alice, hp.bob, config);
+  FastConfig config(*enc.EncodeEpsSquared(1.0), 3);
+  Result<std::vector<RunOutcome>> ideal = RunHorizontal(hp.alice, hp.bob,
+                                                        config);
   config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
   config.protocol.comparator.blinding_bits = 40;
-  Result<TwoPartyOutcome> blinded =
-      ExecuteHorizontal(hp.alice, hp.bob, config);
+  Result<std::vector<RunOutcome>> blinded = RunHorizontal(hp.alice, hp.bob,
+                                                          config);
   ASSERT_TRUE(ideal.ok() && blinded.ok()) << blinded.status();
-  EXPECT_EQ(ideal->alice.labels, blinded->alice.labels);
-  EXPECT_EQ(ideal->bob.labels, blinded->bob.labels);
+  EXPECT_EQ((*ideal)[0].clustering.labels, (*blinded)[0].clustering.labels);
+  EXPECT_EQ((*ideal)[1].clustering.labels, (*blinded)[1].clustering.labels);
 }
 
 TEST(HorizontalTest, MinPtsOneIsolatesLonePoints) {
   Dataset alice = MakePoints({{0, 0}});
   Dataset bob = MakePoints({{100, 100}});
-  ExecutionConfig config = FastConfig(1, 1);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(1, 1);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice.labels[0], 0);
-  EXPECT_EQ(out->bob.labels[0], 0);
+  EXPECT_EQ((*out)[0].clustering.labels[0], 0);
+  EXPECT_EQ((*out)[1].clustering.labels[0], 0);
 }
 
 TEST(HorizontalTest, AllNoise) {
   Dataset alice = MakePoints({{0, 0}, {50, 0}});
   Dataset bob = MakePoints({{0, 50}, {50, 50}});
-  ExecutionConfig config = FastConfig(1, 3);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(1, 3);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  for (int32_t l : out->alice.labels) EXPECT_EQ(l, kNoise);
-  for (int32_t l : out->bob.labels) EXPECT_EQ(l, kNoise);
-  EXPECT_EQ(out->alice.num_clusters, 0u);
+  for (int32_t l : (*out)[0].clustering.labels) EXPECT_EQ(l, kNoise);
+  for (int32_t l : (*out)[1].clustering.labels) EXPECT_EQ(l, kNoise);
+  EXPECT_EQ((*out)[0].clustering.num_clusters, 0u);
 }
 
 TEST(HorizontalTest, CommunicationIsSymmetricallyAccounted) {
   Dataset alice = MakePoints({{0, 0}, {1, 1}});
   Dataset bob = MakePoints({{2, 2}, {3, 3}});
-  ExecutionConfig config = FastConfig(4, 2);
-  Result<TwoPartyOutcome> out = ExecuteHorizontal(alice, bob, config);
+  FastConfig config(4, 2);
+  Result<std::vector<RunOutcome>> out = RunHorizontal(alice, bob, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice_stats.bytes_sent, out->bob_stats.bytes_received);
-  EXPECT_EQ(out->bob_stats.bytes_sent, out->alice_stats.bytes_received);
-  EXPECT_GT(out->alice_stats.bytes_sent, 0u);
+  EXPECT_EQ((*out)[0].stats.bytes_sent, (*out)[1].stats.bytes_received);
+  EXPECT_EQ((*out)[1].stats.bytes_sent, (*out)[0].stats.bytes_received);
+  EXPECT_GT((*out)[0].stats.bytes_sent, 0u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Cross-module integration tests: full protocol runs with the real
 // cryptographic comparison backends, including Algorithm 1 (YMPP) end to
-// end, and a TCP-transport run.
+// end, and a TCP-transport run — all through the ClusteringJob/PartyRuntime
+// facade.
 
 #include <gtest/gtest.h>
 
@@ -13,8 +14,8 @@
 #include "data/partitioners.h"
 #include "dbscan/dbscan.h"
 #include "eval/metrics.h"
+#include "net/memory_channel.h"
 #include "net/socket_channel.h"
-#include "test_util.h"
 
 namespace ppdbscan {
 namespace {
@@ -48,155 +49,157 @@ TinyWorkload MakeTinyWorkload() {
   return w;
 }
 
-ExecutionConfig BaseConfig(const TinyWorkload& w) {
-  ExecutionConfig config;
-  config.smc.paillier_bits = 256;
-  config.smc.rsa_bits = 128;
-  config.protocol.params = w.params;
-  config.protocol.comparator.magnitude_bound =
-      RecommendedComparatorBound(2, 6);
-  return config;
+struct BaseConfig {
+  SmcOptions smc;
+  ProtocolOptions protocol;
+
+  explicit BaseConfig(const TinyWorkload& w) {
+    smc.paillier_bits = 256;
+    smc.rsa_bits = 128;
+    protocol.params = w.params;
+    protocol.comparator.magnitude_bound = RecommendedComparatorBound(2, 6);
+  }
+};
+
+Result<std::vector<RunOutcome>> RunHorizontal(
+    const TinyWorkload& w, const BaseConfig& config,
+    LocalTransport transport = LocalTransport::kMemory) {
+  return ExecuteLocal(
+      {{ClusteringJob::Horizontal(w.alice, PartyRole::kAlice,
+                                  config.protocol),
+        0x0a11ce},
+       {ClusteringJob::Horizontal(w.bob, PartyRole::kBob, config.protocol),
+        0x0b0b}},
+      config.smc, transport);
 }
 
 TEST(IntegrationTest, YmppComparatorMatchesIdealOnBasicHorizontal) {
   TinyWorkload w = MakeTinyWorkload();
-  ExecutionConfig ideal = BaseConfig(w);
+  BaseConfig ideal(w);
   ideal.protocol.comparator.kind = ComparatorKind::kIdeal;
-  Result<TwoPartyOutcome> ideal_out = ExecuteHorizontal(w.alice, w.bob, ideal);
+  Result<std::vector<RunOutcome>> ideal_out = RunHorizontal(w, ideal);
   ASSERT_TRUE(ideal_out.ok()) << ideal_out.status();
 
-  ExecutionConfig ymp = BaseConfig(w);
+  BaseConfig ymp(w);
   ymp.protocol.comparator.kind = ComparatorKind::kYmpp;
-  Result<TwoPartyOutcome> ymp_out = ExecuteHorizontal(w.alice, w.bob, ymp);
+  Result<std::vector<RunOutcome>> ymp_out = RunHorizontal(w, ymp);
   ASSERT_TRUE(ymp_out.ok()) << ymp_out.status();
 
-  EXPECT_EQ(ideal_out->alice.labels, ymp_out->alice.labels);
-  EXPECT_EQ(ideal_out->bob.labels, ymp_out->bob.labels);
-  EXPECT_EQ(ideal_out->alice.is_core, ymp_out->alice.is_core);
+  EXPECT_EQ((*ideal_out)[0].clustering.labels,
+            (*ymp_out)[0].clustering.labels);
+  EXPECT_EQ((*ideal_out)[1].clustering.labels,
+            (*ymp_out)[1].clustering.labels);
+  EXPECT_EQ((*ideal_out)[0].clustering.is_core,
+            (*ymp_out)[0].clustering.is_core);
   // Algorithm 1 is expensive: the YMPP run must move far more bytes.
-  EXPECT_GT(ymp_out->alice_stats.total_bytes(),
-            20 * ideal_out->alice_stats.total_bytes());
+  EXPECT_GT((*ymp_out)[0].stats.total_bytes(),
+            20 * (*ideal_out)[0].stats.total_bytes());
 }
 
 TEST(IntegrationTest, YmppComparatorEnhancedModeWithBoundedMasks) {
   TinyWorkload w = MakeTinyWorkload();
-  ExecutionConfig ideal = BaseConfig(w);
+  BaseConfig ideal(w);
   ideal.protocol.comparator.kind = ComparatorKind::kIdeal;
   ideal.protocol.mode = HorizontalMode::kEnhanced;
-  Result<TwoPartyOutcome> ideal_out = ExecuteHorizontal(w.alice, w.bob, ideal);
+  Result<std::vector<RunOutcome>> ideal_out = RunHorizontal(w, ideal);
   ASSERT_TRUE(ideal_out.ok()) << ideal_out.status();
 
-  ExecutionConfig ymp = BaseConfig(w);
+  BaseConfig ymp(w);
   ymp.protocol.comparator.kind = ComparatorKind::kYmpp;
   ymp.protocol.mode = HorizontalMode::kEnhanced;
   // Bounded masks keep shares inside the YMPP domain; the bound must cover
   // max dist² + 2^mask_bits.
   ymp.protocol.share_mask_bits = 6;
-  Result<TwoPartyOutcome> ymp_out = ExecuteHorizontal(w.alice, w.bob, ymp);
+  Result<std::vector<RunOutcome>> ymp_out = RunHorizontal(w, ymp);
   ASSERT_TRUE(ymp_out.ok()) << ymp_out.status();
-  EXPECT_EQ(ideal_out->alice.labels, ymp_out->alice.labels);
-  EXPECT_EQ(ideal_out->bob.labels, ymp_out->bob.labels);
+  EXPECT_EQ((*ideal_out)[0].clustering.labels,
+            (*ymp_out)[0].clustering.labels);
+  EXPECT_EQ((*ideal_out)[1].clustering.labels,
+            (*ymp_out)[1].clustering.labels);
 }
 
 TEST(IntegrationTest, YmppComparatorOnVertical) {
   TinyWorkload w = MakeTinyWorkload();
   DbscanResult central = RunDbscan(w.full, w.params);
   VerticalPartition vp = *PartitionVertical(w.full, 1);
-  ExecutionConfig ymp = BaseConfig(w);
+  BaseConfig ymp(w);
   ymp.protocol.comparator.kind = ComparatorKind::kYmpp;
-  Result<TwoPartyOutcome> out = ExecuteVertical(vp, ymp);
+  Result<std::vector<RunOutcome>> out = ExecuteLocal(
+      {{ClusteringJob::Vertical(vp.alice, PartyRole::kAlice, ymp.protocol),
+        0x0a11ce},
+       {ClusteringJob::Vertical(vp.bob, PartyRole::kBob, ymp.protocol),
+        0x0b0b}},
+      ymp.smc);
   ASSERT_TRUE(out.ok()) << out.status();
-  EXPECT_TRUE(SameClustering(out->alice.labels, central.labels));
-  EXPECT_EQ(out->alice.labels, out->bob.labels);
+  EXPECT_TRUE(SameClustering((*out)[0].clustering.labels, central.labels));
+  EXPECT_EQ((*out)[0].clustering.labels, (*out)[1].clustering.labels);
 }
 
 TEST(IntegrationTest, HorizontalOverTcpSockets) {
+  // The same jobs, run over real loopback TCP via the facade's transport
+  // switch, must produce the exact MemoryChannel clustering.
   TinyWorkload w = MakeTinyWorkload();
-  ProtocolOptions options;
-  options.params = w.params;
-  options.comparator.kind = ComparatorKind::kBlindedPaillier;
-  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 6);
+  BaseConfig config(w);
+  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
+
+  Result<std::vector<RunOutcome>> tcp =
+      RunHorizontal(w, config, LocalTransport::kTcpLoopback);
+  ASSERT_TRUE(tcp.ok()) << tcp.status();
+
+  Result<std::vector<RunOutcome>> reference = RunHorizontal(w, config);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ((*tcp)[0].clustering.labels, (*reference)[0].clustering.labels);
+  EXPECT_EQ((*tcp)[1].clustering.labels, (*reference)[1].clustering.labels);
+  // Identical protocol bytes cross either transport.
+  EXPECT_EQ((*tcp)[0].stats.bytes_sent, (*reference)[0].stats.bytes_sent);
+}
+
+TEST(IntegrationTest, MismatchedComparatorKindsFailNegotiationOnBothSides) {
+  // Alice configured with the blinded comparator, Bob with YMPP: the
+  // facade's negotiation round must reject the run with a descriptive
+  // kFailedPrecondition on BOTH sides, before any protocol traffic.
+  TinyWorkload w = MakeTinyWorkload();
+  auto [alice_channel, bob_channel] = MemoryChannel::CreatePair();
   SmcOptions smc;
   smc.paillier_bits = 256;
   smc.rsa_bits = 128;
+  BaseConfig base(w);
+  ProtocolOptions alice_options = base.protocol;
+  alice_options.comparator.kind = ComparatorKind::kBlindedPaillier;
+  ProtocolOptions bob_options = base.protocol;
+  bob_options.comparator.kind = ComparatorKind::kYmpp;
 
-  Result<SocketListener> listener = SocketListener::Bind(0);
-  ASSERT_TRUE(listener.ok()) << listener.status();
-  const uint16_t kPort = listener->port();
+  ClusteringJob alice_job =
+      ClusteringJob::Horizontal(w.alice, PartyRole::kAlice, alice_options);
+  ClusteringJob bob_job =
+      ClusteringJob::Horizontal(w.bob, PartyRole::kBob, bob_options);
 
-  Result<PartyClusteringResult> alice_result = Status::Internal("unset");
-  Result<PartyClusteringResult> bob_result = Status::Internal("unset");
+  Result<RunOutcome> a = Status::Internal("unset");
+  Result<RunOutcome> b = Status::Internal("unset");
   std::thread alice_thread([&] {
-    Result<std::unique_ptr<SocketChannel>> ch = listener->Accept();
-    if (!ch.ok()) {
-      alice_result = ch.status();
-      return;
-    }
-    SecureRng rng(1);
-    Result<SmcSession> session = SmcSession::Establish(**ch, rng, smc);
-    if (!session.ok()) {
-      alice_result = session.status();
-      return;
-    }
-    alice_result = RunHorizontalDbscan(**ch, *session, w.alice,
-                                       PartyRole::kAlice, options, rng);
+    Result<PartyRuntime> runtime =
+        PartyRuntime::Connect(*alice_channel, SecureRng(1), smc);
+    a = runtime.ok() ? runtime->Run(alice_job) : Result<RunOutcome>(
+                                                     runtime.status());
+    alice_channel->Close();
   });
   std::thread bob_thread([&] {
-    Result<std::unique_ptr<SocketChannel>> ch =
-        SocketChannel::Connect("127.0.0.1", kPort);
-    if (!ch.ok()) {
-      bob_result = ch.status();
-      return;
-    }
-    SecureRng rng(2);
-    Result<SmcSession> session = SmcSession::Establish(**ch, rng, smc);
-    if (!session.ok()) {
-      bob_result = session.status();
-      return;
-    }
-    bob_result = RunHorizontalDbscan(**ch, *session, w.bob, PartyRole::kBob,
-                                     options, rng);
+    Result<PartyRuntime> runtime =
+        PartyRuntime::Connect(*bob_channel, SecureRng(2), smc);
+    b = runtime.ok() ? runtime->Run(bob_job) : Result<RunOutcome>(
+                                                   runtime.status());
+    bob_channel->Close();
   });
   alice_thread.join();
   bob_thread.join();
-  ASSERT_TRUE(alice_result.ok()) << alice_result.status();
-  ASSERT_TRUE(bob_result.ok()) << bob_result.status();
-
-  // Cross-check against the in-process harness.
-  ExecutionConfig config = BaseConfig(w);
-  config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  Result<TwoPartyOutcome> reference = ExecuteHorizontal(w.alice, w.bob, config);
-  ASSERT_TRUE(reference.ok());
-  EXPECT_EQ(alice_result->labels, reference->alice.labels);
-  EXPECT_EQ(bob_result->labels, reference->bob.labels);
-}
-
-TEST(IntegrationTest, MismatchedComparatorKindsFailCleanly) {
-  // Alice configured with the blinded comparator, Bob with YMPP: the first
-  // mismatched message must surface as an error on both sides, not a hang.
-  TinyWorkload w = MakeTinyWorkload();
-  testing_util::SessionPair pair = testing_util::MakeSessionPair(256, 128);
-  ProtocolOptions alice_options;
-  alice_options.params = w.params;
-  alice_options.comparator.kind = ComparatorKind::kBlindedPaillier;
-  alice_options.comparator.magnitude_bound = RecommendedComparatorBound(2, 6);
-  ProtocolOptions bob_options = alice_options;
-  bob_options.comparator.kind = ComparatorKind::kYmpp;
-
-  auto [a, b] = testing_util::RunTwoParty<Result<PartyClusteringResult>,
-                                          Result<PartyClusteringResult>>(
-      pair,
-      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
-        return RunHorizontalDbscan(ch, s, w.alice, PartyRole::kAlice,
-                                   alice_options, rng);
-      },
-      [&](Channel& ch, const SmcSession& s, SecureRng& rng) {
-        return RunHorizontalDbscan(ch, s, w.bob, PartyRole::kBob, bob_options,
-                                   rng);
-      },
-      /*close_on_return=*/true);
-  EXPECT_FALSE(a.ok());
-  EXPECT_FALSE(b.ok());
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(b.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(a.status().message().find("comparator"), std::string::npos)
+      << a.status();
+  EXPECT_NE(b.status().message().find("comparator"), std::string::npos)
+      << b.status();
 }
 
 }  // namespace

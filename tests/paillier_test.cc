@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "bigint/prime.h"
@@ -349,6 +350,35 @@ TEST_F(PaillierTest, RandomizerPoolConsumptionIsDeterministic) {
   std::vector<std::string> c = run(8);
   EXPECT_EQ(a, b);
   EXPECT_EQ(b, c);
+}
+
+TEST_F(PaillierTest, RandomizerPoolReserveBuildsBeyondTargetDeterministically) {
+  // Reserve() asks the producer to pre-build a job's worth of factors past
+  // the steady-state target, without blocking the caller and without
+  // changing which factor the k-th encryption consumes.
+  constexpr size_t kDemand = 12;
+  auto run = [&](bool reserve) {
+    PaillierRandomizerPool pool(dec_->context(), SecureRng(54), /*target=*/2);
+    if (reserve) {
+      pool.Reserve(kDemand);
+      // The producer must eventually buffer past the depth-2 target; poll
+      // available() rather than sleeping a fixed time.
+      while (pool.available() < kDemand) {
+        std::this_thread::yield();
+      }
+      EXPECT_GE(pool.produced(), kDemand);
+    }
+    std::vector<BigInt> ms;
+    for (size_t i = 0; i < kDemand; ++i) ms.push_back(BigInt(int64_t(i)));
+    Result<std::vector<BigInt>> batch = pool.EncryptBatch(ms);
+    PPD_CHECK(batch.ok());
+    std::vector<std::string> out;
+    for (const BigInt& c : *batch) out.push_back(c.ToHex());
+    return out;
+  };
+  std::vector<std::string> reserved = run(true);
+  std::vector<std::string> unreserved = run(false);
+  EXPECT_EQ(reserved, unreserved);
 }
 
 TEST_F(PaillierTest, EncryptBatchWithFactorsMatchesManualComposition) {

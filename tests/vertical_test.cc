@@ -16,15 +16,30 @@
 namespace ppdbscan {
 namespace {
 
-ExecutionConfig FastConfig(int64_t eps_squared, size_t min_pts) {
-  ExecutionConfig config;
-  config.smc.paillier_bits = 256;
-  config.smc.rsa_bits = 128;
-  config.protocol.params = {eps_squared, min_pts};
-  config.protocol.comparator.kind = ComparatorKind::kIdeal;
-  config.protocol.comparator.magnitude_bound =
-      RecommendedComparatorBound(4, 1 << 12);
-  return config;
+/// Shared configuration of one two-party test run under the job facade.
+struct FastConfig {
+  SmcOptions smc;
+  ProtocolOptions protocol;
+
+  explicit FastConfig(int64_t eps_squared, size_t min_pts) {
+    smc.paillier_bits = 256;
+    smc.rsa_bits = 128;
+    protocol.params = {eps_squared, min_pts};
+    protocol.comparator.kind = ComparatorKind::kIdeal;
+    protocol.comparator.magnitude_bound =
+        RecommendedComparatorBound(4, 1 << 12);
+  }
+};
+
+/// Runs the two vertical jobs in-process and returns {alice, bob} outcomes.
+Result<std::vector<RunOutcome>> RunVertical(const VerticalPartition& vp,
+                                            const FastConfig& config) {
+  return ExecuteLocal(
+      {{ClusteringJob::Vertical(vp.alice, PartyRole::kAlice, config.protocol),
+        0x0a11ce},
+       {ClusteringJob::Vertical(vp.bob, PartyRole::kBob, config.protocol),
+        0x0b0b}},
+      config.smc);
 }
 
 struct VerticalCase {
@@ -51,16 +66,18 @@ TEST_P(VerticalEquivalenceTest, MatchesCentralizedExactly) {
   DbscanResult central = RunDbscan(full, params);
 
   VerticalPartition vp = *PartitionVertical(full, c.split);
-  ExecutionConfig config = FastConfig(params.eps_squared, params.min_pts);
-  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  FastConfig config(params.eps_squared, params.min_pts);
+  Result<std::vector<RunOutcome>> out = RunVertical(vp, config);
   ASSERT_TRUE(out.ok()) << out.status();
 
   // Theorem 10 setting: both parties obtain the exact centralized result.
-  EXPECT_TRUE(SameClustering(out->alice.labels, central.labels));
-  EXPECT_TRUE(SameClustering(out->bob.labels, central.labels));
-  EXPECT_EQ(out->alice.labels, out->bob.labels);
-  EXPECT_EQ(out->alice.is_core, central.is_core);
-  EXPECT_EQ(out->alice.num_clusters, central.num_clusters);
+  const PartyClusteringResult& alice = (*out)[0].clustering;
+  const PartyClusteringResult& bob = (*out)[1].clustering;
+  EXPECT_TRUE(SameClustering(alice.labels, central.labels));
+  EXPECT_TRUE(SameClustering(bob.labels, central.labels));
+  EXPECT_EQ(alice.labels, bob.labels);
+  EXPECT_EQ(alice.is_core, central.is_core);
+  EXPECT_EQ(alice.num_clusters, central.num_clusters);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -79,14 +96,14 @@ TEST(VerticalTest, BothPartiesSeeIdenticalDisclosures) {
   FixedPointEncoder enc(4.0);
   Dataset full = *enc.Encode(raw);
   VerticalPartition vp = *PartitionVertical(full, 1);
-  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 3);
-  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  FastConfig config(*enc.EncodeEpsSquared(1.2), 3);
+  Result<std::vector<RunOutcome>> out = RunVertical(vp, config);
   ASSERT_TRUE(out.ok());
   // Neighbourhood sizes are revealed to both parties (Theorem 10) and must
   // agree event-by-event.
-  EXPECT_EQ(out->alice_disclosures.values("neighborhood_size"),
-            out->bob_disclosures.values("neighborhood_size"));
-  EXPECT_GT(out->alice_disclosures.Count("neighborhood_size"), 0u);
+  EXPECT_EQ((*out)[0].disclosures.values("neighborhood_size"),
+            (*out)[1].disclosures.values("neighborhood_size"));
+  EXPECT_GT((*out)[0].disclosures.Count("neighborhood_size"), 0u);
 }
 
 TEST(VerticalTest, RecordCountMismatchRejected) {
@@ -96,8 +113,8 @@ TEST(VerticalTest, RecordCountMismatchRejected) {
   Dataset bob_cols(1);
   PPD_CHECK(bob_cols.Add({0}).ok());
   VerticalPartition vp{alice_cols, bob_cols, 1};
-  ExecutionConfig config = FastConfig(1, 1);
-  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  FastConfig config(1, 1);
+  Result<std::vector<RunOutcome>> out = RunVertical(vp, config);
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
@@ -107,10 +124,10 @@ TEST(VerticalTest, SinglePointDataset) {
   PPD_CHECK(alice_cols.Add({5}).ok());
   PPD_CHECK(bob_cols.Add({7}).ok());
   VerticalPartition vp{alice_cols, bob_cols, 1};
-  ExecutionConfig config = FastConfig(100, 1);
-  Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+  FastConfig config(100, 1);
+  Result<std::vector<RunOutcome>> out = RunVertical(vp, config);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->alice.labels[0], 0);
+  EXPECT_EQ((*out)[0].clustering.labels[0], 0);
 }
 
 TEST(VerticalTest, QuadraticCommunicationShape) {
@@ -122,10 +139,10 @@ TEST(VerticalTest, QuadraticCommunicationShape) {
       PPD_CHECK(bob_cols.Add({0}).ok());
     }
     VerticalPartition vp{alice_cols, bob_cols, 1};
-    ExecutionConfig config = FastConfig(4, 2);
-    Result<TwoPartyOutcome> out = ExecuteVertical(vp, config);
+    FastConfig config(4, 2);
+    Result<std::vector<RunOutcome>> out = RunVertical(vp, config);
     PPD_CHECK(out.ok());
-    return out->alice_stats.total_bytes();
+    return (*out)[0].stats.total_bytes();
   };
   uint64_t small = measure(8);
   uint64_t big = measure(16);
@@ -139,17 +156,17 @@ TEST(VerticalTest, BlindedComparatorMatchesIdeal) {
   FixedPointEncoder enc(4.0);
   Dataset full = *enc.Encode(raw);
   VerticalPartition vp = *PartitionVertical(full, 1);
-  ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.2), 3);
-  Result<TwoPartyOutcome> ideal = ExecuteVertical(vp, config);
+  FastConfig config(*enc.EncodeEpsSquared(1.2), 3);
+  Result<std::vector<RunOutcome>> ideal = RunVertical(vp, config);
   config.protocol.comparator.kind = ComparatorKind::kBlindedPaillier;
-  Result<TwoPartyOutcome> blinded = ExecuteVertical(vp, config);
+  Result<std::vector<RunOutcome>> blinded = RunVertical(vp, config);
   ASSERT_TRUE(ideal.ok() && blinded.ok()) << blinded.status();
-  EXPECT_EQ(ideal->alice.labels, blinded->alice.labels);
+  EXPECT_EQ((*ideal)[0].clustering.labels, (*blinded)[0].clustering.labels);
 }
 
 TEST(VerticalTest, LocalPruningPreservesClustering) {
   // E9: pruning only ever skips pairs whose total distance provably
-  // exceeds EpsÂ², so labels, core flags and cluster counts are identical
+  // exceeds Eps², so labels, core flags and cluster counts are identical
   // across a spread of workloads and parameters.
   for (uint64_t seed : {3u, 8u, 21u}) {
     SecureRng rng(seed);
@@ -158,14 +175,17 @@ TEST(VerticalTest, LocalPruningPreservesClustering) {
     FixedPointEncoder enc(4.0);
     Dataset full = *enc.Encode(raw);
     VerticalPartition vp = *PartitionVertical(full, 1);
-    ExecutionConfig config = FastConfig(*enc.EncodeEpsSquared(1.3), 3);
-    Result<TwoPartyOutcome> plain = ExecuteVertical(vp, config);
+    FastConfig config(*enc.EncodeEpsSquared(1.3), 3);
+    Result<std::vector<RunOutcome>> plain = RunVertical(vp, config);
     config.protocol.vdp_local_pruning = true;
-    Result<TwoPartyOutcome> pruned = ExecuteVertical(vp, config);
+    Result<std::vector<RunOutcome>> pruned = RunVertical(vp, config);
     ASSERT_TRUE(plain.ok() && pruned.ok()) << pruned.status();
-    EXPECT_EQ(plain->alice.labels, pruned->alice.labels) << "seed " << seed;
-    EXPECT_EQ(plain->alice.is_core, pruned->alice.is_core);
-    EXPECT_EQ(pruned->alice.labels, pruned->bob.labels);
+    EXPECT_EQ((*plain)[0].clustering.labels, (*pruned)[0].clustering.labels)
+        << "seed " << seed;
+    EXPECT_EQ((*plain)[0].clustering.is_core,
+              (*pruned)[0].clustering.is_core);
+    EXPECT_EQ((*pruned)[0].clustering.labels,
+              (*pruned)[1].clustering.labels);
   }
 }
 
@@ -179,26 +199,48 @@ TEST(VerticalTest, LocalPruningSavesComparisonsOnSpreadData) {
     PPD_CHECK(bob_cols.Add({0}).ok());
   }
   VerticalPartition vp{alice_cols, bob_cols, 1};
-  ExecutionConfig config = FastConfig(4, 2);
-  Result<TwoPartyOutcome> plain = ExecuteVertical(vp, config);
+  FastConfig config(4, 2);
+  Result<std::vector<RunOutcome>> plain = RunVertical(vp, config);
   config.protocol.vdp_local_pruning = true;
-  Result<TwoPartyOutcome> pruned = ExecuteVertical(vp, config);
+  Result<std::vector<RunOutcome>> pruned = RunVertical(vp, config);
   ASSERT_TRUE(plain.ok() && pruned.ok());
-  EXPECT_EQ(plain->alice.labels, pruned->alice.labels);
-  EXPECT_LT(pruned->alice_stats.total_bytes(),
-            plain->alice_stats.total_bytes() / 2);
+  EXPECT_EQ((*plain)[0].clustering.labels, (*pruned)[0].clustering.labels);
+  EXPECT_LT((*pruned)[0].stats.total_bytes(),
+            (*plain)[0].stats.total_bytes() / 2);
   // Bob prunes nothing (his column is constant); Alice's map does all the
   // work, and each party records what it learned from the other's bitmap.
-  EXPECT_GT(pruned->bob_disclosures.Count("peer_pruned_count"), 0u);
+  EXPECT_GT((*pruned)[1].disclosures.Count("peer_pruned_count"), 0u);
 }
 
-TEST(VerticalTest, PruningMismatchFailsCleanly) {
-  // One party pruning while the other does not must desynchronize into a
-  // Status error (unexpected message tag), not a hang or silent corruption.
+TEST(VerticalTest, PruningMismatchRejectedByNegotiation) {
+  // One party pruning while the other does not is a configuration
+  // divergence: the facade's negotiation round must reject it with a
+  // descriptive kFailedPrecondition before any protocol traffic, instead
+  // of the mid-scan desync the raw protocol layer would produce.
+  Dataset cols(1);
+  for (int i = 0; i < 4; ++i) PPD_CHECK(cols.Add({i}).ok());
+  FastConfig config(1, 2);
+  ProtocolOptions pruning = config.protocol;
+  pruning.vdp_local_pruning = true;
+
+  Result<std::vector<RunOutcome>> out = ExecuteLocal(
+      {{ClusteringJob::Vertical(cols, PartyRole::kAlice, pruning), 1},
+       {ClusteringJob::Vertical(cols, PartyRole::kBob, config.protocol), 2}},
+      config.smc);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(out.status().message().find("pruning"), std::string::npos)
+      << out.status();
+}
+
+TEST(VerticalTest, PruningMismatchFailsCleanlyWithoutNegotiation) {
+  // The raw protocol layer (no negotiation round) must still desynchronize
+  // into a Status error (unexpected message tag), not a hang or silent
+  // corruption — defense in depth below the facade.
   Dataset cols(1);
   for (int i = 0; i < 4; ++i) PPD_CHECK(cols.Add({i}).ok());
   VerticalPartition vp{cols, cols, 1};
-  ExecutionConfig config = FastConfig(1, 2);
+  FastConfig config(1, 2);
 
   auto [alice_ch, bob_ch] = MemoryChannel::CreatePair();
   SecureRng alice_rng(1), bob_rng(2);

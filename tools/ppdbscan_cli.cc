@@ -8,15 +8,18 @@
 //                           [--fraction 0.5] [--enhanced] [--merge]
 //                           [--comparator blinded|ymp|ideal]
 //                           [--paillier-bits 384] [--seed 1]
+//                           [--transport memory|tcp]
 //   ppdbscan_cli vertical   --in d.csv --eps 1.0 --minpts 4 [--scale 16]
 //                           [--split-dim 1] [--prune] [...]
 //   ppdbscan_cli arbitrary  --in d.csv --eps 1.0 --minpts 4 [--scale 16]
 //                           [--fraction 0.5] [...]
 //
-// Protocol subcommands run both parties in-process (two threads over a
-// MemoryChannel) with real cryptography, print exact traffic counters and
-// the agreement with centralized DBSCAN on the pooled data, and optionally
-// write per-record labels as CSV.
+// Protocol subcommands build one ClusteringJob per party and run both
+// parties in-process through the PartyRuntime facade (core/job.h) with
+// real cryptography — over a MemoryChannel pair by default, or over real
+// loopback TCP with --transport tcp. They print exact traffic counters,
+// per-phase wall time, and the agreement with centralized DBSCAN on the
+// pooled data, and optionally write per-record labels as CSV.
 
 #include <cctype>
 #include <cstdio>
@@ -55,7 +58,9 @@ int Usage() {
       "  vertical:     [--split-dim D] [--prune]\n"
       "  arbitrary:    [--fraction F]\n"
       "  crypto:       [--comparator blinded|ymp|ideal]"
-      " [--paillier-bits B] [--rsa-bits B]\n");
+      " [--paillier-bits B] [--rsa-bits B]\n"
+      "  transport:    [--transport memory|tcp]  (tcp = real loopback"
+      " sockets)\n");
   return 2;
 }
 
@@ -176,9 +181,18 @@ Result<LoadedInput> LoadInput(const Flags& flags) {
   return input;
 }
 
-Result<ExecutionConfig> MakeConfig(const Flags& flags,
-                                   const LoadedInput& input) {
-  ExecutionConfig config;
+/// Shared configuration of a two-party CLI run: the crypto parameters, the
+/// negotiated ProtocolOptions both jobs carry, the transport, and the
+/// parties' rng seeds.
+struct CliConfig {
+  SmcOptions smc;
+  ProtocolOptions protocol;
+  LocalTransport transport = LocalTransport::kMemory;
+  uint64_t seed = 0xa11ce;
+};
+
+Result<CliConfig> MakeConfig(const Flags& flags, const LoadedInput& input) {
+  CliConfig config;
   config.smc.paillier_bits =
       static_cast<size_t>(flags.Num("paillier-bits", 384));
   config.smc.rsa_bits = static_cast<size_t>(flags.Num("rsa-bits", 384));
@@ -205,24 +219,49 @@ Result<ExecutionConfig> MakeConfig(const Flags& flags,
                                                : HorizontalMode::kBasic;
   config.protocol.cross_party_merge = flags.Has("merge");
   config.protocol.vdp_local_pruning = flags.Has("prune");
-  config.alice_seed = static_cast<uint64_t>(flags.Num("seed", 0xa11ce));
-  config.bob_seed = config.alice_seed + 1;
+  const std::string transport = flags.Str("transport", "memory");
+  if (transport == "memory") {
+    config.transport = LocalTransport::kMemory;
+  } else if (transport == "tcp") {
+    config.transport = LocalTransport::kTcpLoopback;
+  } else {
+    return Status::InvalidArgument("unknown --transport: " + transport);
+  }
+  config.seed = static_cast<uint64_t>(flags.Num("seed", 0xa11ce));
   return config;
 }
 
-void PrintOutcome(const char* protocol, const TwoPartyOutcome& outcome,
-                  const Labels& combined, const DbscanResult& central) {
+/// Runs Alice's and Bob's jobs in-process through the PartyRuntime facade
+/// and returns {alice outcome, bob outcome}.
+Result<std::vector<RunOutcome>> RunPartyPair(ClusteringJob alice_job,
+                                             ClusteringJob bob_job,
+                                             const CliConfig& config) {
+  std::vector<LocalJob> jobs;
+  jobs.push_back({std::move(alice_job), config.seed});
+  jobs.push_back({std::move(bob_job), config.seed + 1});
+  return ExecuteLocal(jobs, config.smc, config.transport);
+}
+
+void PrintOutcome(const char* protocol, const CliConfig& config,
+                  const RunOutcome& alice, const Labels& combined,
+                  const DbscanResult& central) {
   ResultTable table({"metric", "value"});
   table.AddRow({"protocol", protocol});
+  table.AddRow({"transport",
+                config.transport == LocalTransport::kMemory ? "memory"
+                                                            : "tcp loopback"});
   table.AddRow({"clusters (Alice view)",
-                ResultTable::Fmt(uint64_t{outcome.alice.num_clusters})});
-  table.AddRow({"bytes total",
-                ResultTable::Fmt(outcome.alice_stats.total_bytes())});
-  table.AddRow({"rounds", ResultTable::Fmt(outcome.alice_stats.rounds)});
+                ResultTable::Fmt(uint64_t{alice.clustering.num_clusters})});
+  table.AddRow({"bytes total", ResultTable::Fmt(alice.stats.total_bytes())});
+  table.AddRow({"rounds", ResultTable::Fmt(alice.stats.rounds)});
+  table.AddRow({"negotiation + protocol time",
+                ResultTable::Fmt(alice.timings.negotiation_seconds, 4) +
+                    " s + " +
+                    ResultTable::Fmt(alice.timings.protocol_seconds, 2) +
+                    " s"});
   table.AddRow({"projected metro-WAN time",
-                ResultTable::Fmt(
-                    ProjectedSeconds(outcome.alice_stats, MetroWanLink()),
-                    2) + " s"});
+                ResultTable::Fmt(ProjectedSeconds(alice.stats, MetroWanLink()),
+                                 2) + " s"});
   table.AddRow({"ARI vs centralized DBSCAN",
                 ResultTable::Fmt(
                     AdjustedRandIndex(combined, central.labels), 4)});
@@ -232,33 +271,40 @@ void PrintOutcome(const char* protocol, const TwoPartyOutcome& outcome,
 int RunHorizontal(const Flags& flags) {
   Result<LoadedInput> input = LoadInput(flags);
   if (!input.ok()) return Fail(input.status());
-  Result<ExecutionConfig> config = MakeConfig(flags, *input);
+  Result<CliConfig> config = MakeConfig(flags, *input);
   if (!config.ok()) return Fail(config.status());
 
-  SecureRng split_rng(config->alice_seed);
+  SecureRng split_rng(config->seed);
   Result<HorizontalPartition> split = PartitionHorizontal(
       input->encoded, split_rng, flags.Num("fraction", 0.5));
   if (!split.ok()) return Fail(split.status());
 
-  Result<TwoPartyOutcome> outcome =
-      ExecuteHorizontal(split->alice, split->bob, *config);
+  Result<std::vector<RunOutcome>> outcome = RunPartyPair(
+      ClusteringJob::Horizontal(split->alice, PartyRole::kAlice,
+                                config->protocol),
+      ClusteringJob::Horizontal(split->bob, PartyRole::kBob,
+                                config->protocol),
+      *config);
   if (!outcome.ok()) return Fail(outcome.status());
+  const RunOutcome& alice = (*outcome)[0];
+  const RunOutcome& bob = (*outcome)[1];
 
   DbscanResult central = RunDbscan(input->encoded, input->params);
   Labels combined(input->encoded.size(), kUnclassified);
-  int32_t offset = config->protocol.cross_party_merge
-                       ? 0
-                       : static_cast<int32_t>(outcome->alice.num_clusters);
+  int32_t offset =
+      config->protocol.cross_party_merge
+          ? 0
+          : static_cast<int32_t>(alice.clustering.num_clusters);
   for (size_t i = 0; i < split->alice_ids.size(); ++i) {
-    combined[split->alice_ids[i]] = outcome->alice.labels[i];
+    combined[split->alice_ids[i]] = alice.clustering.labels[i];
   }
   for (size_t i = 0; i < split->bob_ids.size(); ++i) {
-    int32_t l = outcome->bob.labels[i];
+    int32_t l = bob.clustering.labels[i];
     combined[split->bob_ids[i]] = l >= 0 ? l + offset : l;
   }
   PrintOutcome(flags.Has("enhanced") ? "horizontal (Alg. 7/8)"
                                      : "horizontal (Alg. 3/4)",
-               *outcome, combined, central);
+               *config, alice, combined, central);
   const std::string out = flags.Str("out", "");
   if (!out.empty()) {
     Status status = WriteFile(out, FormatLabelsCsv(combined));
@@ -271,7 +317,7 @@ int RunHorizontal(const Flags& flags) {
 int RunVertical(const Flags& flags) {
   Result<LoadedInput> input = LoadInput(flags);
   if (!input.ok()) return Fail(input.status());
-  Result<ExecutionConfig> config = MakeConfig(flags, *input);
+  Result<CliConfig> config = MakeConfig(flags, *input);
   if (!config.ok()) return Fail(config.status());
 
   size_t split_dim = static_cast<size_t>(
@@ -280,14 +326,19 @@ int RunVertical(const Flags& flags) {
       PartitionVertical(input->encoded, split_dim);
   if (!split.ok()) return Fail(split.status());
 
-  Result<TwoPartyOutcome> outcome = ExecuteVertical(*split, *config);
+  Result<std::vector<RunOutcome>> outcome = RunPartyPair(
+      ClusteringJob::Vertical(split->alice, PartyRole::kAlice,
+                              config->protocol),
+      ClusteringJob::Vertical(split->bob, PartyRole::kBob, config->protocol),
+      *config);
   if (!outcome.ok()) return Fail(outcome.status());
+  const Labels& labels = (*outcome)[0].clustering.labels;
   DbscanResult central = RunDbscan(input->encoded, input->params);
-  PrintOutcome("vertical (Alg. 5/6)", *outcome, outcome->alice.labels,
+  PrintOutcome("vertical (Alg. 5/6)", *config, (*outcome)[0], labels,
                central);
   const std::string out = flags.Str("out", "");
   if (!out.empty()) {
-    Status status = WriteFile(out, FormatLabelsCsv(outcome->alice.labels));
+    Status status = WriteFile(out, FormatLabelsCsv(labels));
     if (!status.ok()) return Fail(status);
     std::printf("labels written to %s\n", out.c_str());
   }
@@ -297,21 +348,27 @@ int RunVertical(const Flags& flags) {
 int RunArbitrary(const Flags& flags) {
   Result<LoadedInput> input = LoadInput(flags);
   if (!input.ok()) return Fail(input.status());
-  Result<ExecutionConfig> config = MakeConfig(flags, *input);
+  Result<CliConfig> config = MakeConfig(flags, *input);
   if (!config.ok()) return Fail(config.status());
 
-  SecureRng split_rng(config->alice_seed + 7);
+  SecureRng split_rng(config->seed + 7);
   Result<ArbitraryPartition> split = PartitionArbitrary(
       input->encoded, split_rng, flags.Num("fraction", 0.5));
   if (!split.ok()) return Fail(split.status());
 
-  Result<TwoPartyOutcome> outcome = ExecuteArbitrary(*split, *config);
+  Result<std::vector<RunOutcome>> outcome = RunPartyPair(
+      ClusteringJob::Arbitrary(split->alice, PartyRole::kAlice,
+                               config->protocol),
+      ClusteringJob::Arbitrary(split->bob, PartyRole::kBob,
+                               config->protocol),
+      *config);
   if (!outcome.ok()) return Fail(outcome.status());
+  const Labels& labels = (*outcome)[0].clustering.labels;
   DbscanResult central = RunDbscan(input->encoded, input->params);
-  PrintOutcome("arbitrary (§4.4)", *outcome, outcome->alice.labels, central);
+  PrintOutcome("arbitrary (§4.4)", *config, (*outcome)[0], labels, central);
   const std::string out = flags.Str("out", "");
   if (!out.empty()) {
-    Status status = WriteFile(out, FormatLabelsCsv(outcome->alice.labels));
+    Status status = WriteFile(out, FormatLabelsCsv(labels));
     if (!status.ok()) return Fail(status);
     std::printf("labels written to %s\n", out.c_str());
   }

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bigint/bigint.h"
+#include "bigint/kernels.h"
 #include "bigint/montgomery.h"
 #include "bigint/prime.h"
 #include "common/random.h"
@@ -108,6 +109,46 @@ void BM_ModExpSmallExponent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModExpSmallExponent)->Arg(512)->Arg(1024)->Arg(2048);
+
+// addmul_1 span throughput: the one primitive under every Montgomery
+// round and schoolbook row, measured per kernel. Arg = span limb count
+// (32 limbs = one 2048-bit row in the 64-bit build).
+void KernelAddmulSpan(benchmark::State& state, const LimbKernels& kern) {
+  SecureRng rng(10);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Limb> a(n);
+  std::vector<Limb> r(n + 1, 0);
+  for (Limb& l : a) l = static_cast<Limb>(rng.NextU64());
+  const Limb m = static_cast<Limb>(rng.NextU64()) | 1u;
+  for (auto _ : state) {
+    r[n] += kern.addmul_1(r.data(), a.data(), n, m);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetLabel(kern.name);
+}
+void BM_MulLimbsKernel_Scalar(benchmark::State& state) {
+  KernelAddmulSpan(state, ScalarLimbKernels());
+}
+BENCHMARK(BM_MulLimbsKernel_Scalar)->Arg(8)->Arg(32)->Arg(64);
+// Whatever startup dispatch picked (CPUID, or the PPDBSCAN_KERNEL
+// override): mulx on BMI2+ADX x86-64, scalar elsewhere.
+void BM_MulLimbsKernel_Dispatched(benchmark::State& state) {
+  KernelAddmulSpan(state, ActiveLimbKernels());
+}
+BENCHMARK(BM_MulLimbsKernel_Dispatched)->Arg(8)->Arg(32)->Arg(64);
+
+// Per-call cost of going through the dispatch layer (atomic load +
+// indirect call) on a minimal one-limb span — the upper bound on what the
+// pluggable kernel layer adds to each primitive invocation.
+void BM_KernelDispatchOverhead(benchmark::State& state) {
+  std::vector<Limb> a = {42u};
+  std::vector<Limb> r = {0u, 0u};
+  for (auto _ : state) {
+    r[1] += ActiveLimbKernels().addmul_1(r.data(), a.data(), 1, 3);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_KernelDispatchOverhead);
 
 void BM_MillerRabin(benchmark::State& state) {
   SecureRng rng(6);

@@ -1,0 +1,25 @@
+// Configure-time probe: exits 0 when the build host's CPU can execute the
+// mulx/ADX limb kernel (CPUID reports BMI2 and ADX and the instruction
+// sequence produces the expected result). Used only to decide whether the
+// PPDBSCAN_KERNEL=mulx-forced ctest variants are registered on this host.
+#include <cpuid.h>
+
+int main() {
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return 1;
+  const unsigned int kBmi2Bit = 1u << 8;
+  const unsigned int kAdxBit = 1u << 19;
+  if ((ebx & kBmi2Bit) == 0 || (ebx & kAdxBit) == 0) return 1;
+  // Execute the instructions: clear CF/OF, then 3·5=15 split as hi:lo,
+  // plus two carry-free adds of 1 onto an accumulator of 4 -> 15 + 0 + 6.
+  unsigned long long lo = 0, hi = 0, acc = 4, one = 1, three = 3;
+  __asm__ volatile(
+      "xorl %k[lo], %k[lo]\n\t"
+      "adcxq %[one], %[acc]\n\t"
+      "adoxq %[one], %[acc]\n\t"
+      "mulxq %[three], %[lo], %[hi]"
+      : [lo] "=&r"(lo), [hi] "=&r"(hi), [acc] "+r"(acc)
+      : [three] "r"(three), [one] "r"(one), "d"(5ull)
+      : "cc");
+  return (lo + hi + acc) == 21 ? 0 : 1;
+}

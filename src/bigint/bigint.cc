@@ -4,6 +4,7 @@
 #include <bit>
 #include <ostream>
 
+#include "bigint/kernels.h"
 #include "bigint/montgomery.h"
 
 namespace ppdbscan {
@@ -28,53 +29,39 @@ int CmpMag(const Limbs& a, const Limbs& b) {
 }
 
 Limbs AddMag(const Limbs& a, const Limbs& b) {
+  const LimbKernels& kern = ActiveLimbKernels();
   const Limbs& big = a.size() >= b.size() ? a : b;
   const Limbs& small = a.size() >= b.size() ? b : a;
   Limbs out(big.size() + 1, 0);
-  DoubleLimb carry = 0;
-  for (size_t i = 0; i < big.size(); ++i) {
-    DoubleLimb s = carry + big[i] + (i < small.size() ? small[i] : Limb{0});
-    out[i] = static_cast<Limb>(s);
-    carry = s >> kLimbBits;
-  }
-  out[big.size()] = static_cast<Limb>(carry);
+  Limb carry = kern.add_n(out.data(), big.data(), small.data(), small.size());
+  std::copy(big.begin() + static_cast<long>(small.size()), big.end(),
+            out.begin() + static_cast<long>(small.size()));
+  out[big.size()] = PropagateCarry(out.data() + small.size(),
+                                   big.size() - small.size(), carry);
   TrimMag(out);
   return out;
 }
 
-// Requires a >= b.
+// Requires a >= b (so a.size() >= b.size() for trimmed magnitudes).
 Limbs SubMag(const Limbs& a, const Limbs& b) {
+  const LimbKernels& kern = ActiveLimbKernels();
   Limbs out(a.size(), 0);
-  SignedDoubleLimb borrow = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    SignedDoubleLimb d =
-        static_cast<SignedDoubleLimb>(a[i]) - borrow -
-        (i < b.size() ? static_cast<SignedDoubleLimb>(b[i]) : 0);
-    if (d < 0) {
-      d += static_cast<SignedDoubleLimb>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out[i] = static_cast<Limb>(d);
-  }
+  Limb borrow = kern.sub_n(out.data(), a.data(), b.data(), b.size());
+  std::copy(a.begin() + static_cast<long>(b.size()), a.end(),
+            out.begin() + static_cast<long>(b.size()));
+  borrow =
+      PropagateBorrow(out.data() + b.size(), a.size() - b.size(), borrow);
   PPD_CHECK_MSG(borrow == 0, "SubMag underflow");
   TrimMag(out);
   return out;
 }
 
 void MulSchoolbook(const Limb* a, size_t an, const Limb* b, size_t bn,
-                   Limb* out) {
-  // out[0 .. an+bn) must be zero-initialized by the caller.
-  for (size_t i = 0; i < an; ++i) {
-    DoubleLimb carry = 0;
-    DoubleLimb ai = a[i];
-    for (size_t j = 0; j < bn; ++j) {
-      DoubleLimb t = ai * b[j] + out[i + j] + carry;
-      out[i + j] = static_cast<Limb>(t);
-      carry = t >> kLimbBits;
-    }
-    out[i + bn] = static_cast<Limb>(carry);
+                   Limb* out, const LimbKernels& kern) {
+  // out[0 .. an+bn) must be zero-initialized by the caller; an, bn >= 1.
+  out[bn] = kern.mul_1(out, b, bn, a[0]);
+  for (size_t i = 1; i < an; ++i) {
+    out[i + bn] = kern.addmul_1(out + i, b, bn, a[i]);
   }
 }
 
@@ -94,21 +81,13 @@ Limbs MulKaratsuba(const Limbs& a, const Limbs& b) {
   Limbs z1 = MulMag(AddMag(a0, a1), AddMag(b0, b1));
   z1 = SubMag(z1, AddMag(z0, z2));
   // result = z2 << 2h | z1 << h | z0  (limb shifts)
+  const LimbKernels& kern = ActiveLimbKernels();
   Limbs out(a.size() + b.size() + 1, 0);
-  auto add_at = [&out](const Limbs& v, size_t shift) {
-    DoubleLimb carry = 0;
-    size_t i = 0;
-    for (; i < v.size(); ++i) {
-      DoubleLimb s = carry + out[shift + i] + v[i];
-      out[shift + i] = static_cast<Limb>(s);
-      carry = s >> kLimbBits;
-    }
-    while (carry != 0) {
-      DoubleLimb s = carry + out[shift + i];
-      out[shift + i] = static_cast<Limb>(s);
-      carry = s >> kLimbBits;
-      ++i;
-    }
+  auto add_at = [&out, &kern](const Limbs& v, size_t shift) {
+    Limb carry =
+        kern.add_n(out.data() + shift, out.data() + shift, v.data(), v.size());
+    PPD_CHECK(PropagateCarry(out.data() + shift + v.size(),
+                             out.size() - shift - v.size(), carry) == 0);
   };
   add_at(z0, 0);
   add_at(z1, h);
@@ -123,7 +102,8 @@ Limbs MulMag(const Limbs& a, const Limbs& b) {
     return MulKaratsuba(a, b);
   }
   Limbs out(a.size() + b.size(), 0);
-  MulSchoolbook(a.data(), a.size(), b.data(), b.size(), out.data());
+  MulSchoolbook(a.data(), a.size(), b.data(), b.size(), out.data(),
+                ActiveLimbKernels());
   TrimMag(out);
   return out;
 }

@@ -1,0 +1,293 @@
+#include "bigint/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/status.h"
+
+// The mulx/ADX kernel needs 64-bit limbs, an x86-64 target, and an
+// assembler that accepts the BMI2/ADX mnemonics (checked at configure time;
+// PPDBSCAN_MULX_ASM comes from CMake). Everything else — including the
+// 32-bit limb fallback build — dispatches to the scalar kernel only.
+#if defined(PPDBSCAN_LIMB64) && defined(PPDBSCAN_MULX_ASM) && \
+    defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PPDBSCAN_HAVE_MULX_KERNEL 1
+#include <cpuid.h>
+#endif
+
+namespace ppdbscan {
+
+namespace {
+
+// --- scalar reference kernel ------------------------------------------------
+// Plain DoubleLimb accumulator chains: the semantic reference every other
+// kernel is differentially tested against (kernel_matrix_test).
+
+Limb ScalarMul1(Limb* r, const Limb* a, size_t n, Limb b) {
+  DoubleLimb carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    DoubleLimb t = static_cast<DoubleLimb>(a[i]) * b + carry;
+    r[i] = static_cast<Limb>(t);
+    carry = t >> kLimbBits;
+  }
+  return static_cast<Limb>(carry);
+}
+
+Limb ScalarAddmul1(Limb* r, const Limb* a, size_t n, Limb b) {
+  DoubleLimb carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    DoubleLimb t = static_cast<DoubleLimb>(a[i]) * b + r[i] + carry;
+    r[i] = static_cast<Limb>(t);
+    carry = t >> kLimbBits;
+  }
+  return static_cast<Limb>(carry);
+}
+
+Limb ScalarAddN(Limb* r, const Limb* a, const Limb* b, size_t n) {
+  Limb carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    DoubleLimb s = static_cast<DoubleLimb>(a[i]) + b[i] + carry;
+    r[i] = static_cast<Limb>(s);
+    carry = static_cast<Limb>(s >> kLimbBits);
+  }
+  return carry;
+}
+
+Limb ScalarSubN(Limb* r, const Limb* a, const Limb* b, size_t n) {
+  Limb borrow = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Unsigned wrap: the high half of the DoubleLimb difference is all-ones
+    // exactly when the subtraction underflowed.
+    DoubleLimb d = static_cast<DoubleLimb>(a[i]) - b[i] - borrow;
+    r[i] = static_cast<Limb>(d);
+    borrow = static_cast<Limb>(d >> kLimbBits) & 1u;
+  }
+  return borrow;
+}
+
+constexpr LimbKernels kScalarKernels = {
+    "scalar", ScalarMul1, ScalarAddmul1, ScalarAddN, ScalarSubN,
+};
+
+#if defined(PPDBSCAN_HAVE_MULX_KERNEL)
+
+// --- x86-64 mulx/ADX kernel -------------------------------------------------
+// mulx computes a full 64×64→128 product without touching flags, which
+// frees CF and OF to run two independent carry chains (adcx/adox) through
+// the multiply-accumulate loop. The loop below retires four limbs per
+// iteration; flag-safe loop control uses lea (no flags) + jrcxz (reads
+// rcx only). The kernel is compiled unconditionally but only dispatched
+// when CPUID reports both BMI2 (mulx) and ADX (adcx/adox).
+
+Limb MulxAddmul1(Limb* r, const Limb* a, size_t n, Limb b) {
+  // Scalar head brings the remaining length to a multiple of 4 for the
+  // unrolled dual-chain loop.
+  DoubleLimb head_carry = 0;
+  const size_t head = n % 4;
+  for (size_t i = 0; i < head; ++i) {
+    DoubleLimb t = static_cast<DoubleLimb>(a[i]) * b + r[i] + head_carry;
+    r[i] = static_cast<Limb>(t);
+    head_carry = t >> kLimbBits;
+  }
+  size_t blocks = (n - head) / 4;
+  Limb carry = static_cast<Limb>(head_carry);
+  if (blocks == 0) return carry;
+  a += head;
+  r += head;
+  Limb lo = 0, hi = 0;
+  const Limb zero = 0;
+  __asm__ volatile(
+      // Clears CF and OF (and the lo scratch) before the chains start.
+      "xorl %k[lo], %k[lo]\n"
+      "1:\n\t"
+      // CF chain (adcx): previous high limb into the next low limb.
+      // OF chain (adox): the accumulator r[] into the same limb.
+      "mulxq 0(%[a]), %[lo], %[hi]\n\t"
+      "adcxq %[carry], %[lo]\n\t"
+      "adoxq 0(%[r]), %[lo]\n\t"
+      "movq %[lo], 0(%[r])\n\t"
+      "mulxq 8(%[a]), %[lo], %[carry]\n\t"
+      "adcxq %[hi], %[lo]\n\t"
+      "adoxq 8(%[r]), %[lo]\n\t"
+      "movq %[lo], 8(%[r])\n\t"
+      "mulxq 16(%[a]), %[lo], %[hi]\n\t"
+      "adcxq %[carry], %[lo]\n\t"
+      "adoxq 16(%[r]), %[lo]\n\t"
+      "movq %[lo], 16(%[r])\n\t"
+      "mulxq 24(%[a]), %[lo], %[carry]\n\t"
+      "adcxq %[hi], %[lo]\n\t"
+      "adoxq 24(%[r]), %[lo]\n\t"
+      "movq %[lo], 24(%[r])\n\t"
+      "leaq 32(%[a]), %[a]\n\t"
+      "leaq 32(%[r]), %[r]\n\t"
+      "leaq -1(%[blocks]), %[blocks]\n\t"
+      "jrcxz 2f\n\t"
+      "jmp 1b\n"
+      "2:\n\t"
+      // Fold both live carry flags into the final high limb; the true
+      // carry-out is < 2^64 (r + a·b < B^(n+1)), so this cannot wrap.
+      "adcxq %[zero], %[carry]\n\t"
+      "adoxq %[zero], %[carry]\n\t"
+      : [a] "+r"(a), [r] "+r"(r), [carry] "+r"(carry), [lo] "=&r"(lo),
+        [hi] "=&r"(hi), [blocks] "+c"(blocks)
+      : [zero] "r"(zero), "d"(b)
+      : "cc", "memory");
+  return carry;
+}
+
+Limb MulxMul1(Limb* r, const Limb* a, size_t n, Limb b) {
+  if (n == 0) return 0;
+  // Single CF chain (hi_{i-1} + lo_i); dec preserves CF, so plain adc
+  // loop control works here.
+  Limb lo = 0, hi = 0, carry = 0;
+  size_t count = n;
+  const Limb zero = 0;
+  __asm__ volatile(
+      "xorl %k[carry], %k[carry]\n"
+      "1:\n\t"
+      "mulxq 0(%[a]), %[lo], %[hi]\n\t"
+      "adcq %[carry], %[lo]\n\t"
+      "movq %[lo], 0(%[r])\n\t"
+      "movq %[hi], %[carry]\n\t"
+      "leaq 8(%[a]), %[a]\n\t"
+      "leaq 8(%[r]), %[r]\n\t"
+      "decq %[count]\n\t"
+      "jnz 1b\n\t"
+      "adcq %[zero], %[carry]\n\t"
+      : [a] "+r"(a), [r] "+r"(r), [lo] "=&r"(lo), [hi] "=&r"(hi),
+        [carry] "=&r"(carry), [count] "+r"(count)
+      : [zero] "r"(zero), "d"(b)
+      : "cc", "memory");
+  return carry;
+}
+
+Limb MulxAddN(Limb* r, const Limb* a, const Limb* b, size_t n) {
+  if (n == 0) return 0;
+  Limb t = 0, carry = 0;
+  size_t count = n;
+  __asm__ volatile(
+      "xorl %k[carry], %k[carry]\n"
+      "1:\n\t"
+      "movq 0(%[a]), %[t]\n\t"
+      "adcq 0(%[b]), %[t]\n\t"
+      "movq %[t], 0(%[r])\n\t"
+      "leaq 8(%[a]), %[a]\n\t"
+      "leaq 8(%[b]), %[b]\n\t"
+      "leaq 8(%[r]), %[r]\n\t"
+      "decq %[count]\n\t"
+      "jnz 1b\n\t"
+      "setc %b[carry]\n\t"
+      : [a] "+r"(a), [b] "+r"(b), [r] "+r"(r), [t] "=&r"(t),
+        [carry] "=&r"(carry), [count] "+r"(count)
+      :
+      : "cc", "memory");
+  return carry;
+}
+
+Limb MulxSubN(Limb* r, const Limb* a, const Limb* b, size_t n) {
+  if (n == 0) return 0;
+  Limb t = 0, borrow = 0;
+  size_t count = n;
+  __asm__ volatile(
+      "xorl %k[borrow], %k[borrow]\n"
+      "1:\n\t"
+      "movq 0(%[a]), %[t]\n\t"
+      "sbbq 0(%[b]), %[t]\n\t"
+      "movq %[t], 0(%[r])\n\t"
+      "leaq 8(%[a]), %[a]\n\t"
+      "leaq 8(%[b]), %[b]\n\t"
+      "leaq 8(%[r]), %[r]\n\t"
+      "decq %[count]\n\t"
+      "jnz 1b\n\t"
+      "setc %b[borrow]\n\t"
+      : [a] "+r"(a), [b] "+r"(b), [r] "+r"(r), [t] "=&r"(t),
+        [borrow] "=&r"(borrow), [count] "+r"(count)
+      :
+      : "cc", "memory");
+  return borrow;
+}
+
+constexpr LimbKernels kMulxKernels = {
+    "mulx", MulxMul1, MulxAddmul1, MulxAddN, MulxSubN,
+};
+
+bool CpuSupportsBmi2Adx() {
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  constexpr unsigned int kBmi2Bit = 1u << 8;
+  constexpr unsigned int kAdxBit = 1u << 19;
+  return (ebx & kBmi2Bit) != 0 && (ebx & kAdxBit) != 0;
+}
+
+#endif  // PPDBSCAN_HAVE_MULX_KERNEL
+
+const LimbKernels* Dispatch() {
+  const char* env = std::getenv("PPDBSCAN_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    const LimbKernels* forced = FindLimbKernels(env);
+    PPD_CHECK_MSG(forced != nullptr,
+                  "PPDBSCAN_KERNEL=" << env
+                                     << " does not name a limb kernel "
+                                        "compiled into this build");
+    PPD_CHECK_MSG(LimbKernelsSupported(*forced),
+                  "PPDBSCAN_KERNEL=" << env
+                                     << " is not supported by this CPU");
+    return forced;
+  }
+  // Fastest supported kernel wins; SupportedLimbKernels lists scalar first.
+  return SupportedLimbKernels().back();
+}
+
+std::atomic<const LimbKernels*>& ActivePtr() {
+  static std::atomic<const LimbKernels*> active{Dispatch()};
+  return active;
+}
+
+}  // namespace
+
+const LimbKernels& ScalarLimbKernels() { return kScalarKernels; }
+
+std::vector<const LimbKernels*> CompiledLimbKernels() {
+  std::vector<const LimbKernels*> out = {&kScalarKernels};
+#if defined(PPDBSCAN_HAVE_MULX_KERNEL)
+  out.push_back(&kMulxKernels);
+#endif
+  return out;
+}
+
+std::vector<const LimbKernels*> SupportedLimbKernels() {
+  std::vector<const LimbKernels*> out;
+  for (const LimbKernels* k : CompiledLimbKernels()) {
+    if (LimbKernelsSupported(*k)) out.push_back(k);
+  }
+  return out;
+}
+
+const LimbKernels* FindLimbKernels(std::string_view name) {
+  for (const LimbKernels* k : CompiledLimbKernels()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+bool LimbKernelsSupported(const LimbKernels& kernels) {
+#if defined(PPDBSCAN_HAVE_MULX_KERNEL)
+  if (&kernels == &kMulxKernels) {
+    static const bool supported = CpuSupportsBmi2Adx();
+    return supported;
+  }
+#endif
+  return &kernels == &kScalarKernels;
+}
+
+const LimbKernels& ActiveLimbKernels() {
+  return *ActivePtr().load(std::memory_order_relaxed);
+}
+
+void SetActiveLimbKernelsForTesting(const LimbKernels* kernels) {
+  ActivePtr().store(kernels != nullptr ? kernels : Dispatch(),
+                    std::memory_order_relaxed);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,101 @@
+#ifndef PPDBSCAN_BIGINT_KERNELS_H_
+#define PPDBSCAN_BIGINT_KERNELS_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "bigint/limb.h"
+
+namespace ppdbscan {
+
+/// Pluggable limb-span primitives behind every bigint / Montgomery inner
+/// loop. Each kernel is a table of function pointers over raw little-endian
+/// limb spans; the portable scalar table is the semantic reference, and any
+/// alternative implementation (the x86-64 mulx/ADX table, a future AVX one)
+/// must be bit-identical to it on every input — asserted operand-by-operand
+/// and end-to-end (Paillier ciphertext goldens) by kernel_matrix_test.
+///
+/// Dispatch happens once, at first use: the fastest kernel the running CPU
+/// supports is chosen via CPUID (see ActiveLimbKernels), overridable with
+/// the PPDBSCAN_KERNEL environment variable (`scalar` or `mulx`) for tests
+/// and benches. The 32-bit limb build compiles the scalar table only.
+struct LimbKernels {
+  /// Stable identifier used by PPDBSCAN_KERNEL and test/bench labels.
+  const char* name;
+
+  /// r[0..n) = a[0..n) * b; returns the high (carry-out) limb.
+  /// r must not alias a. n may be 0.
+  Limb (*mul_1)(Limb* r, const Limb* a, size_t n, Limb b);
+
+  /// r[0..n) += a[0..n) * b; returns the carry-out limb (< 2^kLimbBits:
+  /// r + a*b < B^(n+1) for B = 2^kLimbBits). r must not alias a. n may be 0.
+  Limb (*addmul_1)(Limb* r, const Limb* a, size_t n, Limb b);
+
+  /// r[0..n) = a[0..n) + b[0..n) with carry propagation; returns the final
+  /// carry (0 or 1). r may alias a and/or b. n may be 0.
+  Limb (*add_n)(Limb* r, const Limb* a, const Limb* b, size_t n);
+
+  /// r[0..n) = a[0..n) - b[0..n) (wrapping mod B^n) with borrow
+  /// propagation; returns the final borrow (0 or 1). r may alias a and/or
+  /// b. n may be 0.
+  Limb (*sub_n)(Limb* r, const Limb* a, const Limb* b, size_t n);
+};
+
+/// The portable scalar reference kernel (DoubleLimb accumulators). Always
+/// compiled, always supported.
+const LimbKernels& ScalarLimbKernels();
+
+/// Every kernel compiled into this build, scalar first. A compiled kernel
+/// may still be unsupported on the running CPU (see LimbKernelsSupported).
+std::vector<const LimbKernels*> CompiledLimbKernels();
+
+/// The compiled kernels the running CPU can execute, scalar first. This is
+/// what kernel_matrix_test iterates.
+std::vector<const LimbKernels*> SupportedLimbKernels();
+
+/// Looks a compiled kernel up by name; nullptr when no kernel of that name
+/// was compiled into this build.
+const LimbKernels* FindLimbKernels(std::string_view name);
+
+/// True when the running CPU can execute `kernels` (CPUID feature check;
+/// the scalar kernel is unconditionally supported).
+bool LimbKernelsSupported(const LimbKernels& kernels);
+
+/// The kernel every bigint/Montgomery operation routes through. Resolved
+/// once, on first use: PPDBSCAN_KERNEL, when set, names the kernel (the
+/// process aborts on an unknown or CPU-unsupported name — a forced kernel
+/// must never silently fall back); otherwise the fastest supported kernel
+/// wins (mulx on x86-64 with BMI2+ADX, scalar everywhere else).
+const LimbKernels& ActiveLimbKernels();
+
+/// Replaces the active kernel for the rest of the process (tests only).
+/// Passing nullptr re-runs the startup dispatch (env override included).
+void SetActiveLimbKernelsForTesting(const LimbKernels* kernels);
+
+/// Propagates a single incoming carry limb through r[0..n), stopping as
+/// soon as it is absorbed; returns the carry out of the span (0 unless the
+/// carry rippled past r[n-1]).
+inline Limb PropagateCarry(Limb* r, size_t n, Limb carry) {
+  for (size_t i = 0; carry != 0 && i < n; ++i) {
+    DoubleLimb s = static_cast<DoubleLimb>(r[i]) + carry;
+    r[i] = static_cast<Limb>(s);
+    carry = static_cast<Limb>(s >> kLimbBits);
+  }
+  return carry;
+}
+
+/// Propagates a single incoming borrow (0 or 1) through r[0..n), stopping
+/// as soon as it is absorbed; returns the borrow out of the span.
+inline Limb PropagateBorrow(Limb* r, size_t n, Limb borrow) {
+  for (size_t i = 0; borrow != 0 && i < n; ++i) {
+    Limb v = r[i];
+    r[i] = v - borrow;
+    borrow = v == 0 ? 1 : 0;
+  }
+  return borrow;
+}
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BIGINT_KERNELS_H_

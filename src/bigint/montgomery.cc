@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bigint/bigint.h"
+#include "bigint/kernels.h"
 
 namespace ppdbscan {
 
@@ -20,21 +21,19 @@ int CmpLimbs(const std::vector<Limb>& a, const std::vector<Limb>& b) {
 }
 
 // a -= b in place; requires a >= b. Both little-endian, a.size() >= b size.
-void SubInPlace(std::vector<Limb>& a, const std::vector<Limb>& b) {
-  SignedDoubleLimb borrow = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    SignedDoubleLimb d =
-        static_cast<SignedDoubleLimb>(a[i]) - borrow -
-        (i < b.size() ? static_cast<SignedDoubleLimb>(b[i]) : 0);
-    if (d < 0) {
-      d += static_cast<SignedDoubleLimb>(DoubleLimb{1} << kLimbBits);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    a[i] = static_cast<Limb>(d);
-  }
+void SubInPlace(std::vector<Limb>& a, const std::vector<Limb>& b,
+                const LimbKernels& kern) {
+  PPD_CHECK(a.size() >= b.size());
+  Limb borrow = kern.sub_n(a.data(), a.data(), b.data(), b.size());
+  borrow = PropagateBorrow(a.data() + b.size(), a.size() - b.size(), borrow);
   PPD_CHECK(borrow == 0);
+}
+
+// Adds `carry` into t[idx..]. The REDC accumulators below are sized so
+// the ripple is always absorbed in bounds; the check guards that
+// invariant.
+void AddCarryAt(std::vector<Limb>& t, size_t idx, Limb carry) {
+  PPD_CHECK(PropagateCarry(t.data() + idx, t.size() - idx, carry) == 0);
 }
 
 }  // namespace
@@ -66,41 +65,33 @@ Result<MontgomeryCtx> MontgomeryCtx::Create(const BigInt& modulus) {
 
 std::vector<Limb> MontgomeryCtx::MulLimbs(const std::vector<Limb>& a,
                                           const std::vector<Limb>& b) const {
-  // CIOS: t has k+2 limbs.
-  std::vector<Limb> t(k_ + 2, 0);
-  for (size_t i = 0; i < k_; ++i) {
-    DoubleLimb ai = i < a.size() ? a[i] : 0;
-    // t += ai * b
-    DoubleLimb carry = 0;
-    for (size_t j = 0; j < k_; ++j) {
-      DoubleLimb bj = j < b.size() ? b[j] : 0;
-      DoubleLimb s = ai * bj + t[j] + carry;
-      t[j] = static_cast<Limb>(s);
-      carry = s >> kLimbBits;
-    }
-    DoubleLimb s = static_cast<DoubleLimb>(t[k_]) + carry;
-    t[k_] = static_cast<Limb>(s);
-    t[k_ + 1] = static_cast<Limb>(t[k_ + 1] + (s >> kLimbBits));
+  const LimbKernels& kern = ActiveLimbKernels();
+  // Clamp: operands wider than the modulus contribute only their low k_
+  // limbs (header contract; covered by the OverWideOperands tests). Short
+  // operands need no padding: the a_i·b rows simply span bn limbs, which
+  // keeps MulLimbs(x, {1u}) — every FromMont — allocation-free and cheap.
+  const size_t an = std::min(a.size(), k_);
+  const size_t bn = std::min(b.size(), k_);
 
-    // m = t[0] * n0_inv mod 2^kLimbBits; t += m * n; t >>= kLimbBits
-    Limb m = t[0] * n0_inv_;
-    DoubleLimb mm = m;
-    carry = (mm * n_[0] + t[0]) >> kLimbBits;
-    for (size_t j = 1; j < k_; ++j) {
-      DoubleLimb s2 = mm * n_[j] + t[j] + carry;
-      t[j - 1] = static_cast<Limb>(s2);
-      carry = s2 >> kLimbBits;
-    }
-    DoubleLimb s2 = static_cast<DoubleLimb>(t[k_]) + carry;
-    t[k_ - 1] = static_cast<Limb>(s2);
-    t[k_] = static_cast<Limb>(t[k_ + 1] + (s2 >> kLimbBits));
-    t[k_ + 1] = 0;
+  // Operand-scanning Montgomery product over the kernel's addmul_1 spans:
+  // round i adds a_i·b and then m_i·n at offset i, zeroing t[i]; after k
+  // rounds the REDC result sits at t+k. The running total stays below
+  // 2n·B^k < B^(2k+1), so 2k+2 limbs bound every carry ripple. The final
+  // integer is identical to the fused CIOS form this replaced: both
+  // compute (a·b + m·n)/B^k for the same per-round m.
+  std::vector<Limb> t(2 * k_ + 2, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    Limb* ti = t.data() + i;
+    Limb ai = i < an ? a[i] : 0;
+    AddCarryAt(t, i + bn, kern.addmul_1(ti, b.data(), bn, ai));
+    Limb m = static_cast<Limb>(ti[0] * n0_inv_);
+    AddCarryAt(t, i + k_, kern.addmul_1(ti, n_.data(), k_, m));
   }
-  std::vector<Limb> result(t.begin(), t.begin() + static_cast<long>(k_) + 1);
+  std::vector<Limb> result(t.begin() + static_cast<long>(k_), t.end());
   while (!result.empty() && result.back() == 0) result.pop_back();
   if (CmpLimbs(result, n_) >= 0) {
     result.resize(std::max(result.size(), n_.size()), 0);
-    SubInPlace(result, n_);
+    SubInPlace(result, n_, kern);
     while (!result.empty() && result.back() == 0) result.pop_back();
   }
   return result;
@@ -119,6 +110,7 @@ BigInt MontgomeryCtx::FromMont(const BigInt& x) const {
 }
 
 std::vector<Limb> MontgomeryCtx::SqrLimbs(const std::vector<Limb>& a) const {
+  const LimbKernels& kern = ActiveLimbKernels();
   // Clamp like MulLimbs: operands wider than the modulus contribute only
   // their low k_ limbs (t is sized for a k_-limb square).
   const size_t len = std::min(a.size(), k_);
@@ -126,20 +118,12 @@ std::vector<Limb> MontgomeryCtx::SqrLimbs(const std::vector<Limb>& a) const {
   // k limbs; one spare limb absorbs the final carry.
   std::vector<Limb> t(2 * k_ + 2, 0);
 
-  // Cross terms a_i·a_j for j > i, each computed once.
-  for (size_t i = 0; i < len; ++i) {
-    DoubleLimb ai = a[i];
-    DoubleLimb carry = 0;
-    for (size_t j = i + 1; j < len; ++j) {
-      DoubleLimb s = static_cast<DoubleLimb>(t[i + j]) + ai * a[j] + carry;
-      t[i + j] = static_cast<Limb>(s);
-      carry = s >> kLimbBits;
-    }
-    for (size_t idx = i + len; carry != 0; ++idx) {
-      carry += t[idx];
-      t[idx] = static_cast<Limb>(carry);
-      carry >>= kLimbBits;
-    }
+  // Cross terms a_i·a_j for j > i, each computed once — one kernel span
+  // per row, rooted at t[2i+1].
+  for (size_t i = 0; i + 1 < len; ++i) {
+    Limb c = kern.addmul_1(t.data() + 2 * i + 1, a.data() + i + 1,
+                           len - i - 1, a[i]);
+    AddCarryAt(t, i + len, c);
   }
 
   // Single pass: double the cross terms and fold in the a_i² diagonal.
@@ -159,25 +143,15 @@ std::vector<Limb> MontgomeryCtx::SqrLimbs(const std::vector<Limb>& a) const {
 
   // REDC: clear the low k limbs one at a time.
   for (size_t i = 0; i < k_; ++i) {
-    DoubleLimb m = static_cast<Limb>(t[i] * n0_inv_);
-    DoubleLimb carry = 0;
-    for (size_t j = 0; j < k_; ++j) {
-      DoubleLimb s = m * n_[j] + t[i + j] + carry;
-      t[i + j] = static_cast<Limb>(s);
-      carry = s >> kLimbBits;
-    }
-    for (size_t idx = i + k_; carry != 0; ++idx) {
-      carry += t[idx];
-      t[idx] = static_cast<Limb>(carry);
-      carry >>= kLimbBits;
-    }
+    Limb m = static_cast<Limb>(t[i] * n0_inv_);
+    AddCarryAt(t, i + k_, kern.addmul_1(t.data() + i, n_.data(), k_, m));
   }
 
   std::vector<Limb> result(t.begin() + static_cast<long>(k_), t.end());
   while (!result.empty() && result.back() == 0) result.pop_back();
   if (CmpLimbs(result, n_) >= 0) {
     result.resize(std::max(result.size(), n_.size()), 0);
-    SubInPlace(result, n_);
+    SubInPlace(result, n_, kern);
     while (!result.empty() && result.back() == 0) result.pop_back();
   }
   return result;

@@ -13,13 +13,16 @@ namespace ppdbscan {
 /// Precomputed Montgomery reduction context for a fixed odd modulus n > 1.
 ///
 /// Values in the Montgomery domain are represented as x·R mod n where
-/// R = 2^(kLimbBits·k) and k is the limb count of n. Multiplication uses
-/// the CIOS (coarsely integrated operand scanning) algorithm; squaring uses
-/// a dedicated path that halves the cross-product work; exponentiation uses
-/// a sliding window sized by the exponent bit length. This is the hot path
-/// for every Paillier/RSA operation in the library. With 64-bit limbs
-/// (PPDBSCAN_LIMB64) the inner loops run `unsigned __int128` products over
-/// half as many limbs, roughly halving the cost of the 32-bit build.
+/// R = 2^(kLimbBits·k) and k is the limb count of n. Multiplication runs
+/// an operand-scanning Montgomery product (product rows interleaved with
+/// REDC rounds); squaring uses a dedicated path that halves the
+/// cross-product work; exponentiation uses a sliding window sized by the
+/// exponent bit length. This is the hot path for every Paillier/RSA
+/// operation in the library. Every inner loop is a span primitive from the
+/// pluggable kernel layer (bigint/kernels.h): the portable scalar kernel
+/// with `unsigned __int128` products under 64-bit limbs (PPDBSCAN_LIMB64),
+/// or the x86-64 mulx/ADX kernel when the CPU supports BMI2+ADX —
+/// runtime-dispatched once, bit-identical results either way.
 ///
 /// Thread-compatible: all methods are const and touch only immutable
 /// precomputed state, so one context may serve many threads concurrently.
@@ -34,10 +37,14 @@ class MontgomeryCtx {
   /// x·R⁻¹ mod n for x in the Montgomery domain.
   BigInt FromMont(const BigInt& x) const;
   /// Montgomery product a·b·R⁻¹ mod n (inputs/outputs in the domain).
+  /// Operands wider than the modulus are clamped: only the low k limbs of
+  /// each input contribute, i.e. MulMont(a, b) == MulMont(a mod B^k,
+  /// b mod B^k) for B = 2^kLimbBits (asserted by the OverWideOperands
+  /// tests). Callers are expected to pass reduced values.
   BigInt MulMont(const BigInt& a, const BigInt& b) const;
-  /// Montgomery square a²·R⁻¹ mod n; same contract as MulMont(a, a) but
-  /// ~1.15–1.35× faster, growing with the modulus size (the a_i·a_j cross
-  /// terms are computed once and doubled).
+  /// Montgomery square a²·R⁻¹ mod n; same contract (clamping included) as
+  /// MulMont(a, a) but ~1.15–1.35× faster, growing with the modulus size
+  /// (the a_i·a_j cross terms are computed once and doubled).
   BigInt SqrMont(const BigInt& a) const;
 
   /// (base^exponent) mod n for plain-domain base in [0, n) and
@@ -55,11 +62,13 @@ class MontgomeryCtx {
  private:
   MontgomeryCtx() = default;
 
-  // Raw-limb CIOS product; a and b are little-endian, length <= k_.
+  // Raw-limb Montgomery product (kernel addmul_1 rows interleaved with
+  // REDC rounds); a and b little-endian, clamped to their low k_ limbs.
   std::vector<Limb> MulLimbs(const std::vector<Limb>& a,
                              const std::vector<Limb>& b) const;
   // Raw-limb Montgomery squaring (schoolbook square with doubled cross
-  // terms, then k REDC rounds); a little-endian, length <= k_.
+  // terms, then k REDC rounds); a little-endian, clamped to its low k_
+  // limbs.
   std::vector<Limb> SqrLimbs(const std::vector<Limb>& a) const;
 
   BigInt modulus_;

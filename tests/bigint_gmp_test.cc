@@ -155,6 +155,91 @@ TEST(BigIntGmpEdgeTest, PowersOfTwoBoundaries) {
   }
 }
 
+// High-volume differential fuzz against GMP, biased toward the operand
+// shapes that break hand-written limb kernels: carry-boundary limbs
+// (2^63±1, 2^31±1), all-ones limbs (maximal carry chains), long zero runs,
+// and strongly asymmetric widths. The kernel-forced ctest variants
+// (bigint_gmp_test_kernel_<name>, tests/CMakeLists.txt) re-run this whole
+// binary under each PPDBSCAN_KERNEL value, so every compiled limb kernel
+// gets the full sweep.
+TEST(BigIntGmpFuzzTest, DifferentialFuzzTenThousandCases) {
+  SecureRng rng(0xf022ed01);
+  auto hex_op = [](const std::string& a, const std::string& b, char op) {
+    mpz_t x, y, z;
+    mpz_inits(x, y, z, nullptr);
+    mpz_set_str(x, a.c_str(), 16);
+    mpz_set_str(y, b.c_str(), 16);
+    switch (op) {
+      case '+': mpz_add(z, x, y); break;
+      case '-': mpz_sub(z, x, y); break;
+      case '*': mpz_mul(z, x, y); break;
+      case '/': mpz_tdiv_q(z, x, y); break;
+      case '%': mpz_tdiv_r(z, x, y); break;
+      default: ADD_FAILURE() << "unknown op";
+    }
+    char* s = mpz_get_str(nullptr, 16, z);
+    std::string out(s);
+    free(s);
+    mpz_clears(x, y, z, nullptr);
+    return out;
+  };
+  // Operand generator: mixes uniform random magnitudes with adversarial
+  // shapes keyed off the case index.
+  auto make_operand = [&rng](int shape) -> BigInt {
+    const size_t bits = 1 + rng.UniformU64(640);
+    switch (shape % 5) {
+      case 0:  // uniform random, asymmetric widths come from the caller
+        return BigInt::RandomBits(rng, bits);
+      case 1: {  // 2^k ± small: carry/borrow boundary values (p >= 2, so
+                 // the result is never negative)
+        BigInt p = BigInt(1) << (1 + rng.UniformU64(320));
+        int64_t delta = static_cast<int64_t>(rng.UniformU64(5)) - 2;
+        return p + BigInt(delta);
+      }
+      case 2: {  // all-ones limbs: maximal carries through every limb
+        size_t k = 1 + rng.UniformU64(10);
+        return (BigInt(1) << (k * 64)) - BigInt(1);
+      }
+      case 3: {  // 2^63 ± 1 style multiples straddling the 64-bit limb
+        BigInt base = (BigInt(1) << 63) + BigInt(rng.UniformU64(2) ? 1 : -1);
+        return base * BigInt::RandomBits(rng, 1 + rng.UniformU64(128));
+      }
+      default: {  // sparse: a few set bits with long zero runs
+        BigInt v;
+        for (int j = 0; j < 4; ++j) {
+          v += BigInt(1) << rng.UniformU64(512);
+        }
+        return v;
+      }
+    }
+  };
+  const char kOps[] = {'+', '-', '*', '/', '%'};
+  int executed = 0;
+  for (int iter = 0; iter < 2100; ++iter) {
+    BigInt a = make_operand(iter);
+    BigInt b = make_operand(iter / 5 + 1);
+    if (rng.UniformU64(2)) a = -a;
+    if (rng.UniformU64(2)) b = -b;
+    const std::string as = a.ToHex(), bs = b.ToHex();
+    for (char op : kOps) {
+      if ((op == '/' || op == '%') && b.IsZero()) continue;
+      BigInt got;
+      switch (op) {
+        case '+': got = a + b; break;
+        case '-': got = a - b; break;
+        case '*': got = a * b; break;
+        case '/': got = a / b; break;
+        case '%': got = a % b; break;
+      }
+      ASSERT_EQ(got.ToHex(), hex_op(as, bs, op))
+          << as << " " << op << " " << bs << " (iter " << iter << ")";
+      ++executed;
+    }
+  }
+  // 2100 operand pairs x 5 ops (minus the rare zero divisors) >= 10k cases.
+  EXPECT_GE(executed, 10000);
+}
+
 TEST(BigIntGmpEdgeTest, KnuthDAddBackCase) {
   // A division arrangement known to need the rare "add back" correction:
   // u = B^4/2 and v = B^2/2 + 1 style operands (B = 2^32).

@@ -150,6 +150,40 @@ TEST(MontgomeryTest, ExpCorrectAtWindowBoundaryBitLengths) {
   }
 }
 
+// MulMont/SqrMont clamp over-wide operands to their low k limbs
+// (k = limb count of the modulus): MulMont(a, b) == MulMont(a mod B^k,
+// b mod B^k). Until now this contract was only exercised implicitly
+// through ModExp; pin it explicitly, against both the equivalent
+// truncated call and the plain modular product of the truncated values.
+TEST(MontgomeryTest, OverWideOperandsClampToModulusWidth) {
+  SecureRng rng(34);
+  for (size_t bits : {64u, 96u, 192u, 521u}) {
+    BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+    if (mod.IsEven()) mod += BigInt(1);
+    Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+    ASSERT_TRUE(ctx.ok());
+    const size_t k = mod.limbs().size();
+    const BigInt b_pow_k = BigInt(1) << (k * kLimbBits);
+    for (int i = 0; i < 10; ++i) {
+      // Operands up to 3x wider than the modulus, biased to have set bits
+      // above the clamp boundary.
+      BigInt wide_a = BigInt::RandomBits(rng, 3 * k * kLimbBits);
+      BigInt wide_b = BigInt::RandomBits(rng, 2 * k * kLimbBits + 1);
+      BigInt low_a = wide_a.Mod(b_pow_k);
+      BigInt low_b = wide_b.Mod(b_pow_k);
+      EXPECT_EQ(ctx->MulMont(wide_a, wide_b), ctx->MulMont(low_a, low_b))
+          << "bits=" << bits << " i=" << i;
+      EXPECT_EQ(ctx->SqrMont(wide_a), ctx->SqrMont(low_a))
+          << "bits=" << bits << " i=" << i;
+      // And the clamped product is a genuine Montgomery product of the
+      // truncated values.
+      BigInt got = ctx->FromMont(
+          ctx->MulMont(ctx->ToMont(low_a.Mod(mod)), ctx->ToMont(low_b.Mod(mod))));
+      EXPECT_EQ(got, (low_a * low_b).Mod(mod));
+    }
+  }
+}
+
 TEST(MontgomeryTest, ExpExhaustiveSmallExponents) {
   SecureRng rng(33);
   BigInt mod = BigInt::RandomBits(rng, 128) + BigInt(3);

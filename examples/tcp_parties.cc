@@ -1,71 +1,104 @@
-// Two-process deployment over TCP: the shape a real two-hospital
-// deployment takes, with each party running its own process (or machine)
-// and only the framed protocol bytes crossing the network.
+// N-process deployment over TCP: the shape a real consortium deployment
+// takes, one process (or machine) per party with only framed protocol
+// bytes crossing the network. The example is a thin client over PartyMesh:
+// every party computes the same deterministic pairwise schedule (party i
+// listens for lower indices, connects to higher ones), so the processes
+// can be started in any order and still assemble one full mesh.
 //
-// Run in two terminals (order does not matter; the connector retries):
+// Run one terminal per party (any start order; connectors retry), e.g.
+// three parties on loopback:
 //
-//   ./build/examples/tcp_parties alice 7001
-//   ./build/examples/tcp_parties bob   7001 [host]
+//   ./build/examples/tcp_parties 0 127.0.0.1:0,127.0.0.1:7101,127.0.0.1:7102
+//   ./build/examples/tcp_parties 1 127.0.0.1:0,127.0.0.1:7101,127.0.0.1:7102
+//   ./build/examples/tcp_parties 2 127.0.0.1:0,127.0.0.1:7101,127.0.0.1:7102
 //
-// Alice listens, Bob connects. Both generate the same synthetic dataset
-// from a shared seed and keep their own half — stand-ins for their private
-// databases. Everything after transport setup is ONE PartyRuntime::Connect
-// (key exchange, reusable across jobs) and ONE Run call: the runtime
-// negotiates the protocol configuration on the wire — a party started with
-// different Eps/MinPts/comparator settings fails with a descriptive error
-// instead of desyncing — then runs the §4.2 horizontal protocol and prints
-// its own labels only.
+// peers[i] is party i's listen address (entry 0 is unused — party 0 only
+// connects). All parties derive the same synthetic dataset from a shared
+// seed and keep every P-th record — stand-ins for their private tables.
+// After the mesh is up, everything is ONE PartyRuntime::ConnectMesh (the
+// pairwise key exchanges, reusable across jobs) and ONE Run call: the
+// negotiation round makes a party started with different Eps/MinPts/
+// comparator settings fail descriptively instead of desyncing. For a
+// long-lived daemon that accepts many jobs over one mesh, see
+// `ppdbscan_cli serve`.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/job.h"
 #include "data/fixed_point.h"
 #include "data/generators.h"
-#include "data/partitioners.h"
-#include "net/socket_channel.h"
+#include "net/party_mesh.h"
 
 namespace {
 
 using namespace ppdbscan;  // NOLINT: example brevity
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s alice|bob <port> [host]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s <party-index> <host:port,host:port,...>\n"
+               "       one comma-separated listen endpoint per party;\n"
+               "       entry 0 is unused (party 0 only connects)\n",
+               argv0);
   return 2;
 }
 
-int RunParty(PartyRole role, uint16_t port, const std::string& host) {
-  // Both processes derive the same virtual database from a shared seed and
-  // keep their own half — each party's half models its private table.
+Result<std::vector<MeshEndpoint>> ParsePeers(const std::string& spec) {
+  std::vector<MeshEndpoint> endpoints;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string entry = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("expected host:port, got '" + entry +
+                                     "'");
+    }
+    int port = std::atoi(entry.c_str() + colon + 1);
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("bad port in '" + entry + "'");
+    }
+    endpoints.push_back({entry.substr(0, colon),
+                         static_cast<uint16_t>(port)});
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (endpoints.size() < 2) {
+    return Status::InvalidArgument("need >= 2 endpoints");
+  }
+  return endpoints;
+}
+
+int RunParty(size_t index, const std::vector<MeshEndpoint>& endpoints) {
+  const size_t parties = endpoints.size();
+
+  // Every process derives the same virtual database from a shared seed and
+  // keeps every P-th record — its share models its private table.
   SecureRng data_rng(/*seed=*/42);
   RawDataset raw = MakeTwoMoons(data_rng, /*points_per_moon=*/30,
                                 /*noise_stddev=*/0.05);
   FixedPointEncoder encoder(/*scale=*/20.0);
   Dataset all = *encoder.Encode(raw);
-  SecureRng split_rng(/*seed=*/7);
-  HorizontalPartition split = *PartitionHorizontal(all, split_rng, 0.5);
-  const Dataset& own =
-      role == PartyRole::kAlice ? split.alice : split.bob;
+  Dataset own(all.dims());
+  for (size_t i = index; i < all.size(); i += parties) {
+    PPD_CHECK(own.Add(all.point(i)).ok());
+  }
 
-  // Transport: Alice listens, Bob connects.
-  Result<std::unique_ptr<SocketChannel>> channel =
-      role == PartyRole::kAlice
-          ? (std::printf("[alice] listening on port %u...\n", port),
-             SocketChannel::Listen(port))
-          : (std::printf("[bob] connecting to %s:%u...\n", host.c_str(),
-                         port),
-             SocketChannel::Connect(host, port, /*timeout_ms=*/15000));
-  if (!channel.ok()) {
-    std::fprintf(stderr, "transport: %s\n",
-                 channel.status().ToString().c_str());
+  // Transport: the deterministic pairwise schedule, with per-link retry so
+  // start order does not matter.
+  std::printf("[party %zu] establishing %zu-party mesh...\n", index, parties);
+  Result<PartyMesh> mesh = PartyMesh::Establish(endpoints, index);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "mesh: %s\n", mesh.status().ToString().c_str());
     return 1;
   }
 
-  // The protocol configuration both parties must agree on; Run() verifies
-  // the agreement on the wire before any data-derived ciphertext flows.
+  // The protocol configuration all parties must agree on; Run() verifies
+  // the agreement on every link before any data-derived ciphertext flows.
   ProtocolOptions options;
   options.params.eps_squared = *encoder.EncodeEpsSquared(0.3);
   options.params.min_pts = 4;
@@ -76,32 +109,31 @@ int RunParty(PartyRole role, uint16_t port, const std::string& host) {
   smc.paillier_bits = 512;
   smc.rsa_bits = 512;
 
-  // One Connect (key exchange; the session is reusable across further
-  // jobs on this connection), one Run.
-  Result<PartyRuntime> runtime = PartyRuntime::Connect(
-      std::move(*channel), SecureRng(role == PartyRole::kAlice ? 1 : 2), smc);
+  // One ConnectMesh (pairwise key exchanges; the sessions are reusable
+  // across further jobs on this mesh), one Run.
+  Result<PartyRuntime> runtime = PartyRuntime::ConnectMesh(
+      mesh->links(), index, SecureRng(/*seed=*/1 + index), smc);
   if (!runtime.ok()) {
     std::fprintf(stderr, "connect: %s\n",
                  runtime.status().ToString().c_str());
     return 1;
   }
-  Result<RunOutcome> outcome =
-      runtime->Run(ClusteringJob::Horizontal(own, role, options));
-  runtime->channel().Close();
+  Result<RunOutcome> outcome = runtime->Run(
+      ClusteringJob::Multiparty(own, index, parties, options));
+  mesh->CloseAll();
   if (!outcome.ok()) {
     std::fprintf(stderr, "protocol: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
   }
 
-  const char* tag = PartyRoleToString(role);
-  std::printf("[%s] %zu own records -> %zu cluster(s); sent %llu bytes "
-              "(negotiation %.1f ms, protocol %.0f ms)\n",
-              tag, own.size(), outcome->clustering.num_clusters,
+  std::printf("[party %zu] %zu own records -> %zu cluster(s); sent %llu "
+              "bytes (negotiation %.1f ms, protocol %.0f ms)\n",
+              index, own.size(), outcome->clustering.num_clusters,
               static_cast<unsigned long long>(outcome->stats.bytes_sent),
               outcome->timings.negotiation_seconds * 1e3,
               outcome->timings.protocol_seconds * 1e3);
-  std::printf("[%s] labels:", tag);
+  std::printf("[party %zu] labels:", index);
   for (int32_t l : outcome->clustering.labels) std::printf(" %d", l);
   std::printf("\n");
   return 0;
@@ -111,16 +143,15 @@ int RunParty(PartyRole role, uint16_t port, const std::string& host) {
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
-  PartyRole role;
-  if (std::strcmp(argv[1], "alice") == 0) {
-    role = PartyRole::kAlice;
-  } else if (std::strcmp(argv[1], "bob") == 0) {
-    role = PartyRole::kBob;
-  } else {
+  char* end = nullptr;
+  long index = std::strtol(argv[1], &end, 10);
+  if (end == argv[1] || *end != '\0' || index < 0) return Usage(argv[0]);
+  Result<std::vector<MeshEndpoint>> endpoints = ParsePeers(argv[2]);
+  if (!endpoints.ok()) {
+    std::fprintf(stderr, "peers: %s\n",
+                 endpoints.status().ToString().c_str());
     return Usage(argv[0]);
   }
-  int port = std::atoi(argv[2]);
-  if (port <= 0 || port > 65535) return Usage(argv[0]);
-  std::string host = argc > 3 ? argv[3] : "127.0.0.1";
-  return RunParty(role, static_cast<uint16_t>(port), host);
+  if (static_cast<size_t>(index) >= endpoints->size()) return Usage(argv[0]);
+  return RunParty(static_cast<size_t>(index), *endpoints);
 }

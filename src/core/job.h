@@ -133,6 +133,19 @@ class PartyRuntime {
                                           size_t index, SecureRng rng,
                                           const SmcOptions& smc = {});
 
+  /// Mesh runtime over sessions established EARLIER (by a previous
+  /// ConnectMesh, handed out through shared_sessions()): borrows `links`
+  /// for this job's rounds and shares the session key material — no key
+  /// generation or exchange happens here. This is how a serve daemon
+  /// amortizes its one Connect-time key exchange across every job of its
+  /// lifetime: links[j] may be a different channel than the one
+  /// sessions[j] was established over (e.g. a per-job mux stream riding
+  /// the same TCP connection). sessions[index] is ignored; every other
+  /// slot must be non-null and sized to match `links`.
+  static Result<PartyRuntime> AdoptMesh(
+      const std::vector<Channel*>& links, size_t index,
+      std::vector<std::shared_ptr<SmcSession>> sessions, SecureRng rng);
+
   PartyRuntime(PartyRuntime&&) = default;
   PartyRuntime& operator=(PartyRuntime&&) = default;
   PartyRuntime(const PartyRuntime&) = delete;
@@ -150,6 +163,12 @@ class PartyRuntime {
   const SmcSession& session() const;
   /// The session with mesh peer `j` (null at this party's own index).
   const SmcSession* session_with(size_t peer) const;
+  /// The established sessions themselves, shareable with AdoptMesh
+  /// runtimes that outlive (or run concurrently with) this one. Indexed by
+  /// peer; empty slot at this party's own position.
+  const std::vector<std::shared_ptr<SmcSession>>& shared_sessions() const {
+    return sessions_;
+  }
   /// The two-party channel (PPD_CHECKs on mesh runtimes).
   Channel& channel() const;
 
@@ -172,7 +191,9 @@ class PartyRuntime {
   size_t parties_ = 2;  // party count (mesh); 2 for two-party runtimes
   std::vector<std::unique_ptr<Channel>> owned_channels_;
   std::vector<Channel*> links_;  // two-party: one entry; mesh: size P
-  std::vector<std::unique_ptr<SmcSession>> sessions_;  // parallel to links_
+  // Parallel to links_. shared_ptr so AdoptMesh runtimes can reuse the
+  // key material established by an earlier ConnectMesh.
+  std::vector<std::shared_ptr<SmcSession>> sessions_;
   std::unique_ptr<SecureRng> rng_;
   double establish_seconds_ = 0;
   uint64_t jobs_completed_ = 0;

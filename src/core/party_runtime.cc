@@ -235,7 +235,7 @@ Result<PartyRuntime> PartyRuntime::Connect(Channel& channel, SecureRng rng,
   runtime.establish_seconds_ = SecondsSince(start);
   runtime.links_.push_back(&channel);
   runtime.sessions_.push_back(
-      std::make_unique<SmcSession>(std::move(session)));
+      std::make_shared<SmcSession>(std::move(session)));
   // Key setup traffic is excluded from per-job statistics (the paper's
   // per-invocation accounting).
   channel.ResetStats();
@@ -291,13 +291,48 @@ Result<PartyRuntime> PartyRuntime::ConnectMesh(
           SmcSession session,
           SmcSession::Establish(*runtime.links_[peer], *runtime.rng_, smc));
       runtime.sessions_[peer] =
-          std::make_unique<SmcSession>(std::move(session));
+          std::make_shared<SmcSession>(std::move(session));
     }
   }
   runtime.establish_seconds_ = SecondsSince(start);
   for (size_t j = 0; j < p; ++j) {
     if (j != index) runtime.links_[j]->ResetStats();
   }
+  return runtime;
+}
+
+Result<PartyRuntime> PartyRuntime::AdoptMesh(
+    const std::vector<Channel*>& links, size_t index,
+    std::vector<std::shared_ptr<SmcSession>> sessions, SecureRng rng) {
+  const size_t p = links.size();
+  if (p < 2) {
+    return Status::InvalidArgument("a party mesh needs >= 2 parties");
+  }
+  if (index >= p) {
+    return Status::InvalidArgument("party index out of range");
+  }
+  if (sessions.size() != p) {
+    return Status::InvalidArgument(
+        "AdoptMesh needs one session slot per party");
+  }
+  for (size_t j = 0; j < p; ++j) {
+    if (j == index) continue;
+    if (links[j] == nullptr) {
+      return Status::InvalidArgument("missing channel for a mesh peer");
+    }
+    if (sessions[j] == nullptr) {
+      return Status::InvalidArgument(
+          "missing established session for a mesh peer");
+    }
+  }
+  PartyRuntime runtime;
+  runtime.mesh_ = true;
+  runtime.index_ = index;
+  runtime.parties_ = p;
+  runtime.links_ = links;
+  runtime.sessions_ = std::move(sessions);
+  runtime.rng_ = std::make_unique<SecureRng>(std::move(rng));
+  // No key exchange: establish_seconds_ stays 0 — the whole point.
   return runtime;
 }
 
@@ -388,7 +423,7 @@ Result<RunOutcome> PartyRuntime::Run(const ClusteringJob& job) {
   const size_t demand =
       std::min(job.record_count() * job.dims(), kMaxPrewarmFactors);
   if (demand > 0) {
-    for (const std::unique_ptr<SmcSession>& session : sessions_) {
+    for (const std::shared_ptr<SmcSession>& session : sessions_) {
       if (session != nullptr) session->PrewarmRandomizers(demand);
     }
   }

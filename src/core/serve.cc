@@ -1,0 +1,233 @@
+#include "core/serve.h"
+
+#include <sys/socket.h>
+
+#include <future>
+#include <string>
+#include <utility>
+
+#include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "core/wire.h"
+#include "net/message.h"
+
+namespace ppdbscan {
+
+namespace {
+
+/// Stream id of the control plane on every mux; job ids start above it.
+constexpr uint32_t kControlStream = 0;
+
+}  // namespace
+
+PartyServer::~PartyServer() = default;
+
+Result<PartyServer> PartyServer::Start(PartyMesh mesh, SecureRng rng,
+                                       const Options& options) {
+  const size_t p = mesh.parties();
+  const size_t index = mesh.index();
+  if (p < 2) {
+    return Status::InvalidArgument("a party server needs >= 2 mesh parties");
+  }
+  PartyServer server{std::move(mesh)};
+  server.muxes_.resize(p);
+  server.control_.resize(p);
+  server.link_fds_.reserve(p - 1);
+  for (size_t j = 0; j < p; ++j) {
+    if (j == index) continue;
+    SocketChannel* link = server.mesh_.link(j);
+    if (link == nullptr) {
+      return Status::InvalidArgument("mesh is missing the link to party " +
+                                     std::to_string(j));
+    }
+    server.link_fds_.push_back(link->native_handle());
+    server.muxes_[j] = std::make_unique<ChannelMux>(*link);
+    PPD_ASSIGN_OR_RETURN(server.control_[j],
+                         server.muxes_[j]->OpenStream(kControlStream));
+  }
+  // The daemon's one and only key generation + exchange, over the control
+  // streams; every job of its lifetime adopts these sessions.
+  std::vector<Channel*> control_links(p, nullptr);
+  for (size_t j = 0; j < p; ++j) {
+    if (j != index) control_links[j] = server.control_[j].get();
+  }
+  PPD_ASSIGN_OR_RETURN(
+      PartyRuntime setup,
+      PartyRuntime::ConnectMesh(control_links, index, std::move(rng),
+                                options.smc));
+  server.setup_ = std::make_unique<PartyRuntime>(std::move(setup));
+  return server;
+}
+
+Result<RunOutcome> PartyServer::RunJob(uint32_t job_id,
+                                       const ClusteringJob& job) {
+  const size_t p = parties();
+  std::vector<std::unique_ptr<Channel>> streams(p);
+  std::vector<Channel*> links(p, nullptr);
+  for (size_t j = 0; j < p; ++j) {
+    if (j == index()) continue;
+    PPD_ASSIGN_OR_RETURN(streams[j], muxes_[j]->OpenStream(job_id));
+    links[j] = streams[j].get();
+  }
+  std::unique_ptr<SecureRng> rng;
+  {
+    std::lock_guard<std::mutex> lock(*rng_mu_);
+    rng = std::make_unique<SecureRng>(setup_->rng().Fork());
+  }
+  PPD_ASSIGN_OR_RETURN(
+      PartyRuntime runtime,
+      PartyRuntime::AdoptMesh(links, index(), setup_->shared_sessions(),
+                              std::move(*rng)));
+  PPD_ASSIGN_OR_RETURN(RunOutcome outcome, runtime.Run(job));
+  jobs_completed_->fetch_add(1);
+  return outcome;
+  // `streams` retire their mux ids on destruction; a late frame for a
+  // finished job is dropped instead of leaking into the next one.
+}
+
+Result<RunOutcome> PartyServer::SubmitJob(const ClusteringJob& job) {
+  if (index() != 0) {
+    return Status::FailedPrecondition(
+        "only party 0 submits jobs; followers call Serve()");
+  }
+  const uint32_t id = next_job_id_++;
+  ByteWriter announce;
+  announce.PutU32(id);
+  for (size_t j = 1; j < parties(); ++j) {
+    std::lock_guard<std::mutex> lock(*control_send_mu_);
+    PPD_RETURN_IF_ERROR(
+        SendMessage(*control_[j], wire::kServeJobAnnounce, announce));
+  }
+  Result<RunOutcome> outcome = RunJob(id, job);
+  if (!outcome.ok()) {
+    // Don't block on follower reports the failed run may never let them
+    // send; the mesh is in an undefined state now — shut the server down.
+    return outcome.status();
+  }
+  for (size_t j = 1; j < parties(); ++j) {
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         ExpectMessage(*control_[j], wire::kServeJobDone));
+    ByteReader reader(payload);
+    PPD_ASSIGN_OR_RETURN(uint32_t done_id, reader.GetU32());
+    PPD_ASSIGN_OR_RETURN(uint8_t ok, reader.GetU8());
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> message, reader.GetBytes());
+    if (done_id != id) {
+      return Status::DataLoss("party " + std::to_string(j) +
+                              " reported completion of job " +
+                              std::to_string(done_id) + ", expected " +
+                              std::to_string(id));
+    }
+    if (ok == 0) {
+      return Status::Internal(
+          "party " + std::to_string(j) + " failed job " + std::to_string(id) +
+          ": " + std::string(message.begin(), message.end()));
+    }
+  }
+  return outcome;
+}
+
+PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
+                                            const JobObserver& on_done) {
+  ServeReport report;
+  if (index() == 0) {
+    report.status = Status::FailedPrecondition(
+        "party 0 is the submitter; it calls SubmitJob, not Serve");
+    return report;
+  }
+  if (make_job == nullptr) {
+    report.status = Status::InvalidArgument("Serve needs a job factory");
+    return report;
+  }
+  Channel& control = *control_[0];
+  // Job tasks block on cross-party traffic, so they must NOT run on the
+  // shared global pool (whose workers the protocol's ParallelFor needs,
+  // and which has a single worker on a one-core host — two in-process
+  // followers parked there would starve each other forever). A dedicated
+  // one-worker runner keeps the control loop responsive and serializes
+  // this follower's jobs, matching the submitter's one-at-a-time protocol.
+  ThreadPool job_runner(1);
+  std::vector<std::future<void>> inflight;
+  std::mutex counters_mu;
+  while (true) {
+    Result<Message> msg = RecvMessage(control);
+    if (!msg.ok()) {
+      // The submitter closing its end (or RequestStop shutting our sockets
+      // down) is the daemon's normal exit, not an error.
+      const bool graceful = stop_requested_->load() ||
+                            msg.status().code() == StatusCode::kUnavailable;
+      if (!graceful) report.status = msg.status();
+      break;
+    }
+    if (msg->type == wire::kServeShutdown) break;
+    if (msg->type != wire::kServeJobAnnounce) {
+      report.status = Status::DataLoss(
+          "unexpected control message type " + std::to_string(msg->type));
+      break;
+    }
+    ByteReader reader(msg->payload);
+    Result<uint32_t> job_id = reader.GetU32();
+    if (!job_id.ok()) {
+      report.status = job_id.status();
+      break;
+    }
+    const uint32_t id = *job_id;
+    // Each job runs as a pool task over its own mux streams, so a slow job
+    // never blocks the control loop from hearing the next announce (or the
+    // shutdown).
+    inflight.push_back(job_runner.Submit([this, id, &control, &make_job,
+                                          &on_done, &report, &counters_mu] {
+      Result<RunOutcome> outcome = [&]() -> Result<RunOutcome> {
+        PPD_ASSIGN_OR_RETURN(ClusteringJob job, make_job(id));
+        return RunJob(id, job);
+      }();
+      {
+        std::lock_guard<std::mutex> lock(counters_mu);
+        if (outcome.ok()) {
+          ++report.jobs_ok;
+        } else {
+          ++report.jobs_failed;
+        }
+      }
+      ByteWriter done;
+      done.PutU32(id);
+      done.PutU8(outcome.ok() ? 1 : 0);
+      const std::string message =
+          outcome.ok() ? std::string() : outcome.status().ToString();
+      done.PutBytes(std::vector<uint8_t>(message.begin(), message.end()));
+      {
+        std::lock_guard<std::mutex> lock(*control_send_mu_);
+        // Best effort: if the control stream died the loop above ends too.
+        (void)SendMessage(control, wire::kServeJobDone, done);
+      }
+      if (on_done != nullptr) on_done(id, outcome);
+    }));
+  }
+  for (std::future<void>& f : inflight) {
+    if (f.valid()) f.wait();
+  }
+  return report;
+}
+
+Status PartyServer::AnnounceShutdown() {
+  if (index() != 0) {
+    return Status::FailedPrecondition("only party 0 announces shutdown");
+  }
+  Status first_error;
+  for (size_t j = 1; j < parties(); ++j) {
+    std::lock_guard<std::mutex> lock(*control_send_mu_);
+    Status sent =
+        SendMessage(*control_[j], wire::kServeShutdown, std::vector<uint8_t>());
+    if (!sent.ok() && first_error.ok()) first_error = sent;
+  }
+  return first_error;
+}
+
+void PartyServer::RequestStop() {
+  // Async-signal-safe by construction: one atomic store plus shutdown(2)
+  // (POSIX async-signal-safe) on fds frozen at Start. No locks, no
+  // allocation, no Channel methods.
+  stop_requested_->store(true);
+  for (int fd : link_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,135 @@
+#ifndef PPDBSCAN_CORE_SERVE_H_
+#define PPDBSCAN_CORE_SERVE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/job.h"
+#include "net/mux.h"
+#include "net/party_mesh.h"
+
+namespace ppdbscan {
+
+/// Long-lived daemon endpoint over an established PartyMesh: accepts many
+/// ClusteringJobs on one mesh, amortizing key generation, key exchange,
+/// and randomizer-pool warmup across its whole lifetime.
+///
+/// Start() layers a job-id ChannelMux over every mesh link and establishes
+/// the pairwise SMC sessions exactly once, over stream 0 of each mux (the
+/// control stream). Each job then runs over freshly opened per-job streams
+/// (stream id == job id) with an AdoptMesh runtime that shares those
+/// sessions — no per-job keygen, no per-job TCP setup.
+///
+/// Control plane (stream 0, party 0 is the submitter):
+///   submitter -> follower  kServeJobAnnounce(job id)   "run job <id> now"
+///   follower  -> submitter kServeJobDone(id, ok, msg)  per-job completion
+///   submitter -> follower  kServeShutdown              drain and exit
+///
+/// Party 0 drives with SubmitJob()/AnnounceShutdown(); every other party
+/// sits in Serve(), building its local view of each announced job from a
+/// caller-supplied factory. Any party dying mid-job surfaces as
+/// kUnavailable on the survivors (never SIGPIPE — see SocketChannel), and
+/// a follower treats control-stream loss as its shutdown signal.
+class PartyServer {
+ public:
+  struct Options {
+    SmcOptions smc;
+  };
+
+  /// Per-party outcome of a follower's Serve() loop.
+  struct ServeReport {
+    uint64_t jobs_ok = 0;
+    uint64_t jobs_failed = 0;
+    /// OK after a clean shutdown (kServeShutdown, RequestStop, or the
+    /// submitter closing its links); the transport/protocol error that
+    /// ended the loop otherwise.
+    Status status;
+  };
+
+  /// Builds each follower's local job for one announced job id. Called on
+  /// the follower's dedicated job-runner thread, one job at a time.
+  using JobFactory = std::function<Result<ClusteringJob>(uint32_t job_id)>;
+  /// Completion hook, called after each job with its id and outcome.
+  using JobObserver =
+      std::function<void(uint32_t job_id, const Result<RunOutcome>& outcome)>;
+
+  /// Takes ownership of the established mesh, muxes every link, and runs
+  /// the one-time pairwise session establishment (all parties call Start
+  /// concurrently, like ConnectMesh).
+  static Result<PartyServer> Start(PartyMesh mesh, SecureRng rng,
+                                   const Options& options = {});
+
+  PartyServer(PartyServer&&) = default;
+  PartyServer& operator=(PartyServer&&) = default;
+  PartyServer(const PartyServer&) = delete;
+  PartyServer& operator=(const PartyServer&) = delete;
+
+  ~PartyServer();
+
+  size_t index() const { return mesh_.index(); }
+  size_t parties() const { return mesh_.parties(); }
+  /// Jobs completed on this server since Start (all sharing one keygen).
+  uint64_t jobs_completed() const { return jobs_completed_->load(); }
+
+  /// Submitter only (party 0): announces the next job id to every peer,
+  /// runs `job` over per-job streams, then waits for every follower's
+  /// completion report. `job` must be this party's multiparty view
+  /// (party_index 0, party_count == parties()). Fails if any follower
+  /// reported failure, with that follower's message.
+  Result<RunOutcome> SubmitJob(const ClusteringJob& job);
+
+  /// Followers only: blocks serving announced jobs until the submitter
+  /// sends kServeShutdown, closes its links, or RequestStop() is called.
+  /// `make_job` builds this party's local view of each announced job;
+  /// `on_done` (optional) observes each outcome.
+  ServeReport Serve(const JobFactory& make_job,
+                    const JobObserver& on_done = nullptr);
+
+  /// Submitter only: tells every follower to drain and exit Serve().
+  Status AnnounceShutdown();
+
+  /// Async-signal-safe stop (safe from a SIGTERM handler): shuts down the
+  /// underlying sockets, which fails every pending channel operation with
+  /// kUnavailable, unwinding Serve() and any in-flight job. Other methods
+  /// must not be called from signal context.
+  void RequestStop();
+
+  /// True once RequestStop ran — lets callers tell a requested shutdown's
+  /// kUnavailable from a real transport failure.
+  bool stop_requested() const { return stop_requested_->load(); }
+
+ private:
+  explicit PartyServer(PartyMesh mesh) : mesh_(std::move(mesh)) {}
+
+  /// Opens stream `job_id` on every peer link and runs `job` over an
+  /// AdoptMesh runtime sharing the Start-time sessions.
+  Result<RunOutcome> RunJob(uint32_t job_id, const ClusteringJob& job);
+
+  PartyMesh mesh_;
+  std::vector<std::unique_ptr<ChannelMux>> muxes_;   // per peer; null at own
+  std::vector<std::unique_ptr<Channel>> control_;    // stream 0 per peer
+  /// Holds the Start-time sessions and this party's root rng; per-job
+  /// runtimes adopt its shared_sessions() and fork its rng.
+  std::unique_ptr<PartyRuntime> setup_;
+  // Heap-held so PartyServer stays movable (Result<PartyServer> needs it).
+  std::unique_ptr<std::mutex> control_send_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<std::mutex> rng_mu_ = std::make_unique<std::mutex>();
+  std::shared_ptr<std::atomic<uint64_t>> jobs_completed_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  uint32_t next_job_id_ = 1;  // stream 0 is the control stream
+  /// Socket fds of the mesh links, frozen at Start so RequestStop can
+  /// ::shutdown() them without taking locks or allocating.
+  std::vector<int> link_fds_;
+  std::shared_ptr<std::atomic<bool>> stop_requested_ =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_CORE_SERVE_H_

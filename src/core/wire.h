@@ -45,6 +45,13 @@ inline constexpr uint16_t kMergeLinks = 0x1041;   // payload: linked pairs
 // both sides before any protocol traffic flows.
 inline constexpr uint16_t kJobHello = 0x1050;
 
+// Serve-mode control plane (core/serve.h). Rides stream 0 of each mesh
+// link's job-id mux; the submitter announces jobs and shutdown, followers
+// report per-job completion.
+inline constexpr uint16_t kServeJobAnnounce = 0x1060;  // payload: u32 job id
+inline constexpr uint16_t kServeJobDone = 0x1061;      // u32 id, u8 ok, msg
+inline constexpr uint16_t kServeShutdown = 0x1062;     // no payload
+
 }  // namespace wire
 
 }  // namespace ppdbscan

@@ -1,0 +1,155 @@
+#include "net/mux.h"
+
+#include <utility>
+
+namespace ppdbscan {
+
+namespace {
+
+constexpr size_t kStreamIdBytes = 4;
+
+uint32_t ReadStreamId(const std::vector<uint8_t>& frame) {
+  return static_cast<uint32_t>(frame[0]) << 24 |
+         static_cast<uint32_t>(frame[1]) << 16 |
+         static_cast<uint32_t>(frame[2]) << 8 | frame[3];
+}
+
+}  // namespace
+
+/// One logical stream endpoint. Holds the mux's shared state alive so a
+/// job channel handed to a worker thread stays valid (and fails cleanly)
+/// even if the mux is torn down first.
+class ChannelMux::Stream : public Channel {
+ public:
+  Stream(std::shared_ptr<Shared> shared, uint32_t id)
+      : shared_(std::move(shared)), id_(id) {}
+
+  ~Stream() override { Close(); }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->retired.insert(id_);
+    shared_->streams.erase(id_);
+    shared_->cv.notify_all();
+  }
+
+ protected:
+  Status SendImpl(const std::vector<uint8_t>& frame) override {
+    {
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      if (!shared_->terminal.ok()) return shared_->terminal;
+      if (shared_->retired.count(id_) > 0) {
+        return Status::FailedPrecondition("mux stream closed");
+      }
+    }
+    std::vector<uint8_t> wire;
+    wire.reserve(kStreamIdBytes + frame.size());
+    wire.push_back(static_cast<uint8_t>(id_ >> 24));
+    wire.push_back(static_cast<uint8_t>(id_ >> 16));
+    wire.push_back(static_cast<uint8_t>(id_ >> 8));
+    wire.push_back(static_cast<uint8_t>(id_));
+    wire.insert(wire.end(), frame.begin(), frame.end());
+    std::lock_guard<std::mutex> send_lock(shared_->send_mu);
+    return shared_->base->Send(wire);
+  }
+
+  Result<std::vector<uint8_t>> RecvImpl() override {
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    while (true) {
+      auto it = shared_->streams.find(id_);
+      if (it == shared_->streams.end()) {
+        // Close() ran (possibly from another thread).
+        return Status::Unavailable("mux stream closed");
+      }
+      if (!it->second.queue.empty()) {
+        std::vector<uint8_t> frame = std::move(it->second.queue.front());
+        it->second.queue.pop_front();
+        return frame;
+      }
+      // Drain queued frames before surfacing the terminal status: a job
+      // whose last round was already received must be able to finish.
+      if (!shared_->terminal.ok()) return shared_->terminal;
+      shared_->cv.wait(lock);
+    }
+  }
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  uint32_t id_;
+};
+
+ChannelMux::ChannelMux(Channel& base) : shared_(std::make_shared<Shared>()) {
+  shared_->base = &base;
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+ChannelMux::~ChannelMux() {
+  Shutdown();
+  if (reader_.joinable()) reader_.join();
+}
+
+void ChannelMux::ReaderLoop() {
+  while (true) {
+    Result<std::vector<uint8_t>> frame = shared_->base->Recv();
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    if (!frame.ok()) {
+      if (shared_->terminal.ok()) {
+        shared_->terminal =
+            shared_->shutdown
+                ? Status::Unavailable("mux shut down")
+                : frame.status();
+      }
+      shared_->cv.notify_all();
+      return;
+    }
+    if (frame->size() < kStreamIdBytes) {
+      shared_->terminal = Status::DataLoss("mux frame shorter than its id");
+      shared_->cv.notify_all();
+      return;
+    }
+    const uint32_t id = ReadStreamId(*frame);
+    if (shared_->retired.count(id) > 0) continue;  // late frame, drop
+    // Auto-creates the pending entry when the local stream is not open
+    // yet — the peer may legitimately race ahead into a job's first round.
+    shared_->streams[id].queue.emplace_back(frame->begin() + kStreamIdBytes,
+                                            frame->end());
+    shared_->cv.notify_all();
+  }
+}
+
+Result<std::unique_ptr<Channel>> ChannelMux::OpenStream(uint32_t id) {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (!shared_->terminal.ok()) return shared_->terminal;
+    if (shared_->retired.count(id) > 0) {
+      return Status::FailedPrecondition(
+          "mux stream id " + std::to_string(id) + " was already retired");
+    }
+    StreamState& state = shared_->streams[id];
+    if (state.opened) {
+      return Status::FailedPrecondition(
+          "mux stream id " + std::to_string(id) + " is already open");
+    }
+    state.opened = true;
+  }
+  return std::unique_ptr<Channel>(new Stream(shared_, id));
+}
+
+void ChannelMux::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->shutdown) return;
+    shared_->shutdown = true;
+    shared_->cv.notify_all();
+  }
+  // Closing the base unblocks the reader's pending Recv; the reader then
+  // records the terminal status and wakes every stream.
+  shared_->base->Close();
+}
+
+Status ChannelMux::status() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->terminal;
+}
+
+}  // namespace ppdbscan

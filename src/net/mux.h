@@ -1,0 +1,95 @@
+#ifndef PPDBSCAN_NET_MUX_H_
+#define PPDBSCAN_NET_MUX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace ppdbscan {
+
+/// Multiplexes many logical frame streams over one established Channel by
+/// prefixing every wire frame with a 4-byte big-endian stream id — the
+/// job-id framing a serve daemon uses to run many ClusteringJobs over one
+/// long-lived mesh link without tearing the TCP connection down between
+/// jobs (or re-running the key exchange that rode on it).
+///
+/// One background reader thread drains the base channel and routes each
+/// frame to its stream's queue. Frames for streams not opened yet are
+/// buffered (the peer may start a job's rounds before this side's job task
+/// has opened its stream); frames for retired (closed) streams are
+/// dropped. When the base channel fails — peer crash, peer close, local
+/// Shutdown — every open stream's pending and future Recvs fail with that
+/// status, so a daemon's in-flight jobs all observe kUnavailable instead
+/// of hanging.
+///
+/// Stream channels are full Channel implementations: their own stats count
+/// the logical payload only (no mux overhead), so per-job traffic
+/// accounting over a mux matches the same job over a dedicated channel
+/// byte for byte. Sends from different streams may interleave (a send
+/// mutex serializes access to the base channel); frame order within one
+/// stream is preserved in both directions.
+class ChannelMux {
+ public:
+  /// Starts the reader thread over `base`, which must outlive the mux.
+  explicit ChannelMux(Channel& base);
+
+  /// Shuts down (closing the base channel) and joins the reader.
+  ~ChannelMux();
+
+  ChannelMux(const ChannelMux&) = delete;
+  ChannelMux& operator=(const ChannelMux&) = delete;
+
+  /// Opens logical stream `id`. Each id can be opened once per mux
+  /// lifetime (ids are job ids — unique by construction); frames that
+  /// arrived for `id` before the open are already waiting in its queue.
+  /// The returned channel may outlive the mux object itself, but fails
+  /// kUnavailable once the mux shut down.
+  Result<std::unique_ptr<Channel>> OpenStream(uint32_t id);
+
+  /// Fails every stream with kUnavailable, closes the base channel, and
+  /// stops the reader. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// The reader's terminal status: Ok while the mux is live, the base
+  /// channel's failure afterwards.
+  Status status() const;
+
+ private:
+  struct StreamState {
+    std::deque<std::vector<uint8_t>> queue;
+    bool opened = false;
+  };
+
+  /// State shared between the mux, its reader thread, and every stream
+  /// channel (streams may outlive the mux).
+  struct Shared {
+    Channel* base = nullptr;
+    std::mutex send_mu;  // serializes base->Send across streams
+
+    std::mutex mu;  // guards everything below
+    std::condition_variable cv;
+    std::map<uint32_t, StreamState> streams;
+    std::set<uint32_t> retired;  // closed streams: late frames are dropped
+    Status terminal;             // non-OK once the reader stopped
+    bool shutdown = false;
+  };
+
+  class Stream;
+
+  void ReaderLoop();
+
+  std::shared_ptr<Shared> shared_;
+  std::thread reader_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_NET_MUX_H_

@@ -1,0 +1,173 @@
+#include "net/party_mesh.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace ppdbscan {
+
+namespace {
+
+/// Mesh link handshake: the connector sends a hello, the acceptor answers
+/// with an ack. Both carry the magic, the handshake version, the sender's
+/// view of the party count, and the sender's own index, so a link between
+/// mismatched deployments fails with a descriptive error on both ends.
+constexpr uint32_t kMeshMagic = 0x5050646d;  // "PPdm"
+constexpr uint16_t kMeshVersion = 1;
+
+std::vector<uint8_t> BuildHandshake(size_t parties, size_t index) {
+  ByteWriter w;
+  w.PutU32(kMeshMagic);
+  w.PutU16(kMeshVersion);
+  w.PutU32(static_cast<uint32_t>(parties));
+  w.PutU32(static_cast<uint32_t>(index));
+  return w.Take();
+}
+
+/// Parses a hello/ack and returns the sender's index.
+Result<size_t> ParseHandshake(const std::vector<uint8_t>& frame,
+                              size_t expected_parties) {
+  ByteReader reader(frame);
+  PPD_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kMeshMagic) {
+    return Status::FailedPrecondition(
+        "mesh handshake: bad magic (a non-mesh client connected?)");
+  }
+  PPD_ASSIGN_OR_RETURN(uint16_t version, reader.GetU16());
+  if (version != kMeshVersion) {
+    return Status::FailedPrecondition(
+        "mesh handshake: peer speaks version " + std::to_string(version) +
+        ", this build speaks " + std::to_string(kMeshVersion));
+  }
+  PPD_ASSIGN_OR_RETURN(uint32_t parties, reader.GetU32());
+  if (parties != expected_parties) {
+    return Status::FailedPrecondition(
+        "mesh handshake: peer expects " + std::to_string(parties) +
+        " parties, this mesh has " + std::to_string(expected_parties));
+  }
+  PPD_ASSIGN_OR_RETURN(uint32_t index, reader.GetU32());
+  if (!reader.Done()) {
+    return Status::DataLoss("mesh handshake: trailing bytes");
+  }
+  return static_cast<size_t>(index);
+}
+
+Status Annotate(const Status& status, const std::string& context) {
+  return Status(status.code(), context + ": " + status.message());
+}
+
+}  // namespace
+
+Result<PartyMesh> PartyMesh::Establish(
+    const std::vector<MeshEndpoint>& endpoints, size_t index,
+    const PartyMeshOptions& options) {
+  std::optional<SocketListener> listener;
+  if (index > 0) {
+    if (index >= endpoints.size()) {
+      return Status::InvalidArgument("party index out of range");
+    }
+    const int backlog = std::max<int>(options.min_backlog,
+                                      static_cast<int>(endpoints.size()));
+    Result<SocketListener> bound =
+        SocketListener::Bind(endpoints[index].port, backlog);
+    if (!bound.ok()) {
+      return Annotate(bound.status(),
+                      "binding party " + std::to_string(index) +
+                          "'s mesh listener");
+    }
+    listener.emplace(std::move(*bound));
+  }
+  return EstablishWithListener(std::move(listener), endpoints, index,
+                               options);
+}
+
+Result<PartyMesh> PartyMesh::EstablishWithListener(
+    std::optional<SocketListener> listener,
+    const std::vector<MeshEndpoint>& endpoints, size_t index,
+    const PartyMeshOptions& options) {
+  const size_t p = endpoints.size();
+  if (p < 2) return Status::InvalidArgument("a party mesh needs >= 2 parties");
+  if (index >= p) return Status::InvalidArgument("party index out of range");
+  if (index > 0 && (!listener.has_value() || !listener->listening())) {
+    return Status::InvalidArgument(
+        "party " + std::to_string(index) + " needs a bound listener");
+  }
+
+  PartyMesh mesh;
+  mesh.index_ = index;
+  mesh.channels_.resize(p);
+  mesh.listener_ = std::move(listener);
+
+  // Connect phase: one link to every higher-indexed party, identified by a
+  // hello and confirmed by the acceptor's ack.
+  for (size_t j = index + 1; j < p; ++j) {
+    const std::string context = "party " + std::to_string(index) +
+                                " connecting to party " + std::to_string(j);
+    Result<std::unique_ptr<SocketChannel>> channel = SocketChannel::Connect(
+        endpoints[j].host, endpoints[j].port, options.connect_timeout_ms);
+    if (!channel.ok()) return Annotate(channel.status(), context);
+    Status sent = (*channel)->Send(BuildHandshake(p, index));
+    if (!sent.ok()) return Annotate(sent, context);
+    Result<std::vector<uint8_t>> ack = (*channel)->Recv();
+    if (!ack.ok()) return Annotate(ack.status(), context);
+    Result<size_t> acceptor = ParseHandshake(*ack, p);
+    if (!acceptor.ok()) return Annotate(acceptor.status(), context);
+    if (*acceptor != j) {
+      return Status::FailedPrecondition(
+          context + ": endpoint identifies as party " +
+          std::to_string(*acceptor) + " — endpoint lists disagree");
+    }
+    mesh.channels_[j] = std::move(*channel);
+  }
+
+  // Accept phase: one link from every lower-indexed party, slotted by the
+  // hello's sender index (arrival order is nondeterministic).
+  for (size_t accepted = 0; accepted < index; ++accepted) {
+    const std::string context =
+        "party " + std::to_string(index) + " accepting mesh peer";
+    Result<std::unique_ptr<SocketChannel>> channel =
+        mesh.listener_->Accept(options.accept_timeout_ms);
+    if (!channel.ok()) return Annotate(channel.status(), context);
+    Result<std::vector<uint8_t>> hello = (*channel)->Recv();
+    if (!hello.ok()) return Annotate(hello.status(), context);
+    Result<size_t> peer = ParseHandshake(*hello, p);
+    if (!peer.ok()) return Annotate(peer.status(), context);
+    if (*peer >= index) {
+      return Status::FailedPrecondition(
+          context + ": party " + std::to_string(*peer) +
+          " must not connect to a lower index (schedule violation)");
+    }
+    if (mesh.channels_[*peer] != nullptr) {
+      return Status::FailedPrecondition(
+          context + ": party " + std::to_string(*peer) +
+          " connected twice");
+    }
+    Status acked = (*channel)->Send(BuildHandshake(p, index));
+    if (!acked.ok()) return Annotate(acked, context);
+    mesh.channels_[*peer] = std::move(*channel);
+  }
+
+  // Handshake traffic is transport setup, not protocol traffic.
+  for (const std::unique_ptr<SocketChannel>& channel : mesh.channels_) {
+    if (channel != nullptr) channel->ResetStats();
+  }
+  return mesh;
+}
+
+std::vector<Channel*> PartyMesh::links() const {
+  std::vector<Channel*> links(channels_.size(), nullptr);
+  for (size_t j = 0; j < channels_.size(); ++j) {
+    if (j != index_) links[j] = channels_[j].get();
+  }
+  return links;
+}
+
+void PartyMesh::CloseAll() {
+  for (const std::unique_ptr<SocketChannel>& channel : channels_) {
+    if (channel != nullptr) channel->Close();
+  }
+  if (listener_.has_value()) listener_->Close();
+}
+
+}  // namespace ppdbscan

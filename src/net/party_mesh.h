@@ -1,0 +1,106 @@
+#ifndef PPDBSCAN_NET_PARTY_MESH_H_
+#define PPDBSCAN_NET_PARTY_MESH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket_channel.h"
+
+namespace ppdbscan {
+
+/// Where one mesh party listens. `endpoints[j]` is party j's listen
+/// address; entry 0 is unused (party 0 never listens — see the schedule
+/// below) but kept so endpoint lists index naturally by party.
+struct MeshEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct PartyMeshOptions {
+  /// Per-link connect retry budget: connects keep retrying until the
+  /// target's listener is up or this expires, so the P processes can be
+  /// started in any order.
+  int connect_timeout_ms = 15000;
+  /// Per-link accept budget (kUnavailable on expiry; the listener stays
+  /// open).
+  int accept_timeout_ms = 20000;
+  /// The listen backlog is max(min_backlog, parties): all lower-indexed
+  /// peers may connect before this party reaches its first Accept, and
+  /// their connections must queue instead of being refused.
+  int min_backlog = 8;
+};
+
+/// Full TCP mesh between P party processes — the two-party tcp_parties
+/// pattern generalized to N machines.
+///
+/// The per-pair schedule is deterministic so every process can compute it
+/// from (index, P) alone: party i LISTENS for every j < i and CONNECTS to
+/// every j > i — each pair (i, j), i < j, is one TCP connection initiated
+/// by the lower index. Every party first binds its listener, then runs its
+/// connects (so every connect target is already bound or soon will be;
+/// the retry loop absorbs start-order races), then accepts its i peers.
+/// Accepted connections identify themselves with a hello frame (magic,
+/// version, party count, sender index) answered by an ack, so arrival
+/// order never mis-slots a link and a stray client fails the handshake
+/// descriptively instead of desyncing the mesh.
+///
+/// The listener is retained for the mesh's lifetime (a daemon can
+/// re-accept a returning peer); handshake traffic is excluded from the
+/// per-link stats, matching the paper's per-invocation accounting.
+class PartyMesh {
+ public:
+  /// Establishes party `index`'s side of the full mesh. All P processes
+  /// must call Establish with the same endpoint list concurrently.
+  /// Listens on endpoints[index].port (must be a real port for index > 0;
+  /// use EstablishWithListener for ephemeral kernel-assigned ports).
+  static Result<PartyMesh> Establish(
+      const std::vector<MeshEndpoint>& endpoints, size_t index,
+      const PartyMeshOptions& options = {});
+
+  /// Variant taking a pre-bound listener, for ephemeral-port workflows:
+  /// bind port 0 first, learn the port, publish it to the peers, then
+  /// establish. Required for index > 0; ignored for party 0.
+  static Result<PartyMesh> EstablishWithListener(
+      std::optional<SocketListener> listener,
+      const std::vector<MeshEndpoint>& endpoints, size_t index,
+      const PartyMeshOptions& options = {});
+
+  PartyMesh(PartyMesh&&) = default;
+  PartyMesh& operator=(PartyMesh&&) = default;
+  PartyMesh(const PartyMesh&) = delete;
+  PartyMesh& operator=(const PartyMesh&) = delete;
+
+  size_t index() const { return index_; }
+  size_t parties() const { return channels_.size(); }
+
+  /// The channel to party `peer` (null at this party's own index).
+  SocketChannel* link(size_t peer) const {
+    return peer < channels_.size() ? channels_[peer].get() : nullptr;
+  }
+
+  /// All P link slots with null at this party's own index — the exact
+  /// shape PartyRuntime::ConnectMesh takes.
+  std::vector<Channel*> links() const;
+
+  /// This party's retained listener (null for party 0 or after Close).
+  SocketListener* listener() {
+    return listener_.has_value() ? &*listener_ : nullptr;
+  }
+
+  /// Closes every link and the listener. Idempotent.
+  void CloseAll();
+
+ private:
+  PartyMesh() = default;
+
+  size_t index_ = 0;
+  std::vector<std::unique_ptr<SocketChannel>> channels_;  // null at index_
+  std::optional<SocketListener> listener_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_NET_PARTY_MESH_H_

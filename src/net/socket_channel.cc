@@ -27,9 +27,19 @@ void SetNoDelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void SetNonBlocking(int fd, bool nonblocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  fcntl(fd, F_SETFL, flags);
+}
+
 }  // namespace
 
-Result<SocketListener> SocketListener::Bind(uint16_t port) {
+Result<SocketListener> SocketListener::Bind(uint16_t port, int backlog) {
+  if (backlog < 1) {
+    return Status::InvalidArgument("listener backlog must be >= 1");
+  }
   int listener = socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) return Errno("socket");
   int one = 1;
@@ -42,7 +52,7 @@ Result<SocketListener> SocketListener::Bind(uint16_t port) {
     close(listener);
     return Errno("bind");
   }
-  if (listen(listener, 1) < 0) {
+  if (listen(listener, backlog) < 0) {
     close(listener);
     return Errno("listen");
   }
@@ -75,17 +85,32 @@ SocketListener::~SocketListener() {
   if (fd_ >= 0) close(fd_);
 }
 
+void SocketListener::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
 Result<std::unique_ptr<SocketChannel>> SocketListener::Accept(int timeout_ms) {
-  if (fd_ < 0) return Status::FailedPrecondition("listener already consumed");
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
   int fd = -1;
   if (timeout_ms < 0) {
-    fd = accept(fd_, nullptr, nullptr);
+    // A previous timed Accept may have left the socket non-blocking.
+    SetNonBlocking(fd_, false);
+    while (true) {
+      fd = accept(fd_, nullptr, nullptr);
+      if (fd < 0 && (errno == EINTR || errno == ECONNABORTED)) continue;
+      break;
+    }
   } else {
     // Non-blocking poll+accept loop against a deadline: a queued
     // connection that is reset before we reach accept() (peer crashed
     // between connect and our wakeup) surfaces as EAGAIN and we keep
     // waiting for the remainder of the budget instead of blocking forever.
-    fcntl(fd_, F_SETFL, fcntl(fd_, F_GETFL, 0) | O_NONBLOCK);
+    // Every exit leaves the listening socket open — a mesh party accepts
+    // its next peer off the same listener, timeout or not.
+    SetNonBlocking(fd_, true);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(timeout_ms);
     while (true) {
@@ -93,18 +118,12 @@ Result<std::unique_ptr<SocketChannel>> SocketListener::Accept(int timeout_ms) {
           std::chrono::milliseconds>(deadline -
                                      std::chrono::steady_clock::now());
       if (remaining.count() <= 0) {
-        close(fd_);
-        fd_ = -1;
         return Status::Unavailable("accept timed out");
       }
       pollfd pending{fd_, POLLIN, 0};
       int ready = poll(&pending, 1, static_cast<int>(remaining.count()));
       if (ready < 0 && errno == EINTR) continue;
-      if (ready < 0) {
-        close(fd_);
-        fd_ = -1;
-        return Errno("poll");
-      }
+      if (ready < 0) return Errno("poll");
       if (ready == 0) continue;  // loop re-checks the deadline
       fd = accept(fd_, nullptr, nullptr);
       if (fd < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
@@ -114,12 +133,10 @@ Result<std::unique_ptr<SocketChannel>> SocketListener::Accept(int timeout_ms) {
       break;
     }
   }
-  close(fd_);
-  fd_ = -1;
   if (fd < 0) return Errno("accept");
   // Accepted sockets must be blocking regardless of the listener's flags
   // (inheritance is platform-dependent).
-  fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+  SetNonBlocking(fd, false);
   SetNoDelay(fd);
   return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
 }
@@ -168,10 +185,14 @@ void SocketChannel::Close() {
 Status SocketChannel::WriteAll(const uint8_t* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
-    ssize_t n = write(fd_, data + sent, len - sent);
+    // MSG_NOSIGNAL: a write to a peer that crashed mid-protocol must
+    // surface as EPIPE -> kUnavailable, not raise SIGPIPE and kill the
+    // whole process (a daemon serving many jobs dies with its first dead
+    // peer otherwise).
+    ssize_t n = send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return Errno("write");
+      return Errno("send");
     }
     sent += static_cast<size_t>(n);
   }
@@ -194,6 +215,14 @@ Status SocketChannel::ReadAll(uint8_t* data, size_t len) {
 
 Status SocketChannel::SendImpl(const std::vector<uint8_t>& frame) {
   if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  // Same bound the receiver checks: a frame that does not fit the 4-byte
+  // header would silently truncate its length and desync the stream.
+  if (frame.size() > kMaxFrame) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(frame.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFrame) +
+        "-byte wire limit");
+  }
   uint8_t header[4] = {
       static_cast<uint8_t>(frame.size() >> 24),
       static_cast<uint8_t>(frame.size() >> 16),
@@ -211,7 +240,6 @@ Result<std::vector<uint8_t>> SocketChannel::RecvImpl() {
   uint32_t len = static_cast<uint32_t>(header[0]) << 24 |
                  static_cast<uint32_t>(header[1]) << 16 |
                  static_cast<uint32_t>(header[2]) << 8 | header[3];
-  constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
   if (len > kMaxFrame) return Status::DataLoss("oversized frame");
   std::vector<uint8_t> frame(len);
   PPD_RETURN_IF_ERROR(ReadAll(frame.data(), len));

@@ -11,14 +11,20 @@ namespace ppdbscan {
 
 class SocketChannel;
 
-/// A bound, listening TCP socket that has not yet accepted its peer. Split
-/// from SocketChannel::Listen so callers can bind port 0 (kernel-assigned),
-/// learn the actual port, hand it to the connecting side, and only then
-/// block in Accept — the pattern tests use to avoid fixed-port collisions.
+/// A bound, listening TCP socket. Split from SocketChannel::Listen so
+/// callers can bind port 0 (kernel-assigned), learn the actual port, hand
+/// it to the connecting side, and only then block in Accept — the pattern
+/// tests use to avoid fixed-port collisions. The listener is persistent:
+/// Accept may be called repeatedly (a mesh party accepts P−1 peers off one
+/// listener; a daemon re-accepts after a peer reconnects), and `backlog`
+/// sizes the kernel's pending-connection queue so P−1 simultaneous
+/// connects queue instead of being refused.
 class SocketListener {
  public:
-  /// Binds and listens on `port` (0 = pick a free ephemeral port).
-  static Result<SocketListener> Bind(uint16_t port);
+  /// Binds and listens on `port` (0 = pick a free ephemeral port). The
+  /// backlog must cover the number of peers that may connect before the
+  /// first Accept runs (a mesh passes at least its party count).
+  static Result<SocketListener> Bind(uint16_t port, int backlog = 8);
 
   SocketListener(SocketListener&& other) noexcept;
   SocketListener& operator=(SocketListener&& other) noexcept;
@@ -29,11 +35,18 @@ class SocketListener {
   /// The port actually bound (resolves port 0 to the kernel's choice).
   uint16_t port() const { return port_; }
 
-  /// Accepts exactly one peer and releases the listening socket. A
-  /// non-negative `timeout_ms` bounds the wait (kUnavailable on expiry),
-  /// so a harness thread blocked in Accept cannot hang forever when the
-  /// connecting side fails; -1 blocks indefinitely.
+  /// True until Close() (or a move) releases the socket.
+  bool listening() const { return fd_ >= 0; }
+
+  /// Accepts one queued peer. Repeatable: the listening socket stays open
+  /// after every outcome — success, timeout, or error — until Close().
+  /// A non-negative `timeout_ms` bounds the wait (kUnavailable on expiry),
+  /// so a thread blocked in Accept cannot hang forever when the connecting
+  /// side fails; -1 blocks indefinitely.
   Result<std::unique_ptr<SocketChannel>> Accept(int timeout_ms = -1);
+
+  /// Releases the listening socket. Idempotent.
+  void Close();
 
  private:
   SocketListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
@@ -42,11 +55,19 @@ class SocketListener {
   uint16_t port_;
 };
 
-/// TCP transport for running the two parties as separate processes (see
-/// examples/tcp_parties.cc). Frames are sent as a
+/// TCP transport for running the parties as separate processes (see
+/// examples/tcp_parties.cc and net/party_mesh.h). Frames are sent as a
 /// 4-byte big-endian length followed by the payload.
 class SocketChannel : public Channel {
  public:
+  /// Largest frame either side will put on (or take off) the wire. The
+  /// sender enforces it in SendImpl — a frame whose size does not fit the
+  /// 4-byte length header must fail loudly (kInvalidArgument) instead of
+  /// silently truncating the header and desyncing the stream — and the
+  /// receiver enforces the same bound on incoming headers (kDataLoss), so
+  /// the two limits can never disagree.
+  static constexpr uint32_t kMaxFrame = 64u << 20;  // 64 MiB
+
   /// Listens on `port` (IPv4 loopback-any) and accepts exactly one peer.
   /// Convenience wrapper over SocketListener::Bind + Accept.
   static Result<std::unique_ptr<SocketChannel>> Listen(uint16_t port);
@@ -59,6 +80,11 @@ class SocketChannel : public Channel {
   ~SocketChannel() override;
 
   void Close() override;
+
+  /// The underlying socket descriptor, or -1 after Close(). Exposed so a
+  /// daemon's signal handler can shutdown(2) blocked reads — shutdown is
+  /// async-signal-safe, Close() is not.
+  int native_handle() const { return fd_; }
 
  protected:
   Status SendImpl(const std::vector<uint8_t>& frame) override;

@@ -1,0 +1,159 @@
+#include "net/mux.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/memory_channel.h"
+
+namespace ppdbscan {
+namespace {
+
+struct MuxPair {
+  std::unique_ptr<MemoryChannel> a_base;
+  std::unique_ptr<MemoryChannel> b_base;
+  std::unique_ptr<ChannelMux> a;
+  std::unique_ptr<ChannelMux> b;
+};
+
+MuxPair MakePair() {
+  MuxPair pair;
+  auto [alice, bob] = MemoryChannel::CreatePair();
+  pair.a_base = std::move(alice);
+  pair.b_base = std::move(bob);
+  pair.a = std::make_unique<ChannelMux>(*pair.a_base);
+  pair.b = std::make_unique<ChannelMux>(*pair.b_base);
+  return pair;
+}
+
+TEST(ChannelMuxTest, RoundTripOnOneStream) {
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  auto b1 = pair.b->OpenStream(1);
+  ASSERT_TRUE(a1.ok() && b1.ok());
+  ASSERT_TRUE((*a1)->Send({1, 2, 3}).ok());
+  EXPECT_EQ(*(*b1)->Recv(), (std::vector<uint8_t>{1, 2, 3}));
+  ASSERT_TRUE((*b1)->Send({9}).ok());
+  EXPECT_EQ(*(*a1)->Recv(), std::vector<uint8_t>{9});
+}
+
+TEST(ChannelMuxTest, StreamsDoNotCrossTalk) {
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  auto a2 = pair.a->OpenStream(2);
+  auto b1 = pair.b->OpenStream(1);
+  auto b2 = pair.b->OpenStream(2);
+  ASSERT_TRUE(a1.ok() && a2.ok() && b1.ok() && b2.ok());
+  // Interleave sends from both jobs; each receiver must see only its own
+  // frames, in order.
+  ASSERT_TRUE((*a1)->Send({10}).ok());
+  ASSERT_TRUE((*a2)->Send({20}).ok());
+  ASSERT_TRUE((*a1)->Send({11}).ok());
+  ASSERT_TRUE((*a2)->Send({21}).ok());
+  EXPECT_EQ(*(*b2)->Recv(), std::vector<uint8_t>{20});
+  EXPECT_EQ(*(*b1)->Recv(), std::vector<uint8_t>{10});
+  EXPECT_EQ(*(*b1)->Recv(), std::vector<uint8_t>{11});
+  EXPECT_EQ(*(*b2)->Recv(), std::vector<uint8_t>{21});
+}
+
+TEST(ChannelMuxTest, FramesBeforeOpenAreBuffered) {
+  // The peer may race ahead into a job's first round before this side's
+  // job task has opened its stream; those frames must wait, not drop.
+  MuxPair pair = MakePair();
+  auto a5 = pair.a->OpenStream(5);
+  ASSERT_TRUE(a5.ok());
+  ASSERT_TRUE((*a5)->Send({42}).ok());
+  ASSERT_TRUE((*a5)->Send({43}).ok());
+  // Give the b-side reader time to route both frames pre-open.
+  auto b_other = pair.b->OpenStream(6);
+  ASSERT_TRUE(b_other.ok());
+  auto b5 = pair.b->OpenStream(5);
+  ASSERT_TRUE(b5.ok());
+  EXPECT_EQ(*(*b5)->Recv(), std::vector<uint8_t>{42});
+  EXPECT_EQ(*(*b5)->Recv(), std::vector<uint8_t>{43});
+}
+
+TEST(ChannelMuxTest, StreamStatsCountLogicalPayloadOnly) {
+  // Per-job accounting over a mux must match the same job over a
+  // dedicated channel byte for byte — the 4-byte stream id is transport
+  // overhead, not job traffic.
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  auto b1 = pair.b->OpenStream(1);
+  ASSERT_TRUE(a1.ok() && b1.ok());
+  ASSERT_TRUE((*a1)->Send({1, 2, 3, 4, 5}).ok());
+  ASSERT_TRUE((*b1)->Recv().ok());
+  EXPECT_EQ((*a1)->stats().bytes_sent, 5u);
+  EXPECT_EQ((*a1)->stats().frames_sent, 1u);
+  EXPECT_EQ((*b1)->stats().bytes_received, 5u);
+}
+
+TEST(ChannelMuxTest, StreamIdsOpenOncePerLifetime) {
+  MuxPair pair = MakePair();
+  auto first = pair.a->OpenStream(3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(pair.a->OpenStream(3).status().code(),
+            StatusCode::kFailedPrecondition);
+  first->reset();  // Close() retires the id
+  EXPECT_EQ(pair.a->OpenStream(3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChannelMuxTest, LateFramesForRetiredStreamsAreDropped) {
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  auto a2 = pair.a->OpenStream(2);
+  auto b2 = pair.b->OpenStream(2);
+  ASSERT_TRUE(a1.ok() && a2.ok() && b2.ok());
+  {
+    auto b1 = pair.b->OpenStream(1);
+    ASSERT_TRUE(b1.ok());
+  }  // b's job 1 is finished; its stream id is retired
+  ASSERT_TRUE((*a1)->Send({99}).ok());  // late frame for the finished job
+  ASSERT_TRUE((*a2)->Send({1}).ok());
+  // Stream 2 still flows; the late frame neither blocks nor leaks into it.
+  EXPECT_EQ(*(*b2)->Recv(), std::vector<uint8_t>{1});
+}
+
+TEST(ChannelMuxTest, PeerBaseCloseFailsPendingAndFutureRecvs) {
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  auto b1 = pair.b->OpenStream(1);
+  ASSERT_TRUE(a1.ok() && b1.ok());
+  std::thread closer([&] { pair.a.reset(); });  // shuts a's side down
+  Result<std::vector<uint8_t>> pending = (*b1)->Recv();
+  closer.join();
+  EXPECT_FALSE(pending.ok());
+  EXPECT_FALSE((*b1)->Recv().ok());
+  EXPECT_FALSE((*b1)->Send({1}).ok());
+  EXPECT_FALSE(pair.b->status().ok());
+}
+
+TEST(ChannelMuxTest, QueuedFramesDrainBeforeTerminalStatus) {
+  // A job whose last round already arrived must be able to finish even
+  // though the base channel has since failed.
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  auto b1 = pair.b->OpenStream(1);
+  ASSERT_TRUE(a1.ok() && b1.ok());
+  ASSERT_TRUE((*a1)->Send({8}).ok());
+  // MemoryChannel delivers frames queued before a Close, so b's reader
+  // routes {8} and THEN hits the failure — the mux must honor that order.
+  pair.a_base->Close();
+  EXPECT_EQ(*(*b1)->Recv(), std::vector<uint8_t>{8});
+  EXPECT_FALSE((*b1)->Recv().ok());
+}
+
+TEST(ChannelMuxTest, StreamsOutliveTheMux) {
+  MuxPair pair = MakePair();
+  auto a1 = pair.a->OpenStream(1);
+  ASSERT_TRUE(a1.ok());
+  pair.a.reset();  // mux destroyed first
+  EXPECT_EQ((*a1)->Send({1}).code(), StatusCode::kUnavailable);
+  EXPECT_FALSE((*a1)->Recv().ok());
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -1,0 +1,161 @@
+// PartyMesh over real loopback sockets: the deterministic pairwise
+// schedule assembles a full N-party mesh (ephemeral kernel-assigned
+// ports, any start order), links are slotted by the identification
+// handshake rather than arrival order, and a party dying mid-round
+// surfaces as kUnavailable on every survivor — never as SIGPIPE.
+
+#include "net/party_mesh.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace ppdbscan {
+namespace {
+
+/// Establishes a P-party loopback mesh on P threads, returning the meshes
+/// in party order. Ephemeral ports: every listening party binds port 0
+/// first, the learned ports form the shared endpoint list, then all
+/// parties establish concurrently.
+std::vector<std::optional<PartyMesh>> EstablishLoopbackMesh(size_t parties) {
+  std::vector<MeshEndpoint> endpoints(parties);
+  std::vector<std::optional<SocketListener>> listeners(parties);
+  for (size_t i = 1; i < parties; ++i) {
+    Result<SocketListener> bound =
+        SocketListener::Bind(0, static_cast<int>(parties));
+    if (!bound.ok()) return {};
+    endpoints[i].port = bound->port();
+    listeners[i].emplace(std::move(*bound));
+  }
+  std::vector<std::optional<PartyMesh>> meshes(parties);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < parties; ++i) {
+    threads.emplace_back([&, i] {
+      Result<PartyMesh> mesh = PartyMesh::EstablishWithListener(
+          std::move(listeners[i]), endpoints, i);
+      if (mesh.ok()) meshes[i].emplace(std::move(*mesh));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return meshes;
+}
+
+TEST(PartyMeshTest, ThreePartiesFormAFullMesh) {
+  auto meshes = EstablishLoopbackMesh(3);
+  ASSERT_EQ(meshes.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(meshes[i].has_value()) << "party " << i;
+    EXPECT_EQ(meshes[i]->index(), i);
+    EXPECT_EQ(meshes[i]->parties(), 3u);
+  }
+  // Every ordered pair exchanges one tagged frame over its own link.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      if (i == j) {
+        EXPECT_EQ(meshes[i]->link(j), nullptr);
+        continue;
+      }
+      const uint8_t tag = static_cast<uint8_t>(16 * i + j);
+      ASSERT_TRUE(meshes[i]->link(j)->Send({tag}).ok());
+      EXPECT_EQ(*meshes[j]->link(i)->Recv(), std::vector<uint8_t>{tag});
+    }
+  }
+}
+
+TEST(PartyMeshTest, HandshakeTrafficExcludedFromStats) {
+  auto meshes = EstablishLoopbackMesh(3);
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(meshes[i].has_value());
+  // The hello/ack bytes must not leak into protocol accounting.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(meshes[i]->link(j)->stats().bytes_sent, 0u);
+      EXPECT_EQ(meshes[i]->link(j)->stats().bytes_received, 0u);
+    }
+  }
+  ASSERT_TRUE(meshes[0]->link(2)->Send({1, 2, 3}).ok());
+  ASSERT_TRUE(meshes[2]->link(0)->Recv().ok());
+  EXPECT_EQ(meshes[0]->link(2)->stats().bytes_sent, 3u);
+  EXPECT_EQ(meshes[2]->link(0)->stats().bytes_received, 3u);
+}
+
+TEST(PartyMeshTest, LinksMatchConnectMeshShape) {
+  auto meshes = EstablishLoopbackMesh(3);
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(meshes[i].has_value());
+  std::vector<Channel*> links = meshes[1]->links();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_NE(links[0], nullptr);
+  EXPECT_EQ(links[1], nullptr);  // own slot
+  EXPECT_NE(links[2], nullptr);
+}
+
+TEST(PartyMeshTest, FourPartiesAcceptOffOneListener) {
+  // Party 3 accepts all three lower peers from one persistent listener —
+  // the repeatable-Accept path a single-shot listener cannot serve.
+  auto meshes = EstablishLoopbackMesh(4);
+  ASSERT_EQ(meshes.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(meshes[i].has_value()) << "party " << i;
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(meshes[i]->link(3)->Send({static_cast<uint8_t>(i)}).ok());
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(*meshes[3]->link(i)->Recv(),
+              std::vector<uint8_t>{static_cast<uint8_t>(i)});
+  }
+  EXPECT_NE(meshes[3]->listener(), nullptr);
+  EXPECT_TRUE(meshes[3]->listener()->listening());
+}
+
+TEST(PartyMeshTest, PeerDeathMidRoundSurfacesUnavailable) {
+  auto meshes = EstablishLoopbackMesh(3);
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(meshes[i].has_value());
+
+  // Parties 0 and 1 block mid-round on party 2's next message; party 2
+  // dies instead of sending it.
+  Result<std::vector<uint8_t>> pending0 =
+      Status::Internal("recv never observed");
+  Result<std::vector<uint8_t>> pending1 =
+      Status::Internal("recv never observed");
+  std::thread survivor0([&] { pending0 = meshes[0]->link(2)->Recv(); });
+  std::thread survivor1([&] { pending1 = meshes[1]->link(2)->Recv(); });
+  meshes[2]->CloseAll();
+  survivor0.join();
+  survivor1.join();
+  EXPECT_EQ(pending0.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pending1.status().code(), StatusCode::kUnavailable);
+
+  // Survivors pushing frames at the dead peer get a Status too (not
+  // SIGPIPE): keep sending until the failure propagates.
+  std::vector<uint8_t> frame(64 * 1024, 0xEE);
+  Status push = Status::Ok();
+  for (int i = 0; i < 256 && push.ok(); ++i) {
+    push = meshes[0]->link(2)->Send(frame);
+  }
+  EXPECT_EQ(push.code(), StatusCode::kUnavailable);
+
+  // The surviving pair's link is untouched.
+  ASSERT_TRUE(meshes[0]->link(1)->Send({5}).ok());
+  EXPECT_EQ(*meshes[1]->link(0)->Recv(), std::vector<uint8_t>{5});
+}
+
+TEST(PartyMeshTest, RejectsBadArguments) {
+  std::vector<MeshEndpoint> one(1);
+  EXPECT_EQ(PartyMesh::Establish(one, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<MeshEndpoint> three(3);
+  EXPECT_EQ(PartyMesh::Establish(three, 7).status().code(),
+            StatusCode::kInvalidArgument);
+  // index > 0 without a bound listener is a misuse of the ephemeral-port
+  // variant.
+  EXPECT_EQ(PartyMesh::EstablishWithListener(std::nullopt, three, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppdbscan

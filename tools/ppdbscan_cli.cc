@@ -22,15 +22,19 @@
 // pooled data, and optionally write per-record labels as CSV.
 
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/run.h"
+#include "core/serve.h"
+#include "net/party_mesh.h"
 #include "data/csv.h"
 #include "data/fixed_point.h"
 #include "data/generators.h"
@@ -47,8 +51,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ppdbscan_cli <generate|central|horizontal|vertical|arbitrary>"
-      " [flags]\n"
+      "usage: ppdbscan_cli <generate|central|horizontal|vertical|arbitrary"
+      "|multiparty|serve> [flags]\n"
       "  common flags: --in FILE --eps E --minpts M [--scale S] [--seed N]"
       " [--out FILE]\n"
       "  central:      [--kmeans K]  (adds a k-means baseline comparison)\n"
@@ -57,6 +61,15 @@ int Usage() {
       "  horizontal:   [--fraction F] [--enhanced] [--merge]\n"
       "  vertical:     [--split-dim D] [--prune]\n"
       "  arbitrary:    [--fraction F]\n"
+      "  multiparty:   [--parties P] [--out-prefix PRE]  (P in-process"
+      " parties,\n"
+      "                round-robin split; labels to PRE.party<i>.csv)\n"
+      "  serve:        --index I --peers host:port,host:port,..."
+      " [--jobs N]\n"
+      "                [--out-prefix PRE]  (one daemon process per party;\n"
+      "                party 0 submits N jobs over one shared mesh, labels"
+      " to\n"
+      "                PRE.party<I>.job<k>.csv; SIGTERM stops cleanly)\n"
       "  crypto:       [--comparator blinded|ymp|ideal]"
       " [--paillier-bits B] [--rsa-bits B]\n"
       "  transport:    [--transport memory|tcp]  (tcp = real loopback"
@@ -375,6 +388,212 @@ int RunArbitrary(const Flags& flags) {
   return 0;
 }
 
+/// Party `index`'s records under the public round-robin convention row i ->
+/// party i mod P. Both `multiparty` (in-process) and `serve` (one process
+/// per party) carve their shares with this, so a serve fleet reading the
+/// same CSV computes on exactly the data of the in-process reference run —
+/// that is what makes their label files byte-comparable.
+Dataset RoundRobinShare(const Dataset& all, size_t index, size_t parties) {
+  Dataset share(all.dims());
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i % parties == index) PPD_CHECK(share.Add(all.point(i)).ok());
+  }
+  return share;
+}
+
+Result<std::vector<MeshEndpoint>> ParsePeers(const std::string& spec) {
+  std::vector<MeshEndpoint> endpoints;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string entry = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("peer entry needs host:port, got '" +
+                                     entry + "'");
+    }
+    int port = std::atoi(entry.c_str() + colon + 1);
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("bad peer port in '" + entry + "'");
+    }
+    endpoints.push_back(
+        {entry.substr(0, colon), static_cast<uint16_t>(port)});
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (endpoints.size() < 2) {
+    return Status::InvalidArgument("--peers needs >= 2 host:port entries");
+  }
+  return endpoints;
+}
+
+int WriteLabels(const std::string& path, const Labels& labels) {
+  Status status = WriteFile(path, FormatLabelsCsv(labels));
+  if (!status.ok()) return Fail(status);
+  std::printf("labels written to %s\n", path.c_str());
+  return 0;
+}
+
+int RunMultiparty(const Flags& flags) {
+  Result<LoadedInput> input = LoadInput(flags);
+  if (!input.ok()) return Fail(input.status());
+  Result<CliConfig> config = MakeConfig(flags, *input);
+  if (!config.ok()) return Fail(config.status());
+  const size_t parties = static_cast<size_t>(flags.Num("parties", 3));
+  if (parties < 2 || parties > input->encoded.size()) {
+    return Fail(Status::InvalidArgument(
+        "--parties must be in [2, record count]"));
+  }
+
+  std::vector<LocalJob> jobs;
+  for (size_t h = 0; h < parties; ++h) {
+    jobs.push_back({ClusteringJob::Multiparty(
+                        RoundRobinShare(input->encoded, h, parties), h,
+                        parties, config->protocol),
+                    config->seed + h});
+  }
+  Result<std::vector<RunOutcome>> outcome = ExecuteLocal(jobs, config->smc);
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  DbscanResult central = RunDbscan(input->encoded, input->params);
+  Labels combined(input->encoded.size(), kUnclassified);
+  for (size_t h = 0; h < parties; ++h) {
+    const Labels& local = (*outcome)[h].clustering.labels;
+    for (size_t i = 0; i < local.size(); ++i) {
+      combined[i * parties + h] = local[i];
+    }
+  }
+  ResultTable table({"party", "records", "clusters", "bytes total",
+                     "rounds"});
+  for (size_t h = 0; h < parties; ++h) {
+    const RunOutcome& r = (*outcome)[h];
+    table.AddRow({ResultTable::Fmt(static_cast<uint64_t>(h)),
+                  ResultTable::Fmt(uint64_t{r.clustering.labels.size()}),
+                  ResultTable::Fmt(uint64_t{r.clustering.num_clusters}),
+                  ResultTable::Fmt(r.stats.total_bytes()),
+                  ResultTable::Fmt(r.stats.rounds)});
+  }
+  std::printf("%s", table.ToMarkdown().c_str());
+  std::printf("multiparty (%zu parties): ARI vs centralized DBSCAN %.4f\n",
+              parties, AdjustedRandIndex(combined, central.labels));
+
+  const std::string prefix = flags.Str("out-prefix", "");
+  if (!prefix.empty()) {
+    for (size_t h = 0; h < parties; ++h) {
+      int rc = WriteLabels(prefix + ".party" + std::to_string(h) + ".csv",
+                           (*outcome)[h].clustering.labels);
+      if (rc != 0) return rc;
+    }
+  }
+  return 0;
+}
+
+/// Signal plumbing for `serve`: SIGTERM/SIGINT route to the server's
+/// async-signal-safe RequestStop, which unwinds the blocking serve loop.
+PartyServer* g_signal_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_signal_server != nullptr) g_signal_server->RequestStop();
+}
+
+int RunServe(const Flags& flags) {
+  Result<LoadedInput> input = LoadInput(flags);
+  if (!input.ok()) return Fail(input.status());
+  Result<CliConfig> config = MakeConfig(flags, *input);
+  if (!config.ok()) return Fail(config.status());
+  Result<std::vector<MeshEndpoint>> endpoints =
+      ParsePeers(flags.Str("peers", ""));
+  if (!endpoints.ok()) return Fail(endpoints.status());
+  const size_t parties = endpoints->size();
+  const double index_flag = flags.Num("index", -1);
+  if (index_flag < 0 || index_flag >= static_cast<double>(parties)) {
+    return Fail(Status::InvalidArgument(
+        "--index must name one of the --peers entries"));
+  }
+  const size_t index = static_cast<size_t>(index_flag);
+
+  const ClusteringJob job = ClusteringJob::Multiparty(
+      RoundRobinShare(input->encoded, index, parties), index, parties,
+      config->protocol);
+
+  std::printf("[party %zu] establishing %zu-party mesh...\n", index, parties);
+  Result<PartyMesh> mesh = PartyMesh::Establish(*endpoints, index);
+  if (!mesh.ok()) return Fail(mesh.status());
+  Result<PartyServer> server =
+      PartyServer::Start(std::move(*mesh), SecureRng(config->seed + index),
+                         {.smc = config->smc});
+  if (!server.ok()) return Fail(server.status());
+  std::printf("[party %zu] mesh up, sessions established; serving\n", index);
+
+  g_signal_server = &*server;
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  const std::string prefix = flags.Str("out-prefix", "");
+  const auto label_path = [&](uint32_t job_id) {
+    return prefix + ".party" + std::to_string(index) + ".job" +
+           std::to_string(job_id) + ".csv";
+  };
+
+  int exit_code = 0;
+  if (index == 0) {
+    const size_t jobs = static_cast<size_t>(flags.Num("jobs", 1));
+    for (size_t k = 1; k <= jobs; ++k) {
+      Result<RunOutcome> outcome = server->SubmitJob(job);
+      if (!outcome.ok()) {
+        if (server->stop_requested()) break;  // operator-requested stop
+        exit_code = Fail(outcome.status());
+        break;
+      }
+      std::printf("[party 0] job %zu done: %zu cluster(s), %llu bytes, "
+                  "%.2f s (keygen amortized over %llu job(s))\n",
+                  k, outcome->clustering.num_clusters,
+                  static_cast<unsigned long long>(
+                      outcome->stats.total_bytes()),
+                  outcome->timings.total_seconds,
+                  static_cast<unsigned long long>(
+                      server->jobs_completed()));
+      if (!prefix.empty()) {
+        int rc = WriteLabels(label_path(static_cast<uint32_t>(k)),
+                             outcome->clustering.labels);
+        if (rc != 0) {
+          exit_code = rc;
+          break;
+        }
+      }
+    }
+    Status shutdown = server->AnnounceShutdown();
+    if (!shutdown.ok() && exit_code == 0 && !server->stop_requested()) {
+      exit_code = Fail(shutdown);
+    }
+  } else {
+    PartyServer::ServeReport report = server->Serve(
+        [&job](uint32_t) -> Result<ClusteringJob> { return job; },
+        [&](uint32_t job_id, const Result<RunOutcome>& outcome) {
+          if (!outcome.ok()) {
+            std::fprintf(stderr, "[party %zu] job %u failed: %s\n", index,
+                         job_id, outcome.status().ToString().c_str());
+            return;
+          }
+          std::printf("[party %zu] job %u done: %zu cluster(s)\n", index,
+                      job_id, outcome->clustering.num_clusters);
+          if (!prefix.empty()) {
+            (void)WriteLabels(label_path(job_id),
+                              outcome->clustering.labels);
+          }
+        });
+    std::printf("[party %zu] served %llu job(s), %llu failed; %s\n", index,
+                static_cast<unsigned long long>(report.jobs_ok),
+                static_cast<unsigned long long>(report.jobs_failed),
+                report.status.ok() ? "clean shutdown"
+                                   : report.status.ToString().c_str());
+    exit_code = (report.status.ok() && report.jobs_failed == 0) ? 0 : 1;
+  }
+  g_signal_server = nullptr;
+  return exit_code;
+}
+
 int RunCentral(const Flags& flags) {
   Result<LoadedInput> input = LoadInput(flags);
   if (!input.ok()) return Fail(input.status());
@@ -428,6 +647,8 @@ int Main(int argc, char** argv) {
   if (command == "horizontal") return RunHorizontal(flags);
   if (command == "vertical") return RunVertical(flags);
   if (command == "arbitrary") return RunArbitrary(flags);
+  if (command == "multiparty") return RunMultiparty(flags);
+  if (command == "serve") return RunServe(flags);
   return Usage();
 }
 

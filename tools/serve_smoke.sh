@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Multi-process serve smoke: three `ppdbscan_cli serve` daemons form a
+# real TCP mesh on loopback, party 0 submits two jobs back to back over
+# the one set of SMC sessions, and every party's labels for every job
+# must be byte-identical to the in-process `multiparty` harness run on
+# the same input. Exercises the PartyMesh schedule, the job-id channel
+# mux, session reuse across jobs (keygen amortization), and clean
+# daemon shutdown — end to end, across process boundaries.
+#
+# usage: tools/serve_smoke.sh [path/to/ppdbscan_cli]
+set -euo pipefail
+
+CLI="${1:-./build/tools/ppdbscan_cli}"
+[[ -x "$CLI" ]] || { echo "serve_smoke: no cli at $CLI" >&2; exit 2; }
+CLI="$(readlink -f "$CLI")"
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+PARTIES=3
+JOBS=2
+# Small keys + the ideal comparator keep this a transport smoke, not a
+# crypto benchmark; both runs use the SAME flags so labels must agree.
+COMMON=(--in data.csv --eps 0.3 --minpts 4
+        --comparator ideal --paillier-bits 256 --rsa-bits 128)
+
+"$CLI" generate --shape moons --n 60 --seed 7 --out data.csv
+
+echo "== reference: in-process multiparty harness =="
+"$CLI" multiparty "${COMMON[@]}" --parties "$PARTIES" --out-prefix ref
+
+echo "== serve fleet: $PARTIES processes, $JOBS jobs on one mesh =="
+BASE=$(( (RANDOM % 2000) + 42000 ))
+PEERS="127.0.0.1:$BASE,127.0.0.1:$((BASE + 1)),127.0.0.1:$((BASE + 2))"
+for i in $(seq 1 $((PARTIES - 1))); do
+  "$CLI" serve "${COMMON[@]}" --index "$i" --peers "$PEERS" \
+      --out-prefix srv > "party$i.log" 2>&1 &
+  PIDS+=($!)
+done
+"$CLI" serve "${COMMON[@]}" --index 0 --peers "$PEERS" --jobs "$JOBS" \
+    --out-prefix srv | tee party0.log
+
+FAIL=0
+for i in $(seq 1 $((PARTIES - 1))); do
+  if ! wait "${PIDS[$((i - 1))]}"; then
+    echo "serve_smoke: party $i exited nonzero" >&2
+    FAIL=1
+  fi
+  cat "party$i.log"
+done
+PIDS=()
+
+# The daemon's whole point: both jobs completed on the Start-time keygen.
+grep -q "amortized over $JOBS job(s)" party0.log || {
+  echo "serve_smoke: party 0 did not complete $JOBS jobs on one keygen" >&2
+  FAIL=1
+}
+
+# Labels byte-identical to the in-process reference: every party, every job.
+for i in $(seq 0 $((PARTIES - 1))); do
+  for k in $(seq 1 "$JOBS"); do
+    if ! cmp "srv.party$i.job$k.csv" "ref.party$i.csv"; then
+      echo "serve_smoke: party $i job $k labels diverge from reference" >&2
+      FAIL=1
+    fi
+  done
+done
+
+[[ "$FAIL" == 0 ]] && echo "serve_smoke: OK ($PARTIES parties, $JOBS jobs)"
+exit "$FAIL"

@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,           // invariant violation inside the library
   kUnavailable,        // transient transport failure (e.g. peer closed)
   kDataLoss,           // corrupt or truncated wire data
+  kDeadlineExceeded,   // a blocking operation ran past its deadline
+  kAborted,            // the peer abandoned the protocol (abort frame)
 };
 
 /// Returns the canonical spelling of a StatusCode ("OK", "INVALID_ARGUMENT",
@@ -69,6 +71,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   friend bool operator==(const Status& a, const Status& b) {

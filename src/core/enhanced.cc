@@ -181,7 +181,7 @@ Status EnhancedCoreTestResponder(Channel& channel, const SmcSession& session,
       case wire::kSelDone:
         return Status::Ok();
       case kAbortMessageType:
-        return Status::Unavailable(
+        return Status::Aborted(
             "peer aborted protocol: " +
             std::string(msg.payload.begin(), msg.payload.end()));
       default:

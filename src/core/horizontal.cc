@@ -127,7 +127,7 @@ Status ResponderLoop(Channel& channel, const SmcSession& session,
       case wire::kHzScanDone:
         return Status::Ok();
       case kAbortMessageType:
-        return Status::Unavailable(
+        return Status::Aborted(
             "peer aborted protocol: " +
             std::string(msg.payload.begin(), msg.payload.end()));
       default:

@@ -22,7 +22,7 @@ namespace ppdbscan {
 /// canonical ProtocolOptions serialization behind ProtocolOptionsDigest
 /// changes; peers with different versions fail the handshake with
 /// kFailedPrecondition instead of misreading each other's frames.
-inline constexpr uint16_t kJobProtocolVersion = 1;
+inline constexpr uint16_t kJobProtocolVersion = 2;
 
 /// How the virtual database is split between the parties — the four
 /// variants of the paper presented as one protocol family (§4.2 horizontal,
@@ -185,6 +185,7 @@ class PartyRuntime {
 
   Status ValidateJob(const ClusteringJob& job) const;
   Status Negotiate(const ClusteringJob& job);
+  Result<RunOutcome> RunJobRounds(const ClusteringJob& job);
 
   bool mesh_ = false;
   size_t index_ = 0;    // mesh slot; two-party: 0 = alice convention unused

@@ -31,6 +31,7 @@ uint64_t ProtocolOptionsDigest(const ProtocolOptions& options) {
   canon.PutU64(static_cast<uint64_t>(options.share_mask_bits));
   canon.PutU8(options.cross_party_merge ? 1 : 0);
   canon.PutU8(options.vdp_local_pruning ? 1 : 0);
+  canon.PutU32(static_cast<uint32_t>(options.round_deadline_ms));
 
   // FNV-1a, 64-bit.
   uint64_t hash = 0xcbf29ce484222325ull;

@@ -55,6 +55,15 @@ struct ProtocolOptions {
   /// the cost of disclosing core-pair adjacency.
   bool cross_party_merge = false;
 
+  /// Per-receive deadline, in milliseconds, applied to every protocol
+  /// round while a job runs (and to session establishment). A peer that
+  /// goes silent — crashed, stalled, or partitioned — surfaces as
+  /// kDeadlineExceeded on the waiting party instead of hanging it forever.
+  /// 0 or negative disables the deadline (block indefinitely). Negotiated:
+  /// both parties must configure the same value or the job-hello round
+  /// fails kFailedPrecondition.
+  int32_t round_deadline_ms = 0;
+
   /// E9 extension (not part of the paper's protocols): in the vertical
   /// protocol, each party locally prunes candidate pairs whose OWN partial
   /// squared distance already exceeds Eps² — the total can only be larger,

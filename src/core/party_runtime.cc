@@ -50,6 +50,7 @@ ByteWriter BuildHello(const ClusteringJob& job, size_t own_index,
   hello.PutU8(OptionFlags(job.options));
   hello.PutU64(
       static_cast<uint64_t>(job.options.comparator.max_batch_in_flight));
+  hello.PutU32(static_cast<uint32_t>(job.options.round_deadline_ms));
   hello.PutU64(ProtocolOptionsDigest(job.options));
   return hello;
 }
@@ -143,6 +144,16 @@ Status VerifyHello(const std::vector<uint8_t>& payload,
         "comparator batch limit mismatch (ours " +
         std::to_string(job.options.comparator.max_batch_in_flight) +
         ", peer " + std::to_string(peer_chunk) + ")");
+  }
+  PPD_ASSIGN_OR_RETURN(uint32_t peer_deadline, reader.GetU32());
+  if (static_cast<int32_t>(peer_deadline) !=
+      job.options.round_deadline_ms) {
+    // Deadlines must match: a party still waiting after its peers gave up
+    // would see their teardown as a spurious link error, not a timeout.
+    return Mismatch(
+        "round deadline mismatch (ours " +
+        std::to_string(job.options.round_deadline_ms) + "ms, peer " +
+        std::to_string(static_cast<int32_t>(peer_deadline)) + "ms)");
   }
   PPD_ASSIGN_OR_RETURN(uint64_t peer_digest, reader.GetU64());
   if (peer_digest != ProtocolOptionsDigest(job.options)) {
@@ -403,6 +414,37 @@ Status PartyRuntime::Negotiate(const ClusteringJob& job) {
 
 Result<RunOutcome> PartyRuntime::Run(const ClusteringJob& job) {
   PPD_RETURN_IF_ERROR(ValidateJob(job));
+  // Arm the negotiated per-round deadline on every link for the duration
+  // of the job (negotiation included — the hello round itself must not
+  // hang on a silent peer). Restored to blocking afterwards so a serve
+  // daemon's idle control plane is unaffected.
+  const int deadline_ms =
+      job.options.round_deadline_ms > 0 ? job.options.round_deadline_ms : -1;
+  for (size_t j = 0; j < links_.size(); ++j) {
+    if (mesh_ && j == index_) continue;
+    links_[j]->set_recv_deadline_ms(deadline_ms);
+  }
+  Result<RunOutcome> outcome = RunJobRounds(job);
+  for (size_t j = 0; j < links_.size(); ++j) {
+    if (mesh_ && j == index_) continue;
+    links_[j]->set_recv_deadline_ms(-1);
+  }
+  if (!outcome.ok()) {
+    // Failure containment: tell every peer why this party is bailing (best
+    // effort — a dead link just drops the frame). A peer blocked in a
+    // protocol round then fails kAborted immediately instead of running
+    // out its own deadline.
+    const std::string reason = outcome.status().ToString();
+    const std::vector<uint8_t> payload(reason.begin(), reason.end());
+    for (size_t j = 0; j < links_.size(); ++j) {
+      if (mesh_ && j == index_) continue;
+      (void)SendMessage(*links_[j], kAbortMessageType, payload);
+    }
+  }
+  return outcome;
+}
+
+Result<RunOutcome> PartyRuntime::RunJobRounds(const ClusteringJob& job) {
   RunOutcome outcome;
   for (size_t j = 0; j < links_.size(); ++j) {
     if (mesh_ && j == index_) continue;

@@ -181,6 +181,89 @@ Result<std::vector<RunOutcome>> ExecuteLocal(
   return ExecuteLocalMesh(parties, smc);
 }
 
+std::vector<Result<RunOutcome>> ExecuteLocalOutcomes(
+    const std::vector<LocalJob>& parties, const SmcOptions& smc,
+    const std::vector<LocalLinkFault>& faults) {
+  const size_t p = parties.size();
+  std::vector<Result<RunOutcome>> outs;
+  outs.reserve(p);
+  for (size_t i = 0; i < p; ++i) {
+    outs.emplace_back(Status::Internal("party did not run"));
+  }
+  if (p < 2) {
+    for (Result<RunOutcome>& out : outs) {
+      out = Status::InvalidArgument("ExecuteLocalOutcomes needs >= 2 parties");
+    }
+    return outs;
+  }
+  // Full matrix of in-memory endpoints; ends[i][j] is party i's end of the
+  // (i, j) link, individually wrappable with a scripted fault.
+  std::vector<std::vector<std::unique_ptr<Channel>>> ends(p);
+  for (auto& row : ends) row.resize(p);
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = i + 1; j < p; ++j) {
+      auto [a, b] = MemoryChannel::CreatePair();
+      ends[i][j] = std::move(a);
+      ends[j][i] = std::move(b);
+    }
+  }
+  for (const LocalLinkFault& fault : faults) {
+    if (fault.party >= p || fault.peer >= p || fault.party == fault.peer) {
+      for (Result<RunOutcome>& out : outs) {
+        out = Status::InvalidArgument(
+            "fault schedule references a link outside the mesh");
+      }
+      return outs;
+    }
+    ends[fault.party][fault.peer] = std::make_unique<FaultInjectingChannel>(
+        std::move(ends[fault.party][fault.peer]), fault.schedule);
+  }
+
+  const bool mesh = p > 2 ||
+                    parties[0].job.scheme == PartitionScheme::kMultiparty;
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (size_t i = 0; i < p; ++i) {
+    threads.emplace_back([&, i] {
+      std::vector<Channel*> links(p, nullptr);
+      for (size_t j = 0; j < p; ++j) {
+        if (j != i) links[j] = ends[i][j].get();
+      }
+      // Arm the job's deadline for session establishment as well: a fault
+      // that fires during the key exchange must still surface as a named
+      // error. PartyRuntime::Run re-arms (and finally restores) the same
+      // deadline for the job rounds.
+      const int establish_deadline_ms =
+          parties[i].job.options.round_deadline_ms > 0
+              ? parties[i].job.options.round_deadline_ms
+              : -1;
+      for (Channel* link : links) {
+        if (link != nullptr) link->set_recv_deadline_ms(establish_deadline_ms);
+      }
+      Result<PartyRuntime> runtime =
+          mesh ? PartyRuntime::ConnectMesh(links, i, SecureRng(parties[i].seed),
+                                           smc)
+               : PartyRuntime::Connect(*links[1 - i], SecureRng(parties[i].seed),
+                                       smc);
+      for (Channel* link : links) {
+        if (link != nullptr) link->set_recv_deadline_ms(-1);
+      }
+      if (runtime.ok()) {
+        outs[i] = runtime->Run(parties[i].job);
+      } else {
+        outs[i] = runtime.status();
+      }
+      // Close all of this party's ends so no peer blocks forever on a
+      // party that already returned.
+      for (Channel* link : links) {
+        if (link != nullptr) link->Close();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return outs;
+}
+
 Result<TwoPartyOutcome> ExecuteHorizontal(const Dataset& alice_points,
                                           const Dataset& bob_points,
                                           const ExecutionConfig& config) {

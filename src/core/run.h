@@ -10,6 +10,7 @@
 #include "dbscan/dataset.h"
 #include "eval/leakage.h"
 #include "net/channel.h"
+#include "net/fault.h"
 #include "smc/session.h"
 
 namespace ppdbscan {
@@ -37,6 +38,27 @@ enum class LocalTransport {
 Result<std::vector<RunOutcome>> ExecuteLocal(
     const std::vector<LocalJob>& parties, const SmcOptions& smc = {},
     LocalTransport transport = LocalTransport::kMemory);
+
+/// One scripted fault on one directed in-process link: party `party`'s
+/// endpoint of its channel to `peer` is wrapped in a FaultInjectingChannel
+/// carrying `schedule` (see net/fault.h for the fault semantics).
+struct LocalLinkFault {
+  size_t party = 0;
+  size_t peer = 0;
+  FaultSchedule schedule;
+};
+
+/// Chaos variant of ExecuteLocal (memory transport only): runs every party
+/// to completion and returns PER-PARTY results instead of collapsing to
+/// the first failure — under fault injection the interesting assertion is
+/// what EACH party reports (clean labels, or a named error; never a hang).
+/// Each party's links carry its job's round_deadline_ms during session
+/// establishment too, so a link that dies before the first Run still
+/// surfaces as kDeadlineExceeded rather than wedging the harness. With an
+/// empty `faults` list the outcomes match ExecuteLocal exactly.
+std::vector<Result<RunOutcome>> ExecuteLocalOutcomes(
+    const std::vector<LocalJob>& parties, const SmcOptions& smc = {},
+    const std::vector<LocalLinkFault>& faults = {});
 
 /// Joint result of one in-process two-party protocol execution.
 /// Channel statistics cover the negotiation and protocol phases only (key

@@ -18,9 +18,22 @@ namespace {
 /// Stream id of the control plane on every mux; job ids start above it.
 constexpr uint32_t kControlStream = 0;
 
+/// Rebuilds a Status from its wire (code, message) pair, guarding against
+/// a peer speaking a newer code space.
+Status StatusFromWire(uint8_t code, std::string message) {
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kAborted)) {
+    return Status::Internal(std::move(message));
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
 }  // namespace
 
 PartyServer::~PartyServer() = default;
+
+Result<PartyServer> PartyServer::Start(PartyMesh mesh, SecureRng rng) {
+  return Start(std::move(mesh), std::move(rng), Options());
+}
 
 Result<PartyServer> PartyServer::Start(PartyMesh mesh, SecureRng rng,
                                        const Options& options) {
@@ -30,6 +43,7 @@ Result<PartyServer> PartyServer::Start(PartyMesh mesh, SecureRng rng,
     return Status::InvalidArgument("a party server needs >= 2 mesh parties");
   }
   PartyServer server{std::move(mesh)};
+  server.control_deadline_ms_ = options.control_deadline_ms;
   server.muxes_.resize(p);
   server.control_.resize(p);
   server.link_fds_.reserve(p - 1);
@@ -41,21 +55,39 @@ Result<PartyServer> PartyServer::Start(PartyMesh mesh, SecureRng rng,
                                      std::to_string(j));
     }
     server.link_fds_.push_back(link->native_handle());
-    server.muxes_[j] = std::make_unique<ChannelMux>(*link);
+    // Chaos hook: scripted faults wrap the raw link, underneath the mux,
+    // so one misbehaving frame exercises every layer above.
+    Channel* base = link;
+    for (const LinkFault& fault : options.link_faults) {
+      if (fault.peer != j) continue;
+      server.wrapped_.push_back(
+          std::make_unique<FaultInjectingChannel>(link, fault.schedule));
+      base = server.wrapped_.back().get();
+    }
+    server.muxes_[j] = std::make_unique<ChannelMux>(*base);
     PPD_ASSIGN_OR_RETURN(server.control_[j],
                          server.muxes_[j]->OpenStream(kControlStream));
   }
   // The daemon's one and only key generation + exchange, over the control
-  // streams; every job of its lifetime adopts these sessions.
+  // streams; every job of its lifetime adopts these sessions. Bounded: a
+  // peer that dies during establishment must surface as a named error,
+  // not hang Start forever. The deadline is cleared afterwards — a
+  // follower's idle wait for the next announce is legitimately unbounded.
+  const int establish_deadline_ms =
+      options.control_deadline_ms > 0 ? options.control_deadline_ms : -1;
   std::vector<Channel*> control_links(p, nullptr);
   for (size_t j = 0; j < p; ++j) {
-    if (j != index) control_links[j] = server.control_[j].get();
+    if (j == index) continue;
+    control_links[j] = server.control_[j].get();
+    control_links[j]->set_recv_deadline_ms(establish_deadline_ms);
   }
-  PPD_ASSIGN_OR_RETURN(
-      PartyRuntime setup,
-      PartyRuntime::ConnectMesh(control_links, index, std::move(rng),
-                                options.smc));
-  server.setup_ = std::make_unique<PartyRuntime>(std::move(setup));
+  Result<PartyRuntime> setup = PartyRuntime::ConnectMesh(
+      control_links, index, std::move(rng), options.smc);
+  for (size_t j = 0; j < p; ++j) {
+    if (j != index) control_links[j]->set_recv_deadline_ms(-1);
+  }
+  PPD_RETURN_IF_ERROR(setup.status());
+  server.setup_ = std::make_unique<PartyRuntime>(std::move(*setup));
   return server;
 }
 
@@ -69,16 +101,47 @@ Result<RunOutcome> PartyServer::RunJob(uint32_t job_id,
     PPD_ASSIGN_OR_RETURN(streams[j], muxes_[j]->OpenStream(job_id));
     links[j] = streams[j].get();
   }
-  std::unique_ptr<SecureRng> rng;
+  // Register the live streams so the control loop can cancel this job
+  // (kServeJobFailed closes them, failing any blocked round kUnavailable)
+  // — and bail right away if the cancellation already arrived.
   {
-    std::lock_guard<std::mutex> lock(*rng_mu_);
-    rng = std::make_unique<SecureRng>(setup_->rng().Fork());
+    std::lock_guard<std::mutex> lock(job_control_->mu);
+    if (job_control_->remote_failed.erase(job_id) > 0) {
+      return Status::Aborted("job " + std::to_string(job_id) +
+                             " was cancelled by the submitter's failure "
+                             "broadcast before it started");
+    }
+    std::vector<Channel*>& registered = job_control_->inflight[job_id];
+    for (size_t j = 0; j < p; ++j) {
+      if (links[j] != nullptr) registered.push_back(links[j]);
+    }
   }
-  PPD_ASSIGN_OR_RETURN(
-      PartyRuntime runtime,
-      PartyRuntime::AdoptMesh(links, index(), setup_->shared_sessions(),
-                              std::move(*rng)));
-  PPD_ASSIGN_OR_RETURN(RunOutcome outcome, runtime.Run(job));
+  Result<RunOutcome> outcome = [&]() -> Result<RunOutcome> {
+    std::unique_ptr<SecureRng> rng;
+    {
+      std::lock_guard<std::mutex> lock(*rng_mu_);
+      rng = std::make_unique<SecureRng>(setup_->rng().Fork());
+    }
+    PPD_ASSIGN_OR_RETURN(
+        PartyRuntime runtime,
+        PartyRuntime::AdoptMesh(links, index(), setup_->shared_sessions(),
+                                std::move(*rng)));
+    return runtime.Run(job);
+  }();
+  {
+    // Deregister before `streams` destruct so the control loop can never
+    // Close() a freed channel.
+    std::lock_guard<std::mutex> lock(job_control_->mu);
+    job_control_->inflight.erase(job_id);
+  }
+  // Adapt the reused sessions' randomizer-pool depth to this job's
+  // observed factor demand (grow toward big batches, shrink after small
+  // ones) — run even on failure, the demand data is just as real.
+  for (const std::shared_ptr<SmcSession>& session :
+       setup_->shared_sessions()) {
+    if (session != nullptr) session->AdaptRandomizerPool();
+  }
+  if (!outcome.ok()) return outcome.status();
   jobs_completed_->fetch_add(1);
   return outcome;
   // `streams` retire their mux ids on destruction; a late frame for a
@@ -100,30 +163,83 @@ Result<RunOutcome> PartyServer::SubmitJob(const ClusteringJob& job) {
   }
   Result<RunOutcome> outcome = RunJob(id, job);
   if (!outcome.ok()) {
-    // Don't block on follower reports the failed run may never let them
-    // send; the mesh is in an undefined state now — shut the server down.
-    return outcome.status();
+    // Containment: tell every follower this job is dead so they cancel its
+    // streams and requeue for the next announce instead of blocking in a
+    // wedged protocol round.
+    BroadcastJobFailed(id, outcome.status());
   }
+  // Always collect the completion reports — bounded per follower by the
+  // control deadline — so the control stream stays in sync for the next
+  // job even when this one failed.
+  Status follower_error;
   for (size_t j = 1; j < parties(); ++j) {
-    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                         ExpectMessage(*control_[j], wire::kServeJobDone));
-    ByteReader reader(payload);
-    PPD_ASSIGN_OR_RETURN(uint32_t done_id, reader.GetU32());
-    PPD_ASSIGN_OR_RETURN(uint8_t ok, reader.GetU8());
-    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> message, reader.GetBytes());
-    if (done_id != id) {
-      return Status::DataLoss("party " + std::to_string(j) +
-                              " reported completion of job " +
-                              std::to_string(done_id) + ", expected " +
-                              std::to_string(id));
-    }
-    if (ok == 0) {
-      return Status::Internal(
-          "party " + std::to_string(j) + " failed job " + std::to_string(id) +
-          ": " + std::string(message.begin(), message.end()));
-    }
+    Status done = CollectDone(j, id);
+    if (!done.ok() && follower_error.ok()) follower_error = done;
   }
+  if (!outcome.ok()) return outcome.status();
+  PPD_RETURN_IF_ERROR(follower_error);
   return outcome;
+}
+
+void PartyServer::BroadcastJobFailed(uint32_t job_id, const Status& status) {
+  ByteWriter failed;
+  failed.PutU32(job_id);
+  failed.PutU8(static_cast<uint8_t>(status.code()));
+  const std::string& message = status.message();
+  failed.PutBytes(std::vector<uint8_t>(message.begin(), message.end()));
+  for (size_t j = 1; j < parties(); ++j) {
+    std::lock_guard<std::mutex> lock(*control_send_mu_);
+    // Best effort: a dead link already fails the follower's job on its own.
+    (void)SendMessage(*control_[j], wire::kServeJobFailed, failed);
+  }
+}
+
+Status PartyServer::CollectDone(size_t follower, uint32_t job_id) {
+  Channel& control = *control_[follower];
+  control.set_recv_deadline_ms(control_deadline_ms_ > 0 ? control_deadline_ms_
+                                                        : -1);
+  Status result;
+  while (true) {
+    Result<Message> msg = RecvMessage(control);
+    if (!msg.ok()) {
+      result = msg.status();
+      break;
+    }
+    if (msg->type != wire::kServeJobDone) {
+      result = Status::DataLoss(
+          "unexpected control message type " + std::to_string(msg->type) +
+          " while waiting for party " + std::to_string(follower) +
+          " to complete job " + std::to_string(job_id));
+      break;
+    }
+    ByteReader reader(msg->payload);
+    Result<uint32_t> done_id = reader.GetU32();
+    Result<uint8_t> ok = done_id.ok() ? reader.GetU8() : done_id.status();
+    Result<uint8_t> code = ok.ok() ? reader.GetU8() : ok.status();
+    Result<std::vector<uint8_t>> message =
+        code.ok() ? reader.GetBytes() : code.status();
+    if (!message.ok()) {
+      result = message.status();
+      break;
+    }
+    if (*done_id < job_id) continue;  // stale report of a timed-out job
+    if (*done_id != job_id) {
+      result = Status::DataLoss("party " + std::to_string(follower) +
+                                " reported completion of job " +
+                                std::to_string(*done_id) + ", expected " +
+                                std::to_string(job_id));
+      break;
+    }
+    if (*ok == 0) {
+      result = StatusFromWire(
+          *code, "party " + std::to_string(follower) + " failed job " +
+                     std::to_string(job_id) + ": " +
+                     std::string(message->begin(), message->end()));
+    }
+    break;
+  }
+  control.set_recv_deadline_ms(-1);
+  return result;
 }
 
 PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
@@ -159,6 +275,26 @@ PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
       break;
     }
     if (msg->type == wire::kServeShutdown) break;
+    if (msg->type == wire::kServeJobFailed) {
+      // Containment: the submitter declared a job dead. Close its live
+      // streams so a runner blocked in one of that job's rounds fails
+      // immediately, and remember the id in case the runner has not even
+      // started it yet. The daemon itself keeps serving.
+      ByteReader reader(msg->payload);
+      Result<uint32_t> failed_id = reader.GetU32();
+      if (!failed_id.ok()) {
+        report.status = failed_id.status();
+        break;
+      }
+      std::lock_guard<std::mutex> lock(job_control_->mu);
+      auto it = job_control_->inflight.find(*failed_id);
+      if (it != job_control_->inflight.end()) {
+        for (Channel* stream : it->second) stream->Close();
+      } else {
+        job_control_->remote_failed.insert(*failed_id);
+      }
+      continue;
+    }
     if (msg->type != wire::kServeJobAnnounce) {
       report.status = Status::DataLoss(
           "unexpected control message type " + std::to_string(msg->type));
@@ -171,6 +307,14 @@ PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
       break;
     }
     const uint32_t id = *job_id;
+    {
+      // Jobs are serial: a new announce means every earlier job was fully
+      // collected, so stale cancellation marks can be dropped.
+      std::lock_guard<std::mutex> lock(job_control_->mu);
+      job_control_->remote_failed.erase(
+          job_control_->remote_failed.begin(),
+          job_control_->remote_failed.lower_bound(id));
+    }
     // Each job runs as a pool task over its own mux streams, so a slow job
     // never blocks the control loop from hearing the next announce (or the
     // shutdown).
@@ -191,8 +335,9 @@ PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
       ByteWriter done;
       done.PutU32(id);
       done.PutU8(outcome.ok() ? 1 : 0);
+      done.PutU8(static_cast<uint8_t>(outcome.status().code()));
       const std::string message =
-          outcome.ok() ? std::string() : outcome.status().ToString();
+          outcome.ok() ? std::string() : outcome.status().message();
       done.PutBytes(std::vector<uint8_t>(message.begin(), message.end()));
       {
         std::lock_guard<std::mutex> lock(*control_send_mu_);

@@ -4,13 +4,16 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "core/job.h"
+#include "net/fault.h"
 #include "net/mux.h"
 #include "net/party_mesh.h"
 
@@ -27,19 +30,43 @@ namespace ppdbscan {
 /// sessions — no per-job keygen, no per-job TCP setup.
 ///
 /// Control plane (stream 0, party 0 is the submitter):
-///   submitter -> follower  kServeJobAnnounce(job id)   "run job <id> now"
-///   follower  -> submitter kServeJobDone(id, ok, msg)  per-job completion
-///   submitter -> follower  kServeShutdown              drain and exit
+///   submitter -> follower  kServeJobAnnounce(job id)        "run job <id> now"
+///   follower  -> submitter kServeJobDone(id, ok, code, msg) per-job completion
+///   submitter -> follower  kServeJobFailed(id, code, msg)   cancel that job
+///   submitter -> follower  kServeShutdown                   drain and exit
 ///
 /// Party 0 drives with SubmitJob()/AnnounceShutdown(); every other party
 /// sits in Serve(), building its local view of each announced job from a
 /// caller-supplied factory. Any party dying mid-job surfaces as
 /// kUnavailable on the survivors (never SIGPIPE — see SocketChannel), and
 /// a follower treats control-stream loss as its shutdown signal.
+///
+/// Failure containment: a failed job does NOT take the daemon down. The
+/// submitter broadcasts kServeJobFailed so followers cancel that job's
+/// streams, still collects every follower's completion report (bounded by
+/// `control_deadline_ms`), and returns a named error — the mesh, the
+/// sessions, and the control plane all stay live for the next SubmitJob.
 class PartyServer {
  public:
+  /// Chaos hook: wrap the mesh link to `peer` in a FaultInjectingChannel
+  /// before muxing it, so one scripted fault exercises the daemon's whole
+  /// containment path (used by chaos_test and serve_test).
+  struct LinkFault {
+    size_t peer = 0;
+    FaultSchedule schedule;
+  };
+
   struct Options {
     SmcOptions smc;
+    /// Receive deadline for control-plane waits with a known bound: the
+    /// Start-time session establishment and the submitter's per-job
+    /// completion collection. A crashed or stalled peer then surfaces as
+    /// kDeadlineExceeded instead of wedging the daemon. Followers' idle
+    /// wait for the next announce is NOT bounded (legitimately
+    /// indefinite). 0 or negative disables the bound.
+    int control_deadline_ms = 10000;
+    /// Scripted link faults (normally empty).
+    std::vector<LinkFault> link_faults;
   };
 
   /// Per-party outcome of a follower's Serve() loop.
@@ -63,7 +90,11 @@ class PartyServer {
   /// the one-time pairwise session establishment (all parties call Start
   /// concurrently, like ConnectMesh).
   static Result<PartyServer> Start(PartyMesh mesh, SecureRng rng,
-                                   const Options& options = {});
+                                   const Options& options);
+  // Defined out of line: a `= {}` default argument cannot value-initialize
+  // Options here, since its member initializers are only parsed once the
+  // enclosing class is complete.
+  static Result<PartyServer> Start(PartyMesh mesh, SecureRng rng);
 
   PartyServer(PartyServer&&) = default;
   PartyServer& operator=(PartyServer&&) = default;
@@ -79,9 +110,12 @@ class PartyServer {
 
   /// Submitter only (party 0): announces the next job id to every peer,
   /// runs `job` over per-job streams, then waits for every follower's
-  /// completion report. `job` must be this party's multiparty view
-  /// (party_index 0, party_count == parties()). Fails if any follower
-  /// reported failure, with that follower's message.
+  /// completion report (each wait bounded by `control_deadline_ms`). `job`
+  /// must be this party's multiparty view (party_index 0, party_count ==
+  /// parties()). Fails with a named status if the local run or any
+  /// follower failed — and the daemon stays usable: a kServeJobFailed
+  /// broadcast unwinds the followers, and the next SubmitJob runs on the
+  /// same mesh and sessions.
   Result<RunOutcome> SubmitJob(const ClusteringJob& job);
 
   /// Followers only: blocks serving announced jobs until the submitter
@@ -105,15 +139,40 @@ class PartyServer {
   bool stop_requested() const { return stop_requested_->load(); }
 
  private:
+  /// Cross-thread job bookkeeping shared between a follower's control loop
+  /// and its job-runner thread: which jobs' streams are live (so a
+  /// kServeJobFailed can Close() them, failing the job's blocked round),
+  /// and which ids the submitter already cancelled (so a job that has not
+  /// started yet aborts immediately).
+  struct JobControl {
+    std::mutex mu;
+    std::map<uint32_t, std::vector<Channel*>> inflight;
+    std::set<uint32_t> remote_failed;
+  };
+
   explicit PartyServer(PartyMesh mesh) : mesh_(std::move(mesh)) {}
 
   /// Opens stream `job_id` on every peer link and runs `job` over an
-  /// AdoptMesh runtime sharing the Start-time sessions.
+  /// AdoptMesh runtime sharing the Start-time sessions. After every run
+  /// (success or failure) the randomizer pools adapt their steady-state
+  /// depth to the observed demand.
   Result<RunOutcome> RunJob(uint32_t job_id, const ClusteringJob& job);
 
+  /// Submitter: best-effort kServeJobFailed broadcast for `job_id`.
+  void BroadcastJobFailed(uint32_t job_id, const Status& status);
+
+  /// Submitter: waits (bounded) for `follower`'s completion report of
+  /// `job_id`, skipping stale reports of earlier jobs. Ok when the
+  /// follower succeeded; the follower's transmitted status (or the
+  /// transport/deadline error) otherwise.
+  Status CollectDone(size_t follower, uint32_t job_id);
+
   PartyMesh mesh_;
+  std::vector<std::unique_ptr<Channel>> wrapped_;    // fault-wrapped links
   std::vector<std::unique_ptr<ChannelMux>> muxes_;   // per peer; null at own
   std::vector<std::unique_ptr<Channel>> control_;    // stream 0 per peer
+  int control_deadline_ms_ = 10000;
+  std::shared_ptr<JobControl> job_control_ = std::make_shared<JobControl>();
   /// Holds the Start-time sessions and this party's root rng; per-job
   /// runtimes adopt its shared_sessions() and fork its rng.
   std::unique_ptr<PartyRuntime> setup_;

@@ -49,8 +49,12 @@ inline constexpr uint16_t kJobHello = 0x1050;
 // link's job-id mux; the submitter announces jobs and shutdown, followers
 // report per-job completion.
 inline constexpr uint16_t kServeJobAnnounce = 0x1060;  // payload: u32 job id
-inline constexpr uint16_t kServeJobDone = 0x1061;      // u32 id, u8 ok, msg
+inline constexpr uint16_t kServeJobDone = 0x1061;      // u32 id, u8 ok, u8 code, msg
 inline constexpr uint16_t kServeShutdown = 0x1062;     // no payload
+// Failure containment: the submitter broadcasts this when a job fails so
+// followers cancel that job's streams and requeue for the next announce
+// instead of blocking on a wedged protocol round.
+inline constexpr uint16_t kServeJobFailed = 0x1063;    // u32 id, u8 code, msg
 
 }  // namespace wire
 

@@ -393,6 +393,7 @@ void PaillierRandomizerPool::TakeFactorsInto(size_t count,
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++pending_consumers_;
+    if (count > peak_demand_) peak_demand_ = count;
     size_t taken = 0;
     while (taken < count) {
       auto it = ready_.find(next_consume_seq_);
@@ -503,8 +504,9 @@ void PaillierRandomizerPool::Reserve(size_t count) {
 }
 
 void PaillierRandomizerPool::Prefill(size_t count) {
-  if (count > target_) count = target_;
   std::unique_lock<std::mutex> lock(mu_);
+  // Clamp under the lock: AdaptTarget may resize target_ concurrently.
+  if (count > target_) count = target_;
   filled_cv_.wait(lock, [&] { return ready_.size() >= count; });
 }
 
@@ -516,6 +518,33 @@ size_t PaillierRandomizerPool::available() const {
 uint64_t PaillierRandomizerPool::produced() const {
   std::lock_guard<std::mutex> lock(mu_);
   return produced_;
+}
+
+size_t PaillierRandomizerPool::peak_demand() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_demand_;
+}
+
+size_t PaillierRandomizerPool::steady_target() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return target_;
+}
+
+size_t PaillierRandomizerPool::AdaptTarget(size_t floor, size_t cap) {
+  size_t new_target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (peak_demand_ == 0) return target_;  // idle since last adapt
+    new_target = peak_demand_;
+    if (new_target < floor) new_target = floor;
+    if (cap > 0 && new_target > cap) new_target = cap;
+    if (new_target == 0) new_target = 1;
+    target_ = new_target;
+    peak_demand_ = 0;
+  }
+  // A grown target means the producer may have room again.
+  refill_cv_.notify_one();
+  return new_target;
 }
 
 }  // namespace ppdbscan

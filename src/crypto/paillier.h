@@ -253,6 +253,24 @@ class PaillierRandomizerPool {
   /// Total factors ever produced (buffered + inline).
   uint64_t produced() const;
 
+  /// Largest single TakeFactor(s) demand seen since the last AdaptTarget()
+  /// (0 if nothing was drawn).
+  size_t peak_demand() const;
+  /// The current steady-state buffer target.
+  size_t steady_target() const;
+
+  /// Adaptive sizing for reused sessions: resizes the steady-state buffer
+  /// target to the peak single-call demand observed since the previous
+  /// AdaptTarget(), clamped to [floor, cap], then resets the peak. A serve
+  /// daemon calls this between jobs so the pool grows toward a big job's
+  /// batch size (no inline-fill tail on the next run) and shrinks back
+  /// after a burst of small jobs (no idle factor hoard). If nothing was
+  /// drawn since the last call the target is left unchanged. Returns the
+  /// new target. Never affects which factor the k-th encryption uses —
+  /// consumption order is sequence-driven, so fixed-seed transcripts stay
+  /// byte-identical across any resize schedule.
+  size_t AdaptTarget(size_t floor, size_t cap);
+
  private:
   void ProducerLoop();
   // Appends `count` factors to `out`, consuming sequence numbers in order.
@@ -262,7 +280,7 @@ class PaillierRandomizerPool {
                        ThreadPool* pool);
 
   PaillierContext ctx_;
-  const size_t target_;
+  size_t target_;  // guarded by mu_ (AdaptTarget resizes it between jobs)
   mutable std::mutex mu_;
   std::condition_variable refill_cv_;   // producer waits: buffer full
   std::condition_variable filled_cv_;   // consumers wait: factor landed
@@ -271,6 +289,7 @@ class PaillierRandomizerPool {
   uint64_t next_draw_seq_ = 0;          // guarded by mu_
   uint64_t next_consume_seq_ = 0;       // guarded by mu_
   uint64_t reserve_target_seq_ = 0;     // guarded by mu_; Reserve() demand
+  size_t peak_demand_ = 0;              // guarded by mu_; largest Take count
   size_t pending_consumers_ = 0;        // guarded by mu_; pauses new draws
   uint64_t produced_ = 0;               // guarded by mu_
   bool stop_ = false;                   // guarded by mu_

@@ -39,6 +39,20 @@ class Channel {
   /// Signals end-of-stream to the peer. Idempotent.
   virtual void Close() = 0;
 
+  /// Bounds every subsequent Recv: a call that cannot produce a frame
+  /// within `deadline_ms` fails with kDeadlineExceeded instead of blocking
+  /// forever — how a silent or stalled peer surfaces as a named error. A
+  /// negative value (the default) restores unbounded blocking. Implemented
+  /// by MemoryChannel (timed condition wait), SocketChannel (poll-gated
+  /// reads), and ChannelMux streams; decorators override to forward to the
+  /// wrapped channel. Not synchronized with a concurrent Recv: set it from
+  /// the receiving thread, or before handing the channel to it.
+  virtual void set_recv_deadline_ms(int deadline_ms) {
+    recv_deadline_ms_ = deadline_ms;
+  }
+  /// The current Recv deadline (-1 = block forever).
+  int recv_deadline_ms() const { return recv_deadline_ms_; }
+
   const ChannelStats& stats() const { return stats_; }
   /// Zeroes the traffic counters (used between benchmark phases).
   void ResetStats() { stats_ = ChannelStats(); }
@@ -52,6 +66,7 @@ class Channel {
 
   ChannelStats stats_;
   LastDir last_dir_ = LastDir::kNone;
+  int recv_deadline_ms_ = -1;
 };
 
 }  // namespace ppdbscan

@@ -1,5 +1,7 @@
 #include "net/memory_channel.h"
 
+#include <chrono>
+
 namespace ppdbscan {
 
 std::pair<std::unique_ptr<MemoryChannel>, std::unique_ptr<MemoryChannel>>
@@ -27,10 +29,19 @@ Status MemoryChannel::SendImpl(const std::vector<uint8_t>& frame) {
 Result<std::vector<uint8_t>> MemoryChannel::RecvImpl() {
   std::unique_lock<std::mutex> lock(shared_->mu);
   int peer = 1 - side_;
-  shared_->cv.wait(lock, [this, peer] {
+  const auto ready = [this, peer] {
     return !shared_->queue[side_].empty() || shared_->closed[peer] ||
            shared_->closed[side_];
-  });
+  };
+  const int deadline_ms = recv_deadline_ms();
+  if (deadline_ms < 0) {
+    shared_->cv.wait(lock, ready);
+  } else if (!shared_->cv.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                                   ready)) {
+    return Status::DeadlineExceeded("recv deadline of " +
+                                    std::to_string(deadline_ms) +
+                                    "ms exceeded");
+  }
   if (!shared_->queue[side_].empty()) {
     std::vector<uint8_t> frame = std::move(shared_->queue[side_].front());
     shared_->queue[side_].pop_front();

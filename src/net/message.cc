@@ -32,7 +32,7 @@ Result<std::vector<uint8_t>> ExpectMessage(Channel& channel,
                                            uint16_t expected_type) {
   PPD_ASSIGN_OR_RETURN(Message msg, RecvMessage(channel));
   if (msg.type == kAbortMessageType) {
-    return Status::Unavailable(
+    return Status::Aborted(
         "peer aborted protocol: " +
         std::string(msg.payload.begin(), msg.payload.end()));
   }

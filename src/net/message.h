@@ -41,7 +41,8 @@ Result<Message> RecvMessage(Channel& channel);
 
 /// Receives the next message and verifies its type tag; a mismatch is a
 /// protocol error (kDataLoss), which the DBSCAN responder loop surfaces
-/// instead of misinterpreting payloads.
+/// instead of misinterpreting payloads. A peer's abort frame maps to
+/// kAborted with the peer's reason as the message.
 Result<std::vector<uint8_t>> ExpectMessage(Channel& channel,
                                            uint16_t expected_type);
 

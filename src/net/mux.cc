@@ -1,5 +1,6 @@
 #include "net/mux.h"
 
+#include <chrono>
 #include <utility>
 
 namespace ppdbscan {
@@ -54,6 +55,10 @@ class ChannelMux::Stream : public Channel {
   }
 
   Result<std::vector<uint8_t>> RecvImpl() override {
+    const int deadline_ms = recv_deadline_ms();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(deadline_ms < 0 ? 0 : deadline_ms);
     std::unique_lock<std::mutex> lock(shared_->mu);
     while (true) {
       auto it = shared_->streams.find(id_);
@@ -69,7 +74,15 @@ class ChannelMux::Stream : public Channel {
       // Drain queued frames before surfacing the terminal status: a job
       // whose last round was already received must be able to finish.
       if (!shared_->terminal.ok()) return shared_->terminal;
-      shared_->cv.wait(lock);
+      if (deadline_ms < 0) {
+        shared_->cv.wait(lock);
+      } else if (shared_->cv.wait_until(lock, deadline) ==
+                 std::cv_status::timeout) {
+        return Status::DeadlineExceeded("recv deadline of " +
+                                        std::to_string(deadline_ms) +
+                                        "ms exceeded on mux stream " +
+                                        std::to_string(id_));
+      }
     }
   }
 

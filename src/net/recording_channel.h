@@ -46,6 +46,11 @@ class RecordingChannel : public Channel {
 
   void Close() override;
 
+  void set_recv_deadline_ms(int deadline_ms) override {
+    Channel::set_recv_deadline_ms(deadline_ms);
+    inner_->set_recv_deadline_ms(deadline_ms);
+  }
+
  protected:
   Status SendImpl(const std::vector<uint8_t>& frame) override;
   Result<std::vector<uint8_t>> RecvImpl() override;

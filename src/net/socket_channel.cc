@@ -199,9 +199,29 @@ Status SocketChannel::WriteAll(const uint8_t* data, size_t len) {
   return Status::Ok();
 }
 
-Status SocketChannel::ReadAll(uint8_t* data, size_t len) {
+Status SocketChannel::ReadAll(
+    uint8_t* data, size_t len, int budget_ms,
+    const std::chrono::steady_clock::time_point& deadline) {
   size_t got = 0;
   while (got < len) {
+    if (budget_ms >= 0) {
+      // Poll-gate the blocking read against the remaining Recv budget: a
+      // peer that goes silent mid-frame surfaces as kDeadlineExceeded
+      // instead of wedging this thread in read(2) forever.
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("recv deadline of " +
+                                        std::to_string(budget_ms) +
+                                        "ms exceeded");
+      }
+      pollfd readable{fd_, POLLIN, 0};
+      int ready = poll(&readable, 1, static_cast<int>(remaining.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return Errno("poll");
+      if (ready == 0) continue;  // loop re-checks the deadline
+    }
     ssize_t n = read(fd_, data + got, len - got);
     if (n == 0) return Status::Unavailable("peer closed connection");
     if (n < 0) {
@@ -235,14 +255,19 @@ Status SocketChannel::SendImpl(const std::vector<uint8_t>& frame) {
 
 Result<std::vector<uint8_t>> SocketChannel::RecvImpl() {
   if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  // One budget for the whole frame: header and payload reads share it, so
+  // a peer that stalls after sending half a frame still trips the deadline.
+  const int budget_ms = recv_deadline_ms();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms < 0 ? 0 : budget_ms);
   uint8_t header[4];
-  PPD_RETURN_IF_ERROR(ReadAll(header, 4));
+  PPD_RETURN_IF_ERROR(ReadAll(header, 4, budget_ms, deadline));
   uint32_t len = static_cast<uint32_t>(header[0]) << 24 |
                  static_cast<uint32_t>(header[1]) << 16 |
                  static_cast<uint32_t>(header[2]) << 8 | header[3];
   if (len > kMaxFrame) return Status::DataLoss("oversized frame");
   std::vector<uint8_t> frame(len);
-  PPD_RETURN_IF_ERROR(ReadAll(frame.data(), len));
+  PPD_RETURN_IF_ERROR(ReadAll(frame.data(), len, budget_ms, deadline));
   return frame;
 }
 

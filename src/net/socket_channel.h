@@ -1,6 +1,7 @@
 #ifndef PPDBSCAN_NET_SOCKET_CHANNEL_H_
 #define PPDBSCAN_NET_SOCKET_CHANNEL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -96,7 +97,11 @@ class SocketChannel : public Channel {
   explicit SocketChannel(int fd) : fd_(fd) {}
 
   Status WriteAll(const uint8_t* data, size_t len);
-  Status ReadAll(uint8_t* data, size_t len);
+  /// Reads exactly `len` bytes. With a non-negative `budget_ms` every read
+  /// is poll-gated against one shared budget (the per-Recv deadline covers
+  /// header + payload together), failing kDeadlineExceeded on expiry.
+  Status ReadAll(uint8_t* data, size_t len, int budget_ms,
+                 const std::chrono::steady_clock::time_point& deadline);
 
   int fd_;
 };

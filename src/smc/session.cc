@@ -12,6 +12,11 @@ void SmcSession::PrewarmRandomizers(size_t count) const {
   if (own_pool_ != nullptr) own_pool_->Reserve(count);
 }
 
+size_t SmcSession::AdaptRandomizerPool() const {
+  if (own_pool_ == nullptr) return 0;
+  return own_pool_->AdaptTarget(1, kMaxAdaptivePoolTarget);
+}
+
 Result<SmcSession> SmcSession::Establish(Channel& channel, SecureRng& rng,
                                          const SmcOptions& options) {
   SmcSession session;

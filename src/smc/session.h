@@ -75,6 +75,17 @@ class SmcSession {
   /// blocks; never changes which factor the k-th encryption consumes.
   void PrewarmRandomizers(size_t count) const;
 
+  /// Adaptive pool sizing for reused sessions: resizes the randomizer
+  /// pool's steady-state target to the peak demand seen since the last
+  /// call (clamped to [1, kMaxAdaptivePoolTarget]). A serve daemon calls
+  /// this between jobs so the pool tracks the workload instead of the
+  /// configured default. Returns the new target (0 without a pool).
+  size_t AdaptRandomizerPool() const;
+
+  /// Upper clamp for AdaptRandomizerPool — matches the pre-warm cap, so an
+  /// enormous job cannot make the producer hoard unbounded factor state.
+  static constexpr size_t kMaxAdaptivePoolTarget = 1024;
+
  private:
   SmcSession() = default;
 

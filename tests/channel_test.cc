@@ -121,5 +121,45 @@ TEST(MemoryChannelTest, ManyFramesAcrossThreads) {
   EXPECT_EQ(mismatches, 0);
 }
 
+TEST(MemoryChannelTest, RecvDeadlineExpiresWithNamedStatus) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  b->set_recv_deadline_ms(30);
+  Result<std::vector<uint8_t>> frame = b->Recv();
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(frame.status().message().find("deadline"), std::string::npos);
+  (void)a;
+}
+
+TEST(MemoryChannelTest, RecvDeadlineDoesNotFireWhenFramesFlow) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  b->set_recv_deadline_ms(5000);
+  ASSERT_TRUE(a->Send({7}).ok());
+  Result<std::vector<uint8_t>> frame = b->Recv();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, std::vector<uint8_t>{7});
+}
+
+TEST(MemoryChannelTest, ClearingDeadlineRestoresBlockingRecv) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  b->set_recv_deadline_ms(10);
+  EXPECT_EQ(b->Recv().status().code(), StatusCode::kDeadlineExceeded);
+  b->set_recv_deadline_ms(-1);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(a->Send({1}).ok());
+  });
+  EXPECT_TRUE(b->Recv().ok());  // would have timed out under the 10ms bound
+  sender.join();
+}
+
+TEST(MemoryChannelTest, CloseStillWinsOverDeadline) {
+  // A closing peer must surface as kUnavailable, not be misreported as a
+  // timeout.
+  auto [a, b] = MemoryChannel::CreatePair();
+  b->set_recv_deadline_ms(5000);
+  a->Close();
+  EXPECT_EQ(b->Recv().status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace ppdbscan

@@ -1,0 +1,258 @@
+// Fault-injection matrix for the multi-party protocols: every FaultKind
+// driven against the in-process mesh (ExecuteLocalOutcomes) and against a
+// real TCP serve fleet. The single invariant under every fault:
+//
+//   each party either returns labels BYTE-IDENTICAL to the clean run, or
+//   a NAMED error status, within a bounded time — never a hang, never a
+//   crash, never silently wrong labels.
+//
+// Faults that corrupt or truncate frames land in the message/mux framing
+// layer (kDataLoss / kAborted); faults that drop or stall a link resolve
+// through the negotiated per-round deadline (kDeadlineExceeded /
+// kUnavailable). Which named code shows up depends on where in the
+// conversation the fault fires — the matrix only pins that it IS named.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/run.h"
+#include "core/serve.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "dbscan/dbscan.h"
+#include "net/fault.h"
+#include "net/party_mesh.h"
+
+namespace ppdbscan {
+namespace {
+
+constexpr size_t kParties = 3;
+/// Generous wall-clock ceiling per faulted run: the per-round deadline is
+/// 2s, so anything near this bound means a wait escaped the deadline.
+constexpr auto kRunBudget = std::chrono::seconds(60);
+
+SmcOptions FastSmc() {
+  SmcOptions smc;
+  smc.paillier_bits = 256;
+  smc.rsa_bits = 128;
+  return smc;
+}
+
+/// Three-party shares of a tiny blob workload with the per-round deadline
+/// armed, so every injected silence resolves as a named error.
+std::vector<ClusteringJob> MakeJobs() {
+  SecureRng rng(314159);
+  RawDataset raw = MakeBlobs(rng, 2, 4, 2, 0.4, 5.0);
+  AddUniformNoise(raw, rng, 1, 7.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  DbscanParams params{*enc.EncodeEpsSquared(1.2), 3};
+  ProtocolOptions options;
+  options.params = params;
+  options.comparator.kind = ComparatorKind::kIdeal;
+  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 1 << 12);
+  options.round_deadline_ms = 2000;
+  std::vector<ClusteringJob> jobs;
+  for (size_t h = 0; h < kParties; ++h) {
+    Dataset share(full.dims());
+    for (size_t i = h; i < full.size(); i += kParties) {
+      PPD_CHECK(share.Add(full.point(i)).ok());
+    }
+    jobs.push_back(
+        ClusteringJob::Multiparty(std::move(share), h, kParties, options));
+  }
+  return jobs;
+}
+
+std::vector<LocalJob> MakeLocalJobs(const std::vector<ClusteringJob>& jobs) {
+  std::vector<LocalJob> local;
+  for (size_t h = 0; h < kParties; ++h) {
+    local.push_back({jobs[h], 0xC0FFEE + h});
+  }
+  return local;
+}
+
+/// The clean-run labels every fault scenario is measured against.
+std::vector<Labels> ReferenceLabels(const std::vector<ClusteringJob>& jobs) {
+  Result<std::vector<RunOutcome>> reference =
+      ExecuteLocal(MakeLocalJobs(jobs), FastSmc());
+  PPD_CHECK(reference.ok());
+  std::vector<Labels> labels;
+  for (const RunOutcome& outcome : *reference) {
+    labels.push_back(outcome.clustering.labels);
+  }
+  return labels;
+}
+
+TEST(ChaosTest, CleanRunMatchesExecuteLocal) {
+  std::vector<ClusteringJob> jobs = MakeJobs();
+  std::vector<Labels> reference = ReferenceLabels(jobs);
+  // No faults: ExecuteLocalOutcomes is exactly ExecuteLocal, per party.
+  std::vector<Result<RunOutcome>> outs =
+      ExecuteLocalOutcomes(MakeLocalJobs(jobs), FastSmc());
+  ASSERT_EQ(outs.size(), kParties);
+  for (size_t i = 0; i < kParties; ++i) {
+    ASSERT_TRUE(outs[i].ok()) << "party " << i << ": "
+                              << outs[i].status().ToString();
+    EXPECT_EQ(outs[i]->clustering.labels, reference[i]);
+  }
+}
+
+TEST(ChaosTest, EveryFaultKindFailsNamedOrMatchesClean) {
+  const std::vector<ClusteringJob> jobs = MakeJobs();
+  const std::vector<Labels> reference = ReferenceLabels(jobs);
+  const FaultKind kKinds[] = {FaultKind::kDropLink, FaultKind::kStall,
+                              FaultKind::kCorruptFrame,
+                              FaultKind::kTruncateFrame,
+                              FaultKind::kSendError};
+  // Three fault placements per kind: at the very first frame (session
+  // establishment), a few frames in (negotiation), and deep into the job
+  // rounds — on varying directed links so both the submitter-adjacent and
+  // follower-only links get hit.
+  struct Placement {
+    size_t party, peer;
+    uint64_t after_frames;
+  };
+  const Placement kPlacements[] = {
+      {0, 1, 0}, {1, 0, 6}, {2, 0, 60}};
+
+  for (FaultKind kind : kKinds) {
+    for (const Placement& placement : kPlacements) {
+      LocalLinkFault fault;
+      fault.party = placement.party;
+      fault.peer = placement.peer;
+      fault.schedule.kind = kind;
+      fault.schedule.after_frames = placement.after_frames;
+      fault.schedule.seed = 0x9E3779B9;
+      SCOPED_TRACE(std::string(FaultKindToString(kind)) + " on link " +
+                   std::to_string(placement.party) + "->" +
+                   std::to_string(placement.peer) + " after " +
+                   std::to_string(placement.after_frames) + " frames");
+
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<Result<RunOutcome>> outs =
+          ExecuteLocalOutcomes(MakeLocalJobs(jobs), FastSmc(), {fault});
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      EXPECT_LT(elapsed, kRunBudget) << "a wait escaped the deadline";
+
+      ASSERT_EQ(outs.size(), kParties);
+      for (size_t i = 0; i < kParties; ++i) {
+        if (outs[i].ok()) {
+          // A party that claims success must be bit-for-bit right.
+          EXPECT_EQ(outs[i]->clustering.labels, reference[i])
+              << "party " << i << " returned WRONG labels under fault";
+        } else {
+          EXPECT_NE(outs[i].status().code(), StatusCode::kOk);
+          EXPECT_FALSE(outs[i].status().message().empty())
+              << "party " << i << " failed without a named reason";
+        }
+      }
+    }
+  }
+}
+
+/// Establishes a three-party loopback serve fleet with `per_party`
+/// PartyServer options (faults, deadlines).
+std::vector<std::optional<PartyServer>> StartServers(
+    const std::vector<PartyServer::Options>& per_party) {
+  std::vector<MeshEndpoint> endpoints(kParties);
+  std::vector<std::optional<SocketListener>> listeners(kParties);
+  for (size_t i = 1; i < kParties; ++i) {
+    Result<SocketListener> bound =
+        SocketListener::Bind(0, static_cast<int>(kParties));
+    if (!bound.ok()) return {};
+    endpoints[i].port = bound->port();
+    listeners[i].emplace(std::move(*bound));
+  }
+  std::vector<std::optional<PartyServer>> servers(kParties);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kParties; ++i) {
+    threads.emplace_back([&, i] {
+      Result<PartyMesh> mesh = PartyMesh::EstablishWithListener(
+          std::move(listeners[i]), endpoints, i);
+      if (!mesh.ok()) return;
+      Result<PartyServer> server = PartyServer::Start(
+          std::move(*mesh), SecureRng(0xABC + i), per_party[i]);
+      if (server.ok()) servers[i].emplace(std::move(*server));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return servers;
+}
+
+TEST(ChaosTest, ServeFleetContainsEveryFaultKind) {
+  const std::vector<ClusteringJob> jobs = MakeJobs();
+  const std::vector<Labels> reference = ReferenceLabels(jobs);
+  const FaultKind kKinds[] = {FaultKind::kDropLink, FaultKind::kStall,
+                              FaultKind::kCorruptFrame,
+                              FaultKind::kTruncateFrame,
+                              FaultKind::kSendError};
+
+  for (FaultKind kind : kKinds) {
+    SCOPED_TRACE(FaultKindToString(kind));
+    // Follower 2's link to the submitter misbehaves mid-job (the fleet's
+    // session establishment only moves a handful of frames per link).
+    std::vector<PartyServer::Options> per_party(kParties);
+    for (auto& options : per_party) {
+      options.smc = FastSmc();
+      options.control_deadline_ms = 8000;
+    }
+    PartyServer::LinkFault fault;
+    fault.peer = 0;
+    fault.schedule.kind = kind;
+    fault.schedule.after_frames = 100;
+    per_party[2].link_faults.push_back(fault);
+
+    std::vector<std::optional<PartyServer>> servers = StartServers(per_party);
+    ASSERT_EQ(servers.size(), kParties);
+    for (size_t i = 0; i < kParties; ++i) {
+      ASSERT_TRUE(servers[i].has_value()) << "party " << i;
+    }
+
+    std::vector<PartyServer::ServeReport> reports(kParties);
+    std::vector<std::thread> followers;
+    for (size_t i = 1; i < kParties; ++i) {
+      followers.emplace_back([&, i] {
+        reports[i] = servers[i]->Serve(
+            [&](uint32_t) -> Result<ClusteringJob> { return jobs[i]; },
+            [&](uint32_t, const Result<RunOutcome>& outcome) {
+              if (outcome.ok()) {
+                EXPECT_EQ(outcome->clustering.labels, reference[i])
+                    << "party " << i << " returned WRONG labels under fault";
+              }
+            });
+      });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<RunOutcome> outcome = servers[0]->SubmitJob(jobs[0]);
+    EXPECT_LT(std::chrono::steady_clock::now() - start, kRunBudget)
+        << "SubmitJob escaped the deadline";
+    if (outcome.ok()) {
+      EXPECT_EQ(outcome->clustering.labels, reference[0]);
+    } else {
+      EXPECT_FALSE(outcome.status().message().empty());
+    }
+
+    // Wind the fleet down; a dropped link may have killed the control
+    // plane already, so the shutdown announce is best-effort and the
+    // submitter is destroyed first — control loss IS a follower's
+    // shutdown signal.
+    (void)servers[0]->AnnounceShutdown();
+    servers[0].reset();
+    for (std::thread& t : followers) t.join();
+    for (size_t i = 1; i < kParties; ++i) {
+      if (!reports[i].status.ok()) {
+        EXPECT_FALSE(reports[i].status.message().empty())
+            << "party " << i << " exited without a named reason";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -235,7 +235,7 @@ TEST(ComparatorYmppBoundsTest, OutOfRangeInputsAbortBothSides) {
         return (*bob_cmp)->PeerAssist(ch, BigInt(1));
       });
   EXPECT_EQ(bit.status().code(), StatusCode::kOutOfRange);
-  EXPECT_EQ(assist.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(assist.code(), StatusCode::kAborted);
 }
 
 }  // namespace

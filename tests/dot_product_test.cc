@@ -118,7 +118,7 @@ TEST_F(DotProductTest, RowLengthMismatchAborts) {
             return RunDotProductHelper(ch, s, {{BigInt(1)}}, {}, rng);
           });
   EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(u.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.status().code(), StatusCode::kAborted);
 }
 
 TEST_F(DotProductTest, EmptyAlphaAborts) {
@@ -132,7 +132,7 @@ TEST_F(DotProductTest, EmptyAlphaAborts) {
             return RunDotProductHelper(ch, s, {{BigInt(1)}}, {}, rng);
           });
   EXPECT_EQ(u.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(v.status().code(), StatusCode::kAborted);
 }
 
 }  // namespace

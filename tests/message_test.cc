@@ -48,13 +48,13 @@ TEST(MessageTest, MalformedShortFrame) {
   EXPECT_EQ(RecvMessage(*b).status().code(), StatusCode::kDataLoss);
 }
 
-TEST(MessageTest, AbortFrameSurfacesAsUnavailable) {
+TEST(MessageTest, AbortFrameSurfacesAsAborted) {
   auto [a, b] = MemoryChannel::CreatePair();
   Status original = Status::OutOfRange("bad input");
   Status returned = AbortPeer(*a, original, "validation failed");
   EXPECT_EQ(returned.code(), StatusCode::kOutOfRange);  // passthrough
   Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 0x1111);
-  EXPECT_EQ(payload.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(payload.status().code(), StatusCode::kAborted);
   EXPECT_NE(payload.status().message().find("validation failed"),
             std::string::npos);
 }

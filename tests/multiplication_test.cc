@@ -103,7 +103,7 @@ TEST_F(MultiplicationTest, InvalidMaskAbortsBothSides) {
                                                rng);
       });
   EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(u.status().code(), StatusCode::kUnavailable);  // abort frame
+  EXPECT_EQ(u.status().code(), StatusCode::kAborted);  // abort frame
 }
 
 }  // namespace

@@ -61,8 +61,10 @@ std::vector<ClusteringJob> MakeJobs() {
 }
 
 /// Establishes the three-party loopback mesh (ephemeral ports) and starts
-/// a PartyServer per party, each on its own thread.
-std::vector<std::optional<PartyServer>> StartServers() {
+/// a PartyServer per party, each on its own thread. `per_party` overrides
+/// the Options of the parties it covers (used to script link faults).
+std::vector<std::optional<PartyServer>> StartServers(
+    const std::vector<PartyServer::Options>& per_party = {}) {
   std::vector<MeshEndpoint> endpoints(kParties);
   std::vector<std::optional<SocketListener>> listeners(kParties);
   for (size_t i = 1; i < kParties; ++i) {
@@ -79,8 +81,11 @@ std::vector<std::optional<PartyServer>> StartServers() {
       Result<PartyMesh> mesh = PartyMesh::EstablishWithListener(
           std::move(listeners[i]), endpoints, i);
       if (!mesh.ok()) return;
+      PartyServer::Options options;
+      if (i < per_party.size()) options = per_party[i];
+      options.smc = FastSmc();
       Result<PartyServer> server = PartyServer::Start(
-          std::move(*mesh), SecureRng(0x5e5e + i), {FastSmc()});
+          std::move(*mesh), SecureRng(0x5e5e + i), options);
       if (server.ok()) servers[i].emplace(std::move(*server));
     });
   }
@@ -218,6 +223,136 @@ TEST(PartyServerTest, RequestStopUnblocksServe) {
   }
   // The submitter's next job now fails cleanly instead of hanging.
   EXPECT_FALSE(servers[0]->SubmitJob(jobs[0]).ok());
+}
+
+// THE acceptance property of failure containment: one corrupted frame
+// fails exactly one job with a named status, and the NEXT job on the same
+// daemon — same mesh, same sessions, no re-keygen — still produces labels
+// byte-identical to the in-process reference.
+TEST(PartyServerTest, DaemonSurvivesACorruptedFrameAndServesTheNextJob) {
+  std::vector<ClusteringJob> jobs = MakeJobs();
+  // Per-round deadline so the corruption-induced silence (a frame routed
+  // to a nonexistent stream never reaches its waiter) resolves as
+  // kDeadlineExceeded instead of a hang. Negotiated, so all parties set it.
+  for (ClusteringJob& job : jobs) job.options.round_deadline_ms = 5000;
+
+  std::vector<LocalJob> local;
+  for (size_t h = 0; h < kParties; ++h) local.push_back({jobs[h], 0x70 + h});
+  Result<std::vector<RunOutcome>> reference = ExecuteLocal(local, FastSmc());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Follower 2's link to the submitter corrupts one frame well after
+  // session establishment (which only exchanges a handful of frames on
+  // each link), i.e. in the middle of job 1.
+  std::vector<PartyServer::Options> per_party(kParties);
+  PartyServer::LinkFault fault;
+  fault.peer = 0;
+  fault.schedule.kind = FaultKind::kCorruptFrame;
+  fault.schedule.after_frames = 100;
+  per_party[2].link_faults.push_back(fault);
+  std::vector<std::optional<PartyServer>> servers = StartServers(per_party);
+  ASSERT_EQ(servers.size(), kParties);
+  for (size_t i = 0; i < kParties; ++i) {
+    ASSERT_TRUE(servers[i].has_value()) << "party " << i;
+  }
+
+  std::vector<std::vector<Labels>> follower_labels(kParties);
+  std::vector<PartyServer::ServeReport> reports(kParties);
+  std::vector<std::thread> followers;
+  for (size_t i = 1; i < kParties; ++i) {
+    followers.emplace_back([&, i] {
+      reports[i] = servers[i]->Serve(
+          [&](uint32_t) -> Result<ClusteringJob> { return jobs[i]; },
+          [&](uint32_t, const Result<RunOutcome>& outcome) {
+            if (outcome.ok()) {
+              follower_labels[i].push_back(outcome->clustering.labels);
+            }
+          });
+    });
+  }
+
+  // Job 1 fails — with a NAMED error, not a hang or a wrong answer.
+  Result<RunOutcome> failed = servers[0]->SubmitJob(jobs[0]);
+  ASSERT_FALSE(failed.ok()) << "the corrupted frame went unnoticed";
+  EXPECT_FALSE(failed.status().message().empty());
+  const StatusCode code = failed.status().code();
+  EXPECT_TRUE(code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kUnavailable ||
+              code == StatusCode::kAborted ||
+              code == StatusCode::kDataLoss ||
+              code == StatusCode::kFailedPrecondition)
+      << failed.status().ToString();
+
+  // Job 2 on the SAME daemon completes byte-identical to the reference.
+  Result<RunOutcome> clean = servers[0]->SubmitJob(jobs[0]);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->clustering.labels, (*reference)[0].clustering.labels);
+
+  ASSERT_TRUE(servers[0]->AnnounceShutdown().ok());
+  for (std::thread& t : followers) t.join();
+  for (size_t i = 1; i < kParties; ++i) {
+    EXPECT_TRUE(reports[i].status.ok()) << reports[i].status.ToString();
+    EXPECT_EQ(reports[i].jobs_ok, 1u) << "party " << i;
+    EXPECT_EQ(reports[i].jobs_failed, 1u) << "party " << i;
+    ASSERT_EQ(follower_labels[i].size(), 1u);
+    EXPECT_EQ(follower_labels[i][0], (*reference)[i].clustering.labels)
+        << "party " << i << " post-failure labels diverge";
+  }
+}
+
+// A follower whose factory produces a mismatched job view (different eps
+// here) fails that job's negotiation with kFailedPrecondition on every
+// party — and the daemon still serves the next, matching job.
+TEST(PartyServerTest, DaemonSurvivesANegotiationMismatch) {
+  std::vector<ClusteringJob> jobs = MakeJobs();
+  for (ClusteringJob& job : jobs) job.options.round_deadline_ms = 5000;
+  std::vector<LocalJob> local;
+  for (size_t h = 0; h < kParties; ++h) local.push_back({jobs[h], 0x70 + h});
+  Result<std::vector<RunOutcome>> reference = ExecuteLocal(local, FastSmc());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  std::vector<std::optional<PartyServer>> servers = StartServers();
+  ASSERT_EQ(servers.size(), kParties);
+  for (size_t i = 0; i < kParties; ++i) {
+    ASSERT_TRUE(servers[i].has_value()) << "party " << i;
+  }
+
+  ClusteringJob skewed = jobs[1];
+  skewed.options.params.eps_squared = skewed.options.params.eps_squared + 1;
+
+  std::vector<PartyServer::ServeReport> reports(kParties);
+  std::vector<std::thread> followers;
+  for (size_t i = 1; i < kParties; ++i) {
+    followers.emplace_back([&, i] {
+      bool first = true;
+      reports[i] = servers[i]->Serve(
+          [&](uint32_t) -> Result<ClusteringJob> {
+            // Follower 1's first job disagrees on eps; later jobs match.
+            if (i == 1 && first) {
+              first = false;
+              return skewed;
+            }
+            return jobs[i];
+          });
+    });
+  }
+
+  Result<RunOutcome> failed = servers[0]->SubmitJob(jobs[0]);
+  ASSERT_FALSE(failed.ok()) << "mismatched negotiation went unnoticed";
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition)
+      << failed.status().ToString();
+
+  Result<RunOutcome> clean = servers[0]->SubmitJob(jobs[0]);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->clustering.labels, (*reference)[0].clustering.labels);
+
+  ASSERT_TRUE(servers[0]->AnnounceShutdown().ok());
+  for (std::thread& t : followers) t.join();
+  for (size_t i = 1; i < kParties; ++i) {
+    EXPECT_TRUE(reports[i].status.ok()) << reports[i].status.ToString();
+    EXPECT_EQ(reports[i].jobs_ok, 1u) << "party " << i;
+    EXPECT_EQ(reports[i].jobs_failed, 1u) << "party " << i;
+  }
 }
 
 }  // namespace

@@ -86,6 +86,47 @@ TEST(SessionTest, RandomizerPoolDisabledByOption) {
   EXPECT_EQ(bob->own_randomizer_pool(), nullptr);
 }
 
+TEST(SessionTest, AdaptRandomizerPoolTracksObservedDemand) {
+  SessionPair pair = MakeSessionPair(128, 128);
+  PaillierRandomizerPool* pool = pair.alice->own_randomizer_pool();
+  ASSERT_NE(pool, nullptr);
+  // Adapting before any draw is a no-op: the steady target is unchanged.
+  const size_t initial = pool->steady_target();
+  EXPECT_EQ(pair.alice->AdaptRandomizerPool(), initial);
+  // A big burst grows the steady target to the observed peak...
+  (void)pool->TakeFactors(48);
+  EXPECT_EQ(pool->peak_demand(), 48u);
+  EXPECT_EQ(pair.alice->AdaptRandomizerPool(), 48u);
+  EXPECT_EQ(pool->steady_target(), 48u);
+  EXPECT_EQ(pool->peak_demand(), 0u);  // peak resets per adapt window
+  // ...and a quieter follow-up job shrinks it back down.
+  (void)pool->TakeFactors(3);
+  (void)pool->TakeFactors(5);
+  EXPECT_EQ(pair.alice->AdaptRandomizerPool(), 5u);
+  EXPECT_EQ(pool->steady_target(), 5u);
+  // The pool still encrypts correctly at the adapted size.
+  Result<BigInt> ct = pool->EncryptSigned(BigInt(1234));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(*pair.alice->own_paillier().DecryptSigned(*ct), BigInt(1234));
+}
+
+TEST(SessionTest, AdaptRandomizerPoolWithoutPoolReturnsZero) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  SecureRng arng(11), brng(22);
+  SmcOptions options;
+  options.paillier_bits = 128;
+  options.rsa_bits = 128;
+  options.randomizer_pool_target = 0;  // pool disabled
+  Result<SmcSession> alice = Status::Internal("unset");
+  Result<SmcSession> bob = Status::Internal("unset");
+  std::thread ta([&] { alice = SmcSession::Establish(*a, arng, options); });
+  std::thread tb([&] { bob = SmcSession::Establish(*b, brng, options); });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  EXPECT_EQ(alice->AdaptRandomizerPool(), 0u);
+}
+
 TEST(SessionTest, EstablishFailsAgainstClosedChannel) {
   auto [a, b] = MemoryChannel::CreatePair();
   b->Close();

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace ppdbscan {
@@ -207,6 +213,71 @@ TEST(SocketListenerTest, AcceptTimeoutKeepsTheListenerOpen) {
   acceptor.join();
   ASSERT_TRUE(client.ok()) << client.status().ToString();
   EXPECT_NE(server, nullptr);
+}
+
+TEST(SocketChannelTest, RecvDeadlineExpiresOnSilentPeer) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  pair.server->set_recv_deadline_ms(100);
+  Result<std::vector<uint8_t>> frame = pair.server->Recv();
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded)
+      << frame.status().ToString();
+  EXPECT_NE(frame.status().message().find("deadline"), std::string::npos);
+  // The connection survives a timed-out wait: once the peer speaks, the
+  // same channel delivers.
+  ASSERT_TRUE(pair.client->Send({5}).ok());
+  pair.server->set_recv_deadline_ms(5000);
+  EXPECT_EQ(*pair.server->Recv(), std::vector<uint8_t>{5});
+}
+
+TEST(SocketChannelTest, ClearingDeadlineRestoresBlockingRecv) {
+  TcpPair pair = Connect();
+  ASSERT_NE(pair.server, nullptr);
+  ASSERT_NE(pair.client, nullptr);
+  pair.server->set_recv_deadline_ms(50);
+  EXPECT_EQ(pair.server->Recv().status().code(),
+            StatusCode::kDeadlineExceeded);
+  pair.server->set_recv_deadline_ms(-1);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    ASSERT_TRUE(pair.client->Send({9}).ok());
+  });
+  EXPECT_TRUE(pair.server->Recv().ok());  // longer than the old 50ms bound
+  sender.join();
+}
+
+// Header and payload reads share ONE deadline budget per Recv: a peer
+// that ships a header announcing a payload and then stalls must still
+// trip the deadline — the budget is per frame, not reset per read() call.
+TEST(SocketChannelTest, MidFrameStallTripsTheSharedDeadline) {
+  Result<SocketListener> listener = SocketListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::unique_ptr<SocketChannel> server;
+  std::thread acceptor([&] {
+    Result<std::unique_ptr<SocketChannel>> s = listener->Accept(5000);
+    if (s.ok()) server = std::move(*s);
+  });
+  // Raw peer, so we can leave a frame half-written on the wire.
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listener->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  acceptor.join();
+  ASSERT_NE(server, nullptr);
+  // Header claims a 16-byte payload; only 3 bytes ever arrive.
+  const uint8_t partial[] = {0, 0, 0, 16, 0xAA, 0xBB, 0xCC};
+  ASSERT_EQ(::send(raw, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  server->set_recv_deadline_ms(200);
+  Result<std::vector<uint8_t>> frame = server->Recv();
+  EXPECT_EQ(frame.status().code(), StatusCode::kDeadlineExceeded)
+      << frame.status().ToString();
+  ::close(raw);
 }
 
 }  // namespace

@@ -27,6 +27,9 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
 }
 
 TEST(StatusTest, EqualityComparesCodesOnly) {
@@ -38,6 +41,9 @@ TEST(StatusTest, CodeToStringCoversAll) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAborted), "ABORTED");
 }
 
 TEST(ResultTest, HoldsValue) {

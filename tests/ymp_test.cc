@@ -83,11 +83,11 @@ TEST_F(YmppTest, InputValidationAbortsCleanly) {
   // Key-owner input out of range.
   Outcome out = Run(9, 3, options);
   EXPECT_EQ(out.key_owner.status().code(), StatusCode::kOutOfRange);
-  EXPECT_EQ(out.evaluator.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(out.evaluator.status().code(), StatusCode::kAborted);
   // Evaluator input out of range.
   out = Run(3, 0, options);
   EXPECT_EQ(out.evaluator.status().code(), StatusCode::kOutOfRange);
-  EXPECT_EQ(out.key_owner.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(out.key_owner.status().code(), StatusCode::kAborted);
 }
 
 TEST_F(YmppTest, DomainValidation) {

@@ -66,10 +66,15 @@ int Usage() {
       "                round-robin split; labels to PRE.party<i>.csv)\n"
       "  serve:        --index I --peers host:port,host:port,..."
       " [--jobs N]\n"
-      "                [--out-prefix PRE]  (one daemon process per party;\n"
-      "                party 0 submits N jobs over one shared mesh, labels"
-      " to\n"
-      "                PRE.party<I>.job<k>.csv; SIGTERM stops cleanly)\n"
+      "                [--out-prefix PRE] [--deadline-ms MS]  (one daemon"
+      " process\n"
+      "                per party; party 0 submits N jobs over one shared"
+      " mesh,\n"
+      "                labels to PRE.party<I>.job<k>.csv; SIGTERM stops"
+      " cleanly;\n"
+      "                --deadline-ms bounds each protocol wait so a dead"
+      " peer\n"
+      "                surfaces as DEADLINE_EXCEEDED instead of a hang)\n"
       "  crypto:       [--comparator blinded|ymp|ideal]"
       " [--paillier-bits B] [--rsa-bits B]\n"
       "  transport:    [--transport memory|tcp]  (tcp = real loopback"
@@ -232,6 +237,10 @@ Result<CliConfig> MakeConfig(const Flags& flags, const LoadedInput& input) {
                                                : HorizontalMode::kBasic;
   config.protocol.cross_party_merge = flags.Has("merge");
   config.protocol.vdp_local_pruning = flags.Has("prune");
+  // Negotiated like every other protocol option: all parties must pass the
+  // same --deadline-ms (it is part of the job digest).
+  config.protocol.round_deadline_ms =
+      static_cast<int32_t>(flags.Num("deadline-ms", 0));
   const std::string transport = flags.Str("transport", "memory");
   if (transport == "memory") {
     config.transport = LocalTransport::kMemory;
@@ -520,9 +529,11 @@ int RunServe(const Flags& flags) {
   std::printf("[party %zu] establishing %zu-party mesh...\n", index, parties);
   Result<PartyMesh> mesh = PartyMesh::Establish(*endpoints, index);
   if (!mesh.ok()) return Fail(mesh.status());
+  PartyServer::Options server_options;
+  server_options.smc = config->smc;
   Result<PartyServer> server =
       PartyServer::Start(std::move(*mesh), SecureRng(config->seed + index),
-                         {.smc = config->smc});
+                         server_options);
   if (!server.ok()) return Fail(server.status());
   std::printf("[party %zu] mesh up, sessions established; serving\n", index);
 
@@ -568,6 +579,9 @@ int RunServe(const Flags& flags) {
       exit_code = Fail(shutdown);
     }
   } else {
+    // A label file that failed to write must fail the process — dropping
+    // it silently would look exactly like a successful run with no output.
+    int write_failures = 0;
     PartyServer::ServeReport report = server->Serve(
         [&job](uint32_t) -> Result<ClusteringJob> { return job; },
         [&](uint32_t job_id, const Result<RunOutcome>& outcome) {
@@ -578,9 +592,10 @@ int RunServe(const Flags& flags) {
           }
           std::printf("[party %zu] job %u done: %zu cluster(s)\n", index,
                       job_id, outcome->clustering.num_clusters);
-          if (!prefix.empty()) {
-            (void)WriteLabels(label_path(job_id),
-                              outcome->clustering.labels);
+          if (!prefix.empty() &&
+              WriteLabels(label_path(job_id),
+                          outcome->clustering.labels) != 0) {
+            ++write_failures;
           }
         });
     std::printf("[party %zu] served %llu job(s), %llu failed; %s\n", index,
@@ -588,7 +603,15 @@ int RunServe(const Flags& flags) {
                 static_cast<unsigned long long>(report.jobs_failed),
                 report.status.ok() ? "clean shutdown"
                                    : report.status.ToString().c_str());
-    exit_code = (report.status.ok() && report.jobs_failed == 0) ? 0 : 1;
+    if (write_failures > 0) {
+      std::fprintf(stderr, "[party %zu] %d label file(s) not written\n",
+                   index, write_failures);
+    }
+    const bool stopped = server->stop_requested();
+    exit_code = ((report.status.ok() || stopped) && report.jobs_failed == 0 &&
+                 write_failures == 0)
+                    ? 0
+                    : 1;
   }
   g_signal_server = nullptr;
   return exit_code;

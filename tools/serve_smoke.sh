@@ -73,4 +73,72 @@ for i in $(seq 0 $((PARTIES - 1))); do
 done
 
 [[ "$FAIL" == 0 ]] && echo "serve_smoke: OK ($PARTIES parties, $JOBS jobs)"
-exit "$FAIL"
+[[ "$FAIL" == 0 ]] || exit "$FAIL"
+
+# ---------------------------------------------------------------------------
+# Chaos leg: SIGKILL a follower mid-fleet. The submitter must exit nonzero
+# with a NAMED status (UNAVAILABLE or DEADLINE_EXCEEDED — never a hang),
+# and the surviving follower must shut down cleanly on its own.
+echo "== chaos: kill -9 a follower, assert named failure + clean survivors =="
+CHAOS_BASE=$(( (RANDOM % 2000) + 45000 ))
+CHAOS_PEERS="127.0.0.1:$CHAOS_BASE,127.0.0.1:$((CHAOS_BASE + 1)),127.0.0.1:$((CHAOS_BASE + 2))"
+CHAOS=("${COMMON[@]}" --deadline-ms 2000 --peers "$CHAOS_PEERS")
+
+"$CLI" serve "${CHAOS[@]}" --index 1 --out-prefix chaos > chaos1.log 2>&1 &
+SURVIVOR=$!
+"$CLI" serve "${CHAOS[@]}" --index 2 --out-prefix chaos > chaos2.log 2>&1 &
+VICTIM=$!
+PIDS=("$SURVIVOR" "$VICTIM")
+# Many jobs so the fleet is guaranteed to still be mid-run when the victim
+# dies; the submitter stops at the first failed job anyway.
+"$CLI" serve "${CHAOS[@]}" --index 0 --jobs 50 --out-prefix chaos \
+    > chaos0.log 2>&1 &
+SUBMITTER=$!
+PIDS+=("$SUBMITTER")
+
+# Kill the victim as soon as it has served its first job (its job-1 label
+# file exists), so the mesh is provably established and mid-stream.
+DEADLINE=$((SECONDS + 60))
+until [[ -f chaos.party2.job1.csv ]]; do
+  if (( SECONDS >= DEADLINE )) || ! kill -0 "$VICTIM" 2>/dev/null; then
+    echo "serve_smoke: chaos fleet never served its first job" >&2
+    cat chaos0.log chaos1.log chaos2.log || true
+    exit 1
+  fi
+  sleep 0.2
+done
+kill -9 "$VICTIM"
+
+# The submitter and the survivor must both exit on their own within the
+# deadline budget — a hang here is exactly the bug this leg exists to catch.
+DEADLINE=$((SECONDS + 60))
+while kill -0 "$SUBMITTER" 2>/dev/null || kill -0 "$SURVIVOR" 2>/dev/null; do
+  if (( SECONDS >= DEADLINE )); then
+    echo "serve_smoke: chaos fleet hung after SIGKILL" >&2
+    cat chaos0.log chaos1.log || true
+    exit 1
+  fi
+  sleep 0.2
+done
+
+if wait "$SUBMITTER"; then
+  echo "serve_smoke: submitter exited 0 despite a dead follower" >&2
+  cat chaos0.log
+  exit 1
+fi
+grep -q "UNAVAILABLE\|DEADLINE_EXCEEDED" chaos0.log || {
+  echo "serve_smoke: submitter failure is not a named transport status" >&2
+  cat chaos0.log
+  exit 1
+}
+wait "$VICTIM" 2>/dev/null || true
+wait "$SURVIVOR" || true  # nonzero is fine (it reports the failed job)...
+grep -q "served\|shutdown\|failed" chaos1.log || {
+  echo "serve_smoke: survivor vanished without reporting" >&2
+  cat chaos1.log
+  exit 1
+}
+PIDS=()
+cat chaos0.log chaos1.log
+echo "serve_smoke: OK (chaos leg: named failure, no hangs)"
+exit 0

@@ -22,7 +22,7 @@ namespace ppdbscan {
 /// canonical ProtocolOptions serialization behind ProtocolOptionsDigest
 /// changes; peers with different versions fail the handshake with
 /// kFailedPrecondition instead of misreading each other's frames.
-inline constexpr uint16_t kJobProtocolVersion = 2;
+inline constexpr uint16_t kJobProtocolVersion = 3;
 
 /// How the virtual database is split between the parties — the four
 /// variants of the paper presented as one protocol family (§4.2 horizontal,
@@ -92,6 +92,11 @@ struct RunOutcome {
     double total_seconds = 0;
   };
   Timings timings;
+
+  /// Serve-mode only: a per-mesh-link health snapshot taken when the job
+  /// finished (empty for one-shot PartyRuntime runs). Counters are
+  /// cumulative over the server's lifetime, not per job.
+  std::vector<LinkHealth> link_health;
 };
 
 /// One party's long-lived protocol endpoint: owns (or borrows) the channel
@@ -156,6 +161,17 @@ class PartyRuntime {
   /// scheme's protocol. Callable repeatedly; each call resets the traffic
   /// counters so RunOutcome::stats covers exactly that job.
   Result<RunOutcome> Run(const ClusteringJob& job);
+
+  /// Mesh-only: re-runs SMC session establishment with `peer` over `link`
+  /// (a freshly reconnected channel), replacing that slot's session and
+  /// link in place — the serve layer's link-heal path. Both ends of the
+  /// healed link must call this concurrently, exactly like Establish;
+  /// the other P-2 sessions are untouched, so a follower restart never
+  /// forces the rest of the fleet to re-key. `link` must outlive the
+  /// runtime (or the next Reestablish/teardown). Stats are reset on
+  /// success so per-job accounting stays clean.
+  Status ReestablishSession(size_t peer, Channel& link,
+                            const SmcOptions& smc = {});
 
   /// The reusable two-party session (PPD_CHECKs on mesh runtimes). Exposed
   /// for callers layering custom sub-protocols over the same keys (e.g.

@@ -32,6 +32,10 @@ uint64_t ProtocolOptionsDigest(const ProtocolOptions& options) {
   canon.PutU8(options.cross_party_merge ? 1 : 0);
   canon.PutU8(options.vdp_local_pruning ? 1 : 0);
   canon.PutU32(static_cast<uint32_t>(options.round_deadline_ms));
+  canon.PutU32(options.retry.max_attempts);
+  canon.PutU32(options.retry.backoff_ms);
+  canon.PutU32(options.retry.max_backoff_ms);
+  canon.PutU64(options.retry.jitter_seed);
 
   // FNV-1a, 64-bit.
   uint64_t hash = 0xcbf29ce484222325ull;

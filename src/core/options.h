@@ -32,6 +32,23 @@ enum class SelectionAlgorithm {
   kQuickSelect,  // randomized partitioning, O(n) expected comparisons
 };
 
+/// How a failed job is retried by the serve layer. Negotiated like every
+/// other protocol option (part of the digest): both sides must agree on
+/// the retry budget so a submitter never re-announces a job to a follower
+/// that already gave up on the fleet.
+struct RetryPolicy {
+  /// Total attempts per job, including the first. 1 disables retry.
+  uint32_t max_attempts = 1;
+  /// Base delay before the first retry; doubles per retry (exponential).
+  uint32_t backoff_ms = 100;
+  /// Ceiling for the exponential growth.
+  uint32_t max_backoff_ms = 5000;
+  /// Seed for the deterministic jitter that desynchronizes retries. The
+  /// delay for retry i lands in [delay/2, delay] where delay is the capped
+  /// exponential value.
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+};
+
 /// Everything both parties must agree on before a protocol run. The
 /// comparator bound and DBSCAN parameters are public protocol inputs;
 /// mismatches between the parties surface as protocol errors.
@@ -73,6 +90,11 @@ struct ProtocolOptions {
   /// in exchange for skipping that comparison entirely. Exact same
   /// clustering, measured in bench_comm_vertical E3.c.
   bool vdp_local_pruning = false;
+
+  /// Job retry budget for serve-mode runs (ignored by one-shot runs).
+  /// Negotiated: the digest covers it, so a fleet with divergent retry
+  /// configuration fails the job hello instead of half-retrying.
+  RetryPolicy retry;
 };
 
 /// A safe comparator magnitude bound for datasets with coordinates in
@@ -85,7 +107,8 @@ const char* SelectionAlgorithmToString(SelectionAlgorithm selection);
 
 /// Order-stable 64-bit FNV-1a digest over the canonical serialization of
 /// EVERY field of `options` (DBSCAN parameters, comparator configuration
-/// including the magnitude bound and batch limit, mode/selection flags).
+/// including the magnitude bound and batch limit, mode/selection flags,
+/// deadline and retry policy).
 /// The job negotiation round (core/job.h) exchanges this digest so parties
 /// with any configuration divergence fail fast instead of desyncing
 /// mid-protocol. Equal options always digest equally across platforms and

@@ -347,6 +347,24 @@ Result<PartyRuntime> PartyRuntime::AdoptMesh(
   return runtime;
 }
 
+Status PartyRuntime::ReestablishSession(size_t peer, Channel& link,
+                                        const SmcOptions& smc) {
+  if (!mesh_) {
+    return Status::InvalidArgument(
+        "ReestablishSession is mesh-only; reconnect two-party runtimes by "
+        "constructing a fresh one");
+  }
+  if (peer >= parties_ || peer == index_) {
+    return Status::InvalidArgument("ReestablishSession needs a mesh peer");
+  }
+  PPD_ASSIGN_OR_RETURN(SmcSession session,
+                       SmcSession::Establish(link, *rng_, smc));
+  sessions_[peer] = std::make_shared<SmcSession>(std::move(session));
+  links_[peer] = &link;
+  link.ResetStats();
+  return Status::Ok();
+}
+
 const SmcSession& PartyRuntime::session() const {
   PPD_CHECK_MSG(!mesh_, "session() is the two-party accessor; use "
                         "session_with(peer) on a mesh runtime");
@@ -514,6 +532,8 @@ Result<RunOutcome> PartyRuntime::RunJobRounds(const ClusteringJob& job) {
     outcome.stats.frames_sent += s.frames_sent;
     outcome.stats.frames_received += s.frames_received;
     outcome.stats.rounds += s.rounds;
+    outcome.stats.deadline_trips += s.deadline_trips;
+    outcome.stats.aborts_seen += s.aborts_seen;
   }
   ++jobs_completed_;
   return outcome;

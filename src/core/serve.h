@@ -2,6 +2,7 @@
 #define PPDBSCAN_CORE_SERVE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -19,6 +20,26 @@
 
 namespace ppdbscan {
 
+/// True when `code` names a transient transport/timing failure a retry can
+/// plausibly outlive: the peer vanished (kUnavailable), a round ran out
+/// its deadline (kDeadlineExceeded), or a frame arrived mangled
+/// (kDataLoss — one corrupted or truncated frame, not a config mismatch).
+bool RetryableStatusCode(StatusCode code);
+
+/// Job-outcome retry classification. Transient codes are retryable.
+/// kAborted relays the ORIGINATING party's failure in its message, so it
+/// inherits the origin's class: terminal if the message names a
+/// configuration or logic error (kFailedPrecondition, kInvalidArgument,
+/// kOutOfRange, kInternal — those fail identically on every attempt),
+/// retryable otherwise. Everything else is terminal.
+bool RetryableStatus(const Status& status);
+
+/// Delay before retry `retry_index` (0-based): exponential backoff from
+/// RetryPolicy::backoff_ms capped at max_backoff_ms, minus a deterministic
+/// seeded jitter — the result lands in [delay/2, delay], so a fleet
+/// retrying in lockstep still desynchronizes reproducibly.
+uint32_t BackoffDelayMs(const RetryPolicy& policy, uint32_t retry_index);
+
 /// Long-lived daemon endpoint over an established PartyMesh: accepts many
 /// ClusteringJobs on one mesh, amortizing key generation, key exchange,
 /// and randomizer-pool warmup across its whole lifetime.
@@ -26,31 +47,45 @@ namespace ppdbscan {
 /// Start() layers a job-id ChannelMux over every mesh link and establishes
 /// the pairwise SMC sessions exactly once, over stream 0 of each mux (the
 /// control stream). Each job then runs over freshly opened per-job streams
-/// (stream id == job id) with an AdoptMesh runtime that shares those
-/// sessions — no per-job keygen, no per-job TCP setup.
+/// with an AdoptMesh runtime that shares those sessions — no per-job
+/// keygen, no per-job TCP setup. A retried job runs on FRESH streams
+/// (stream id == (job id << 8) | attempt), so frames from a failed attempt
+/// can never leak into its retry.
 ///
 /// Control plane (stream 0, party 0 is the submitter):
-///   submitter -> follower  kServeJobAnnounce(job id)        "run job <id> now"
-///   follower  -> submitter kServeJobDone(id, ok, code, msg) per-job completion
-///   submitter -> follower  kServeJobFailed(id, code, msg)   cancel that job
+///   submitter -> follower  kServeJobAnnounce(id, attempt)   "run job <id> now"
+///   follower  -> submitter kServeJobDone(id, attempt, ...)  per-job completion
+///   submitter -> follower  kServeJobFailed(id, attempt, ..) cancel that job
+///   submitter -> follower  kServeHealLink(peer)             re-link with peer
+///   follower  -> submitter kServeLinkHealed(peer, ...)      heal finished
 ///   submitter -> follower  kServeShutdown                   drain and exit
 ///
 /// Party 0 drives with SubmitJob()/AnnounceShutdown(); every other party
 /// sits in Serve(), building its local view of each announced job from a
 /// caller-supplied factory. Any party dying mid-job surfaces as
 /// kUnavailable on the survivors (never SIGPIPE — see SocketChannel), and
-/// a follower treats control-stream loss as its shutdown signal.
+/// a follower treats control-stream loss as its shutdown signal (or, with
+/// retry enabled, as a link failure to heal).
 ///
 /// Failure containment: a failed job does NOT take the daemon down. The
 /// submitter broadcasts kServeJobFailed so followers cancel that job's
 /// streams, still collects every follower's completion report (bounded by
-/// `control_deadline_ms`), and returns a named error — the mesh, the
-/// sessions, and the control plane all stay live for the next SubmitJob.
+/// `control_deadline_ms`), and — when the failure is retryable and the
+/// retry policy allows — HEALS the sick links and re-announces the same
+/// job id on the next attempt's streams. Healing re-runs the mesh
+/// identification handshake and the SMC session establishment on ONLY the
+/// failed link (PartyMesh::ReestablishLink + ReestablishSession), so a
+/// follower restart never forces the rest of the fleet to restart or
+/// re-key. The heal model assumes a dead peer's TCP links actually fail
+/// (crash, kill, close); a silent partition surfaces as the round deadline
+/// instead and heals once the transport reports the loss.
 class PartyServer {
  public:
   /// Chaos hook: wrap the mesh link to `peer` in a FaultInjectingChannel
   /// before muxing it, so one scripted fault exercises the daemon's whole
-  /// containment path (used by chaos_test and serve_test).
+  /// containment path (used by chaos_test and serve_test). A healed link
+  /// is NOT re-wrapped — the heal replaces the wrapped channel with the
+  /// fresh raw socket.
   struct LinkFault {
     size_t peer = 0;
     FaultSchedule schedule;
@@ -65,6 +100,15 @@ class PartyServer {
     /// wait for the next announce is NOT bounded (legitimately
     /// indefinite). 0 or negative disables the bound.
     int control_deadline_ms = 10000;
+    /// Server-level job retry budget, used when a submitted job's own
+    /// options carry no policy (ProtocolOptions::retry.max_attempts <= 1).
+    /// Followers consult max_attempts too: > 1 opts them into healing a
+    /// lost control link instead of treating the loss as shutdown.
+    RetryPolicy retry;
+    /// Bound on one link re-establishment during a heal (TCP redial +
+    /// identification handshake; the session re-exchange is then bounded
+    /// by control_deadline_ms like at Start).
+    int reconnect_timeout_ms = 10000;
     /// Scripted link faults (normally empty).
     std::vector<LinkFault> link_faults;
   };
@@ -80,11 +124,24 @@ class PartyServer {
   };
 
   /// Builds each follower's local job for one announced job id. Called on
-  /// the follower's dedicated job-runner thread, one job at a time.
+  /// the follower's dedicated job-runner thread, one job at a time (a
+  /// retried id is requested again — the factory must be repeatable).
   using JobFactory = std::function<Result<ClusteringJob>(uint32_t job_id)>;
-  /// Completion hook, called after each job with its id and outcome.
+  /// Completion hook, called after each job attempt with its id and
+  /// outcome.
   using JobObserver =
       std::function<void(uint32_t job_id, const Result<RunOutcome>& outcome)>;
+
+  /// Hard cap on attempts per job: the attempt number rides an 8-bit wire
+  /// field and the low byte of the per-attempt stream id.
+  static constexpr uint32_t kMaxAttempts = 256;
+
+  /// The mux stream id job `job_id`'s attempt `attempt` runs on. Distinct
+  /// per attempt and strictly increasing across a submitter's lifetime, so
+  /// the mux watermark (ChannelMux's retired-id cap) stays valid.
+  static uint32_t StreamId(uint32_t job_id, uint32_t attempt) {
+    return (job_id << 8) | (attempt & 0xFFu);
+  }
 
   /// Takes ownership of the established mesh, muxes every link, and runs
   /// the one-time pairwise session establishment (all parties call Start
@@ -107,15 +164,27 @@ class PartyServer {
   size_t parties() const { return mesh_.parties(); }
   /// Jobs completed on this server since Start (all sharing one keygen).
   uint64_t jobs_completed() const { return jobs_completed_->load(); }
+  /// Retry attempts initiated since Start (submitter only; 0 means every
+  /// job succeeded on its first attempt).
+  uint64_t job_retries() const { return job_retries_->load(); }
+
+  /// Point-in-time per-link health snapshot, indexed by peer (this
+  /// party's own slot is present but empty). Counters are cumulative since
+  /// Start; idle_seconds is measured to now.
+  std::vector<LinkHealth> link_health() const;
 
   /// Submitter only (party 0): announces the next job id to every peer,
-  /// runs `job` over per-job streams, then waits for every follower's
+  /// runs `job` over per-attempt streams, then waits for every follower's
   /// completion report (each wait bounded by `control_deadline_ms`). `job`
   /// must be this party's multiparty view (party_index 0, party_count ==
-  /// parties()). Fails with a named status if the local run or any
-  /// follower failed — and the daemon stays usable: a kServeJobFailed
-  /// broadcast unwinds the followers, and the next SubmitJob runs on the
-  /// same mesh and sessions.
+  /// parties()). On a retryable failure, sleeps the policy backoff, heals
+  /// every suspect link, and re-announces the SAME job id (fresh attempt
+  /// number, fresh streams) until the attempt budget runs out — the
+  /// effective policy is the job's own ProtocolOptions::retry when set,
+  /// the server Options::retry otherwise. Terminal failures (config and
+  /// logic errors) never retry. Either way the daemon stays usable for
+  /// the next SubmitJob. On success the outcome carries the link-health
+  /// snapshot.
   Result<RunOutcome> SubmitJob(const ClusteringJob& job);
 
   /// Followers only: blocks serving announced jobs until the submitter
@@ -140,39 +209,81 @@ class PartyServer {
 
  private:
   /// Cross-thread job bookkeeping shared between a follower's control loop
-  /// and its job-runner thread: which jobs' streams are live (so a
-  /// kServeJobFailed can Close() them, failing the job's blocked round),
-  /// and which ids the submitter already cancelled (so a job that has not
-  /// started yet aborts immediately).
+  /// and its job-runner thread, keyed by per-attempt STREAM id (so a
+  /// cancellation of attempt N can never kill the same job's attempt
+  /// N+1): which attempts' streams are live (a kServeJobFailed Close()s
+  /// them, failing the attempt's blocked round), and which the submitter
+  /// already cancelled (so an attempt that has not started yet aborts
+  /// immediately).
   struct JobControl {
     std::mutex mu;
     std::map<uint32_t, std::vector<Channel*>> inflight;
     std::set<uint32_t> remote_failed;
   };
 
+  /// Per-link health counters (guarded by `mu`), aggregated from each
+  /// finished attempt's stream stats plus heal outcomes.
+  struct HealthState {
+    mutable std::mutex mu;
+    std::vector<LinkHealth> links;
+    std::vector<std::chrono::steady_clock::time_point> last_activity;
+  };
+
   explicit PartyServer(PartyMesh mesh) : mesh_(std::move(mesh)) {}
 
-  /// Opens stream `job_id` on every peer link and runs `job` over an
+  /// Opens stream `stream_id` on every peer link and runs `job` over an
   /// AdoptMesh runtime sharing the Start-time sessions. After every run
   /// (success or failure) the randomizer pools adapt their steady-state
-  /// depth to the observed demand.
-  Result<RunOutcome> RunJob(uint32_t job_id, const ClusteringJob& job);
+  /// depth to the observed demand and the streams' traffic feeds the
+  /// per-link health counters.
+  Result<RunOutcome> RunJob(uint32_t stream_id, const ClusteringJob& job);
 
-  /// Submitter: best-effort kServeJobFailed broadcast for `job_id`.
-  void BroadcastJobFailed(uint32_t job_id, const Status& status);
+  /// Submitter: best-effort kServeJobFailed broadcast for one attempt.
+  void BroadcastJobFailed(uint32_t job_id, uint32_t attempt,
+                          const Status& status);
 
-  /// Submitter: waits (bounded) for `follower`'s completion report of
-  /// `job_id`, skipping stale reports of earlier jobs. Ok when the
-  /// follower succeeded; the follower's transmitted status (or the
-  /// transport/deadline error) otherwise.
-  Status CollectDone(size_t follower, uint32_t job_id);
+  /// Submitter: waits (bounded) for `follower`'s completion report of the
+  /// given attempt, skipping stale reports of earlier attempts and stale
+  /// heal replies. Ok when the follower succeeded; the follower's
+  /// transmitted status (or the transport/deadline error) otherwise.
+  Status CollectDone(size_t follower, uint32_t job_id, uint32_t attempt);
+
+  /// Submitter: waits (bounded) for `follower`'s kServeLinkHealed reply
+  /// about `peer`, skipping stale completion reports.
+  Status CollectHealed(size_t follower, size_t peer);
+
+  /// Both roles: tears this party's side of the link to `peer` fully down
+  /// (control stream, mux, fault wrappers, socket) and rebuilds it —
+  /// PartyMesh::ReestablishLink, a fresh mux + control stream, then
+  /// ReestablishSession over it. The two endpoints of a healed link run
+  /// this concurrently; a relaunched peer runs a full Start instead, which
+  /// this side cannot distinguish (by design). On failure the slot stays
+  /// down (muxes_[peer] == nullptr) and jobs fail kUnavailable until a
+  /// later heal succeeds.
+  Status HealLink(size_t peer);
+
+  /// Submitter: heals every flagged link before a retry. First asks every
+  /// healthy follower (kServeHealLink) to heal ITS side of the suspect's
+  /// links — a relaunched peer re-runs a full Establish, which needs all
+  /// P-1 counterparts answering — then heals this party's own link, then
+  /// collects the followers' replies. Clears each suspect flag on success.
+  Status HealSuspectLinks(std::vector<bool>* suspect);
+
+  /// Records `status` as the link's last_error in the health state.
+  void NoteLinkError(size_t peer, const Status& status);
 
   PartyMesh mesh_;
-  std::vector<std::unique_ptr<Channel>> wrapped_;    // fault-wrapped links
+  /// Fault-wrapped links, per peer (empty vectors normally); cleared for a
+  /// peer when its link heals.
+  std::vector<std::vector<std::unique_ptr<Channel>>> wrapped_;
   std::vector<std::unique_ptr<ChannelMux>> muxes_;   // per peer; null at own
   std::vector<std::unique_ptr<Channel>> control_;    // stream 0 per peer
   int control_deadline_ms_ = 10000;
+  int reconnect_timeout_ms_ = 10000;
+  RetryPolicy retry_;
+  SmcOptions smc_;  // retained so a heal re-establishes like Start did
   std::shared_ptr<JobControl> job_control_ = std::make_shared<JobControl>();
+  std::shared_ptr<HealthState> health_ = std::make_shared<HealthState>();
   /// Holds the Start-time sessions and this party's root rng; per-job
   /// runtimes adopt its shared_sessions() and fork its rng.
   std::unique_ptr<PartyRuntime> setup_;
@@ -181,10 +292,15 @@ class PartyServer {
   std::unique_ptr<std::mutex> rng_mu_ = std::make_unique<std::mutex>();
   std::shared_ptr<std::atomic<uint64_t>> jobs_completed_ =
       std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> job_retries_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
   uint32_t next_job_id_ = 1;  // stream 0 is the control stream
-  /// Socket fds of the mesh links, frozen at Start so RequestStop can
-  /// ::shutdown() them without taking locks or allocating.
-  std::vector<int> link_fds_;
+  /// Socket fd per peer (-1 at this party's own slot or while a link is
+  /// down), atomics so RequestStop can ::shutdown() them from signal
+  /// context while a heal swaps a link out. A heal stores -1 BEFORE
+  /// closing the old socket, so the handler never touches a dying fd.
+  std::unique_ptr<std::atomic<int>[]> link_fds_;
+  size_t fd_count_ = 0;
   std::shared_ptr<std::atomic<bool>> stop_requested_ =
       std::make_shared<std::atomic<bool>>(false);
 };

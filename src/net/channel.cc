@@ -5,6 +5,7 @@ namespace ppdbscan {
 Status Channel::Send(const std::vector<uint8_t>& frame) {
   Status s = SendImpl(frame);
   if (s.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.bytes_sent += frame.size();
     stats_.frames_sent += 1;
     if (last_dir_ != LastDir::kSend) {
@@ -17,6 +18,10 @@ Status Channel::Send(const std::vector<uint8_t>& frame) {
 
 Result<std::vector<uint8_t>> Channel::Recv() {
   Result<std::vector<uint8_t>> frame = RecvImpl();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!frame.ok() && frame.status().code() == StatusCode::kDeadlineExceeded) {
+    stats_.deadline_trips += 1;
+  }
   if (frame.ok()) {
     stats_.bytes_received += frame->size();
     stats_.frames_received += 1;

@@ -25,6 +25,7 @@ Result<Message> RecvMessage(Channel& channel) {
   Message msg;
   msg.type = static_cast<uint16_t>(frame[0] << 8 | frame[1]);
   msg.payload.assign(frame.begin() + 2, frame.end());
+  if (msg.type == kAbortMessageType) channel.NoteAbortReceived();
   return msg;
 }
 

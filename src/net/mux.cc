@@ -17,6 +17,20 @@ uint32_t ReadStreamId(const std::vector<uint8_t>& frame) {
 
 }  // namespace
 
+bool ChannelMux::Shared::IsRetiredLocked(uint32_t id) const {
+  return id < retired_floor || retired.count(id) > 0;
+}
+
+void ChannelMux::Shared::RetireLocked(uint32_t id) {
+  if (id < retired_floor) return;
+  retired.insert(id);
+  while (retired.size() > max_retired) {
+    auto smallest = retired.begin();
+    retired_floor = *smallest + 1;
+    retired.erase(smallest);
+  }
+}
+
 /// One logical stream endpoint. Holds the mux's shared state alive so a
 /// job channel handed to a worker thread stays valid (and fails cleanly)
 /// even if the mux is torn down first.
@@ -29,7 +43,7 @@ class ChannelMux::Stream : public Channel {
 
   void Close() override {
     std::lock_guard<std::mutex> lock(shared_->mu);
-    shared_->retired.insert(id_);
+    shared_->RetireLocked(id_);
     shared_->streams.erase(id_);
     shared_->cv.notify_all();
   }
@@ -39,7 +53,9 @@ class ChannelMux::Stream : public Channel {
     {
       std::lock_guard<std::mutex> lock(shared_->mu);
       if (!shared_->terminal.ok()) return shared_->terminal;
-      if (shared_->retired.count(id_) > 0) {
+      // An open stream always has its map entry until Close — absence
+      // means this stream was closed (the watermark never covers it).
+      if (shared_->streams.count(id_) == 0) {
         return Status::FailedPrecondition("mux stream closed");
       }
     }
@@ -91,8 +107,10 @@ class ChannelMux::Stream : public Channel {
   uint32_t id_;
 };
 
-ChannelMux::ChannelMux(Channel& base) : shared_(std::make_shared<Shared>()) {
+ChannelMux::ChannelMux(Channel& base, size_t max_retired)
+    : shared_(std::make_shared<Shared>()) {
   shared_->base = &base;
+  shared_->max_retired = max_retired > 0 ? max_retired : 1;
   reader_ = std::thread([this] { ReaderLoop(); });
 }
 
@@ -121,11 +139,19 @@ void ChannelMux::ReaderLoop() {
       return;
     }
     const uint32_t id = ReadStreamId(*frame);
-    if (shared_->retired.count(id) > 0) continue;  // late frame, drop
-    // Auto-creates the pending entry when the local stream is not open
-    // yet — the peer may legitimately race ahead into a job's first round.
-    shared_->streams[id].queue.emplace_back(frame->begin() + kStreamIdBytes,
-                                            frame->end());
+    // Route to live (open or pending) streams first: the watermark only
+    // ever covers ids with no live stream, so an open stream keeps
+    // receiving even once the floor passes its id.
+    auto it = shared_->streams.find(id);
+    if (it == shared_->streams.end()) {
+      if (shared_->IsRetiredLocked(id)) continue;  // late frame, drop
+      // Auto-creates the pending entry when the local stream is not open
+      // yet — the peer may legitimately race ahead into a job's first
+      // round.
+      it = shared_->streams.emplace(id, StreamState()).first;
+    }
+    it->second.queue.emplace_back(frame->begin() + kStreamIdBytes,
+                                  frame->end());
     shared_->cv.notify_all();
   }
 }
@@ -134,7 +160,7 @@ Result<std::unique_ptr<Channel>> ChannelMux::OpenStream(uint32_t id) {
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
     if (!shared_->terminal.ok()) return shared_->terminal;
-    if (shared_->retired.count(id) > 0) {
+    if (shared_->IsRetiredLocked(id)) {
       return Status::FailedPrecondition(
           "mux stream id " + std::to_string(id) + " was already retired");
     }
@@ -163,6 +189,16 @@ void ChannelMux::Shutdown() {
 Status ChannelMux::status() const {
   std::lock_guard<std::mutex> lock(shared_->mu);
   return shared_->terminal;
+}
+
+size_t ChannelMux::retired_count() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->retired.size();
+}
+
+uint32_t ChannelMux::retired_floor() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->retired_floor;
 }
 
 }  // namespace ppdbscan

@@ -38,8 +38,20 @@ namespace ppdbscan {
 /// stream is preserved in both directions.
 class ChannelMux {
  public:
+  /// Default bound on the retired-stream-id set (see `max_retired` below).
+  static constexpr size_t kDefaultMaxRetired = 1024;
+
   /// Starts the reader thread over `base`, which must outlive the mux.
-  explicit ChannelMux(Channel& base);
+  /// `max_retired` bounds the retired-id set: a long-lived daemon retires
+  /// one id per completed job, so the set is capped by promoting the
+  /// smallest retired ids into a watermark — every id below
+  /// `retired_floor()` counts as retired without a per-id entry. Ids must
+  /// therefore be opened in roughly increasing order (job ids are): an id
+  /// more than `max_retired` retirements behind the frontier can no longer
+  /// be opened, and its late frames are dropped, exactly as if it had been
+  /// retired individually. Open and pending streams are never affected by
+  /// the watermark (routing checks live streams first).
+  explicit ChannelMux(Channel& base, size_t max_retired = kDefaultMaxRetired);
 
   /// Shuts down (closing the base channel) and joins the reader.
   ~ChannelMux();
@@ -62,6 +74,12 @@ class ChannelMux {
   /// channel's failure afterwards.
   Status status() const;
 
+  /// Retired ids tracked individually right now (always <= max_retired).
+  size_t retired_count() const;
+  /// The watermark: every stream id below it is retired. Advances only
+  /// when the retired set overflows its cap.
+  uint32_t retired_floor() const;
+
  private:
   struct StreamState {
     std::deque<std::vector<uint8_t>> queue;
@@ -77,9 +95,17 @@ class ChannelMux {
     std::mutex mu;  // guards everything below
     std::condition_variable cv;
     std::map<uint32_t, StreamState> streams;
-    std::set<uint32_t> retired;  // closed streams: late frames are dropped
+    /// Closed stream ids above the floor: late frames are dropped. Bounded
+    /// by max_retired; overflow promotes the smallest ids into the floor.
+    std::set<uint32_t> retired;
+    uint32_t retired_floor = 0;  // ids below this are retired wholesale
+    size_t max_retired = kDefaultMaxRetired;
     Status terminal;             // non-OK once the reader stopped
     bool shutdown = false;
+
+    /// Both require `mu` to be held by the caller.
+    bool IsRetiredLocked(uint32_t id) const;
+    void RetireLocked(uint32_t id);
   };
 
   class Stream;

@@ -1,6 +1,8 @@
 #include "net/party_mesh.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/serialize.h"
@@ -98,6 +100,8 @@ Result<PartyMesh> PartyMesh::EstablishWithListener(
   mesh.index_ = index;
   mesh.channels_.resize(p);
   mesh.listener_ = std::move(listener);
+  mesh.endpoints_ = endpoints;
+  mesh.options_ = options;
 
   // Connect phase: one link to every higher-indexed party, identified by a
   // hello and confirmed by the acceptor's ack.
@@ -153,6 +157,114 @@ Result<PartyMesh> PartyMesh::EstablishWithListener(
     if (channel != nullptr) channel->ResetStats();
   }
   return mesh;
+}
+
+Status PartyMesh::ReestablishLink(size_t peer, int timeout_ms) {
+  const size_t p = channels_.size();
+  if (peer >= p || peer == index_) {
+    return Status::InvalidArgument("ReestablishLink needs a mesh peer index");
+  }
+  if (endpoints_.size() != p) {
+    return Status::FailedPrecondition(
+        "this mesh was not built by Establish (no endpoint list retained)");
+  }
+  // Drop the dead link first: closing our end unblocks a peer that is
+  // still parked in a Recv on it, and frees the port direction for the
+  // fresh connection.
+  if (channels_[peer] != nullptr) {
+    channels_[peer]->Close();
+    channels_[peer].reset();
+  }
+  const std::string context = "party " + std::to_string(index_) +
+                              " re-establishing its link to party " +
+                              std::to_string(peer);
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeout_ms > 0 ? timeout_ms : 0);
+  const auto remaining_ms = [&]() -> int {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return static_cast<int>(std::max<int64_t>(left.count(), 0));
+  };
+  Status last = Status::Unavailable("peer never became reachable");
+
+  if (peer > index_) {
+    // Original schedule: the lower index connects. Retry the full
+    // connect+handshake until the budget expires — the peer may still be
+    // relaunching, or not yet accepting.
+    while (true) {
+      const int left = remaining_ms();
+      if (left <= 0) break;
+      Result<std::unique_ptr<SocketChannel>> channel = SocketChannel::Connect(
+          endpoints_[peer].host, endpoints_[peer].port, left);
+      if (!channel.ok()) {
+        last = channel.status();
+        continue;  // Connect consumed (part of) the budget retrying
+      }
+      (*channel)->set_recv_deadline_ms(std::max(remaining_ms(), 1));
+      Status sent = (*channel)->Send(BuildHandshake(p, index_));
+      Result<std::vector<uint8_t>> ack =
+          sent.ok() ? (*channel)->Recv() : sent;
+      Result<size_t> acceptor = ack.ok() ? ParseHandshake(*ack, p)
+                                         : ack.status();
+      if (acceptor.ok() && *acceptor != peer) {
+        return Status::FailedPrecondition(
+            context + ": endpoint identifies as party " +
+            std::to_string(*acceptor) + " — endpoint lists disagree");
+      }
+      if (acceptor.ok()) {
+        (*channel)->set_recv_deadline_ms(-1);
+        (*channel)->ResetStats();
+        channels_[peer] = std::move(*channel);
+        return Status::Ok();
+      }
+      last = acceptor.status();
+      (*channel)->Close();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } else {
+    // The higher index re-accepts off its retained listener, waiting for
+    // the hello that identifies the returning peer. A stray or mismatched
+    // connection is dropped and the wait continues.
+    if (!listener_.has_value() || !listener_->listening()) {
+      return Status::FailedPrecondition(context +
+                                        ": no retained listener to accept on");
+    }
+    while (true) {
+      const int left = remaining_ms();
+      if (left <= 0) break;
+      Result<std::unique_ptr<SocketChannel>> channel = listener_->Accept(left);
+      if (!channel.ok()) {
+        last = channel.status();
+        continue;
+      }
+      (*channel)->set_recv_deadline_ms(std::max(remaining_ms(), 1));
+      Result<std::vector<uint8_t>> hello = (*channel)->Recv();
+      Result<size_t> sender =
+          hello.ok() ? ParseHandshake(*hello, p) : hello.status();
+      if (sender.ok() && *sender == peer) {
+        Status acked = (*channel)->Send(BuildHandshake(p, index_));
+        if (!acked.ok()) {
+          last = acked;
+          continue;
+        }
+        (*channel)->set_recv_deadline_ms(-1);
+        (*channel)->ResetStats();
+        channels_[peer] = std::move(*channel);
+        return Status::Ok();
+      }
+      last = sender.ok() ? Status::FailedPrecondition(
+                               context + ": party " + std::to_string(*sender) +
+                               " connected while waiting for party " +
+                               std::to_string(peer))
+                         : sender.status();
+      (*channel)->Close();
+    }
+  }
+  return Annotate(Status(StatusCode::kDeadlineExceeded,
+                         "gave up after " + std::to_string(timeout_ms) +
+                             "ms: " + last.ToString()),
+                  context);
 }
 
 std::vector<Channel*> PartyMesh::links() const {

@@ -90,6 +90,18 @@ class PartyMesh {
     return listener_.has_value() ? &*listener_ : nullptr;
   }
 
+  /// Re-establishes the single link to `peer` after a TCP failure, using
+  /// the same identification handshake as Establish and the original
+  /// schedule (the lower index connects, the higher accepts off its
+  /// retained listener) — so both ends can call this concurrently without
+  /// coordination, and a relaunched peer running a full Establish is
+  /// indistinguishable from one healing a single link. The old channel is
+  /// closed and dropped first (unblocking a peer mid-Recv), then the whole
+  /// retry-with-backoff budget is bounded by `timeout_ms`. On success the
+  /// new link's stats are reset, exactly like a fresh Establish; on
+  /// failure the slot stays empty (link(peer) == nullptr).
+  Status ReestablishLink(size_t peer, int timeout_ms);
+
   /// Closes every link and the listener. Idempotent.
   void CloseAll();
 
@@ -99,6 +111,9 @@ class PartyMesh {
   size_t index_ = 0;
   std::vector<std::unique_ptr<SocketChannel>> channels_;  // null at index_
   std::optional<SocketListener> listener_;
+  // Retained from Establish so ReestablishLink can redial the same fleet.
+  std::vector<MeshEndpoint> endpoints_;
+  PartyMeshOptions options_;
 };
 
 }  // namespace ppdbscan

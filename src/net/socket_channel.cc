@@ -172,14 +172,25 @@ Result<std::unique_ptr<SocketChannel>> SocketChannel::Connect(
   }
 }
 
-SocketChannel::~SocketChannel() { Close(); }
-
-void SocketChannel::Close() {
+SocketChannel::~SocketChannel() {
+  // Destruction means no other thread still uses this channel, so this is
+  // the one place the descriptor may actually be released (see Close()).
   if (fd_ >= 0) {
     shutdown(fd_, SHUT_RDWR);
     close(fd_);
     fd_ = -1;
   }
+}
+
+void SocketChannel::Close() {
+  // Shutdown only — never close(2) here. Close() is routinely called from
+  // a thread other than the one blocked in read(2) on this socket (the mux
+  // tears down its base channel to wake its reader; a heal drops a link a
+  // job thread is still parked on). shutdown both wakes those readers and
+  // sends FIN, while leaving the descriptor allocated so the kernel cannot
+  // hand the same fd number to a concurrent accept/connect mid-read. The
+  // fd is released in the destructor, once no user can remain.
+  if (fd_ >= 0 && !closed_.exchange(true)) shutdown(fd_, SHUT_RDWR);
 }
 
 Status SocketChannel::WriteAll(const uint8_t* data, size_t len) {
@@ -234,7 +245,9 @@ Status SocketChannel::ReadAll(
 }
 
 Status SocketChannel::SendImpl(const std::vector<uint8_t>& frame) {
-  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("channel closed");
+  }
   // Same bound the receiver checks: a frame that does not fit the 4-byte
   // header would silently truncate its length and desync the stream.
   if (frame.size() > kMaxFrame) {
@@ -254,7 +267,9 @@ Status SocketChannel::SendImpl(const std::vector<uint8_t>& frame) {
 }
 
 Result<std::vector<uint8_t>> SocketChannel::RecvImpl() {
-  if (fd_ < 0) return Status::FailedPrecondition("channel closed");
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("channel closed");
+  }
   // One budget for the whole frame: header and payload reads share it, so
   // a peer that stalls after sending half a frame still trips the deadline.
   const int budget_ms = recv_deadline_ms();

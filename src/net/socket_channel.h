@@ -1,6 +1,7 @@
 #ifndef PPDBSCAN_NET_SOCKET_CHANNEL_H_
 #define PPDBSCAN_NET_SOCKET_CHANNEL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -80,10 +81,16 @@ class SocketChannel : public Channel {
 
   ~SocketChannel() override;
 
+  /// Shuts the socket down (both directions) without releasing the fd:
+  /// wakes any thread blocked in Recv on this channel and sends FIN, but
+  /// the descriptor itself is only closed by the destructor, so a reader
+  /// mid-read(2) can never see its fd number reused. Idempotent and safe
+  /// to call from a thread other than the reader's.
   void Close() override;
 
-  /// The underlying socket descriptor, or -1 after Close(). Exposed so a
-  /// daemon's signal handler can shutdown(2) blocked reads — shutdown is
+  /// The underlying socket descriptor (valid until destruction; after
+  /// Close() it is shut down but still allocated). Exposed so a daemon's
+  /// signal handler can shutdown(2) blocked reads — shutdown is
   /// async-signal-safe, Close() is not.
   int native_handle() const { return fd_; }
 
@@ -103,7 +110,11 @@ class SocketChannel : public Channel {
   Status ReadAll(uint8_t* data, size_t len, int budget_ms,
                  const std::chrono::steady_clock::time_point& deadline);
 
+  /// Written only by the constructor and destructor; Close() leaves it
+  /// alone (shutdown-only) so concurrent readers can load it race-free.
   int fd_;
+  /// Set by Close(); later Send/Recv fail kFailedPrecondition.
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace ppdbscan

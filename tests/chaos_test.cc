@@ -194,8 +194,10 @@ TEST(ChaosTest, ServeFleetContainsEveryFaultKind) {
 
   for (FaultKind kind : kKinds) {
     SCOPED_TRACE(FaultKindToString(kind));
-    // Follower 2's link to the submitter misbehaves mid-job (the fleet's
-    // session establishment only moves a handful of frames per link).
+    // Follower 2's link to the submitter misbehaves mid-job: past the
+    // fleet's session establishment (~10 wrapper frames on that link) but
+    // inside the one job's rounds (~60 frames each way) — 100 would land
+    // beyond the whole job and never fire on this small workload.
     std::vector<PartyServer::Options> per_party(kParties);
     for (auto& options : per_party) {
       options.smc = FastSmc();
@@ -204,7 +206,7 @@ TEST(ChaosTest, ServeFleetContainsEveryFaultKind) {
     PartyServer::LinkFault fault;
     fault.peer = 0;
     fault.schedule.kind = kind;
-    fault.schedule.after_frames = 100;
+    fault.schedule.after_frames = 30;
     per_party[2].link_faults.push_back(fault);
 
     std::vector<std::optional<PartyServer>> servers = StartServers(per_party);
@@ -252,6 +254,218 @@ TEST(ChaosTest, ServeFleetContainsEveryFaultKind) {
       }
     }
   }
+}
+
+TEST(ChaosTest, RetryClassificationSeparatesTransientFromTerminal) {
+  // Transient transport/timing codes retry; everything else is terminal.
+  EXPECT_TRUE(RetryableStatusCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(RetryableStatusCode(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(RetryableStatusCode(StatusCode::kDataLoss));
+  EXPECT_FALSE(RetryableStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(RetryableStatusCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(RetryableStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(RetryableStatusCode(StatusCode::kInternal));
+  EXPECT_FALSE(RetryableStatusCode(StatusCode::kAborted));
+
+  EXPECT_TRUE(RetryableStatus(Status::Unavailable("peer went away")));
+  EXPECT_TRUE(RetryableStatus(Status::DeadlineExceeded("round timed out")));
+  EXPECT_FALSE(RetryableStatus(Status::Ok()));
+  EXPECT_FALSE(RetryableStatus(Status::FailedPrecondition("eps mismatch")));
+  EXPECT_FALSE(RetryableStatus(Status::InvalidArgument("bad job")));
+
+  // A relayed abort inherits the ORIGINATING party's class from its
+  // rendered message: config/logic origins fail identically every attempt.
+  EXPECT_TRUE(RetryableStatus(Status(
+      StatusCode::kAborted, "party 2 aborted: UNAVAILABLE: link reset")));
+  EXPECT_TRUE(RetryableStatus(Status(
+      StatusCode::kAborted, "party 2 aborted: DEADLINE_EXCEEDED: round")));
+  EXPECT_FALSE(RetryableStatus(Status(
+      StatusCode::kAborted, "party 1 aborted: FAILED_PRECONDITION: eps")));
+  EXPECT_FALSE(RetryableStatus(Status(
+      StatusCode::kAborted, "party 1 aborted: INVALID_ARGUMENT: dims")));
+  EXPECT_FALSE(RetryableStatus(Status(
+      StatusCode::kAborted, "party 1 aborted: OUT_OF_RANGE: magnitude")));
+  EXPECT_FALSE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 1 aborted: INTERNAL: bug")));
+}
+
+TEST(ChaosTest, BackoffDelayIsCappedJitteredAndDeterministic) {
+  RetryPolicy policy;
+  policy.backoff_ms = 100;
+  policy.max_backoff_ms = 800;
+  // Exponential base per retry index, capped: 100, 200, 400, 800, 800...
+  const uint32_t kBase[] = {100, 200, 400, 800, 800, 800};
+  for (uint32_t i = 0; i < 6; ++i) {
+    const uint32_t delay = BackoffDelayMs(policy, i);
+    EXPECT_LE(delay, kBase[i]) << "retry " << i;
+    EXPECT_GE(delay, kBase[i] / 2) << "retry " << i;  // jitter <= delay/2
+    EXPECT_EQ(delay, BackoffDelayMs(policy, i))
+        << "retry " << i << " must be deterministic";
+  }
+  // Different seeds desynchronize a fleet retrying in lockstep; a zero
+  // base means no sleep at all.
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed ^= 0xDEADBEEF;
+  bool any_differs = false;
+  for (uint32_t i = 0; i < 6 && !any_differs; ++i) {
+    any_differs = BackoffDelayMs(reseeded, i) != BackoffDelayMs(policy, i);
+  }
+  EXPECT_TRUE(any_differs);
+  RetryPolicy zero;
+  zero.backoff_ms = 0;
+  zero.max_backoff_ms = 0;
+  EXPECT_EQ(BackoffDelayMs(zero, 0), 0u);
+  EXPECT_EQ(BackoffDelayMs(zero, 5), 0u);
+}
+
+// The tentpole acceptance matrix: every retryable fault kind, planted on
+// a follower-side and on a submitter-side link, is outlived by the retry
+// budget — SubmitJob returns OK with labels byte-identical to the clean
+// run, after at least one retry (persistent faults additionally force a
+// link heal, since only replacing the wrapped channel clears them).
+TEST(ChaosTest, ServeFleetRetriesEveryRetryableFaultKind) {
+  std::vector<ClusteringJob> jobs = MakeJobs();
+  for (ClusteringJob& job : jobs) {
+    // Negotiated (part of the options digest), so every party sets it.
+    job.options.retry.max_attempts = 3;
+    job.options.retry.backoff_ms = 50;
+    job.options.retry.max_backoff_ms = 200;
+  }
+  const std::vector<Labels> reference = ReferenceLabels(jobs);
+  const FaultKind kKinds[] = {FaultKind::kDropLink, FaultKind::kStall,
+                              FaultKind::kCorruptFrame,
+                              FaultKind::kTruncateFrame,
+                              FaultKind::kSendError};
+  struct Placement {
+    size_t party, peer;
+  };
+  // Mid-job faults on both sides of the submitter<->follower-2 link: the
+  // suspect detection must work whether the wrapped (faulted) channel
+  // lives on the submitter or on the follower.
+  const Placement kPlacements[] = {{2, 0}, {0, 2}};
+
+  for (FaultKind kind : kKinds) {
+    for (const Placement& placement : kPlacements) {
+      SCOPED_TRACE(std::string(FaultKindToString(kind)) + " at party " +
+                   std::to_string(placement.party) + " -> peer " +
+                   std::to_string(placement.peer));
+      std::vector<PartyServer::Options> per_party(kParties);
+      for (auto& options : per_party) {
+        options.smc = FastSmc();
+        options.control_deadline_ms = 8000;
+        // Opts followers into healing a lost control link; the job's own
+        // negotiated policy governs the submitter's attempt budget.
+        options.retry.max_attempts = 3;
+        options.retry.backoff_ms = 50;
+      }
+      PartyServer::LinkFault fault;
+      fault.peer = placement.peer;
+      fault.schedule.kind = kind;
+      // Past session establishment (~10 wrapper frames) but well inside
+      // job 1's rounds (~60 frames each way on this link), so the fault
+      // hits the attempt, not the Start-time key exchange.
+      fault.schedule.after_frames = 30;
+      per_party[placement.party].link_faults.push_back(fault);
+
+      std::vector<std::optional<PartyServer>> servers =
+          StartServers(per_party);
+      ASSERT_EQ(servers.size(), kParties);
+      for (size_t i = 0; i < kParties; ++i) {
+        ASSERT_TRUE(servers[i].has_value()) << "party " << i;
+      }
+
+      std::vector<PartyServer::ServeReport> reports(kParties);
+      std::vector<std::thread> followers;
+      for (size_t i = 1; i < kParties; ++i) {
+        followers.emplace_back([&, i] {
+          reports[i] = servers[i]->Serve(
+              [&](uint32_t) -> Result<ClusteringJob> { return jobs[i]; },
+              [&](uint32_t, const Result<RunOutcome>& outcome) {
+                if (outcome.ok()) {
+                  EXPECT_EQ(outcome->clustering.labels, reference[i])
+                      << "party " << i << " returned WRONG labels";
+                }
+              });
+        });
+      }
+
+      const auto start = std::chrono::steady_clock::now();
+      Result<RunOutcome> outcome = servers[0]->SubmitJob(jobs[0]);
+      EXPECT_LT(std::chrono::steady_clock::now() - start, kRunBudget)
+          << "the retry loop escaped its bounds";
+      ASSERT_TRUE(outcome.ok())
+          << "the retry budget did not outlive the fault: "
+          << outcome.status().ToString();
+      EXPECT_EQ(outcome->clustering.labels, reference[0])
+          << "retried job labels diverge from the clean run";
+      EXPECT_GE(servers[0]->job_retries(), 1u)
+          << "the job passed without retrying — the fault never fired?";
+
+      (void)servers[0]->AnnounceShutdown();
+      servers[0].reset();
+      for (std::thread& t : followers) t.join();
+    }
+  }
+}
+
+// Terminal failures must not burn the retry budget: a negotiation
+// mismatch (config error — identical on every attempt) fails once with
+// kFailedPrecondition and zero retries, and the daemon still serves the
+// next, matching job.
+TEST(ChaosTest, TerminalStatusesNeverRetry) {
+  std::vector<ClusteringJob> jobs = MakeJobs();
+  for (ClusteringJob& job : jobs) {
+    job.options.retry.max_attempts = 4;
+    job.options.retry.backoff_ms = 50;
+  }
+  const std::vector<Labels> reference = ReferenceLabels(jobs);
+
+  std::vector<PartyServer::Options> per_party(kParties);
+  for (auto& options : per_party) {
+    options.smc = FastSmc();
+    options.control_deadline_ms = 8000;
+    options.retry.max_attempts = 4;
+  }
+  std::vector<std::optional<PartyServer>> servers = StartServers(per_party);
+  ASSERT_EQ(servers.size(), kParties);
+  for (size_t i = 0; i < kParties; ++i) {
+    ASSERT_TRUE(servers[i].has_value()) << "party " << i;
+  }
+
+  ClusteringJob skewed = jobs[1];
+  skewed.options.params.eps_squared = skewed.options.params.eps_squared + 1;
+
+  std::vector<PartyServer::ServeReport> reports(kParties);
+  std::vector<std::thread> followers;
+  for (size_t i = 1; i < kParties; ++i) {
+    followers.emplace_back([&, i] {
+      bool first = true;
+      reports[i] = servers[i]->Serve(
+          [&](uint32_t) -> Result<ClusteringJob> {
+            // Follower 1's first job disagrees on eps; later jobs match.
+            if (i == 1 && first) {
+              first = false;
+              return skewed;
+            }
+            return jobs[i];
+          });
+    });
+  }
+
+  Result<RunOutcome> failed = servers[0]->SubmitJob(jobs[0]);
+  ASSERT_FALSE(failed.ok()) << "mismatched negotiation went unnoticed";
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition)
+      << failed.status().ToString();
+  EXPECT_EQ(servers[0]->job_retries(), 0u)
+      << "a terminal status burned retry attempts";
+
+  Result<RunOutcome> clean = servers[0]->SubmitJob(jobs[0]);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->clustering.labels, reference[0]);
+  EXPECT_EQ(servers[0]->job_retries(), 0u);
+
+  ASSERT_TRUE(servers[0]->AnnounceShutdown().ok());
+  for (std::thread& t : followers) t.join();
 }
 
 }  // namespace

@@ -234,6 +234,74 @@ TEST(ChannelMuxTest, TeardownRobustUnderMidFrameFailureRepeatedly) {
   }
 }
 
+TEST(ChannelMuxTest, WatermarkBoundsRetiredSet) {
+  // A long-lived daemon retires one stream id per finished job attempt;
+  // with a small cap the oldest ids collapse into the floor watermark
+  // instead of growing the retired set without bound.
+  auto [alice, bob] = MemoryChannel::CreatePair();
+  ChannelMux a(*alice, /*max_retired=*/2);
+  ChannelMux b(*bob, /*max_retired=*/2);
+  EXPECT_EQ(b.retired_floor(), 0u);
+  for (uint32_t id = 1; id <= 5; ++id) {
+    auto stream = b.OpenStream(id);
+    ASSERT_TRUE(stream.ok());
+  }  // each stream destructor retires its id
+  EXPECT_LE(b.retired_count(), 2u);
+  EXPECT_EQ(b.retired_floor(), 4u);  // 1..3 promoted into the watermark
+  // Ids below the floor behave exactly like individually retired ids:
+  // reopening fails, whether the id was ever open here (1) or not (0).
+  EXPECT_EQ(b.OpenStream(1).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(b.OpenStream(0).status().code(), StatusCode::kFailedPrecondition);
+  // Ids still tracked individually are equally closed...
+  EXPECT_EQ(b.OpenStream(5).status().code(), StatusCode::kFailedPrecondition);
+  // ...and fresh ids above the frontier open normally.
+  EXPECT_TRUE(b.OpenStream(6).ok());
+}
+
+TEST(ChannelMuxTest, LateFramesBelowWatermarkAreDropped) {
+  // The satellite property: a frame arriving for an id the watermark has
+  // swallowed must be dropped exactly like a frame for an individually
+  // retired id — no phantom pending stream, no leak into live streams.
+  auto [alice, bob] = MemoryChannel::CreatePair();
+  ChannelMux a(*alice, /*max_retired=*/2);
+  ChannelMux b(*bob, /*max_retired=*/2);
+  auto a1 = a.OpenStream(1);
+  auto a9 = a.OpenStream(9);
+  auto b9 = b.OpenStream(9);
+  ASSERT_TRUE(a1.ok() && a9.ok() && b9.ok());
+  for (uint32_t id = 1; id <= 5; ++id) {
+    auto stream = b.OpenStream(id);
+    ASSERT_TRUE(stream.ok());
+  }
+  ASSERT_EQ(b.retired_floor(), 4u);
+  ASSERT_TRUE((*a1)->Send({99}).ok());  // below the floor: must drop
+  ASSERT_TRUE((*a9)->Send({1}).ok());
+  EXPECT_EQ(*(*b9)->Recv(), std::vector<uint8_t>{1});
+  EXPECT_LE(b.retired_count(), 2u);  // the dropped frame resurrected nothing
+}
+
+TEST(ChannelMuxTest, OpenStreamBelowWatermarkKeepsReceiving) {
+  // The floor may legitimately pass a stream that is still open (a slow
+  // job outliving many fast ones). Routing checks live streams before the
+  // watermark, so that stream keeps its frames.
+  auto [alice, bob] = MemoryChannel::CreatePair();
+  ChannelMux a(*alice, /*max_retired=*/2);
+  ChannelMux b(*bob, /*max_retired=*/2);
+  auto a1 = a.OpenStream(1);
+  auto b1 = b.OpenStream(1);
+  ASSERT_TRUE(a1.ok() && b1.ok());
+  for (uint32_t id = 2; id <= 6; ++id) {
+    auto stream = b.OpenStream(id);
+    ASSERT_TRUE(stream.ok());
+  }
+  ASSERT_GT(b.retired_floor(), 1u);  // the floor passed the open stream
+  ASSERT_TRUE((*a1)->Send({7}).ok());
+  EXPECT_EQ(*(*b1)->Recv(), std::vector<uint8_t>{7});
+  // Both directions: the floor on a's side never touched its open stream.
+  ASSERT_TRUE((*b1)->Send({8}).ok());
+  EXPECT_EQ(*(*a1)->Recv(), std::vector<uint8_t>{8});
+}
+
 TEST(ChannelMuxTest, TruncatedFrameFromFaultChannelIsTerminalDataLoss) {
   // Same mid-frame death, driven through the fault injector the chaos
   // suite uses: a truncated mux frame must never be parsed as a valid

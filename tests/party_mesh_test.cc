@@ -142,6 +142,61 @@ TEST(PartyMeshTest, PeerDeathMidRoundSurfacesUnavailable) {
   EXPECT_EQ(*meshes[1]->link(0)->Recv(), std::vector<uint8_t>{5});
 }
 
+TEST(PartyMeshTest, ReestablishLinkHealsAKilledLink) {
+  auto meshes = EstablishLoopbackMesh(3);
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(meshes[i].has_value());
+  // Put traffic on 1<->2 so the stats reset on heal is observable.
+  ASSERT_TRUE(meshes[1]->link(2)->Send({1, 2, 3}).ok());
+  ASSERT_TRUE(meshes[2]->link(1)->Recv().ok());
+  ASSERT_GT(meshes[1]->link(2)->stats().bytes_sent, 0u);
+
+  // The 1<->2 link dies; both ends heal it concurrently on the original
+  // schedule (1 redials, 2 re-accepts off its retained listener), without
+  // any coordination beyond the shared endpoint list.
+  meshes[1]->link(2)->Close();
+  meshes[2]->link(1)->Close();
+  Status s1 = Status::Internal("never ran");
+  Status s2 = Status::Internal("never ran");
+  std::thread t1([&] { s1 = meshes[1]->ReestablishLink(2, 5000); });
+  std::thread t2([&] { s2 = meshes[2]->ReestablishLink(1, 5000); });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(s1.ok()) << s1.ToString();
+  ASSERT_TRUE(s2.ok()) << s2.ToString();
+
+  // The healed link carries traffic both ways, with fresh stats (the
+  // re-identification handshake excluded, like a fresh Establish).
+  EXPECT_EQ(meshes[1]->link(2)->stats().bytes_sent, 0u);
+  EXPECT_EQ(meshes[2]->link(1)->stats().bytes_received, 0u);
+  ASSERT_TRUE(meshes[1]->link(2)->Send({42}).ok());
+  EXPECT_EQ(*meshes[2]->link(1)->Recv(), std::vector<uint8_t>{42});
+  ASSERT_TRUE(meshes[2]->link(1)->Send({43}).ok());
+  EXPECT_EQ(*meshes[1]->link(2)->Recv(), std::vector<uint8_t>{43});
+
+  // The other links were never touched by the single-link heal.
+  ASSERT_TRUE(meshes[0]->link(1)->Send({5}).ok());
+  EXPECT_EQ(*meshes[1]->link(0)->Recv(), std::vector<uint8_t>{5});
+  ASSERT_TRUE(meshes[0]->link(2)->Send({6}).ok());
+  EXPECT_EQ(*meshes[2]->link(0)->Recv(), std::vector<uint8_t>{6});
+}
+
+TEST(PartyMeshTest, ReestablishLinkBoundedAndRejectsBadPeers) {
+  auto meshes = EstablishLoopbackMesh(3);
+  for (size_t i = 0; i < 3; ++i) ASSERT_TRUE(meshes[i].has_value());
+  EXPECT_EQ(meshes[1]->ReestablishLink(1, 100).code(),
+            StatusCode::kInvalidArgument);  // own slot
+  EXPECT_EQ(meshes[1]->ReestablishLink(7, 100).code(),
+            StatusCode::kInvalidArgument);  // out of range
+  // Party 2 waits for party 1 to come back; party 1 never redials. The
+  // wait is bounded by the budget and the slot stays empty (jobs fail
+  // kUnavailable until a later heal succeeds).
+  Status healed = meshes[2]->ReestablishLink(1, 300);
+  EXPECT_EQ(healed.code(), StatusCode::kDeadlineExceeded)
+      << healed.ToString();
+  EXPECT_FALSE(healed.message().empty());
+  EXPECT_EQ(meshes[2]->link(1), nullptr);
+}
+
 TEST(PartyMeshTest, RejectsBadArguments) {
   std::vector<MeshEndpoint> one(1);
   EXPECT_EQ(PartyMesh::Establish(one, 0).status().code(),

@@ -159,6 +159,22 @@ TEST(PartyServerTest, JobsOverTcpMatchExecuteLocalByteForByte) {
   // Session reuse: both jobs completed on the one Start-time key exchange.
   EXPECT_EQ(servers[0]->jobs_completed(), uint64_t{kJobRuns});
 
+  // Clean runs never retry, and the outcome carries a per-link health
+  // snapshot with real traffic on every peer link and no failure marks.
+  EXPECT_EQ(servers[0]->job_retries(), 0u);
+  ASSERT_EQ(submitted[0].link_health.size(), kParties);
+  for (size_t j = 1; j < kParties; ++j) {
+    const LinkHealth& health = submitted[0].link_health[j];
+    EXPECT_EQ(health.peer, j);
+    EXPECT_GT(health.frames_sent, 0u) << "peer " << j;
+    EXPECT_GT(health.frames_received, 0u) << "peer " << j;
+    EXPECT_GT(health.bytes_sent, 0u) << "peer " << j;
+    EXPECT_EQ(health.deadline_trips, 0u) << "peer " << j;
+    EXPECT_EQ(health.aborts_seen, 0u) << "peer " << j;
+    EXPECT_EQ(health.reconnects, 0u) << "peer " << j;
+    EXPECT_TRUE(health.last_error.empty()) << health.last_error;
+  }
+
   // Per-job traffic over the mux matches the dedicated-channel reference
   // to well under 1% (the 4-byte stream ids are transport overhead,
   // excluded from stats — leaking them would add several percent; the

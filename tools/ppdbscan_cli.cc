@@ -21,7 +21,9 @@
 // per-phase wall time, and the agreement with centralized DBSCAN on the
 // pooled data, and optionally write per-record labels as CSV.
 
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +31,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -75,6 +78,15 @@ int Usage() {
       "                --deadline-ms bounds each protocol wait so a dead"
       " peer\n"
       "                surfaces as DEADLINE_EXCEEDED instead of a hang)\n"
+      "                [--retries N] [--backoff-ms MS]"
+      " [--health-interval-ms MS]\n"
+      "                (--retries > 1 re-announces a failed job after"
+      " healing\n"
+      "                the sick mesh links — same fleet, no restart;"
+      " backoff\n"
+      "                doubles per retry; --health-interval-ms prints a"
+      " per-link\n"
+      "                health line periodically)\n"
       "  crypto:       [--comparator blinded|ymp|ideal]"
       " [--paillier-bits B] [--rsa-bits B]\n"
       "  transport:    [--transport memory|tcp]  (tcp = real loopback"
@@ -241,6 +253,18 @@ Result<CliConfig> MakeConfig(const Flags& flags, const LoadedInput& input) {
   // same --deadline-ms (it is part of the job digest).
   config.protocol.round_deadline_ms =
       static_cast<int32_t>(flags.Num("deadline-ms", 0));
+  // Serve-mode job retry policy — negotiated too (part of the digest), so
+  // every party of a fleet must pass the same --retries/--backoff-ms.
+  const double retries = flags.Num("retries", 1);
+  if (retries < 1 || retries > 256) {
+    return Status::InvalidArgument("--retries must be in [1, 256]");
+  }
+  const double backoff = flags.Num("backoff-ms", 100);
+  if (backoff < 0 || backoff > 60000) {
+    return Status::InvalidArgument("--backoff-ms must be in [0, 60000]");
+  }
+  config.protocol.retry.max_attempts = static_cast<uint32_t>(retries);
+  config.protocol.retry.backoff_ms = static_cast<uint32_t>(backoff);
   const std::string transport = flags.Str("transport", "memory");
   if (transport == "memory") {
     config.transport = LocalTransport::kMemory;
@@ -526,11 +550,21 @@ int RunServe(const Flags& flags) {
       RoundRobinShare(input->encoded, index, parties), index, parties,
       config->protocol);
 
+  const double health_interval = flags.Num("health-interval-ms", 0);
+  if (health_interval < 0 || health_interval > 3600000) {
+    return Fail(Status::InvalidArgument(
+        "--health-interval-ms must be in [0, 3600000]"));
+  }
+  const int health_interval_ms = static_cast<int>(health_interval);
+
   std::printf("[party %zu] establishing %zu-party mesh...\n", index, parties);
   Result<PartyMesh> mesh = PartyMesh::Establish(*endpoints, index);
   if (!mesh.ok()) return Fail(mesh.status());
   PartyServer::Options server_options;
   server_options.smc = config->smc;
+  // Same policy the jobs negotiate: followers consult it to opt into
+  // healing a lost submitter link instead of shutting down.
+  server_options.retry = config->protocol.retry;
   Result<PartyServer> server =
       PartyServer::Start(std::move(*mesh), SecureRng(config->seed + index),
                          server_options);
@@ -547,15 +581,69 @@ int RunServe(const Flags& flags) {
            std::to_string(job_id) + ".csv";
   };
 
+  // Periodic one-line health summary from the server's per-link counters.
+  std::atomic<bool> health_stop{false};
+  std::thread health_thread;
+  if (health_interval_ms > 0) {
+    PartyServer* srv = &*server;
+    health_thread = std::thread([srv, index, health_interval_ms,
+                                 &health_stop] {
+      while (true) {
+        // Chunked sleep so shutdown stays prompt at large intervals.
+        for (int slept = 0; slept < health_interval_ms; slept += 50) {
+          if (health_stop.load()) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        std::string line = "[party " + std::to_string(index) + " health]";
+        for (const LinkHealth& h : srv->link_health()) {
+          if (h.peer == index) continue;
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        " peer%zu: out %llu f/%llu B, in %llu f/%llu B, "
+                        "trips %llu, aborts %llu, reconnects %llu, "
+                        "idle %.1fs",
+                        h.peer,
+                        static_cast<unsigned long long>(h.frames_sent),
+                        static_cast<unsigned long long>(h.bytes_sent),
+                        static_cast<unsigned long long>(h.frames_received),
+                        static_cast<unsigned long long>(h.bytes_received),
+                        static_cast<unsigned long long>(h.deadline_trips),
+                        static_cast<unsigned long long>(h.aborts_seen),
+                        static_cast<unsigned long long>(h.reconnects),
+                        h.idle_seconds);
+          line += buf;
+          if (!h.last_error.empty()) {
+            line += " last_error=\"" + h.last_error + "\"";
+          }
+          line += ";";
+        }
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+  const auto stop_health = [&] {
+    health_stop.store(true);
+    if (health_thread.joinable()) health_thread.join();
+  };
+
   int exit_code = 0;
   if (index == 0) {
     const size_t jobs = static_cast<size_t>(flags.Num("jobs", 1));
     for (size_t k = 1; k <= jobs; ++k) {
+      const uint64_t retries_before = server->job_retries();
       Result<RunOutcome> outcome = server->SubmitJob(job);
       if (!outcome.ok()) {
         if (server->stop_requested()) break;  // operator-requested stop
         exit_code = Fail(outcome.status());
         break;
+      }
+      if (server->job_retries() > retries_before) {
+        std::printf("[party 0] job %zu recovered after %llu retry "
+                    "attempt(s)\n",
+                    k,
+                    static_cast<unsigned long long>(server->job_retries() -
+                                                    retries_before));
       }
       std::printf("[party 0] job %zu done: %zu cluster(s), %llu bytes, "
                   "%.2f s (keygen amortized over %llu job(s))\n",
@@ -608,11 +696,16 @@ int RunServe(const Flags& flags) {
                    index, write_failures);
     }
     const bool stopped = server->stop_requested();
-    exit_code = ((report.status.ok() || stopped) && report.jobs_failed == 0 &&
-                 write_failures == 0)
+    // With retry enabled, failed attempts are EXPECTED (that is what the
+    // retries recover from) — the submitter's exit code is the arbiter of
+    // whether the jobs ultimately landed.
+    const bool retrying = config->protocol.retry.max_attempts > 1;
+    exit_code = ((report.status.ok() || stopped) &&
+                 (retrying || report.jobs_failed == 0) && write_failures == 0)
                     ? 0
                     : 1;
   }
+  stop_health();
   g_signal_server = nullptr;
   return exit_code;
 }

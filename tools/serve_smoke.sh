@@ -141,4 +141,87 @@ grep -q "served\|shutdown\|failed" chaos1.log || {
 PIDS=()
 cat chaos0.log chaos1.log
 echo "serve_smoke: OK (chaos leg: named failure, no hangs)"
+
+# ---------------------------------------------------------------------------
+# Restart leg: with retries enabled, SIGKILL a follower mid-fleet and
+# RELAUNCH it. The submitter must heal the mesh links to the returning
+# party, re-announce the interrupted job, and finish ALL jobs with exit 0
+# and labels byte-identical to the reference — a follower restart must not
+# require restarting the fleet.
+echo "== restart: kill -9 a follower, relaunch it, assert full recovery =="
+HEAL_BASE=$(( (RANDOM % 2000) + 48000 ))
+HEAL_PEERS="127.0.0.1:$HEAL_BASE,127.0.0.1:$((HEAL_BASE + 1)),127.0.0.1:$((HEAL_BASE + 2))"
+HEAL_JOBS=6
+HEAL=("${COMMON[@]}" --deadline-ms 2000 --retries 3 --backoff-ms 500
+      --peers "$HEAL_PEERS")
+
+"$CLI" serve "${HEAL[@]}" --index 1 --out-prefix heal > heal1.log 2>&1 &
+PIDS+=($!)
+"$CLI" serve "${HEAL[@]}" --index 2 --out-prefix heal > heal2.log 2>&1 &
+VICTIM=$!
+PIDS+=("$VICTIM")
+"$CLI" serve "${HEAL[@]}" --index 0 --jobs "$HEAL_JOBS" \
+    --health-interval-ms 1000 --out-prefix heal > heal0.log 2>&1 &
+SUBMITTER=$!
+PIDS+=("$SUBMITTER")
+
+# Kill the victim once the mesh is provably established and mid-run (its
+# job-1 label file exists), then bring a fresh process back on the same
+# port. The survivors' heal path redials it; its full re-Start is
+# indistinguishable from a single-link heal by design.
+DEADLINE=$((SECONDS + 60))
+until [[ -f heal.party2.job1.csv ]]; do
+  if (( SECONDS >= DEADLINE )) || ! kill -0 "$VICTIM" 2>/dev/null; then
+    echo "serve_smoke: restart fleet never served its first job" >&2
+    cat heal0.log heal1.log heal2.log || true
+    exit 1
+  fi
+  sleep 0.2
+done
+kill -9 "$VICTIM"
+"$CLI" serve "${HEAL[@]}" --index 2 --out-prefix heal > heal2b.log 2>&1 &
+RELAUNCHED=$!
+PIDS+=("$RELAUNCHED")
+
+# The submitter must finish all jobs and exit 0 — the retry budget and the
+# link heal absorb the crash entirely.
+DEADLINE=$((SECONDS + 120))
+while kill -0 "$SUBMITTER" 2>/dev/null; do
+  if (( SECONDS >= DEADLINE )); then
+    echo "serve_smoke: restart fleet hung" >&2
+    cat heal0.log heal1.log heal2b.log || true
+    exit 1
+  fi
+  sleep 0.2
+done
+if ! wait "$SUBMITTER"; then
+  echo "serve_smoke: submitter failed despite retries + relaunch" >&2
+  cat heal0.log heal1.log heal2b.log
+  exit 1
+fi
+wait "$VICTIM" 2>/dev/null || true  # SIGKILLed, nonzero by construction
+cat heal0.log
+
+# The recovery must be visible: at least one job took a retry attempt.
+grep -q "recovered after" heal0.log || {
+  echo "serve_smoke: submitter never reported a retried job" >&2
+  exit 1
+}
+# The health printer ran and reports per-link counters.
+grep -q "health].*reconnects" heal0.log || {
+  echo "serve_smoke: no periodic health line in the submitter log" >&2
+  exit 1
+}
+
+# Every job's labels, on every party, match the reference — including the
+# job interrupted by the kill (re-served by the relaunched follower).
+for i in $(seq 0 $((PARTIES - 1))); do
+  for k in $(seq 1 "$HEAL_JOBS"); do
+    if ! cmp "heal.party$i.job$k.csv" "ref.party$i.csv"; then
+      echo "serve_smoke: restart leg: party $i job $k labels diverge" >&2
+      exit 1
+    fi
+  done
+done
+echo "serve_smoke: OK (restart leg: follower relaunch healed, labels match)"
 exit 0

@@ -5,9 +5,12 @@
 
 #include "core/distance_protocols.h"
 #include "core/enhanced.h"
+#include "core/plan.h"
 #include "core/wire.h"
 #include "dbscan/dbscan.h"
+#include "dbscan/grid_index.h"
 #include "net/message.h"
+#include "smc/membership.h"
 
 namespace ppdbscan {
 
@@ -53,25 +56,37 @@ Result<bool> DriverCoreTest(Channel& channel, const SmcSession& session,
   return core;
 }
 
-/// Algorithm 3/4 (or 7/8) scan over this party's own points.
+/// Algorithm 3/4 (or 7/8) scan over this party's own points. Under the
+/// pruning plan, `boundary` marks the points that can possibly have peer
+/// neighbours; for the rest (interior points) the core decision is made
+/// locally with no protocol round at all — their peer count is provably
+/// zero, so the decision matches exact mode bit for bit. Null boundary
+/// means every point is tested (exact mode).
 Result<PartyClusteringResult> DriverScan(
     Channel& channel, const SmcSession& session, SecureComparator& comparator,
     const Dataset& own, const ProtocolOptions& options, SecureRng& rng,
-    DisclosureLog* disclosures, uint64_t* selection_comparisons) {
+    DisclosureLog* disclosures, uint64_t* selection_comparisons,
+    const std::vector<bool>* boundary) {
   PartyClusteringResult result;
   result.labels.assign(own.size(), kUnclassified);
   result.is_core.assign(own.size(), false);
   LinearRegionQuerier local(own);
   int32_t cluster_id = 0;
 
+  auto core_test = [&](size_t idx,
+                       size_t own_neighbours) -> Result<bool> {
+    if (boundary != nullptr && !(*boundary)[idx]) {
+      return own_neighbours >= options.params.min_pts;
+    }
+    return DriverCoreTest(channel, session, comparator, own.point(idx),
+                          own_neighbours, options, rng, disclosures,
+                          selection_comparisons);
+  };
+
   for (size_t i = 0; i < own.size(); ++i) {
     if (result.labels[i] != kUnclassified) continue;
     std::vector<size_t> seeds = local.Query(i, options.params.eps_squared);
-    PPD_ASSIGN_OR_RETURN(
-        bool core,
-        DriverCoreTest(channel, session, comparator, own.point(i),
-                       seeds.size(), options, rng, disclosures,
-                       selection_comparisons));
+    PPD_ASSIGN_OR_RETURN(bool core, core_test(i, seeds.size()));
     if (!core) {
       result.labels[i] = kNoise;
       continue;
@@ -87,11 +102,8 @@ Result<PartyClusteringResult> DriverScan(
       queue.pop_front();
       std::vector<size_t> neighbourhood =
           local.Query(current, options.params.eps_squared);
-      PPD_ASSIGN_OR_RETURN(
-          bool current_core,
-          DriverCoreTest(channel, session, comparator, own.point(current),
-                         neighbourhood.size(), options, rng, disclosures,
-                         selection_comparisons));
+      PPD_ASSIGN_OR_RETURN(bool current_core,
+                           core_test(current, neighbourhood.size()));
       if (!current_core) continue;
       result.is_core[current] = true;
       for (size_t q : neighbourhood) {
@@ -109,7 +121,8 @@ Result<PartyClusteringResult> DriverScan(
   return result;
 }
 
-/// Serves the peer's scan.
+/// Serves the peer's scan. `own` is this party's plan view — the full
+/// dataset in exact mode, the boundary band or sieved subset otherwise.
 Status ResponderLoop(Channel& channel, const SmcSession& session,
                      SecureComparator& comparator, const Dataset& own,
                      const ProtocolOptions& options, SecureRng& rng) {
@@ -124,6 +137,14 @@ Status ResponderLoop(Channel& channel, const SmcSession& session,
         PPD_RETURN_IF_ERROR(EnhancedCoreTestResponder(
             channel, session, comparator, own, options.share_mask_bits, rng));
         break;
+      case wire::kHzQueryMembership: {
+        std::vector<std::vector<int64_t>> points;
+        points.reserve(own.size());
+        for (size_t i = 0; i < own.size(); ++i) points.push_back(own.point(i));
+        PPD_RETURN_IF_ERROR(MembershipBatchResponder(channel, session,
+                                                     comparator, points, rng));
+        break;
+      }
       case wire::kHzScanDone:
         return Status::Ok();
       case kAbortMessageType:
@@ -145,6 +166,187 @@ Status ServeHorizontalScan(Channel& channel, const SmcSession& session,
 }
 
 namespace {
+
+/// What the two-party plan negotiation round produced.
+struct TwoPartyPlan {
+  /// Prune: per own point, whether it can have peer neighbours at all.
+  std::vector<bool> boundary;
+  /// The view this party exposes when responding (band or sieved subset).
+  Dataset serve_view{1};
+  uint32_t peer_count = 0;
+  uint64_t peer_band = 0;  // prune: size of the peer's serve view
+};
+
+/// Runs the plan round for a non-exact plan: both parties exchange
+/// kPlanBounds (mode byte, record count, bounding box — empty under
+/// kSieve), and under kPrune additionally kPlanBands with their boundary
+/// band sizes. Everything sent here is deliberate plaintext disclosure,
+/// mirrored into the DisclosureLog. Symmetric: both parties send first,
+/// then read (channels buffer, as in session establishment).
+Result<TwoPartyPlan> NegotiateTwoPartyPlan(Channel& channel,
+                                           const Dataset& own,
+                                           const ProtocolOptions& options,
+                                           DisclosureLog* disclosures,
+                                           PlanStats* stats) {
+  const PlanMode mode = options.plan.mode;
+  TwoPartyPlan plan;
+
+  ByteWriter bounds;
+  bounds.PutU8(static_cast<uint8_t>(mode));
+  bounds.PutU32(static_cast<uint32_t>(own.size()));
+  BoundingBox own_box;
+  if (mode == PlanMode::kPrune) own_box = ComputeBoundingBox(own);
+  WriteBoundingBox(bounds, own_box);
+  PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kPlanBounds, bounds));
+
+  PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                       ExpectMessage(channel, wire::kPlanBounds));
+  ByteReader reader(payload);
+  PPD_ASSIGN_OR_RETURN(uint8_t peer_mode, reader.GetU8());
+  if (peer_mode != static_cast<uint8_t>(mode)) {
+    return Status::DataLoss("plan mode mismatch in plan round");
+  }
+  PPD_ASSIGN_OR_RETURN(plan.peer_count, reader.GetU32());
+  PPD_ASSIGN_OR_RETURN(BoundingBox peer_box,
+                       ReadBoundingBox(reader, own.dims()));
+  if (!reader.Done()) return Status::DataLoss("trailing plan round bytes");
+  if (disclosures != nullptr) {
+    disclosures->Record("plan_peer_points",
+                        static_cast<int64_t>(plan.peer_count));
+  }
+  if (stats != nullptr) stats->peer_points = plan.peer_count;
+
+  if (mode == PlanMode::kPrune) {
+    if (disclosures != nullptr) {
+      for (size_t t = 0; t < peer_box.dims(); ++t) {
+        disclosures->Record("plan_peer_box_coord", peer_box.lo[t]);
+        disclosures->Record("plan_peer_box_coord", peer_box.hi[t]);
+      }
+    }
+    GridRegionQuerier grid(own, options.params.eps_squared);
+    std::vector<size_t> band =
+        grid.PointsWithinEpsOfBox(peer_box, options.params.eps_squared);
+    plan.boundary.assign(own.size(), false);
+    for (size_t i : band) plan.boundary[i] = true;
+
+    ByteWriter bands;
+    bands.PutU32(static_cast<uint32_t>(band.size()));
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kPlanBands, bands));
+    PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> band_payload,
+                         ExpectMessage(channel, wire::kPlanBands));
+    ByteReader band_reader(band_payload);
+    PPD_ASSIGN_OR_RETURN(uint32_t peer_band, band_reader.GetU32());
+    if (!band_reader.Done()) {
+      return Status::DataLoss("trailing plan band bytes");
+    }
+    plan.peer_band = peer_band;
+    if (disclosures != nullptr) {
+      disclosures->Record("plan_peer_band", static_cast<int64_t>(peer_band));
+    }
+    plan.serve_view = SubsetDataset(own, band);
+    if (stats != nullptr) {
+      stats->candidate_points = band.size();
+      stats->interior_points = own.size() - band.size();
+      stats->responder_points = band.size();
+      stats->exact_comparisons =
+          static_cast<uint64_t>(own.size()) * plan.peer_count;
+      stats->predicted_comparisons =
+          static_cast<uint64_t>(band.size()) * plan.peer_band;
+    }
+    return plan;
+  }
+
+  // Sieve: the subset is fully determined by the public (n, k).
+  std::vector<size_t> sieved =
+      SievedIndices(own.size(), options.plan.sieve_k);
+  plan.serve_view = SubsetDataset(own, sieved);
+  if (stats != nullptr) {
+    stats->candidate_points = sieved.size();
+    stats->responder_points = sieved.size();
+    stats->exact_comparisons =
+        static_cast<uint64_t>(own.size()) * plan.peer_count;
+    stats->predicted_comparisons =
+        static_cast<uint64_t>(sieved.size()) *
+        SievedCount(plan.peer_count, options.plan.sieve_k);
+  }
+  return plan;
+}
+
+/// Sieve-mode driver phase: binds the two-party protocol rounds into the
+/// peer-agnostic sieve engine (core/plan.h) and signals kHzScanDone when
+/// the engine — including its rescue round — has finished.
+Result<PartyClusteringResult> SieveDriverScan(
+    Channel& channel, const SmcSession& session, SecureComparator& comparator,
+    const Dataset& own, const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures, uint64_t* selection_comparisons,
+    PlanStats* stats) {
+  const uint32_t k = options.plan.sieve_k;
+
+  SievePeerHooks hooks;
+  hooks.core_test = [&](const std::vector<int64_t>& point,
+                        size_t own_full) -> Result<bool> {
+    if (options.mode == HorizontalMode::kBasic) {
+      PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHzQueryBasic,
+                                      std::vector<uint8_t>()));
+      PPD_ASSIGN_OR_RETURN(
+          size_t peer_count,
+          HdpBatchDriver(channel, session, comparator, point,
+                         options.params.eps_squared, rng));
+      if (disclosures != nullptr) {
+        disclosures->Record("peer_neighbor_count",
+                            static_cast<int64_t>(peer_count));
+      }
+      return own_full + size_t{k} * peer_count >= options.params.min_pts;
+    }
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHzQueryEnhanced,
+                                    std::vector<uint8_t>()));
+    // own_full + k·peer >= MinPts  ⟺  peer >= ceil((MinPts − own_full)/k):
+    // the §5 test asks whether the peer's k*-th smallest distance is within
+    // Eps, so the deficit is divided by the sieve stride.
+    const int64_t deficit = static_cast<int64_t>(options.params.min_pts) -
+                            static_cast<int64_t>(own_full);
+    const int64_t k_star =
+        deficit > 0 ? (deficit + k - 1) / static_cast<int64_t>(k) : deficit;
+    uint64_t comparisons = 0;
+    PPD_ASSIGN_OR_RETURN(
+        bool core,
+        EnhancedCoreTestDriver(channel, session, comparator, point, k_star,
+                               options.params.eps_squared, options.selection,
+                               options.share_mask_bits, rng, &comparisons));
+    if (selection_comparisons != nullptr) {
+      *selection_comparisons += comparisons;
+    }
+    if (disclosures != nullptr) {
+      disclosures->Record("peer_core_bit", core ? 1 : 0);
+    }
+    return core;
+  };
+  hooks.membership = [&](const std::vector<std::vector<int64_t>>& queries)
+      -> Result<std::vector<size_t>> {
+    PPD_RETURN_IF_ERROR(SendMessage(channel, wire::kHzQueryMembership,
+                                    std::vector<uint8_t>()));
+    PPD_ASSIGN_OR_RETURN(
+        std::vector<size_t> counts,
+        MembershipBatchDriver(channel, session, comparator, queries,
+                              options.params.eps_squared, rng));
+    if (disclosures != nullptr) {
+      for (size_t c : counts) {
+        disclosures->Record("membership_count", static_cast<int64_t>(c));
+      }
+    }
+    return counts;
+  };
+
+  PPD_ASSIGN_OR_RETURN(DbscanResult sieved,
+                       RunSievePlan(own, options.params, k, hooks, stats));
+  PPD_RETURN_IF_ERROR(
+      SendMessage(channel, wire::kHzScanDone, std::vector<uint8_t>()));
+  PartyClusteringResult result;
+  result.labels = std::move(sieved.labels);
+  result.is_core = std::move(sieved.is_core);
+  result.num_clusters = sieved.num_clusters;
+  return result;
+}
 
 /// Disjoint-set union for the merge relabeling.
 class UnionFind {
@@ -298,29 +500,86 @@ Status MergePhase(Channel& channel, const SmcSession& session,
 Result<PartyClusteringResult> RunHorizontalDbscan(
     Channel& channel, const SmcSession& session, const Dataset& own_points,
     PartyRole role, const ProtocolOptions& options, SecureRng& rng,
-    DisclosureLog* disclosures, uint64_t* selection_comparisons) {
+    DisclosureLog* disclosures, uint64_t* selection_comparisons,
+    PlanStats* plan_stats) {
   PPD_ASSIGN_OR_RETURN(
       std::unique_ptr<SecureComparator> comparator,
       CreateComparator(options.comparator, session, rng));
 
+  const PlanMode mode = options.plan.mode;
+  if (plan_stats != nullptr) {
+    plan_stats->mode = mode;
+    plan_stats->sieve_k =
+        mode == PlanMode::kSieve ? options.plan.sieve_k : 0;
+    plan_stats->local_points = own_points.size();
+  }
+
+  // Exact mode runs no plan round — the wire protocol is unchanged.
+  TwoPartyPlan plan;
+  const Dataset* serve_view = &own_points;
+  if (mode != PlanMode::kExact) {
+    PPD_ASSIGN_OR_RETURN(
+        plan, NegotiateTwoPartyPlan(channel, own_points, options, disclosures,
+                                    plan_stats));
+    serve_view = &plan.serve_view;
+  }
+
+  auto drive = [&]() -> Result<PartyClusteringResult> {
+    if (mode == PlanMode::kSieve) {
+      return SieveDriverScan(channel, session, *comparator, own_points,
+                             options, rng, disclosures, selection_comparisons,
+                             plan_stats);
+    }
+    return DriverScan(channel, session, *comparator, own_points, options,
+                      rng, disclosures, selection_comparisons,
+                      mode == PlanMode::kPrune ? &plan.boundary : nullptr);
+  };
+
+  // Attribute measured comparisons to the role this party played in each
+  // phase: querier while driving, assistant while responding.
+  uint64_t mark = comparator->invocations();
+  auto account = [&](uint64_t* field) {
+    const uint64_t now = comparator->invocations();
+    if (plan_stats != nullptr && field != nullptr) *field += now - mark;
+    mark = now;
+  };
+
   PartyClusteringResult result;
   if (role == PartyRole::kAlice) {
-    PPD_ASSIGN_OR_RETURN(
-        result, DriverScan(channel, session, *comparator, own_points, options,
-                           rng, disclosures, selection_comparisons));
+    PPD_ASSIGN_OR_RETURN(result, drive());
+    account(plan_stats != nullptr ? &plan_stats->encrypted_comparisons
+                                  : nullptr);
     PPD_RETURN_IF_ERROR(ResponderLoop(channel, session, *comparator,
-                                      own_points, options, rng));
+                                      *serve_view, options, rng));
+    account(plan_stats != nullptr ? &plan_stats->assisted_comparisons
+                                  : nullptr);
   } else {
     PPD_RETURN_IF_ERROR(ResponderLoop(channel, session, *comparator,
-                                      own_points, options, rng));
-    PPD_ASSIGN_OR_RETURN(
-        result, DriverScan(channel, session, *comparator, own_points, options,
-                           rng, disclosures, selection_comparisons));
+                                      *serve_view, options, rng));
+    account(plan_stats != nullptr ? &plan_stats->assisted_comparisons
+                                  : nullptr);
+    PPD_ASSIGN_OR_RETURN(result, drive());
+    account(plan_stats != nullptr ? &plan_stats->encrypted_comparisons
+                                  : nullptr);
   }
 
   if (options.cross_party_merge) {
+    // The merge phase is plan-independent (it compares core points, which
+    // are already scan outputs) and runs over the full datasets.
     PPD_RETURN_IF_ERROR(MergePhase(channel, session, *comparator, own_points,
                                    role, options, rng, disclosures, &result));
+    account(plan_stats == nullptr ? nullptr
+            : role == PartyRole::kAlice ? &plan_stats->encrypted_comparisons
+                                        : &plan_stats->assisted_comparisons);
+  }
+
+  if (plan_stats != nullptr && mode == PlanMode::kExact) {
+    // No plan round ran, so the peer count is unknown; the measurement IS
+    // the exact bill by definition.
+    plan_stats->candidate_points = own_points.size();
+    plan_stats->responder_points = own_points.size();
+    plan_stats->exact_comparisons = plan_stats->encrypted_comparisons;
+    plan_stats->predicted_comparisons = plan_stats->encrypted_comparisons;
   }
   return result;
 }

@@ -31,19 +31,33 @@ namespace ppdbscan {
 ///
 /// `disclosures` (optional) records what this party LEARNS:
 /// "peer_neighbor_count" per core test in basic mode (Theorem 9),
-/// "peer_core_bit" in enhanced mode (Theorem 11), "merge_links" if merging.
+/// "peer_core_bit" in enhanced mode (Theorem 11), "merge_links" if merging,
+/// and the plan round's "plan_peer_points" / "plan_peer_box_coord" /
+/// "plan_peer_band" / "membership_count" under a non-exact plan.
+///
+/// options.plan selects the clustering planner (core/plan.h). kExact runs
+/// the wire protocol byte-for-byte as before (no plan round). kPrune
+/// exchanges bounding boxes first, then skips the encrypted core test for
+/// every point provably out of the peer's reach and serves only its own
+/// boundary band — labels stay byte-identical to exact mode. kSieve scans
+/// the 1-in-k subset, assigns leftovers locally, and rescues the remainder
+/// with one batched membership round. `plan_stats` (optional) receives the
+/// planner's counters, including measured comparator invocations.
 Result<PartyClusteringResult> RunHorizontalDbscan(
     Channel& channel, const SmcSession& session, const Dataset& own_points,
     PartyRole role, const ProtocolOptions& options, SecureRng& rng,
     DisclosureLog* disclosures = nullptr,
-    uint64_t* selection_comparisons = nullptr);
+    uint64_t* selection_comparisons = nullptr,
+    PlanStats* plan_stats = nullptr);
 
 /// Serves one peer's horizontal scan: answers kHzQueryBasic /
-/// kHzQueryEnhanced requests over this party's points until the scanning
-/// peer sends kHzScanDone. The building block RunHorizontalDbscan uses for
-/// its responder half, exported for the multi-party extension
-/// (core/multiparty.h) where a party serves several scanning peers in
-/// turn.
+/// kHzQueryEnhanced / kHzQueryMembership requests over this party's points
+/// until the scanning peer sends kHzScanDone. `own` is whatever view the
+/// plan exposes to this peer (the full dataset in exact mode, the boundary
+/// band under kPrune, the sieved subset under kSieve). The building block
+/// RunHorizontalDbscan uses for its responder half, exported for the
+/// multi-party extension (core/multiparty.h) where a party serves several
+/// scanning peers in turn.
 Status ServeHorizontalScan(Channel& channel, const SmcSession& session,
                            SecureComparator& comparator, const Dataset& own,
                            const ProtocolOptions& options, SecureRng& rng);

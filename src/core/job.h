@@ -22,7 +22,7 @@ namespace ppdbscan {
 /// canonical ProtocolOptions serialization behind ProtocolOptionsDigest
 /// changes; peers with different versions fail the handshake with
 /// kFailedPrecondition instead of misreading each other's frames.
-inline constexpr uint16_t kJobProtocolVersion = 3;
+inline constexpr uint16_t kJobProtocolVersion = 4;
 
 /// How the virtual database is split between the parties — the four
 /// variants of the paper presented as one protocol family (§4.2 horizontal,
@@ -85,6 +85,12 @@ struct RunOutcome {
   ChannelStats stats;
   DisclosureLog disclosures;
   uint64_t selection_comparisons = 0;
+
+  /// What the clustering planner did: candidate/interior splits, measured
+  /// encrypted-comparison counts vs the exact-mode model, sieve assignment
+  /// counters (core/plan.h). Always populated — exact-mode runs report
+  /// their measured comparisons with zero savings.
+  PlanStats plan;
 
   struct Timings {
     double negotiation_seconds = 0;

@@ -6,10 +6,13 @@
 
 #include "core/distance_protocols.h"
 #include "core/horizontal.h"
+#include "core/plan.h"
 #include "core/run.h"
 #include "core/wire.h"
 #include "dbscan/dbscan.h"
+#include "dbscan/grid_index.h"
 #include "net/message.h"
+#include "smc/membership.h"
 
 namespace ppdbscan {
 
@@ -20,10 +23,16 @@ struct PeerLink {
   Channel* channel = nullptr;
   const SmcSession* session = nullptr;
   SecureComparator* comparator = nullptr;
+  /// Prune plan: this peer's disclosed bounding box. Null means always
+  /// query (exact and sieve modes).
+  const BoundingBox* box = nullptr;
 };
 
 /// Multi-peer core test: own count plus one HDP batch per peer, always
-/// querying every peer (see header for why there is no early exit).
+/// querying every peer (see header for why there is no early exit). Under
+/// the pruning plan a peer whose box is farther than Eps from the point is
+/// skipped — its count is provably zero, and the box is already public, so
+/// the skip leaks nothing the peer could not compute itself.
 Result<bool> MultiCoreTest(std::vector<PeerLink>& peers,
                            const std::vector<int64_t>& point,
                            size_t own_neighbours,
@@ -31,6 +40,10 @@ Result<bool> MultiCoreTest(std::vector<PeerLink>& peers,
                            DisclosureLog* disclosures) {
   size_t total = own_neighbours;
   for (PeerLink& peer : peers) {
+    if (peer.box != nullptr &&
+        DistanceSquaredToBox(point, *peer.box) > options.params.eps_squared) {
+      continue;
+    }
     PPD_RETURN_IF_ERROR(SendMessage(*peer.channel, wire::kHzQueryBasic,
                                     std::vector<uint8_t>()));
     PPD_ASSIGN_OR_RETURN(
@@ -102,13 +115,76 @@ Result<PartyClusteringResult> MultiDriverScan(
   return result;
 }
 
+/// Sieve-mode driver phase over all peers: every core test fans one HDP
+/// batch out to each peer and sums, the rescue round runs once per peer.
+Result<PartyClusteringResult> MultiSieveDriverScan(
+    std::vector<PeerLink>& peers, const Dataset& own,
+    const ProtocolOptions& options, SecureRng& rng,
+    DisclosureLog* disclosures, PlanStats* stats) {
+  const uint32_t k = options.plan.sieve_k;
+
+  SievePeerHooks hooks;
+  hooks.core_test = [&](const std::vector<int64_t>& point,
+                        size_t own_full) -> Result<bool> {
+    size_t peer_total = 0;
+    for (PeerLink& peer : peers) {
+      PPD_RETURN_IF_ERROR(SendMessage(*peer.channel, wire::kHzQueryBasic,
+                                      std::vector<uint8_t>()));
+      PPD_ASSIGN_OR_RETURN(
+          size_t count,
+          HdpBatchDriver(*peer.channel, *peer.session, *peer.comparator,
+                         point, options.params.eps_squared, rng));
+      if (disclosures != nullptr) {
+        disclosures->Record("peer_neighbor_count",
+                            static_cast<int64_t>(count));
+      }
+      peer_total += count;
+    }
+    return own_full + size_t{k} * peer_total >= options.params.min_pts;
+  };
+  hooks.membership = [&](const std::vector<std::vector<int64_t>>& queries)
+      -> Result<std::vector<size_t>> {
+    std::vector<size_t> totals(queries.size(), 0);
+    for (PeerLink& peer : peers) {
+      PPD_RETURN_IF_ERROR(SendMessage(*peer.channel,
+                                      wire::kHzQueryMembership,
+                                      std::vector<uint8_t>()));
+      PPD_ASSIGN_OR_RETURN(
+          std::vector<size_t> counts,
+          MembershipBatchDriver(*peer.channel, *peer.session,
+                                *peer.comparator, queries,
+                                options.params.eps_squared, rng));
+      for (size_t q = 0; q < counts.size(); ++q) {
+        totals[q] += counts[q];
+        if (disclosures != nullptr) {
+          disclosures->Record("membership_count",
+                              static_cast<int64_t>(counts[q]));
+        }
+      }
+    }
+    return totals;
+  };
+
+  PPD_ASSIGN_OR_RETURN(DbscanResult sieved,
+                       RunSievePlan(own, options.params, k, hooks, stats));
+  for (PeerLink& peer : peers) {
+    PPD_RETURN_IF_ERROR(SendMessage(*peer.channel, wire::kHzScanDone,
+                                    std::vector<uint8_t>()));
+  }
+  PartyClusteringResult result;
+  result.labels = std::move(sieved.labels);
+  result.is_core = std::move(sieved.is_core);
+  result.num_clusters = sieved.num_clusters;
+  return result;
+}
+
 }  // namespace
 
 Result<PartyClusteringResult> RunMultipartyHorizontalDbscan(
     const std::vector<Channel*>& links,
     const std::vector<const SmcSession*>& sessions, const Dataset& own_points,
     const MultipartyRole& role, const ProtocolOptions& options,
-    SecureRng& rng, DisclosureLog* disclosures) {
+    SecureRng& rng, DisclosureLog* disclosures, PlanStats* plan_stats) {
   if (role.parties < 2) {
     return Status::InvalidArgument("multi-party run needs >= 2 parties");
   }
@@ -142,26 +218,175 @@ Result<PartyClusteringResult> RunMultipartyHorizontalDbscan(
                                           rng));
   }
 
+  const PlanMode mode = options.plan.mode;
+  if (plan_stats != nullptr) {
+    plan_stats->mode = mode;
+    plan_stats->sieve_k =
+        mode == PlanMode::kSieve ? options.plan.sieve_k : 0;
+    plan_stats->local_points = own_points.size();
+  }
+
+  // Plan round: send to every peer first, then read from every peer —
+  // deadlock-free regardless of how the other parties order their links.
+  std::vector<uint32_t> peer_count(role.parties, 0);
+  std::vector<BoundingBox> peer_box(role.parties);
+  if (mode != PlanMode::kExact) {
+    ByteWriter bounds;
+    bounds.PutU8(static_cast<uint8_t>(mode));
+    bounds.PutU32(static_cast<uint32_t>(own_points.size()));
+    BoundingBox own_box;
+    if (mode == PlanMode::kPrune) own_box = ComputeBoundingBox(own_points);
+    WriteBoundingBox(bounds, own_box);
+    for (size_t j = 0; j < role.parties; ++j) {
+      if (j == role.index) continue;
+      PPD_RETURN_IF_ERROR(SendMessage(*links[j], wire::kPlanBounds, bounds));
+    }
+    for (size_t j = 0; j < role.parties; ++j) {
+      if (j == role.index) continue;
+      PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           ExpectMessage(*links[j], wire::kPlanBounds));
+      ByteReader reader(payload);
+      PPD_ASSIGN_OR_RETURN(uint8_t peer_mode, reader.GetU8());
+      if (peer_mode != static_cast<uint8_t>(mode)) {
+        return Status::DataLoss("plan mode mismatch in plan round");
+      }
+      PPD_ASSIGN_OR_RETURN(peer_count[j], reader.GetU32());
+      PPD_ASSIGN_OR_RETURN(peer_box[j],
+                           ReadBoundingBox(reader, own_points.dims()));
+      if (!reader.Done()) {
+        return Status::DataLoss("trailing plan round bytes");
+      }
+      if (disclosures != nullptr) {
+        disclosures->Record("plan_peer_points",
+                            static_cast<int64_t>(peer_count[j]));
+        for (size_t t = 0; t < peer_box[j].dims(); ++t) {
+          disclosures->Record("plan_peer_box_coord", peer_box[j].lo[t]);
+          disclosures->Record("plan_peer_box_coord", peer_box[j].hi[t]);
+        }
+      }
+      if (plan_stats != nullptr) plan_stats->peer_points += peer_count[j];
+    }
+  }
+
+  // Per-peer serve views and (prune) band exchange.
+  std::vector<Dataset> serve_views(role.parties, Dataset(own_points.dims()));
+  std::vector<const Dataset*> serve_for(role.parties, &own_points);
+  if (mode == PlanMode::kPrune) {
+    GridRegionQuerier grid(own_points, options.params.eps_squared);
+    std::vector<std::vector<size_t>> band(role.parties);
+    std::vector<bool> candidate(own_points.size(), false);
+    for (size_t j = 0; j < role.parties; ++j) {
+      if (j == role.index) continue;
+      band[j] = grid.PointsWithinEpsOfBox(peer_box[j],
+                                          options.params.eps_squared);
+      for (size_t i : band[j]) candidate[i] = true;
+      ByteWriter bands;
+      bands.PutU32(static_cast<uint32_t>(band[j].size()));
+      PPD_RETURN_IF_ERROR(SendMessage(*links[j], wire::kPlanBands, bands));
+    }
+    for (size_t j = 0; j < role.parties; ++j) {
+      if (j == role.index) continue;
+      PPD_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           ExpectMessage(*links[j], wire::kPlanBands));
+      ByteReader reader(payload);
+      PPD_ASSIGN_OR_RETURN(uint32_t peer_band, reader.GetU32());
+      if (!reader.Done()) {
+        return Status::DataLoss("trailing plan band bytes");
+      }
+      if (disclosures != nullptr) {
+        disclosures->Record("plan_peer_band",
+                            static_cast<int64_t>(peer_band));
+      }
+      serve_views[j] = SubsetDataset(own_points, band[j]);
+      serve_for[j] = &serve_views[j];
+      if (plan_stats != nullptr) {
+        plan_stats->responder_points += band[j].size();
+        // Each own point within Eps of peer j's box queries j exactly once
+        // in basic mode, against j's band toward us.
+        plan_stats->predicted_comparisons +=
+            static_cast<uint64_t>(band[j].size()) * peer_band;
+      }
+    }
+    if (plan_stats != nullptr) {
+      uint64_t candidates = 0;
+      for (bool c : candidate) candidates += c ? 1 : 0;
+      plan_stats->candidate_points = candidates;
+      plan_stats->interior_points = own_points.size() - candidates;
+      plan_stats->exact_comparisons =
+          static_cast<uint64_t>(own_points.size()) * plan_stats->peer_points;
+    }
+  } else if (mode == PlanMode::kSieve) {
+    std::vector<size_t> sieved =
+        SievedIndices(own_points.size(), options.plan.sieve_k);
+    Dataset sieve_view = SubsetDataset(own_points, sieved);
+    for (size_t j = 0; j < role.parties; ++j) {
+      if (j == role.index) continue;
+      serve_views[j] = sieve_view;
+      serve_for[j] = &serve_views[j];
+    }
+    if (plan_stats != nullptr) {
+      plan_stats->candidate_points = sieved.size();
+      plan_stats->responder_points = sieved.size();
+      plan_stats->exact_comparisons =
+          static_cast<uint64_t>(own_points.size()) * plan_stats->peer_points;
+      for (size_t j = 0; j < role.parties; ++j) {
+        if (j == role.index) continue;
+        plan_stats->predicted_comparisons +=
+            static_cast<uint64_t>(sieved.size()) *
+            SievedCount(peer_count[j], options.plan.sieve_k);
+      }
+    }
+  }
+
+  auto total_invocations = [&comparators]() {
+    uint64_t sum = 0;
+    for (const auto& c : comparators) {
+      if (c != nullptr) sum += c->invocations();
+    }
+    return sum;
+  };
+
   // Phases in the public party order: party d scans while everyone else
   // serves d. All parties iterate the same schedule, so no link is used by
   // two conversations at once.
   PartyClusteringResult result;
   for (size_t d = 0; d < role.parties; ++d) {
+    const uint64_t mark = total_invocations();
     if (d == role.index) {
       std::vector<PeerLink> peers;
       for (size_t j = 0; j < role.parties; ++j) {
         if (j == role.index) continue;
-        peers.push_back(PeerLink{links[j], sessions[j],
-                                 comparators[j].get()});
+        peers.push_back(PeerLink{links[j], sessions[j], comparators[j].get(),
+                                 mode == PlanMode::kPrune ? &peer_box[j]
+                                                          : nullptr});
       }
-      PPD_ASSIGN_OR_RETURN(
-          result, MultiDriverScan(peers, own_points, options, rng,
-                                  disclosures));
+      if (mode == PlanMode::kSieve) {
+        PPD_ASSIGN_OR_RETURN(
+            result, MultiSieveDriverScan(peers, own_points, options, rng,
+                                         disclosures, plan_stats));
+      } else {
+        PPD_ASSIGN_OR_RETURN(
+            result, MultiDriverScan(peers, own_points, options, rng,
+                                    disclosures));
+      }
+      if (plan_stats != nullptr) {
+        plan_stats->encrypted_comparisons += total_invocations() - mark;
+      }
     } else {
       PPD_RETURN_IF_ERROR(ServeHorizontalScan(*links[d], *sessions[d],
-                                              *comparators[d], own_points,
+                                              *comparators[d], *serve_for[d],
                                               options, rng));
+      if (plan_stats != nullptr) {
+        plan_stats->assisted_comparisons += total_invocations() - mark;
+      }
     }
+  }
+  if (plan_stats != nullptr && mode == PlanMode::kExact) {
+    plan_stats->candidate_points = own_points.size();
+    plan_stats->responder_points =
+        own_points.size() * (role.parties - 1);
+    plan_stats->exact_comparisons = plan_stats->encrypted_comparisons;
+    plan_stats->predicted_comparisons = plan_stats->encrypted_comparisons;
   }
   return result;
 }

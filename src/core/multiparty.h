@@ -62,11 +62,22 @@ struct MultipartyOutcome {
 /// `links[role.index]` is ignored and may be null); `sessions[j]` the
 /// established SMC session for that link. Drives its own scan when its
 /// turn comes and serves every other party's scan otherwise.
+///
+/// options.plan (core/plan.h) generalizes per link: kPrune exchanges
+/// bounding boxes with every peer, queries only the peers whose box is
+/// within Eps of the tested point (the no-early-exit rule above concerns
+/// data-dependent partial sums; box distances are public once the boxes
+/// are disclosed), and serves each peer a band computed against THAT
+/// peer's box. kSieve scans the 1-in-k subset, summing sieved counts over
+/// all peers, and rescues leftovers with one membership round per peer.
+/// `plan_stats` (optional) receives the planner's counters, measured
+/// across all links.
 Result<PartyClusteringResult> RunMultipartyHorizontalDbscan(
     const std::vector<Channel*>& links,
     const std::vector<const SmcSession*>& sessions, const Dataset& own_points,
     const MultipartyRole& role, const ProtocolOptions& options,
-    SecureRng& rng, DisclosureLog* disclosures = nullptr);
+    SecureRng& rng, DisclosureLog* disclosures = nullptr,
+    PlanStats* plan_stats = nullptr);
 
 /// In-process harness: runs all P parties on threads over a full mesh of
 /// MemoryChannels (pairwise key exchange included, excluded from stats —

@@ -36,6 +36,8 @@ uint64_t ProtocolOptionsDigest(const ProtocolOptions& options) {
   canon.PutU32(options.retry.backoff_ms);
   canon.PutU32(options.retry.max_backoff_ms);
   canon.PutU64(options.retry.jitter_seed);
+  canon.PutU8(static_cast<uint8_t>(options.plan.mode));
+  canon.PutU32(options.plan.sieve_k);
 
   // FNV-1a, 64-bit.
   uint64_t hash = 0xcbf29ce484222325ull;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/plan.h"
 #include "dbscan/dbscan.h"
 #include "smc/comparator.h"
 
@@ -95,6 +96,12 @@ struct ProtocolOptions {
   /// Negotiated: the digest covers it, so a fleet with divergent retry
   /// configuration fails the job hello instead of half-retrying.
   RetryPolicy retry;
+
+  /// Clustering planner (core/plan.h): exact, eps-boundary pruning, or
+  /// sieved rounds. Negotiated — the hello names the mode and sieve stride
+  /// so divergent planners fail kFailedPrecondition before any protocol
+  /// traffic, and the digest covers both fields.
+  PlanOptions plan;
 };
 
 /// A safe comparator magnitude bound for datasets with coordinates in

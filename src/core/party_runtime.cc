@@ -51,6 +51,8 @@ ByteWriter BuildHello(const ClusteringJob& job, size_t own_index,
   hello.PutU64(
       static_cast<uint64_t>(job.options.comparator.max_batch_in_flight));
   hello.PutU32(static_cast<uint32_t>(job.options.round_deadline_ms));
+  hello.PutU8(static_cast<uint8_t>(job.options.plan.mode));
+  hello.PutU32(job.options.plan.sieve_k);
   hello.PutU64(ProtocolOptionsDigest(job.options));
   return hello;
 }
@@ -154,6 +156,22 @@ Status VerifyHello(const std::vector<uint8_t>& payload,
         "round deadline mismatch (ours " +
         std::to_string(job.options.round_deadline_ms) + "ms, peer " +
         std::to_string(static_cast<int32_t>(peer_deadline)) + "ms)");
+  }
+  PPD_ASSIGN_OR_RETURN(uint8_t peer_plan, reader.GetU8());
+  if (peer_plan != static_cast<uint8_t>(job.options.plan.mode)) {
+    const char* peer_name =
+        peer_plan <= static_cast<uint8_t>(PlanMode::kSieve)
+            ? PlanModeToString(static_cast<PlanMode>(peer_plan))
+            : "unknown";
+    return Mismatch(std::string("plan mode mismatch (ours ") +
+                    PlanModeToString(job.options.plan.mode) + ", peer " +
+                    peer_name + ")");
+  }
+  PPD_ASSIGN_OR_RETURN(uint32_t peer_sieve_k, reader.GetU32());
+  if (peer_sieve_k != job.options.plan.sieve_k) {
+    return Mismatch("sieve stride mismatch (ours " +
+                    std::to_string(job.options.plan.sieve_k) + ", peer " +
+                    std::to_string(peer_sieve_k) + ")");
   }
   PPD_ASSIGN_OR_RETURN(uint64_t peer_digest, reader.GetU64());
   if (peer_digest != ProtocolOptionsDigest(job.options)) {
@@ -404,6 +422,24 @@ Status PartyRuntime::ValidateJob(const ClusteringJob& job) const {
     return Status::InvalidArgument(
         "horizontal/vertical/multiparty jobs carry a Dataset");
   }
+  if (job.options.plan.mode == PlanMode::kSieve) {
+    if (job.scheme == PartitionScheme::kVertical ||
+        job.scheme == PartitionScheme::kArbitrary) {
+      return Status::InvalidArgument(
+          "the sieve plan is defined for horizontally partitioned schemes "
+          "only (vertical/arbitrary parties share the record id space, so "
+          "a sieved subset cannot be assigned locally)");
+    }
+    if (job.options.plan.sieve_k < 2) {
+      return Status::InvalidArgument(
+          "sieve plan needs sieve_k >= 2 (1 is exact mode)");
+    }
+    if (job.options.cross_party_merge) {
+      return Status::InvalidArgument(
+          "sieve plan does not compose with cross_party_merge (the merge "
+          "phase assumes the full core set; run prune or exact instead)");
+    }
+  }
   return Status::Ok();
 }
 
@@ -488,6 +524,16 @@ Result<RunOutcome> PartyRuntime::RunJobRounds(const ClusteringJob& job) {
     }
   }
 
+  // The planner block is always reported; exact-mode runs fill in their
+  // measured comparisons with zero savings. Vertical/arbitrary runs treat
+  // kPrune as a documented no-op (their parties share the record id space
+  // already), so only the mode tag is populated there.
+  outcome.plan.mode = job.options.plan.mode;
+  outcome.plan.sieve_k = job.options.plan.mode == PlanMode::kSieve
+                             ? job.options.plan.sieve_k
+                             : 0;
+  outcome.plan.local_points = job.record_count();
+
   const auto protocol_start = SteadyClock::now();
   Result<PartyClusteringResult> clustering = Status::Internal("unreached");
   switch (job.scheme) {
@@ -495,7 +541,7 @@ Result<RunOutcome> PartyRuntime::RunJobRounds(const ClusteringJob& job) {
       clustering = RunHorizontalDbscan(
           *links_[0], *sessions_[0], std::get<Dataset>(job.data), job.role,
           job.options, *rng_, &outcome.disclosures,
-          &outcome.selection_comparisons);
+          &outcome.selection_comparisons, &outcome.plan);
       break;
     case PartitionScheme::kVertical:
       clustering = RunVerticalDbscan(
@@ -515,7 +561,7 @@ Result<RunOutcome> PartyRuntime::RunJobRounds(const ClusteringJob& job) {
       clustering = RunMultipartyHorizontalDbscan(
           links_, session_ptrs, std::get<Dataset>(job.data),
           MultipartyRole{.index = index_, .parties = parties_}, job.options,
-          *rng_, &outcome.disclosures);
+          *rng_, &outcome.disclosures, &outcome.plan);
       break;
     }
   }

@@ -38,6 +38,19 @@ inline constexpr uint16_t kArbPairResponse = 0x1031;
 inline constexpr uint16_t kMergeCores = 0x1040;   // payload: u32 core count
 inline constexpr uint16_t kMergeLinks = 0x1041;   // payload: linked pairs
 
+// Clustering planner (core/plan.h). kPlanBounds opens every non-exact run:
+// u8 plan mode (sanity — the hello already verified it), u32 record count,
+// and the sender's plaintext bounding box (prune mode; sieve sends an
+// empty box). kPlanBands follows in prune mode with the sender's boundary
+// band size (computable only after seeing the peer's box), so each side
+// can predict its encrypted-comparison bill before the first round.
+// kHzQueryMembership asks the responder to serve one batched encrypted
+// eps-membership round (smc/membership.h) over its plan-subset view — the
+// sieve plan's leftover-rescue round.
+inline constexpr uint16_t kPlanBounds = 0x1070;
+inline constexpr uint16_t kPlanBands = 0x1071;
+inline constexpr uint16_t kHzQueryMembership = 0x1072;
+
 // Job-facade config negotiation (core/job.h). Sent once per link at the
 // start of every PartyRuntime::Run: protocol version, scheme tag, party
 // position, the public scalar protocol parameters, and a digest of the

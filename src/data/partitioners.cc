@@ -1,5 +1,7 @@
 #include "data/partitioners.h"
 
+#include <algorithm>
+
 namespace ppdbscan {
 
 Result<HorizontalPartition> PartitionHorizontal(const Dataset& dataset,
@@ -19,6 +21,47 @@ Result<HorizontalPartition> PartitionHorizontal(const Dataset& dataset,
       to_alice = false;
     }
     if (to_alice) {
+      PPD_RETURN_IF_ERROR(out.alice.Add(dataset.point(i)));
+      out.alice_ids.push_back(i);
+    } else {
+      PPD_RETURN_IF_ERROR(out.bob.Add(dataset.point(i)));
+      out.bob_ids.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<HorizontalPartition> PartitionHorizontalSpatial(const Dataset& dataset,
+                                                       size_t split_dim,
+                                                       double alice_fraction) {
+  if (alice_fraction < 0.0 || alice_fraction > 1.0) {
+    return Status::InvalidArgument("alice_fraction must be in [0, 1]");
+  }
+  if (split_dim >= dataset.dims()) {
+    return Status::InvalidArgument("split_dim out of range");
+  }
+  if (dataset.size() < 2) {
+    return Status::InvalidArgument("spatial split needs >= 2 records");
+  }
+  std::vector<size_t> order(dataset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const int64_t ca = dataset.point(a)[split_dim];
+    const int64_t cb = dataset.point(b)[split_dim];
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  size_t alice_count = static_cast<size_t>(
+      static_cast<double>(dataset.size()) * alice_fraction);
+  // Both parties non-empty, mirroring PartitionHorizontal's guarantee.
+  if (alice_count == 0) alice_count = 1;
+  if (alice_count == dataset.size()) alice_count = dataset.size() - 1;
+
+  HorizontalPartition out{Dataset(dataset.dims()), Dataset(dataset.dims()),
+                          {}, {}};
+  for (size_t r = 0; r < order.size(); ++r) {
+    const size_t i = order[r];
+    if (r < alice_count) {
       PPD_RETURN_IF_ERROR(out.alice.Add(dataset.point(i)));
       out.alice_ids.push_back(i);
     } else {

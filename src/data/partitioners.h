@@ -28,6 +28,18 @@ Result<HorizontalPartition> PartitionHorizontal(const Dataset& dataset,
                                                 SecureRng& rng,
                                                 double alice_fraction);
 
+/// Deterministic spatial horizontal split: records sorted by (coordinate
+/// `split_dim`, then original index) go to Alice up to `alice_fraction` of
+/// the total, the rest to Bob. This models the geographically partitioned
+/// deployments the paper motivates (each hospital serves a region) — under
+/// a random split every point sits near peer data and the eps-boundary
+/// pruning planner (core/plan.h) has nothing to prune; under a spatial
+/// split only the strip within Eps of the other party's bounding box does
+/// protocol work. Requires >= 2 records and a valid split_dim.
+Result<HorizontalPartition> PartitionHorizontalSpatial(const Dataset& dataset,
+                                                       size_t split_dim,
+                                                       double alice_fraction);
+
 /// Vertically partitioned data (paper Figure 3): Alice owns attributes
 /// [0, split_dim), Bob owns [split_dim, dims). Row order is shared and
 /// identical to the original dataset.

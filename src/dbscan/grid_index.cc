@@ -1,6 +1,8 @@
 #include "dbscan/grid_index.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ppdbscan {
 
@@ -13,6 +15,42 @@ int64_t FloorDiv(int64_t a, int64_t b) {
 }
 
 }  // namespace
+
+BoundingBox ComputeBoundingBox(const Dataset& dataset) {
+  BoundingBox box;
+  if (dataset.empty()) return box;
+  box.lo = dataset.point(0);
+  box.hi = dataset.point(0);
+  for (size_t i = 1; i < dataset.size(); ++i) {
+    const std::vector<int64_t>& p = dataset.point(i);
+    for (size_t t = 0; t < p.size(); ++t) {
+      box.lo[t] = std::min(box.lo[t], p[t]);
+      box.hi[t] = std::max(box.hi[t], p[t]);
+    }
+  }
+  return box;
+}
+
+int64_t DistanceSquaredToBox(const std::vector<int64_t>& point,
+                             const BoundingBox& box) {
+  if (box.empty()) return std::numeric_limits<int64_t>::max();
+  PPD_CHECK_MSG(point.size() == box.dims(),
+                "point/box dimension mismatch");
+  // Coordinates are bounded by Dataset::kMaxAbsCoordinate, so per-dim gaps
+  // and their squared sum fit int64 with the same headroom as
+  // Dataset::DistanceSquared.
+  int64_t sum = 0;
+  for (size_t t = 0; t < point.size(); ++t) {
+    int64_t gap = 0;
+    if (point[t] < box.lo[t]) {
+      gap = box.lo[t] - point[t];
+    } else if (point[t] > box.hi[t]) {
+      gap = point[t] - box.hi[t];
+    }
+    sum += gap * gap;
+  }
+  return sum;
+}
 
 GridRegionQuerier::GridRegionQuerier(const Dataset& dataset,
                                      int64_t eps_squared)
@@ -28,9 +66,15 @@ GridRegionQuerier::GridRegionQuerier(const Dataset& dataset,
 }
 
 std::vector<int64_t> GridRegionQuerier::CellOf(size_t idx) const {
-  const std::vector<int64_t>& p = dataset_.point(idx);
-  std::vector<int64_t> cell(p.size());
-  for (size_t t = 0; t < p.size(); ++t) cell[t] = FloorDiv(p[t], cell_edge_);
+  return CellOfPoint(dataset_.point(idx));
+}
+
+std::vector<int64_t> GridRegionQuerier::CellOfPoint(
+    const std::vector<int64_t>& coords) const {
+  std::vector<int64_t> cell(coords.size());
+  for (size_t t = 0; t < coords.size(); ++t) {
+    cell[t] = FloorDiv(coords[t], cell_edge_);
+  }
   return cell;
 }
 
@@ -88,6 +132,74 @@ std::vector<size_t> GridRegionQuerier::Query(size_t idx,
     }
     if (t == dims) break;
     ++offset[t];
+  }
+  return out;
+}
+
+std::vector<size_t> GridRegionQuerier::QueryPoint(
+    const std::vector<int64_t>& coords, int64_t eps_squared) const {
+  PPD_CHECK_MSG(eps_squared == eps_squared_,
+                "grid index built for a different eps");
+  PPD_CHECK_MSG(coords.size() == dataset_.dims(),
+                "query point dimension mismatch");
+  const size_t dims = dataset_.dims();
+  std::vector<int64_t> base = CellOfPoint(coords);
+  std::vector<size_t> out;
+  // Same 3^d odometer as Query: the eps-ball around ANY point (member or
+  // not) is covered by the 3^d cells surrounding its containing cell
+  // because the cell edge is >= eps.
+  std::vector<uint64_t> scanned;
+  std::vector<int> offset(dims, -1);
+  std::vector<int64_t> cell(dims);
+  while (true) {
+    for (size_t t = 0; t < dims; ++t) cell[t] = base[t] + offset[t];
+    uint64_t key = CellKey(cell);
+    bool seen = false;
+    for (uint64_t k : scanned) {
+      if (k == key) {
+        seen = true;
+        break;
+      }
+    }
+    auto it = seen ? cells_.end() : cells_.find(key);
+    if (!seen) scanned.push_back(key);
+    if (it != cells_.end()) {
+      for (size_t candidate : it->second) {
+        if (dataset_.DistanceSquaredTo(candidate, coords) <= eps_squared) {
+          out.push_back(candidate);
+        }
+      }
+    }
+    size_t t = 0;
+    while (t < dims && offset[t] == 1) {
+      offset[t] = -1;
+      ++t;
+    }
+    if (t == dims) break;
+    ++offset[t];
+  }
+  // Deterministic ascending order: callers (the sieve planner's assignment
+  // step) pick the FIRST matching core, so the iteration order is part of
+  // the protocol's determinism contract.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<size_t> GridRegionQuerier::PointsWithinEpsOfBox(
+    const BoundingBox& box, int64_t eps_squared) const {
+  PPD_CHECK_MSG(eps_squared == eps_squared_,
+                "grid index built for a different eps");
+  std::vector<size_t> out;
+  if (box.empty()) return out;
+  PPD_CHECK_MSG(box.dims() == dataset_.dims(), "box dimension mismatch");
+  // Exact per-point gap test, ascending index order. The scan is O(n·d)
+  // plaintext arithmetic — noise next to the encrypted rounds it gates —
+  // and unlike cell-level culling it stays exact under CellKey hash
+  // collisions (distinct cells can share a bucket).
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    if (DistanceSquaredToBox(dataset_.point(i), box) <= eps_squared) {
+      out.push_back(i);
+    }
   }
   return out;
 }

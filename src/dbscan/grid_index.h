@@ -10,6 +10,28 @@
 
 namespace ppdbscan {
 
+/// Axis-aligned integer bounding box. `lo`/`hi` are inclusive per-dimension
+/// bounds; an empty box (no points) has empty lo/hi vectors. The planner
+/// (core/plan.h) exchanges these between parties in the clear, so a box is
+/// deliberately the coarsest useful summary of a party's data.
+struct BoundingBox {
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+
+  bool empty() const { return lo.empty(); }
+  size_t dims() const { return lo.size(); }
+};
+
+/// The tight bounding box of every point in `dataset` (empty box for an
+/// empty dataset).
+BoundingBox ComputeBoundingBox(const Dataset& dataset);
+
+/// Exact squared Euclidean distance from `point` to the nearest point of
+/// `box` (0 when `point` lies inside). An empty box is infinitely far away
+/// (returns int64 max), so "within eps of an empty box" is always false.
+int64_t DistanceSquaredToBox(const std::vector<int64_t>& point,
+                             const BoundingBox& box);
+
 /// Uniform-grid spatial index with cell edge ceil(sqrt(eps_squared)):
 /// an Eps-ball around any point is covered by the 3^d cells surrounding the
 /// point's cell, so Query inspects only those cells and filters by exact
@@ -24,12 +46,37 @@ class GridRegionQuerier : public RegionQuerier {
 
   std::vector<size_t> Query(size_t idx, int64_t eps_squared) const override;
 
+  /// Like Query, but for an external point that need not be a dataset
+  /// member: all dataset indices within sqrt(eps_squared) of `coords`, in
+  /// ascending index order. The sieve planner's assignment step queries
+  /// the sieved subset around leftover points with this.
+  std::vector<size_t> QueryPoint(const std::vector<int64_t>& coords,
+                                 int64_t eps_squared) const;
+
+  /// Eps-boundary band query: every dataset index whose point lies within
+  /// sqrt(eps_squared) of `box` (inclusive — a point at exactly eps from
+  /// the box face is IN the band), ascending index order. Cells whose
+  /// closest corner region is already farther than eps from the box are
+  /// culled wholesale; survivors are filtered by the exact point-to-box
+  /// distance. An empty box yields an empty band. This is the pruning
+  /// planner's primitive: points OUTSIDE the band of the peer's bounding
+  /// box provably have no cross-party neighbours.
+  std::vector<size_t> PointsWithinEpsOfBox(const BoundingBox& box,
+                                           int64_t eps_squared) const;
+
+  /// Alias for PointsWithinEpsOfBox, named for the planner's vocabulary.
+  std::vector<size_t> BoundaryBand(const BoundingBox& box,
+                                   int64_t eps_squared) const {
+    return PointsWithinEpsOfBox(box, eps_squared);
+  }
+
   /// Number of non-empty grid cells (exposed for tests).
   size_t CellCount() const { return cells_.size(); }
 
  private:
   uint64_t CellKey(const std::vector<int64_t>& cell) const;
   std::vector<int64_t> CellOf(size_t idx) const;
+  std::vector<int64_t> CellOfPoint(const std::vector<int64_t>& coords) const;
 
   const Dataset& dataset_;
   int64_t eps_squared_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/random.h"
 
@@ -98,6 +99,94 @@ TEST(GridIndexTest, NegativeCoordinatesCellAssignment) {
   GridRegionQuerier grid(ds, 4);
   std::vector<size_t> r = grid.Query(0, 4);
   EXPECT_EQ(r.size(), 2u);  // still neighbours across the cell boundary
+}
+
+TEST(BoundingBoxTest, ComputeAndDistance) {
+  Dataset ds(2);
+  PPD_CHECK(ds.Add({-3, 2}).ok());
+  PPD_CHECK(ds.Add({5, -1}).ok());
+  PPD_CHECK(ds.Add({0, 7}).ok());
+  BoundingBox box = ComputeBoundingBox(ds);
+  ASSERT_EQ(box.dims(), 2u);
+  EXPECT_EQ(box.lo, (std::vector<int64_t>{-3, -1}));
+  EXPECT_EQ(box.hi, (std::vector<int64_t>{5, 7}));
+  EXPECT_EQ(DistanceSquaredToBox({0, 0}, box), 0);    // inside
+  EXPECT_EQ(DistanceSquaredToBox({5, 7}, box), 0);    // on a corner
+  EXPECT_EQ(DistanceSquaredToBox({8, 0}, box), 9);    // 3 past one face
+  EXPECT_EQ(DistanceSquaredToBox({8, 11}, box), 25);  // 3,4 past a corner
+}
+
+TEST(BoundingBoxTest, EmptyBoxIsInfinitelyFar) {
+  Dataset empty(2);
+  BoundingBox box = ComputeBoundingBox(empty);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(DistanceSquaredToBox({0, 0}, box),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(GridIndexTest, BandIncludesPointExactlyAtEps) {
+  // The planner's losslessness argument needs the band to be INCLUSIVE:
+  // a point at distance exactly eps from the peer box can have a peer
+  // neighbour at distance exactly eps, so it must do protocol work.
+  Dataset ds(2);
+  PPD_CHECK(ds.Add({13, 0}).ok());  // dist to box face = 3, dist² = 9 == eps²
+  PPD_CHECK(ds.Add({14, 0}).ok());  // dist² = 16 > 9 — outside the band
+  GridRegionQuerier grid(ds, 9);
+  BoundingBox box{{0, -5}, {10, 5}};
+  std::vector<size_t> band = grid.PointsWithinEpsOfBox(box, 9);
+  EXPECT_EQ(band, (std::vector<size_t>{0}));
+}
+
+TEST(GridIndexTest, BandOnDegenerateOneCellGrid) {
+  // Huge eps puts every point in one grid cell; the cell-culling fast path
+  // must still fall through to the exact per-point filter.
+  Dataset ds(2);
+  PPD_CHECK(ds.Add({0, 0}).ok());
+  PPD_CHECK(ds.Add({30, 0}).ok());
+  PPD_CHECK(ds.Add({200, 0}).ok());
+  GridRegionQuerier grid(ds, 2500);  // eps = 50: all three in cell radius
+  EXPECT_EQ(grid.CellCount(), 2u);   // 200 is still a second cell (edge 50)
+  BoundingBox box{{-10, -10}, {-5, 10}};
+  // Distances to box: 5² = 25, 35² = 1225, 205² = 42025.
+  EXPECT_EQ(grid.PointsWithinEpsOfBox(box, 2500),
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST(GridIndexTest, BandOfEmptyBoxIsEmpty) {
+  Dataset ds(2);
+  PPD_CHECK(ds.Add({0, 0}).ok());
+  GridRegionQuerier grid(ds, 4);
+  EXPECT_TRUE(grid.PointsWithinEpsOfBox(BoundingBox{}, 4).empty());
+}
+
+TEST(GridIndexTest, BandMatchesBruteForceOnRandomData) {
+  SecureRng rng(41);
+  Dataset ds = RandomDataset(rng, 200, 2, 60);
+  const int64_t eps2 = 49;
+  GridRegionQuerier grid(ds, eps2);
+  BoundingBox box{{-60, -60}, {-20, 10}};
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (DistanceSquaredToBox(ds.point(i), box) <= eps2) expected.push_back(i);
+  }
+  EXPECT_EQ(grid.BoundaryBand(box, eps2), expected);  // ascending order too
+}
+
+TEST(GridIndexTest, QueryPointMatchesLinearAndIsAscending) {
+  SecureRng rng(42);
+  Dataset ds = RandomDataset(rng, 120, 2, 40);
+  const int64_t eps2 = 36;
+  GridRegionQuerier grid(ds, eps2);
+  for (int64_t x = -40; x <= 40; x += 13) {
+    std::vector<int64_t> probe{x, -x / 2};  // external, need not be a member
+    std::vector<size_t> got = grid.QueryPoint(probe, eps2);
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (ds.DistanceSquaredTo(i, probe) <= eps2) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected) << "probe x=" << x;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  }
 }
 
 TEST(GridIndexDeathTest, EpsMismatchAborts) {

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/plan.h"
+#include "core/run.h"
+#include "data/fixed_point.h"
+#include "data/generators.h"
+#include "data/partitioners.h"
+#include "dbscan/dbscan.h"
+#include "eval/metrics.h"
+#include "eval/plan_eval.h"
+
+namespace ppdbscan {
+namespace {
+
+Dataset MakePoints(const std::vector<std::vector<int64_t>>& points) {
+  Dataset ds(points.empty() ? 1 : points[0].size());
+  for (const auto& p : points) PPD_CHECK(ds.Add(p).ok());
+  return ds;
+}
+
+SmcOptions FastSmc() {
+  SmcOptions smc;
+  smc.paillier_bits = 256;
+  smc.rsa_bits = 128;
+  return smc;
+}
+
+ProtocolOptions FastOptions(int64_t eps_squared, size_t min_pts) {
+  ProtocolOptions options;
+  options.params = {eps_squared, min_pts};
+  options.comparator.kind = ComparatorKind::kIdeal;
+  options.comparator.magnitude_bound = RecommendedComparatorBound(2, 1 << 12);
+  return options;
+}
+
+Result<std::vector<RunOutcome>> RunPair(const Dataset& alice,
+                                        const Dataset& bob,
+                                        const ProtocolOptions& options) {
+  return ExecuteLocal(
+      {{ClusteringJob::Horizontal(alice, PartyRole::kAlice, options), 0xa},
+       {ClusteringJob::Horizontal(bob, PartyRole::kBob, options), 0xb}},
+      FastSmc());
+}
+
+/// The shared two-party fixture: three spatial blobs split by the first
+/// coordinate, so the parties' bounding boxes overlap only in a band.
+struct Fixture {
+  HorizontalPartition split{Dataset(2), Dataset(2), {}, {}};
+  int64_t eps_squared = 0;
+  size_t min_pts = 0;
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  SecureRng rng(seed);
+  RawDataset raw = MakeBlobs(rng, 3, 12, 2, 0.5, 6.0);
+  AddUniformNoise(raw, rng, 4, 9.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  Fixture fx;
+  fx.split = *PartitionHorizontalSpatial(full, 0, 0.5);
+  fx.eps_squared = *enc.EncodeEpsSquared(1.2);
+  fx.min_pts = 4;
+  return fx;
+}
+
+Labels Combine(const HorizontalPartition& hp,
+               const std::vector<RunOutcome>& outcome, bool merged) {
+  size_t n = hp.alice_ids.size() + hp.bob_ids.size();
+  Labels combined(n, kUnclassified);
+  int32_t offset =
+      merged ? 0 : static_cast<int32_t>(outcome[0].clustering.num_clusters);
+  for (size_t i = 0; i < hp.alice_ids.size(); ++i) {
+    combined[hp.alice_ids[i]] = outcome[0].clustering.labels[i];
+  }
+  for (size_t i = 0; i < hp.bob_ids.size(); ++i) {
+    int32_t l = outcome[1].clustering.labels[i];
+    combined[hp.bob_ids[i]] = l >= 0 ? l + offset : l;
+  }
+  return combined;
+}
+
+TEST(PlanProtocolTest, PruneByteIdenticalAcrossModeAndMergeMatrix) {
+  Fixture fx = MakeFixture(21);
+  struct Case {
+    HorizontalMode mode;
+    bool merge;
+    const char* name;
+  };
+  const Case cases[] = {{HorizontalMode::kBasic, false, "basic"},
+                        {HorizontalMode::kBasic, true, "basic+merge"},
+                        {HorizontalMode::kEnhanced, false, "enhanced"},
+                        {HorizontalMode::kEnhanced, true, "enhanced+merge"}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    ProtocolOptions options = FastOptions(fx.eps_squared, fx.min_pts);
+    options.mode = c.mode;
+    options.cross_party_merge = c.merge;
+    Result<std::vector<RunOutcome>> exact =
+        RunPair(fx.split.alice, fx.split.bob, options);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    options.plan.mode = PlanMode::kPrune;
+    Result<std::vector<RunOutcome>> prune =
+        RunPair(fx.split.alice, fx.split.bob, options);
+    ASSERT_TRUE(prune.ok()) << prune.status();
+    // LOSSLESS means byte-identical, not merely ARI 1.0.
+    for (size_t p = 0; p < 2; ++p) {
+      EXPECT_EQ((*exact)[p].clustering.labels, (*prune)[p].clustering.labels);
+      EXPECT_EQ((*exact)[p].clustering.is_core,
+                (*prune)[p].clustering.is_core);
+      EXPECT_EQ((*exact)[p].clustering.num_clusters,
+                (*prune)[p].clustering.num_clusters);
+    }
+    // And the planner must actually have pruned on a spatial split.
+    const PlanStats& stats = (*prune)[0].plan;
+    EXPECT_EQ(stats.mode, PlanMode::kPrune);
+    EXPECT_GT(stats.interior_points, 0u);
+    EXPECT_EQ(stats.interior_points + stats.candidate_points,
+              stats.local_points);
+    EXPECT_LT(stats.encrypted_comparisons, stats.exact_comparisons);
+    EXPECT_GT(stats.SavedFraction(), 0.0);
+  }
+}
+
+TEST(PlanProtocolTest, PruneScanPredictionIsExactInBasicMode) {
+  // Basic mode core-tests each candidate exactly once against the peer's
+  // band, so the planner's prediction equals the measurement (no merge:
+  // the scan is the only encrypted phase).
+  Fixture fx = MakeFixture(22);
+  ProtocolOptions options = FastOptions(fx.eps_squared, fx.min_pts);
+  options.plan.mode = PlanMode::kPrune;
+  Result<std::vector<RunOutcome>> out =
+      RunPair(fx.split.alice, fx.split.bob, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  for (size_t p = 0; p < 2; ++p) {
+    const PlanStats& stats = (*out)[p].plan;
+    EXPECT_EQ(stats.encrypted_comparisons, stats.predicted_comparisons);
+    EXPECT_EQ(stats.exact_comparisons,
+              stats.local_points * stats.peer_points);
+    // The plan round's documented disclosures, all routed through the log.
+    EXPECT_EQ((*out)[p].disclosures.Count("plan_peer_points"), 1u);
+    EXPECT_EQ((*out)[p].disclosures.Count("plan_peer_box_coord"), 4u);
+    EXPECT_EQ((*out)[p].disclosures.Count("plan_peer_band"), 1u);
+  }
+}
+
+TEST(PlanProtocolTest, PruneMatchesExactOnThreePartyMesh) {
+  SecureRng rng(23);
+  RawDataset raw = MakeBlobs(rng, 3, 10, 2, 0.5, 6.0);
+  FixedPointEncoder enc(4.0);
+  Dataset full = *enc.Encode(raw);
+  // Spatial three-way split along x: party p takes the p-th third.
+  HorizontalPartition first = *PartitionHorizontalSpatial(full, 0, 1.0 / 3);
+  HorizontalPartition rest = *PartitionHorizontalSpatial(first.bob, 0, 0.5);
+  std::vector<Dataset> parties{first.alice, rest.alice, rest.bob};
+
+  ProtocolOptions options = FastOptions(*enc.EncodeEpsSquared(1.2), 4);
+  auto run = [&](PlanMode mode) {
+    options.plan.mode = mode;
+    std::vector<LocalJob> jobs;
+    for (size_t p = 0; p < parties.size(); ++p) {
+      jobs.push_back({ClusteringJob::Multiparty(parties[p], p,
+                                                parties.size(), options),
+                      0x30 + p});
+    }
+    return ExecuteLocal(jobs, FastSmc());
+  };
+  Result<std::vector<RunOutcome>> exact = run(PlanMode::kExact);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  Result<std::vector<RunOutcome>> prune = run(PlanMode::kPrune);
+  ASSERT_TRUE(prune.ok()) << prune.status();
+  for (size_t p = 0; p < parties.size(); ++p) {
+    EXPECT_EQ((*exact)[p].clustering.labels, (*prune)[p].clustering.labels)
+        << "party " << p;
+    EXPECT_EQ((*exact)[p].clustering.is_core, (*prune)[p].clustering.is_core);
+  }
+  // peer_points sums both peers; the middle party prunes less (two
+  // neighbouring boxes) but still reports a consistent split.
+  const PlanStats& stats = (*prune)[1].plan;
+  EXPECT_EQ(stats.peer_points,
+            parties[0].size() + parties[2].size());
+  EXPECT_EQ(stats.interior_points + stats.candidate_points,
+            stats.local_points);
+}
+
+TEST(PlanProtocolTest, SieveAgreesWithExactOnSeedBlobs) {
+  Fixture fx = MakeFixture(24);
+  ProtocolOptions options = FastOptions(fx.eps_squared, fx.min_pts);
+  Result<std::vector<RunOutcome>> exact =
+      RunPair(fx.split.alice, fx.split.bob, options);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  options.plan.mode = PlanMode::kSieve;
+  options.plan.sieve_k = 2;
+  Result<std::vector<RunOutcome>> sieve =
+      RunPair(fx.split.alice, fx.split.bob, options);
+  ASSERT_TRUE(sieve.ok()) << sieve.status();
+
+  Labels exact_combined = Combine(fx.split, *exact, false);
+  Labels sieve_combined = Combine(fx.split, *sieve, false);
+  const double ari = AdjustedRandIndex(sieve_combined, exact_combined);
+  size_t same = 0;
+  for (size_t i = 0; i < exact_combined.size(); ++i) {
+    if (exact_combined[i] == sieve_combined[i]) ++same;
+  }
+  const double agreement =
+      static_cast<double>(same) / static_cast<double>(exact_combined.size());
+  std::printf("sieve k=2 vs exact: ARI=%.4f label agreement=%.4f (%zu/%zu)\n",
+              ari, agreement, same, exact_combined.size());
+  RecordProperty("sieve_ari_vs_exact", std::to_string(ari));
+  RecordProperty("sieve_label_agreement", std::to_string(agreement));
+  EXPECT_GE(ari, 0.99);
+
+  const PlanStats& stats = (*sieve)[0].plan;
+  EXPECT_EQ(stats.mode, PlanMode::kSieve);
+  EXPECT_EQ(stats.sieve_k, 2u);
+  EXPECT_EQ(stats.candidate_points, SievedCount(stats.local_points, 2));
+  EXPECT_EQ(stats.sieve_assigned_local + stats.sieve_rescued +
+                stats.sieve_noise,
+            stats.local_points - stats.candidate_points);
+  EXPECT_LT(stats.encrypted_comparisons, stats.exact_comparisons);
+}
+
+TEST(PlanProtocolTest, SieveRescueRoundResolvesPeerDenseLeftover) {
+  // Alice's leftover point (odd index, k=2) is surrounded by Bob's points
+  // only: the batched membership round must rescue it into a cluster and
+  // the count must land in the disclosure log.
+  Dataset alice = MakePoints({{0, 0}, {100, 100}});
+  Dataset bob = MakePoints({{101, 100}, {100, 101}, {101, 101}});
+  ProtocolOptions options = FastOptions(2, 3);
+  options.plan.mode = PlanMode::kSieve;
+  options.plan.sieve_k = 2;
+  Result<std::vector<RunOutcome>> out = RunPair(alice, bob, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  const RunOutcome& a = (*out)[0];
+  EXPECT_EQ(a.clustering.labels[0], kNoise);
+  EXPECT_GE(a.clustering.labels[1], 0);
+  EXPECT_TRUE(a.clustering.is_core[1]);
+  EXPECT_EQ(a.plan.rescue_queries, 1u);
+  EXPECT_EQ(a.plan.sieve_rescued, 1u);
+  EXPECT_EQ(a.disclosures.Count("membership_count"), 1u);
+}
+
+TEST(PlanProtocolTest, SieveDeterministicAcrossReruns) {
+  Fixture fx = MakeFixture(25);
+  ProtocolOptions options = FastOptions(fx.eps_squared, fx.min_pts);
+  options.plan.mode = PlanMode::kSieve;
+  options.plan.sieve_k = 2;
+  Result<std::vector<RunOutcome>> a =
+      RunPair(fx.split.alice, fx.split.bob, options);
+  Result<std::vector<RunOutcome>> b =
+      RunPair(fx.split.alice, fx.split.bob, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)[0].clustering.labels, (*b)[0].clustering.labels);
+  EXPECT_EQ((*a)[1].clustering.labels, (*b)[1].clustering.labels);
+}
+
+TEST(PlanProtocolTest, SimulatorMatchesExactProtocolByteForByte) {
+  // The eval oracle (plan_eval.h) stands in for the live protocol in the
+  // n=4096 bench, so it must reproduce the protocol's labels EXACTLY at a
+  // size where running both is cheap.
+  Fixture fx = MakeFixture(26);
+  ProtocolOptions options = FastOptions(fx.eps_squared, fx.min_pts);
+  Result<std::vector<RunOutcome>> live =
+      RunPair(fx.split.alice, fx.split.bob, options);
+  ASSERT_TRUE(live.ok()) << live.status();
+  DbscanResult alice_sim = SimulateHorizontalParty(
+      fx.split.alice, {&fx.split.bob}, {fx.eps_squared, fx.min_pts});
+  DbscanResult bob_sim = SimulateHorizontalParty(
+      fx.split.bob, {&fx.split.alice}, {fx.eps_squared, fx.min_pts});
+  EXPECT_EQ((*live)[0].clustering.labels, alice_sim.labels);
+  EXPECT_EQ((*live)[0].clustering.is_core, alice_sim.is_core);
+  EXPECT_EQ((*live)[1].clustering.labels, bob_sim.labels);
+  EXPECT_EQ((*live)[1].clustering.is_core, bob_sim.is_core);
+}
+
+TEST(PlanProtocolTest, PlanModeMismatchFailsPrecondition) {
+  Dataset alice = MakePoints({{0, 0}});
+  Dataset bob = MakePoints({{1, 0}});
+  ProtocolOptions prune = FastOptions(2, 2);
+  prune.plan.mode = PlanMode::kPrune;
+  ProtocolOptions exact = FastOptions(2, 2);
+  Result<std::vector<RunOutcome>> out = ExecuteLocal(
+      {{ClusteringJob::Horizontal(alice, PartyRole::kAlice, prune), 0xa},
+       {ClusteringJob::Horizontal(bob, PartyRole::kBob, exact), 0xb}},
+      FastSmc());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanProtocolTest, SieveStrideMismatchFailsPrecondition) {
+  Dataset alice = MakePoints({{0, 0}});
+  Dataset bob = MakePoints({{1, 0}});
+  ProtocolOptions k2 = FastOptions(2, 2);
+  k2.plan.mode = PlanMode::kSieve;
+  k2.plan.sieve_k = 2;
+  ProtocolOptions k4 = k2;
+  k4.plan.sieve_k = 4;
+  Result<std::vector<RunOutcome>> out = ExecuteLocal(
+      {{ClusteringJob::Horizontal(alice, PartyRole::kAlice, k2), 0xa},
+       {ClusteringJob::Horizontal(bob, PartyRole::kBob, k4), 0xb}},
+      FastSmc());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanProtocolTest, ValidateJobRejectsUnsupportedSieveCombos) {
+  ProtocolOptions sieve = FastOptions(2, 2);
+  sieve.plan.mode = PlanMode::kSieve;
+  {
+    // Vertical partitions share the record id space — no sieve.
+    Dataset cols = MakePoints({{0}, {1}, {2}});
+    Result<std::vector<RunOutcome>> out = ExecuteLocal(
+        {{ClusteringJob::Vertical(cols, PartyRole::kAlice, sieve), 0xa},
+         {ClusteringJob::Vertical(cols, PartyRole::kBob, sieve), 0xb}},
+        FastSmc());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ProtocolOptions k1 = sieve;
+    k1.plan.sieve_k = 1;
+    Dataset pts = MakePoints({{0, 0}});
+    Result<std::vector<RunOutcome>> out = ExecuteLocal(
+        {{ClusteringJob::Horizontal(pts, PartyRole::kAlice, k1), 0xa},
+         {ClusteringJob::Horizontal(pts, PartyRole::kBob, k1), 0xb}},
+        FastSmc());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ProtocolOptions merged = sieve;
+    merged.cross_party_merge = true;
+    Dataset pts = MakePoints({{0, 0}});
+    Result<std::vector<RunOutcome>> out = ExecuteLocal(
+        {{ClusteringJob::Horizontal(pts, PartyRole::kAlice, merged), 0xa},
+         {ClusteringJob::Horizontal(pts, PartyRole::kBob, merged), 0xb}},
+        FastSmc());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(PlanProtocolTest, PruneIsDocumentedNoOpOnVertical) {
+  // Vertical runs accept --plan prune (fleet-wide flags stay uniform) and
+  // must produce the exact-mode labels.
+  Dataset full = MakePoints({{0, 5}, {1, 5}, {0, 6}, {9, 0}, {9, 1}});
+  VerticalPartition split = *PartitionVertical(full, 1);
+  ProtocolOptions options = FastOptions(2, 2);
+  auto run = [&](PlanMode mode) {
+    options.plan.mode = mode;
+    return ExecuteLocal(
+        {{ClusteringJob::Vertical(split.alice, PartyRole::kAlice, options),
+          0xa},
+         {ClusteringJob::Vertical(split.bob, PartyRole::kBob, options), 0xb}},
+        FastSmc());
+  };
+  Result<std::vector<RunOutcome>> exact = run(PlanMode::kExact);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  Result<std::vector<RunOutcome>> prune = run(PlanMode::kPrune);
+  ASSERT_TRUE(prune.ok()) << prune.status();
+  EXPECT_EQ((*exact)[0].clustering.labels, (*prune)[0].clustering.labels);
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -61,9 +61,18 @@ int Usage() {
       "  central:      [--kmeans K]  (adds a k-means baseline comparison)\n"
       "  generate:     --shape blobs|moons|rings|dumbbell --out FILE"
       " [--n N] [--dims D] [--noise K]\n"
-      "  horizontal:   [--fraction F] [--enhanced] [--merge]\n"
+      "  horizontal:   [--fraction F] [--enhanced] [--merge] [--spatial]\n"
+      "                (--spatial splits by the first coordinate instead of\n"
+      "                randomly — the geographic setting --plan prune"
+      " exploits)\n"
       "  vertical:     [--split-dim D] [--prune]\n"
       "  arbitrary:    [--fraction F]\n"
+      "  planner:      [--plan exact|prune|sieve] [--sieve-k K]  (all"
+      " subcommands;\n"
+      "                prune = lossless eps-boundary pruning, sieve = 1-in-K"
+      " subset\n"
+      "                rounds; the run table and serve job lines print the\n"
+      "                PlanStats comparison bill)\n"
       "  multiparty:   [--parties P] [--out-prefix PRE]  (P in-process"
       " parties,\n"
       "                round-robin split; labels to PRE.party<i>.csv)\n"
@@ -265,6 +274,16 @@ Result<CliConfig> MakeConfig(const Flags& flags, const LoadedInput& input) {
   }
   config.protocol.retry.max_attempts = static_cast<uint32_t>(retries);
   config.protocol.retry.backoff_ms = static_cast<uint32_t>(backoff);
+  // Clustering planner — negotiated (hello + digest), so every party of a
+  // run must pass the same --plan/--sieve-k.
+  Result<PlanMode> plan_mode = PlanModeFromString(flags.Str("plan", "exact"));
+  if (!plan_mode.ok()) return plan_mode.status();
+  config.protocol.plan.mode = *plan_mode;
+  const double sieve_k = flags.Num("sieve-k", 4);
+  if (sieve_k < 2 || sieve_k > 1024) {
+    return Status::InvalidArgument("--sieve-k must be in [2, 1024]");
+  }
+  config.protocol.plan.sieve_k = static_cast<uint32_t>(sieve_k);
   const std::string transport = flags.Str("transport", "memory");
   if (transport == "memory") {
     config.transport = LocalTransport::kMemory;
@@ -311,6 +330,7 @@ void PrintOutcome(const char* protocol, const CliConfig& config,
   table.AddRow({"ARI vs centralized DBSCAN",
                 ResultTable::Fmt(
                     AdjustedRandIndex(combined, central.labels), 4)});
+  table.AddRow({"plan (Alice view)", alice.plan.Summary()});
   std::printf("%s", table.ToMarkdown().c_str());
 }
 
@@ -321,8 +341,12 @@ int RunHorizontal(const Flags& flags) {
   if (!config.ok()) return Fail(config.status());
 
   SecureRng split_rng(config->seed);
-  Result<HorizontalPartition> split = PartitionHorizontal(
-      input->encoded, split_rng, flags.Num("fraction", 0.5));
+  Result<HorizontalPartition> split =
+      flags.Has("spatial")
+          ? PartitionHorizontalSpatial(input->encoded, 0,
+                                       flags.Num("fraction", 0.5))
+          : PartitionHorizontal(input->encoded, split_rng,
+                                flags.Num("fraction", 0.5));
   if (!split.ok()) return Fail(split.status());
 
   Result<std::vector<RunOutcome>> outcome = RunPartyPair(
@@ -646,13 +670,14 @@ int RunServe(const Flags& flags) {
                                                     retries_before));
       }
       std::printf("[party 0] job %zu done: %zu cluster(s), %llu bytes, "
-                  "%.2f s (keygen amortized over %llu job(s))\n",
+                  "%.2f s (keygen amortized over %llu job(s)) %s\n",
                   k, outcome->clustering.num_clusters,
                   static_cast<unsigned long long>(
                       outcome->stats.total_bytes()),
                   outcome->timings.total_seconds,
                   static_cast<unsigned long long>(
-                      server->jobs_completed()));
+                      server->jobs_completed()),
+                  outcome->plan.Summary().c_str());
       if (!prefix.empty()) {
         int rc = WriteLabels(label_path(static_cast<uint32_t>(k)),
                              outcome->clustering.labels);

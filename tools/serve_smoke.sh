@@ -224,4 +224,45 @@ for i in $(seq 0 $((PARTIES - 1))); do
   done
 done
 echo "serve_smoke: OK (restart leg: follower relaunch healed, labels match)"
+
+# ---------------------------------------------------------------------------
+# Plan leg: one SIEVED job (k=2) on a fresh 3-process fleet. The planner is
+# negotiated in the job hello, so all parties pass the same --plan flags;
+# the submitter must exit 0, print the PlanStats bill on its job line, and
+# every party's labels must match the in-process multiparty harness run
+# with the same plan (the sieve is deterministic by design).
+echo "== plan: one sieved job (k=2) on a fresh fleet, assert PlanStats =="
+PLAN_FLAGS=(--plan sieve --sieve-k 2)
+"$CLI" multiparty "${COMMON[@]}" "${PLAN_FLAGS[@]}" --parties "$PARTIES" \
+    --out-prefix planref > planref.log 2>&1
+PLAN_BASE=$(( (RANDOM % 2000) + 51000 ))
+PLAN_PEERS="127.0.0.1:$PLAN_BASE,127.0.0.1:$((PLAN_BASE + 1)),127.0.0.1:$((PLAN_BASE + 2))"
+PIDS=()  # drop the restart fleet's pids so the waits below index OUR fleet
+for i in $(seq 1 $((PARTIES - 1))); do
+  "$CLI" serve "${COMMON[@]}" "${PLAN_FLAGS[@]}" --index "$i" \
+      --peers "$PLAN_PEERS" --out-prefix plan > "plan$i.log" 2>&1 &
+  PIDS+=($!)
+done
+"$CLI" serve "${COMMON[@]}" "${PLAN_FLAGS[@]}" --index 0 \
+    --peers "$PLAN_PEERS" --jobs 1 --out-prefix plan | tee plan0.log
+for i in $(seq 1 $((PARTIES - 1))); do
+  wait "${PIDS[$((i - 1))]}" || {
+    echo "serve_smoke: plan leg: party $i exited nonzero" >&2
+    cat "plan$i.log"
+    exit 1
+  }
+done
+PIDS=()
+grep -q "plan\[sieve k=2\]" plan0.log || {
+  echo "serve_smoke: plan leg: no PlanStats on the submitter job line" >&2
+  cat plan0.log
+  exit 1
+}
+for i in $(seq 0 $((PARTIES - 1))); do
+  if ! cmp "plan.party$i.job1.csv" "planref.party$i.csv"; then
+    echo "serve_smoke: plan leg: party $i labels diverge from reference" >&2
+    exit 1
+  fi
+done
+echo "serve_smoke: OK (plan leg: sieved job, PlanStats printed, labels match)"
 exit 0

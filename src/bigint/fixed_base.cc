@@ -1,0 +1,68 @@
+#include "bigint/fixed_base.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ppdbscan {
+
+FixedBaseTable::FixedBaseTable(const MontgomeryCtx& ctx, const BigInt& base,
+                               size_t max_exponent_bits, int window_bits)
+    : ctx_(&ctx),
+      base_(base),
+      max_exponent_bits_(std::max<size_t>(max_exponent_bits, 1)) {
+  PPD_CHECK_MSG(!base.IsNegative(), "FixedBaseTable base must be >= 0");
+  window_bits_ =
+      window_bits > 0 ? window_bits : (max_exponent_bits_ >= 768 ? 5 : 4);
+  PPD_CHECK(window_bits_ >= 1 && window_bits_ <= 8);
+  const size_t w = static_cast<size_t>(window_bits_);
+  windows_ = (max_exponent_bits_ + w - 1) / w;
+  const size_t per = (size_t{1} << w) - 1;
+  const size_t k = ctx.k_;
+  entries_.resize(windows_ * per * k);
+
+  // Window base b_i = base^(2^(w·i)), carried across rows by w squarings.
+  std::vector<Limb> wb = ctx.MulLimbs(base.limbs(), ctx.r2_);  // ToMont
+  for (size_t i = 0; i < windows_; ++i) {
+    Limb* row = entries_.data() + i * per * k;
+    std::copy(wb.begin(), wb.begin() + static_cast<long>(k), row);  // d = 1
+    std::vector<Limb> cur = wb;
+    for (size_t d = 2; d <= per; ++d) {
+      cur = ctx.MulLimbs(cur, wb);
+      std::copy(cur.begin(), cur.begin() + static_cast<long>(k),
+                row + (d - 1) * k);
+    }
+    if (i + 1 < windows_) {
+      for (size_t s = 0; s < w; ++s) wb = ctx.SqrLimbs(wb);
+    }
+  }
+}
+
+BigInt FixedBaseTable::ExpFixedBase(const BigInt& exponent) const {
+  PPD_CHECK_MSG(!exponent.IsNegative(), "negative exponent");
+  const size_t bits = exponent.BitLength();
+  if (bits > max_exponent_bits_) return ctx_->Exp(base_, exponent);
+
+  const size_t w = static_cast<size_t>(window_bits_);
+  const size_t per = (size_t{1} << w) - 1;
+  const size_t k = ctx_->k_;
+  // Accumulator starts as Montgomery 1; each nonzero exponent digit
+  // contributes one product with its precomputed power — no squarings.
+  std::vector<Limb> acc(ctx_->one_);
+  acc.resize(k, 0);
+  for (size_t i = 0; i * w < bits; ++i) {
+    uint32_t d = 0;
+    for (size_t b = w; b-- > 0;) {
+      const size_t pos = i * w + b;
+      d = (d << 1) | ((pos < bits && exponent.TestBit(pos)) ? 1u : 0u);
+    }
+    if (d == 0) continue;
+    const Limb* e = entries_.data() + (i * per + d - 1) * k;
+    acc = ctx_->MulLimbs(acc, std::vector<Limb>(e, e + k));
+  }
+  // Out of the Montgomery domain — same exit as MontgomeryCtx::Exp, so the
+  // returned residue is canonical and comparisons are exact.
+  return BigInt::FromLimbs(ctx_->MulLimbs(acc, {1u}), 1);
+}
+
+}  // namespace ppdbscan

@@ -1,0 +1,67 @@
+#ifndef PPDBSCAN_BIGINT_FIXED_BASE_H_
+#define PPDBSCAN_BIGINT_FIXED_BASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "bigint/limb.h"
+#include "bigint/montgomery.h"
+
+namespace ppdbscan {
+
+/// Windowed fixed-base exponentiation table: precomputes
+/// base^(d·2^(w·i)) mod n in Montgomery form for every w-bit digit
+/// position i of an exponent up to `max_exponent_bits`, so a later
+/// ExpFixedBase is a pure product of table entries — **no squarings at
+/// all**, roughly w+1 fewer Montgomery products per exponent bit than
+/// MontgomeryCtx::Exp.
+///
+/// This trades memory for speed: the table holds
+/// ceil(max_exponent_bits/w)·(2^w−1) Montgomery residues of the modulus
+/// width (≈1–2 MiB for a 1024-bit exponent over a 2048-bit modulus; see
+/// table_bytes()). Build cost is one-time ~windows·(w+2^w) products, so
+/// the table pays off after a handful of exponentiations. The intended
+/// user is Paillier with a non-default generator g: every Encrypt computes
+/// g^m for the same g.
+///
+/// Results are canonical residues, bit-identical to MontgomeryCtx::Exp
+/// (asserted by the differential suite in montgomery_test).
+///
+/// Thread-compatible after construction: ExpFixedBase is const and touches
+/// only immutable state. The MontgomeryCtx must outlive the table.
+class FixedBaseTable {
+ public:
+  /// Builds the table for `base` in [0, n) (wider values are clamped to
+  /// the low k limbs, the MulMont contract) and exponents of up to
+  /// `max_exponent_bits` bits. `window_bits` 0 selects automatically
+  /// (4 for short exponents, 5 from 768 bits up — the memory/speed knee).
+  FixedBaseTable(const MontgomeryCtx& ctx, const BigInt& base,
+                 size_t max_exponent_bits, int window_bits = 0);
+
+  /// base^exponent mod n for exponent >= 0. Exponents wider than
+  /// max_exponent_bits fall back to MontgomeryCtx::Exp (correct, just not
+  /// table-accelerated).
+  BigInt ExpFixedBase(const BigInt& exponent) const;
+
+  size_t max_exponent_bits() const { return max_exponent_bits_; }
+  int window_bits() const { return window_bits_; }
+  /// Precomputed table footprint in bytes (the memory half of the
+  /// memory-vs-speed trade documented in the README).
+  size_t table_bytes() const { return entries_.size() * sizeof(Limb); }
+
+ private:
+  const MontgomeryCtx* ctx_;
+  BigInt base_;  // kept for the wider-than-max exponent fallback
+  size_t max_exponent_bits_;
+  int window_bits_;
+  size_t windows_;
+  // windows_ × (2^w − 1) entries of k limbs each, entry (i, d) at
+  // ((i·(2^w−1)) + d − 1)·k: base^(d·2^(w·i)) in Montgomery form for
+  // digit values d in [1, 2^w).
+  std::vector<Limb> entries_;
+};
+
+}  // namespace ppdbscan
+
+#endif  // PPDBSCAN_BIGINT_FIXED_BASE_H_

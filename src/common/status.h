@@ -50,6 +50,21 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// For a kAborted status that relays another party's failure: the
+  /// ORIGINATING failure's code, threaded through the abort frame as a
+  /// structured byte. kOk means "unknown origin" (e.g. a bare abort).
+  /// Retry classification keys on this, never on message text — an error
+  /// whose human-readable detail merely mentions a code name must not
+  /// change class.
+  StatusCode origin_code() const { return origin_code_; }
+
+  /// Returns a copy of this status carrying `origin` as its origin code.
+  Status WithOrigin(StatusCode origin) const {
+    Status s = *this;
+    s.origin_code_ = origin;
+    return s;
+  }
+
   /// "OK" or "CODE: message".
   std::string ToString() const;
 
@@ -85,6 +100,7 @@ class Status {
 
  private:
   StatusCode code_;
+  StatusCode origin_code_ = StatusCode::kOk;  // see origin_code()
   std::string message_;
 };
 

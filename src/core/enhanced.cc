@@ -181,9 +181,7 @@ Status EnhancedCoreTestResponder(Channel& channel, const SmcSession& session,
       case wire::kSelDone:
         return Status::Ok();
       case kAbortMessageType:
-        return Status::Aborted(
-            "peer aborted protocol: " +
-            std::string(msg.payload.begin(), msg.payload.end()));
+        return AbortedFromPayload(msg.payload);
       default:
         return Status::DataLoss("unexpected message in core-test responder");
     }

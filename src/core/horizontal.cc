@@ -148,9 +148,7 @@ Status ResponderLoop(Channel& channel, const SmcSession& session,
       case wire::kHzScanDone:
         return Status::Ok();
       case kAbortMessageType:
-        return Status::Aborted(
-            "peer aborted protocol: " +
-            std::string(msg.payload.begin(), msg.payload.end()));
+        return AbortedFromPayload(msg.payload);
       default:
         return Status::DataLoss("unexpected message in responder loop");
     }

@@ -489,7 +489,12 @@ Result<RunOutcome> PartyRuntime::Run(const ClusteringJob& job) {
     // protocol round then fails kAborted immediately instead of running
     // out its own deadline.
     const std::string reason = outcome.status().ToString();
-    const std::vector<uint8_t> payload(reason.begin(), reason.end());
+    std::vector<uint8_t> payload;
+    payload.reserve(reason.size() + 1);
+    // Leading origin byte: peers classify the abort (retryable or not) on
+    // this structured code, never by grepping the reason text.
+    payload.push_back(AbortOriginCode(outcome.status()));
+    payload.insert(payload.end(), reason.begin(), reason.end());
     for (size_t j = 0; j < links_.size(); ++j) {
       if (mesh_ && j == index_) continue;
       (void)SendMessage(*links_[j], kAbortMessageType, payload);

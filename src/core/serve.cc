@@ -21,13 +21,18 @@ namespace {
 /// (job ids start at 1 and the attempt number occupies the low byte).
 constexpr uint32_t kControlStream = 0;
 
-/// Rebuilds a Status from its wire (code, message) pair, guarding against
-/// a peer speaking a newer code space.
-Status StatusFromWire(uint8_t code, std::string message) {
+/// Rebuilds a Status from its wire (code, origin, message) triple, guarding
+/// against a peer speaking a newer code space. The origin byte carries the
+/// ORIGINATING failure's class for relayed aborts; 0 means unknown.
+Status StatusFromWire(uint8_t code, uint8_t origin, std::string message) {
   if (code == 0 || code > static_cast<uint8_t>(StatusCode::kAborted)) {
     return Status::Internal(std::move(message));
   }
-  return Status(static_cast<StatusCode>(code), std::move(message));
+  Status status(static_cast<StatusCode>(code), std::move(message));
+  if (origin != 0 && origin <= static_cast<uint8_t>(StatusCode::kAborted)) {
+    status = status.WithOrigin(static_cast<StatusCode>(origin));
+  }
+  return status;
 }
 
 uint64_t SplitMix64(uint64_t x) {
@@ -49,26 +54,36 @@ bool RetryableStatus(const Status& status) {
   if (status.ok()) return false;
   if (RetryableStatusCode(status.code())) return true;
   if (status.code() != StatusCode::kAborted) return false;
-  // An abort frame carries the originating party's failure rendered as
-  // "CODE: detail" (Status::ToString), possibly nested through a relay.
-  // Inherit the origin's class: a configuration or logic error fails
-  // identically on every attempt, so retrying it only burns the budget.
-  static constexpr const char* kTerminalNames[] = {
-      "FAILED_PRECONDITION", "INVALID_ARGUMENT", "OUT_OF_RANGE", "INTERNAL"};
-  for (const char* name : kTerminalNames) {
-    if (status.message().find(name) != std::string::npos) return false;
+  // An abort frame relays the originating party's failure; its class rides
+  // the structured origin code (Status::origin_code, threaded through the
+  // abort frame's leading byte). Inherit that class: a configuration or
+  // logic error fails identically on every attempt, so retrying it only
+  // burns the budget. Never classify on the message text — a transient
+  // failure whose detail happens to mention "INTERNAL" (a hostname, a
+  // quoted path) must still retry.
+  switch (status.origin_code()) {
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+      return false;  // deterministic at the origin
+    default:
+      return true;  // transient, nested-abort, or unknown origin
   }
-  return true;
 }
 
 uint32_t BackoffDelayMs(const RetryPolicy& policy, uint32_t retry_index) {
-  uint64_t delay = policy.backoff_ms;
-  const uint64_t cap = std::max<uint64_t>(policy.max_backoff_ms, delay);
+  // Floor of 1ms: a zero-configured backoff must still yield the CPU
+  // between attempts instead of busy-spinning the retry budget away.
+  const uint64_t base = std::max<uint64_t>(policy.backoff_ms, 1);
+  uint64_t delay = base;
+  const uint64_t cap = std::max<uint64_t>(policy.max_backoff_ms, base);
   for (uint32_t i = 0; i < retry_index && delay < cap; ++i) delay *= 2;
   delay = std::min(delay, cap);
   const uint64_t jitter =
       SplitMix64(policy.jitter_seed ^ retry_index) % (delay / 2 + 1);
-  return static_cast<uint32_t>(delay - jitter);
+  const uint64_t result = delay - jitter;
+  return static_cast<uint32_t>(result == 0 ? 1 : result);
 }
 
 PartyServer::~PartyServer() = default;
@@ -374,8 +389,9 @@ Status PartyServer::CollectDone(size_t follower, uint32_t job_id,
     Result<uint8_t> ok =
         done_attempt.ok() ? reader.GetU8() : done_attempt.status();
     Result<uint8_t> code = ok.ok() ? reader.GetU8() : ok.status();
+    Result<uint8_t> origin = code.ok() ? reader.GetU8() : code.status();
     Result<std::vector<uint8_t>> message =
-        code.ok() ? reader.GetBytes() : code.status();
+        origin.ok() ? reader.GetBytes() : origin.status();
     if (!message.ok()) {
       result = message.status();
       break;
@@ -392,9 +408,10 @@ Status PartyServer::CollectDone(size_t follower, uint32_t job_id,
     }
     if (*ok == 0) {
       result = StatusFromWire(
-          *code, "party " + std::to_string(follower) + " failed job " +
-                     std::to_string(job_id) + ": " +
-                     std::string(message->begin(), message->end()));
+          *code, *origin,
+          "party " + std::to_string(follower) + " failed job " +
+              std::to_string(job_id) + ": " +
+              std::string(message->begin(), message->end()));
     }
     break;
   }
@@ -436,8 +453,9 @@ Status PartyServer::CollectHealed(size_t follower, size_t peer) {
     Result<uint8_t> ok =
         healed_peer.ok() ? reader.GetU8() : healed_peer.status();
     Result<uint8_t> code = ok.ok() ? reader.GetU8() : ok.status();
+    Result<uint8_t> origin = code.ok() ? reader.GetU8() : code.status();
     Result<std::vector<uint8_t>> message =
-        code.ok() ? reader.GetBytes() : code.status();
+        origin.ok() ? reader.GetBytes() : origin.status();
     if (!message.ok()) {
       result = message.status();
       break;
@@ -445,10 +463,10 @@ Status PartyServer::CollectHealed(size_t follower, size_t peer) {
     if (*healed_peer != peer) continue;  // reply to an earlier heal round
     if (*ok == 0) {
       result = StatusFromWire(
-          *code, "party " + std::to_string(follower) +
-                     " could not heal its link to party " +
-                     std::to_string(peer) + ": " +
-                     std::string(message->begin(), message->end()));
+          *code, *origin,
+          "party " + std::to_string(follower) +
+              " could not heal its link to party " + std::to_string(peer) +
+              ": " + std::string(message->begin(), message->end()));
     }
     break;
   }
@@ -645,6 +663,7 @@ PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
       reply.PutU32(*peer);
       reply.PutU8(healed.ok() ? 1 : 0);
       reply.PutU8(static_cast<uint8_t>(healed.code()));
+      reply.PutU8(healed.ok() ? 0 : AbortOriginCode(healed));
       const std::string message = healed.ok() ? std::string()
                                               : healed.message();
       reply.PutBytes(std::vector<uint8_t>(message.begin(), message.end()));
@@ -721,6 +740,9 @@ PartyServer::ServeReport PartyServer::Serve(const JobFactory& make_job,
       done.PutU8(static_cast<uint8_t>(stream_id & 0xFFu));
       done.PutU8(outcome.ok() ? 1 : 0);
       done.PutU8(static_cast<uint8_t>(outcome.status().code()));
+      // The origin byte lets the submitter's retry classifier see THIS
+      // party's underlying failure class through the kAborted relay.
+      done.PutU8(outcome.ok() ? 0 : AbortOriginCode(outcome.status()));
       const std::string message =
           outcome.ok() ? std::string() : outcome.status().message();
       done.PutBytes(std::vector<uint8_t>(message.begin(), message.end()));

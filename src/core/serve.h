@@ -27,17 +27,21 @@ namespace ppdbscan {
 bool RetryableStatusCode(StatusCode code);
 
 /// Job-outcome retry classification. Transient codes are retryable.
-/// kAborted relays the ORIGINATING party's failure in its message, so it
-/// inherits the origin's class: terminal if the message names a
-/// configuration or logic error (kFailedPrecondition, kInvalidArgument,
-/// kOutOfRange, kInternal — those fail identically on every attempt),
-/// retryable otherwise. Everything else is terminal.
+/// kAborted relays the ORIGINATING party's failure, whose class rides the
+/// structured Status::origin_code() (threaded through the abort frame's
+/// leading byte — never inferred from message text): terminal when the
+/// origin is a configuration or logic error (kFailedPrecondition,
+/// kInvalidArgument, kOutOfRange, kInternal — those fail identically on
+/// every attempt), retryable otherwise (unknown origins included).
+/// Everything else is terminal.
 bool RetryableStatus(const Status& status);
 
 /// Delay before retry `retry_index` (0-based): exponential backoff from
 /// RetryPolicy::backoff_ms capped at max_backoff_ms, minus a deterministic
 /// seeded jitter — the result lands in [delay/2, delay], so a fleet
-/// retrying in lockstep still desynchronizes reproducibly.
+/// retrying in lockstep still desynchronizes reproducibly. Never returns
+/// 0: a zero-configured backoff is floored to 1ms so retry loops yield
+/// rather than busy-spin.
 uint32_t BackoffDelayMs(const RetryPolicy& policy, uint32_t retry_index);
 
 /// Long-lived daemon endpoint over an established PartyMesh: accepts many

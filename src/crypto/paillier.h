@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/fixed_base.h"
 #include "bigint/montgomery.h"
 #include "common/random.h"
 #include "common/serialize.h"
@@ -83,6 +84,14 @@ class PaillierContext {
   BigInt SampleRandomizer(SecureRng& rng) const;
   /// The precomputable factor r^n mod n² for a randomizer r.
   BigInt RandomizerFactor(const BigInt& r) const;
+  /// Element-wise RandomizerFactor: out[i] = rs[i]^n mod n². All factors
+  /// share the public exponent n, so this routes through
+  /// MontgomeryCtx::ExpBatch — groups of exponentiations walk one shared
+  /// window schedule (8 per AVX-512 IFMA vector on capable hosts), which is
+  /// where the batch encryption speedup comes from. Bit-identical to
+  /// calling RandomizerFactor per element.
+  std::vector<BigInt> RandomizerFactorBatch(const std::vector<BigInt>& rs,
+                                            ThreadPool* pool = nullptr) const;
   /// Encrypts m with a precomputed factor: g^m · factor mod n². With the
   /// default g = n+1 this is two modular multiplications — no
   /// exponentiation. The factor must be RandomizerFactor(r) for a fresh,
@@ -142,6 +151,11 @@ class PaillierContext {
   BigInt half_n_;
   std::shared_ptr<const MontgomeryCtx> ctx_n2_;
   bool g_is_n_plus_1_ = false;
+  // Fixed-base table for g^m with a non-default generator (null when
+  // g = n+1, whose g^m needs no exponentiation at all). Built once at
+  // Create; the shared_ptr keeps copies of the context cheap and keeps the
+  // table's MontgomeryCtx reference valid (both point into ctx_n2_).
+  std::shared_ptr<const FixedBaseTable> g_table_;
 };
 
 /// Private-key operations. Decryption uses the CRT over p and q.

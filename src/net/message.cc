@@ -33,9 +33,7 @@ Result<std::vector<uint8_t>> ExpectMessage(Channel& channel,
                                            uint16_t expected_type) {
   PPD_ASSIGN_OR_RETURN(Message msg, RecvMessage(channel));
   if (msg.type == kAbortMessageType) {
-    return Status::Aborted(
-        "peer aborted protocol: " +
-        std::string(msg.payload.begin(), msg.payload.end()));
+    return AbortedFromPayload(msg.payload);
   }
   if (msg.type != expected_type) {
     return Status::DataLoss("unexpected message type " +
@@ -45,8 +43,36 @@ Result<std::vector<uint8_t>> ExpectMessage(Channel& channel,
   return std::move(msg.payload);
 }
 
+uint8_t AbortOriginCode(const Status& status) {
+  if (status.code() == StatusCode::kAborted &&
+      status.origin_code() != StatusCode::kOk) {
+    return static_cast<uint8_t>(status.origin_code());
+  }
+  return static_cast<uint8_t>(status.code());
+}
+
+Status AbortedFromPayload(const std::vector<uint8_t>& payload) {
+  StatusCode origin = StatusCode::kOk;  // unknown
+  size_t text_begin = 0;
+  // Valid code bytes are all below any printable character, so a legacy
+  // text-only payload can never be misread as carrying one.
+  if (!payload.empty() && payload[0] != 0 &&
+      payload[0] <= static_cast<uint8_t>(StatusCode::kAborted)) {
+    origin = static_cast<StatusCode>(payload[0]);
+    text_begin = 1;
+  }
+  return Status::Aborted(
+             "peer aborted protocol: " +
+             std::string(payload.begin() + static_cast<long>(text_begin),
+                         payload.end()))
+      .WithOrigin(origin);
+}
+
 Status AbortPeer(Channel& channel, Status status, const std::string& reason) {
-  std::vector<uint8_t> payload(reason.begin(), reason.end());
+  std::vector<uint8_t> payload;
+  payload.reserve(reason.size() + 1);
+  payload.push_back(AbortOriginCode(status));
+  payload.insert(payload.end(), reason.begin(), reason.end());
   // Best effort: the abort itself may fail if the channel is gone.
   (void)SendMessage(channel, kAbortMessageType, payload);
   return status;

@@ -22,11 +22,25 @@ struct Message {
 /// Reserved tag: a party that must bail out of a sub-protocol before its
 /// next send (e.g. local input validation failed) sends an abort frame so
 /// the peer's blocking receive fails fast instead of hanging. The payload
-/// is a human-readable reason.
+/// is one origin-code byte (the ORIGINATING failure's StatusCode, so
+/// receivers can classify the abort without parsing text) followed by a
+/// human-readable reason.
 inline constexpr uint16_t kAbortMessageType = 0xFFFF;
 
-/// Sends an abort frame carrying `reason`, then returns `status` so the
-/// caller can `return AbortPeer(channel, std::move(status), reason);`.
+/// The origin-code byte to embed when relaying `status` in an abort frame:
+/// the status's own code, except for a kAborted already carrying an origin
+/// — then the origin survives the relay unchanged.
+uint8_t AbortOriginCode(const Status& status);
+
+/// Builds the kAborted status for a received abort-frame payload: origin
+/// byte decoded into Status::origin_code(), reason text in the message.
+/// Payloads without a valid leading code byte (reason text starts
+/// immediately) decode with an unknown origin.
+Status AbortedFromPayload(const std::vector<uint8_t>& payload);
+
+/// Sends an abort frame carrying `reason` plus `status`'s origin byte,
+/// then returns `status` so the caller can
+/// `return AbortPeer(channel, std::move(status), reason);`.
 Status AbortPeer(Channel& channel, Status status, const std::string& reason);
 
 /// Sends `payload` under `type` as one frame.

@@ -273,20 +273,45 @@ TEST(ChaosTest, RetryClassificationSeparatesTransientFromTerminal) {
   EXPECT_FALSE(RetryableStatus(Status::FailedPrecondition("eps mismatch")));
   EXPECT_FALSE(RetryableStatus(Status::InvalidArgument("bad job")));
 
-  // A relayed abort inherits the ORIGINATING party's class from its
-  // rendered message: config/logic origins fail identically every attempt.
-  EXPECT_TRUE(RetryableStatus(Status(
-      StatusCode::kAborted, "party 2 aborted: UNAVAILABLE: link reset")));
-  EXPECT_TRUE(RetryableStatus(Status(
-      StatusCode::kAborted, "party 2 aborted: DEADLINE_EXCEEDED: round")));
-  EXPECT_FALSE(RetryableStatus(Status(
-      StatusCode::kAborted, "party 1 aborted: FAILED_PRECONDITION: eps")));
-  EXPECT_FALSE(RetryableStatus(Status(
-      StatusCode::kAborted, "party 1 aborted: INVALID_ARGUMENT: dims")));
-  EXPECT_FALSE(RetryableStatus(Status(
-      StatusCode::kAborted, "party 1 aborted: OUT_OF_RANGE: magnitude")));
+  // A relayed abort inherits the ORIGINATING party's class from the
+  // structured origin code: config/logic origins fail identically every
+  // attempt.
+  EXPECT_TRUE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 2 aborted: link reset")
+          .WithOrigin(StatusCode::kUnavailable)));
+  EXPECT_TRUE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 2 aborted: round")
+          .WithOrigin(StatusCode::kDeadlineExceeded)));
   EXPECT_FALSE(RetryableStatus(
-      Status(StatusCode::kAborted, "party 1 aborted: INTERNAL: bug")));
+      Status(StatusCode::kAborted, "party 1 aborted: eps")
+          .WithOrigin(StatusCode::kFailedPrecondition)));
+  EXPECT_FALSE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 1 aborted: dims")
+          .WithOrigin(StatusCode::kInvalidArgument)));
+  EXPECT_FALSE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 1 aborted: magnitude")
+          .WithOrigin(StatusCode::kOutOfRange)));
+  EXPECT_FALSE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 1 aborted: bug")
+          .WithOrigin(StatusCode::kInternal)));
+  // An abort with no recorded origin (bare frame, legacy peer) retries.
+  EXPECT_TRUE(
+      RetryableStatus(Status(StatusCode::kAborted, "peer bailed out")));
+  // The regression the origin byte exists for: classification must key on
+  // the code, NOT on terminal code names appearing in the message text. A
+  // transient failure whose detail mentions "INTERNAL" (a hostname, a
+  // quoted path) still retries.
+  EXPECT_TRUE(RetryableStatus(
+      Status(StatusCode::kAborted,
+             "party 2 aborted: lost link to INTERNAL-lb.example")
+          .WithOrigin(StatusCode::kUnavailable)));
+  EXPECT_TRUE(RetryableStatus(Status(
+      StatusCode::kAborted, "party 2 aborted: INVALID_ARGUMENT mentioned "
+                            "in a log line, origin unknown")));
+  // And a nested relay (abort-of-an-abort) keeps the deep origin's class.
+  EXPECT_FALSE(RetryableStatus(
+      Status(StatusCode::kAborted, "party 3 relayed party 1's abort")
+          .WithOrigin(StatusCode::kInvalidArgument)));
 }
 
 TEST(ChaosTest, BackoffDelayIsCappedJitteredAndDeterministic) {
@@ -302,8 +327,7 @@ TEST(ChaosTest, BackoffDelayIsCappedJitteredAndDeterministic) {
     EXPECT_EQ(delay, BackoffDelayMs(policy, i))
         << "retry " << i << " must be deterministic";
   }
-  // Different seeds desynchronize a fleet retrying in lockstep; a zero
-  // base means no sleep at all.
+  // Different seeds desynchronize a fleet retrying in lockstep.
   RetryPolicy reseeded = policy;
   reseeded.jitter_seed ^= 0xDEADBEEF;
   bool any_differs = false;
@@ -311,11 +335,26 @@ TEST(ChaosTest, BackoffDelayIsCappedJitteredAndDeterministic) {
     any_differs = BackoffDelayMs(reseeded, i) != BackoffDelayMs(policy, i);
   }
   EXPECT_TRUE(any_differs);
+  // A zero-configured backoff must NOT produce a 0ms busy loop: the delay
+  // is floored to 1ms so a retry storm still yields the CPU.
   RetryPolicy zero;
   zero.backoff_ms = 0;
   zero.max_backoff_ms = 0;
-  EXPECT_EQ(BackoffDelayMs(zero, 0), 0u);
-  EXPECT_EQ(BackoffDelayMs(zero, 5), 0u);
+  EXPECT_GE(BackoffDelayMs(zero, 0), 1u);
+  EXPECT_GE(BackoffDelayMs(zero, 5), 1u);
+  EXPECT_GE(BackoffDelayMs(zero, 1000000u), 1u);  // huge index: no overflow
+  // max_backoff_ms below backoff_ms clamps to the larger base, never 0.
+  RetryPolicy inverted;
+  inverted.backoff_ms = 100;
+  inverted.max_backoff_ms = 10;
+  for (uint32_t i = 0; i < 4; ++i) {
+    const uint32_t d = BackoffDelayMs(inverted, i);
+    EXPECT_GE(d, 50u) << "retry " << i;
+    EXPECT_LE(d, 100u) << "retry " << i;
+  }
+  // Large retry indices saturate at the cap instead of overflowing.
+  EXPECT_LE(BackoffDelayMs(policy, 1000000u), 800u);
+  EXPECT_GE(BackoffDelayMs(policy, 1000000u), 400u);
 }
 
 // The tentpole acceptance matrix: every retryable fault kind, planted on

@@ -25,9 +25,10 @@ struct CommandResult {
   std::string stdout_text;
 };
 
-CommandResult RunCli(const std::string& args) {
+CommandResult RunCli(const std::string& args,
+                     bool capture_stderr = false) {
   const std::string command = std::string(PPDBSCAN_CLI_PATH) + " " + args +
-                              " 2>/dev/null";
+                              (capture_stderr ? " 2>&1" : " 2>/dev/null");
   CommandResult result;
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -130,6 +131,43 @@ TEST(CliSmokeTest, RejectsUnknownTransport) {
   CommandResult run = RunCli("horizontal --in " + data_csv +
                              " --eps 1.0 --minpts 3 --transport carrier-pigeon");
   EXPECT_EQ(run.exit_code, 1);
+}
+
+TEST(CliSmokeTest, ServeRejectsMalformedPeerEntries) {
+  // Port validation is full-string: "host:", "host:0" and "host:12ab" used
+  // to slip through atoi and fail deep inside mesh setup; now they must be
+  // rejected up front with the offending entry named in the error.
+  const std::string dir = ::testing::TempDir();
+  const std::string data_csv = dir + "/cli_smoke_peers_data.csv";
+  CommandResult generate = RunCli(
+      "generate --shape blobs --n 12 --dims 2 --seed 3 --out " + data_csv);
+  ASSERT_EQ(generate.exit_code, 0) << generate.stdout_text;
+
+  struct Case {
+    const char* peers;
+    const char* needle;  // must appear in the error, naming the entry
+  };
+  const Case cases[] = {
+      {"localhost:7001,localhost:", "'localhost:' is missing a port"},
+      {"localhost:7001,localhost:0",
+       "'localhost:0' needs a port in [1, 65535]"},
+      {"localhost:7001,localhost:70000",
+       "'localhost:70000' needs a port in [1, 65535]"},
+      {"localhost:7001,localhost:12ab",
+       "'localhost:12ab' has a non-numeric port '12ab'"},
+      {"localhost:7001,localhost7002", "'localhost7002'"},
+  };
+  for (const Case& c : cases) {
+    CommandResult run = RunCli("serve --in " + data_csv +
+                                   " --eps 1.0 --minpts 3 --index 0"
+                                   " --paillier-bits 256"
+                                   " --rsa-bits 128 --peers " +
+                                   std::string(c.peers),
+                               /*capture_stderr=*/true);
+    EXPECT_EQ(run.exit_code, 1) << c.peers;
+    EXPECT_NE(run.stdout_text.find(c.needle), std::string::npos)
+        << "peers=" << c.peers << " output: " << run.stdout_text;
+  }
 }
 
 TEST(CliSmokeTest, CentralRejectsMissingInput) {

@@ -1,0 +1,102 @@
+#include "bigint/fixed_base.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "common/random.h"
+
+namespace ppdbscan {
+namespace {
+
+BigInt OddModulus(SecureRng& rng, size_t bits) {
+  BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  return mod;
+}
+
+// The table is a pure accelerator: ExpFixedBase must be bit-identical to
+// MontgomeryCtx::Exp for every exponent within its width, across limb
+// widths and kernels (the kernel-forced ctest variants re-run this file).
+TEST(FixedBaseTest, MatchesScalarExpAcrossModulusSizes) {
+  SecureRng rng(50);
+  for (size_t bits : {64u, 256u, 1024u, 2048u}) {
+    const BigInt mod = OddModulus(rng, bits);
+    Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+    ASSERT_TRUE(ctx.ok());
+    const BigInt base = BigInt::RandomBelow(rng, mod);
+    const size_t max_bits = bits;
+    const FixedBaseTable table(*ctx, base, max_bits);
+    for (size_t exp_bits : {size_t{1}, size_t{17}, max_bits / 2, max_bits}) {
+      const BigInt exp = BigInt::RandomBits(rng, exp_bits);
+      EXPECT_EQ(table.ExpFixedBase(exp), ctx->Exp(base, exp))
+          << "bits=" << bits << " exp_bits=" << exp_bits;
+    }
+  }
+}
+
+TEST(FixedBaseTest, AllWindowWidthsAgree) {
+  SecureRng rng(51);
+  const BigInt mod = OddModulus(rng, 192);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  const BigInt base = BigInt::RandomBelow(rng, mod);
+  const BigInt exp = BigInt::RandomBits(rng, 160);
+  const BigInt expect = ctx->Exp(base, exp);
+  for (int w = 1; w <= 8; ++w) {
+    const FixedBaseTable table(*ctx, base, 160, w);
+    EXPECT_EQ(table.window_bits(), w);
+    EXPECT_EQ(table.ExpFixedBase(exp), expect) << "w=" << w;
+  }
+}
+
+TEST(FixedBaseTest, EdgeExponentsAndBases) {
+  SecureRng rng(52);
+  const BigInt mod = OddModulus(rng, 128);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  const BigInt base = BigInt::RandomBelow(rng, mod);
+  const FixedBaseTable table(*ctx, base, 128);
+  EXPECT_EQ(table.ExpFixedBase(BigInt(0)), BigInt(1));
+  EXPECT_EQ(table.ExpFixedBase(BigInt(1)), base.Mod(mod));
+  EXPECT_EQ(table.ExpFixedBase(BigInt(65537)), ctx->Exp(base, BigInt(65537)));
+
+  const FixedBaseTable zero_table(*ctx, BigInt(0), 128);
+  EXPECT_EQ(zero_table.ExpFixedBase(BigInt(0)), BigInt(1));
+  EXPECT_EQ(zero_table.ExpFixedBase(BigInt(5)), BigInt(0));
+  const FixedBaseTable one_table(*ctx, BigInt(1), 128);
+  EXPECT_EQ(one_table.ExpFixedBase(BigInt(1) << 100), BigInt(1));
+}
+
+// Exponents wider than the table was built for fall back to the scalar
+// path — correct, just not accelerated.
+TEST(FixedBaseTest, OverWideExponentFallsBackToScalarExp) {
+  SecureRng rng(53);
+  const BigInt mod = OddModulus(rng, 256);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  const BigInt base = BigInt::RandomBelow(rng, mod);
+  const FixedBaseTable table(*ctx, base, 64);
+  const BigInt wide = BigInt::RandomBits(rng, 63) + (BigInt(1) << 200);
+  EXPECT_EQ(table.ExpFixedBase(wide), ctx->Exp(base, wide));
+}
+
+TEST(FixedBaseTest, AutoWindowAndFootprintAccessors) {
+  SecureRng rng(54);
+  const BigInt mod = OddModulus(rng, 256);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  const BigInt base = BigInt::RandomBelow(rng, mod);
+  const FixedBaseTable narrow(*ctx, base, 256);
+  EXPECT_EQ(narrow.window_bits(), 4);  // < 768 bits -> w=4
+  EXPECT_EQ(narrow.max_exponent_bits(), 256u);
+  const FixedBaseTable tall(*ctx, base, 1024);
+  EXPECT_EQ(tall.window_bits(), 5);  // >= 768 bits -> w=5
+  // ceil(bits/w) windows of (2^w - 1) residues of the modulus width.
+  const size_t k = mod.limbs().size();
+  EXPECT_EQ(narrow.table_bytes(), (256 / 4) * 15 * k * sizeof(Limb));
+  EXPECT_GT(tall.table_bytes(), narrow.table_bytes());
+}
+
+}  // namespace
+}  // namespace ppdbscan

@@ -59,6 +59,45 @@ TEST(MessageTest, AbortFrameSurfacesAsAborted) {
             std::string::npos);
 }
 
+// The abort frame carries the originating StatusCode as a leading payload
+// byte so the receiving side can classify retryability structurally —
+// serve-mode retry must never parse message text.
+TEST(MessageTest, AbortFrameCarriesOriginCode) {
+  auto [a, b] = MemoryChannel::CreatePair();
+  (void)AbortPeer(*a, Status::InvalidArgument("bad share"), "bad share");
+  Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 0x1);
+  EXPECT_EQ(payload.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(payload.status().origin_code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(payload.status().message().find("bad share"), std::string::npos);
+}
+
+TEST(MessageTest, RelayedAbortPreservesDeepOrigin) {
+  // A party that relays a peer's abort re-aborts with a kAborted status
+  // that already carries an origin; the origin (not kAborted) must survive
+  // the second hop.
+  auto [a, b] = MemoryChannel::CreatePair();
+  const Status nested =
+      Status::Aborted("peer aborted").WithOrigin(StatusCode::kUnavailable);
+  (void)AbortPeer(*a, nested, "relay");
+  Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 0x1);
+  EXPECT_EQ(payload.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(payload.status().origin_code(), StatusCode::kUnavailable);
+}
+
+TEST(MessageTest, LegacyTextAbortPayloadDecodesWithUnknownOrigin) {
+  // Pre-origin-byte senders shipped the reason text alone. Printable
+  // ASCII can't collide with a valid code byte (codes are <= kAborted),
+  // so the whole payload must decode as the reason with unknown origin.
+  auto [a, b] = MemoryChannel::CreatePair();
+  ASSERT_TRUE(SendMessage(*a, kAbortMessageType,
+                          std::vector<uint8_t>{'o', 'l', 'd'})
+                  .ok());
+  Result<std::vector<uint8_t>> payload = ExpectMessage(*b, 0x1);
+  EXPECT_EQ(payload.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(payload.status().origin_code(), StatusCode::kOk);  // unknown
+  EXPECT_NE(payload.status().message().find("old"), std::string::npos);
+}
+
 TEST(MessageTest, RecvMessagePassesAbortThrough) {
   // RecvMessage (unlike ExpectMessage) hands the abort tag to the caller,
   // which dispatch loops handle explicitly.

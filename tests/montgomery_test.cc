@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "bigint/bigint.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace ppdbscan {
 namespace {
@@ -181,6 +184,89 @@ TEST(MontgomeryTest, OverWideOperandsClampToModulusWidth) {
           ctx->MulMont(ctx->ToMont(low_a.Mod(mod)), ctx->ToMont(low_b.Mod(mod))));
       EXPECT_EQ(got, (low_a * low_b).Mod(mod));
     }
+  }
+}
+
+// ExpBatch must be bit-identical to per-element Exp whichever engine the
+// dispatcher picks (AVX-512 IFMA or the lockstep fallback). The ctest
+// engine-forced variants re-run this whole binary with
+// PPDBSCAN_EXP_ENGINE pinned, so every engine the host can execute faces
+// this differential directly.
+TEST(MontgomeryTest, ExpBatchMatchesScalarExp) {
+  SecureRng rng(40);
+  for (size_t bits : {64u, 256u, 1024u}) {
+    BigInt mod = BigInt::RandomBits(rng, bits) + BigInt(3);
+    if (mod.IsEven()) mod += BigInt(1);
+    Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+    ASSERT_TRUE(ctx.ok());
+    // 11 bases: one full 8-lane IFMA group plus a 3-element tail, so both
+    // full and partial groups are exercised (the tail of one falls back to
+    // scalar Exp inside the dispatcher).
+    std::vector<BigInt> bases;
+    for (int i = 0; i < 11; ++i) bases.push_back(BigInt::RandomBelow(rng, mod));
+    const BigInt exp = BigInt::RandomBits(rng, bits);
+    const std::vector<BigInt> out = ctx->ExpBatch(bases, exp);
+    ASSERT_EQ(out.size(), bases.size());
+    for (size_t i = 0; i < bases.size(); ++i) {
+      EXPECT_EQ(out[i], ctx->Exp(bases[i], exp)) << "bits=" << bits
+                                                 << " i=" << i;
+    }
+  }
+}
+
+TEST(MontgomeryTest, ExpBatchWithThreadPoolMatchesScalarExp) {
+  SecureRng rng(41);
+  BigInt mod = BigInt::RandomBits(rng, 512) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+  std::vector<BigInt> bases;
+  for (int i = 0; i < 20; ++i) bases.push_back(BigInt::RandomBelow(rng, mod));
+  const BigInt exp = BigInt::RandomBits(rng, 512);
+  ThreadPool pool(3);
+  const std::vector<BigInt> out = ctx->ExpBatch(bases, exp, &pool);
+  for (size_t i = 0; i < bases.size(); ++i) {
+    EXPECT_EQ(out[i], ctx->Exp(bases[i], exp)) << "i=" << i;
+  }
+}
+
+TEST(MontgomeryTest, ExpBatchEdgeShapes) {
+  SecureRng rng(42);
+  BigInt mod = BigInt::RandomBits(rng, 256) + BigInt(3);
+  if (mod.IsEven()) mod += BigInt(1);
+  Result<MontgomeryCtx> ctx = MontgomeryCtx::Create(mod);
+  ASSERT_TRUE(ctx.ok());
+
+  EXPECT_TRUE(ctx->ExpBatch({}, BigInt(65537)).empty());
+
+  const BigInt single = BigInt::RandomBelow(rng, mod);
+  EXPECT_EQ(ctx->ExpBatch({single}, BigInt(65537))[0],
+            ctx->Exp(single, BigInt(65537)));
+
+  // Zero exponent: every lane is 1, including the zero base (0^0 == 1 by
+  // the Exp convention).
+  std::vector<BigInt> bases = {BigInt(0), BigInt(1), single,
+                               BigInt::RandomBelow(rng, mod)};
+  for (const BigInt& r : ctx->ExpBatch(bases, BigInt(0))) {
+    EXPECT_EQ(r, BigInt(1));
+  }
+  // Exponent 1 returns the base reduced mod n; zero and one bases stay
+  // fixed under any exponent.
+  const std::vector<BigInt> identity = ctx->ExpBatch(bases, BigInt(1));
+  for (size_t i = 0; i < bases.size(); ++i) {
+    EXPECT_EQ(identity[i], bases[i].Mod(mod));
+  }
+  const std::vector<BigInt> cubed = ctx->ExpBatch(bases, BigInt(3));
+  EXPECT_EQ(cubed[0], BigInt(0));
+  EXPECT_EQ(cubed[1], BigInt(1));
+
+  // Bases at or above the modulus are reduced, matching scalar Exp.
+  std::vector<BigInt> wide;
+  for (int i = 0; i < 9; ++i) wide.push_back(mod * BigInt(i + 1) + BigInt(i));
+  const BigInt exp = BigInt::RandomBits(rng, 200);
+  const std::vector<BigInt> out = ctx->ExpBatch(wide, exp);
+  for (size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ(out[i], ctx->Exp(wide[i], exp)) << "i=" << i;
   }
 }
 

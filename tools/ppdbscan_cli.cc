@@ -470,9 +470,35 @@ Result<std::vector<MeshEndpoint>> ParsePeers(const std::string& spec) {
       return Status::InvalidArgument("peer entry needs host:port, got '" +
                                      entry + "'");
     }
-    int port = std::atoi(entry.c_str() + colon + 1);
-    if (port < 0 || port > 65535) {
-      return Status::InvalidArgument("bad peer port in '" + entry + "'");
+    // Full-string port validation: every character after the colon must be
+    // a digit, and the value must land in [1, 65535]. atoi would silently
+    // accept "host:", "host:0" and "host:12ab" — all of which then fail
+    // (or worse, half-work) deep inside mesh setup instead of here, where
+    // the offending entry can be named.
+    const std::string port_text = entry.substr(colon + 1);
+    if (port_text.empty()) {
+      return Status::InvalidArgument("peer entry '" + entry +
+                                     "' is missing a port after ':'");
+    }
+    uint32_t port = 0;
+    bool digits_only = true;
+    for (char c : port_text) {
+      if (c < '0' || c > '9') {
+        digits_only = false;
+        break;
+      }
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+      if (port > 65535) break;  // already out of range; stop before overflow
+    }
+    if (!digits_only) {
+      return Status::InvalidArgument(
+          "peer entry '" + entry + "' has a non-numeric port '" + port_text +
+          "'");
+    }
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument("peer entry '" + entry +
+                                     "' needs a port in [1, 65535], got '" +
+                                     port_text + "'");
     }
     endpoints.push_back(
         {entry.substr(0, colon), static_cast<uint16_t>(port)});
